@@ -1,0 +1,94 @@
+// Command earthplus-bench regenerates every table and figure of the
+// paper's evaluation section and prints them as text. By default it runs
+// at the quick scale; -full runs closer to paper scale (expect a long
+// run), and -only selects a single artefact.
+//
+// Usage:
+//
+//	earthplus-bench            # every experiment, quick scale
+//	earthplus-bench -full      # every experiment, full scale
+//	earthplus-bench -only fig11b
+//	earthplus-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"earthplus/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full (paper-ish) scale instead of quick")
+	only := flag.String("only", "", "run a single experiment (see -list)")
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *full {
+		sc = experiments.FullScale()
+	}
+
+	type job struct {
+		key string
+		run func() (experiments.Result, error)
+	}
+	jobs := []job{
+		{"table1", func() (experiments.Result, error) { return experiments.Table1(), nil }},
+		{"table2", func() (experiments.Result, error) { return experiments.Table2(sc), nil }},
+		{"fig4", func() (experiments.Result, error) { return experiments.Fig4(sc), nil }},
+		{"fig5", func() (experiments.Result, error) { return experiments.Fig5(sc), nil }},
+		{"fig8", func() (experiments.Result, error) { return experiments.Fig8(sc), nil }},
+		{"fig11a", func() (experiments.Result, error) { return experiments.Fig11(sc, experiments.RichContent) }},
+		{"fig11b", func() (experiments.Result, error) { return experiments.Fig11(sc, experiments.PlanetSampled) }},
+		{"fig12", func() (experiments.Result, error) { return experiments.Fig12(sc) }},
+		{"fig13", func() (experiments.Result, error) { return experiments.Fig13(sc) }},
+		{"fig14", func() (experiments.Result, error) { return experiments.Fig14(sc) }},
+		{"fig15", func() (experiments.Result, error) { return experiments.Fig15(sc) }},
+		{"fig16", func() (experiments.Result, error) { return experiments.Fig16(sc) }},
+		{"fig17", func() (experiments.Result, error) { return experiments.Fig17(sc) }},
+		{"fig18", func() (experiments.Result, error) { return experiments.Fig18(sc) }},
+		{"fig19", func() (experiments.Result, error) { return experiments.Fig19(sc) }},
+		{"ablation-theta", func() (experiments.Result, error) { return experiments.AblationTheta(sc) }},
+		{"ablation-guarantee", func() (experiments.Result, error) { return experiments.AblationGuarantee(sc) }},
+		{"ablation-reject", func() (experiments.Result, error) { return experiments.AblationReject(sc) }},
+	}
+
+	if *list {
+		var keys []string
+		for _, j := range jobs {
+			keys = append(keys, j.key)
+		}
+		sort.Strings(keys)
+		fmt.Println(strings.Join(keys, "\n"))
+		return
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if *only != "" && j.key != strings.ToLower(*only) {
+			continue
+		}
+		ran++
+		t0 := time.Now()
+		res, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "earthplus-bench: %s: %v\n", j.key, err)
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s (%s, %.1fs) =====\n", res.ID(), j.key, time.Since(t0).Seconds())
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "earthplus-bench: rendering %s: %v\n", j.key, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "earthplus-bench: unknown experiment %q (try -list)\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command earthplus-encode exposes the repository's layered wavelet codec
+// as a standalone tool for 16-bit PGM images: encode to a codestream,
+// decode back (optionally truncated to fewer quality layers), and report
+// rate/distortion.
+//
+// Usage:
+//
+//	earthplus-encode -in image.pgm -out image.epc -bpp 1.0
+//	earthplus-encode -decode -in image.epc -out restored.pgm -layers 4
+//	earthplus-encode -roundtrip -in image.pgm -bpp 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earthplus/internal/codec"
+	"earthplus/internal/raster"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (PGM for encode, codestream for decode)")
+	out := flag.String("out", "", "output file (empty with -roundtrip)")
+	bpp := flag.Float64("bpp", 0, "bits per pixel budget (0 = near-lossless)")
+	layers := flag.Int("layers", 0, "decode only this many quality layers (0 = all)")
+	decode := flag.Bool("decode", false, "decode a codestream back to PGM")
+	roundtrip := flag.Bool("roundtrip", false, "encode+decode in memory and report PSNR")
+	flag.Parse()
+
+	if *in == "" {
+		fail("missing -in")
+	}
+	switch {
+	case *roundtrip:
+		img := readPGM(*in)
+		opts := codec.DefaultOptions()
+		if *bpp > 0 {
+			opts.BudgetBytes = codec.BudgetForBPP(*bpp, img.Width, img.Height)
+		}
+		data, err := codec.EncodePlane(img.Plane(0), img.Width, img.Height, opts)
+		if err != nil {
+			fail("encode: %v", err)
+		}
+		plane, w, h, err := codec.DecodePlane(data, *layers)
+		if err != nil {
+			fail("decode: %v", err)
+		}
+		rec := raster.New(w, h, img.Bands)
+		copy(rec.Plane(0), plane)
+		rec.Clamp()
+		info, _ := codec.Parse(data)
+		fmt.Printf("input    %dx%d (%d pixels)\n", w, h, w*h)
+		fmt.Printf("encoded  %d bytes (%.3f bpp), %d layers\n",
+			len(data), float64(len(data))*8/float64(w*h), info.NLayers)
+		fmt.Printf("PSNR     %.2f dB\n", raster.PSNRBand(img, rec, 0))
+	case *decode:
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fail("reading %s: %v", *in, err)
+		}
+		plane, w, h, err := codec.DecodePlane(data, *layers)
+		if err != nil {
+			fail("decode: %v", err)
+		}
+		img := raster.New(w, h, []raster.BandInfo{{Name: "gray"}})
+		copy(img.Plane(0), plane)
+		img.Clamp()
+		writePGM(*out, img)
+		fmt.Printf("decoded %dx%d -> %s\n", w, h, *out)
+	default:
+		img := readPGM(*in)
+		opts := codec.DefaultOptions()
+		if *bpp > 0 {
+			opts.BudgetBytes = codec.BudgetForBPP(*bpp, img.Width, img.Height)
+		}
+		data, err := codec.EncodePlane(img.Plane(0), img.Width, img.Height, opts)
+		if err != nil {
+			fail("encode: %v", err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		fmt.Printf("encoded %dx%d -> %d bytes (%.3f bpp) -> %s\n",
+			img.Width, img.Height, len(data),
+			float64(len(data))*8/float64(img.Width*img.Height), *out)
+	}
+}
+
+func readPGM(path string) *raster.Image {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	img, err := raster.ReadPGM(f)
+	if err != nil {
+		fail("parsing %s: %v", path, err)
+	}
+	return img
+}
+
+func writePGM(path string, img *raster.Image) {
+	if path == "" {
+		fail("missing -out")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := img.WritePGM(f, 0); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "earthplus-encode: "+format+"\n", args...)
+	os.Exit(1)
+}

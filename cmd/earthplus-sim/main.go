@@ -1,0 +1,133 @@
+// Command earthplus-sim runs one configurable end-to-end simulation of a
+// compression system over a synthetic constellation and prints the summary
+// statistics and a per-capture trace.
+//
+// Usage:
+//
+//	earthplus-sim -system earthplus -dataset planet -sats 8 -days 60
+//	earthplus-sim -system kodan -dataset rich -gamma 0.5 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earthplus/internal/baseline"
+	"earthplus/internal/codec"
+	"earthplus/internal/core"
+	"earthplus/internal/link"
+	"earthplus/internal/metrics"
+	"earthplus/internal/orbit"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+)
+
+func main() {
+	system := flag.String("system", "earthplus", "system to run: earthplus | kodan | satroi")
+	dataset := flag.String("dataset", "planet", "dataset: rich | planet | planet-natural")
+	sats := flag.Int("sats", 8, "number of satellites in the constellation")
+	days := flag.Int("days", 60, "evaluation days")
+	start := flag.Int("start", 40, "first evaluation day")
+	gamma := flag.Float64("gamma", 1.0, "bits per pixel per downloaded tile (the paper's γ)")
+	fullSize := flag.Bool("fullsize", false, "use the larger scene size")
+	trace := flag.Bool("trace", false, "print the per-capture trace")
+	dump := flag.String("dump", "", "write the run as a JSON-lines trace to this file")
+	flag.Parse()
+
+	size := scene.Quick
+	if *fullSize {
+		size = scene.Full
+	}
+	var cfg scene.Config
+	var cons orbit.Constellation
+	switch *dataset {
+	case "rich":
+		cfg = scene.RichContent(size)
+		cons = orbit.Constellation{Satellites: 2, RevisitDays: 10}
+	case "planet-natural":
+		cfg = scene.LargeConstellation(size)
+		cons = orbit.Constellation{Satellites: *sats, RevisitDays: 12}
+	default:
+		cfg = scene.LargeConstellationSampled(size)
+		cons = orbit.Constellation{Satellites: *sats, RevisitDays: 12}
+	}
+	if *dataset != "rich" {
+		cons.Satellites = *sats
+	}
+
+	env := &sim.Env{
+		Scene:    scene.New(cfg),
+		Orbit:    cons,
+		Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	}
+	var sys sim.System
+	var err error
+	switch *system {
+	case "kodan":
+		sys, err = baseline.NewKodan(env, *gamma, codec.DefaultOptions())
+	case "satroi":
+		sys, err = baseline.NewSatRoI(env, *gamma, codec.DefaultOptions())
+	default:
+		c := core.DefaultConfig()
+		c.GammaBPP = *gamma
+		sys, err = core.New(env, c)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := sim.Run(env, sys, *start-30, *start, *start+*days)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sim.WriteTrace(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "earthplus-sim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *dump)
+	}
+	if *trace {
+		rows := [][]string{{"day", "loc", "sat", "cloud", "dropped", "tiles", "bytes", "PSNR", "refAge"}}
+		for _, r := range res.Records {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", r.Day),
+				fmt.Sprintf("%d", r.Loc),
+				fmt.Sprintf("%d", r.Sat),
+				fmt.Sprintf("%.0f%%", r.TrueCoverage*100),
+				fmt.Sprintf("%v", r.Dropped),
+				fmt.Sprintf("%.0f%%", r.DownTileFrac*100),
+				fmt.Sprintf("%d", r.DownBytes),
+				fmt.Sprintf("%.1f", r.PSNR),
+				fmt.Sprintf("%d", r.RefAge),
+			})
+		}
+		metrics.Table(os.Stdout, rows)
+		fmt.Println()
+	}
+	s := sim.Summarize(res, env.Downlink)
+	fmt.Printf("system              %s\n", sys.Name())
+	fmt.Printf("captures            %d (%d dropped)\n", s.Captures, s.Dropped)
+	fmt.Printf("mean PSNR           %.1f dB\n", s.MeanPSNR)
+	fmt.Printf("mean tiles/capture  %.0f%%\n", s.MeanTileFrac*100)
+	fmt.Printf("mean bytes/capture  %.0f\n", s.MeanDownBytes)
+	if s.RequiredDownlinkBps >= 1e6 {
+		fmt.Printf("required downlink   %.2f Mbps\n", s.RequiredDownlinkBps/1e6)
+	} else {
+		fmt.Printf("required downlink   %.2f kbps\n", s.RequiredDownlinkBps/1e3)
+	}
+	fmt.Printf("mean reference age  %.1f days\n", s.MeanRefAge)
+	fmt.Printf("uplink used         %.0f bytes/day\n", s.MeanUpBytesPerDay)
+}

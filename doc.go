@@ -1,0 +1,9 @@
+// Package earthplus is a from-scratch Go reproduction of "Earth+: On-Board
+// Satellite Imagery Compression Leveraging Historical Earth Observations"
+// (ASPLOS 2025). The root package only anchors the module; the system lives
+// under internal/ (see DESIGN.md for the inventory) and is exercised by the
+// executables in cmd/ and the runnable examples in examples/.
+package earthplus
+
+// Version identifies this reproduction's release line.
+const Version = "1.0.0"

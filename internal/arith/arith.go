@@ -1,0 +1,174 @@
+// Package arith implements an adaptive binary arithmetic coder (an
+// LZMA-style binary range coder). The wavelet codec's bit-plane entropy
+// stage drives it with per-context probability models, which is the same
+// role the MQ coder plays inside JPEG-2000.
+package arith
+
+// Prob is an adaptive probability state for one binary context. The value
+// is P(bit = 0) in units of 1/2048.
+type Prob uint16
+
+const (
+	probBits  = 11
+	probTotal = 1 << probBits // 2048
+	probInit  = probTotal / 2
+	moveBits  = 5
+	topValue  = 1 << 24
+)
+
+// NewProbs returns n contexts initialised to the 50/50 state.
+func NewProbs(n int) []Prob {
+	p := make([]Prob, n)
+	for i := range p {
+		p[i] = probInit
+	}
+	return p
+}
+
+// ResetProbs returns every context to the 50/50 state.
+func ResetProbs(p []Prob) {
+	for i := range p {
+		p[i] = probInit
+	}
+}
+
+// Encoder is a binary range encoder. Create with NewEncoder, feed bits with
+// Encode/EncodeBypass, and finish with Flush.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+// NewEncoder returns a fresh encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+// Encode codes one bit under the adaptive context p, updating p.
+func (e *Encoder) Encode(p *Prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (probTotal - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// EncodeBypass codes one equiprobable bit without touching any context.
+func (e *Encoder) EncodeBypass(bit int) {
+	e.rng >>= 1
+	if bit != 0 {
+		e.low += uint64(e.rng)
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		tmp := e.cache
+		for {
+			e.out = append(e.out, tmp+carry)
+			tmp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	// The top byte just moved into cache; keep only bits 0..23, shifted.
+	// A later carry out of bit 31 is detected via low>>32 above.
+	e.low = uint64(uint32(e.low) << 8)
+}
+
+// Len returns an upper bound on the byte length the stream would have if
+// flushed now. The codec's rate controller uses it to stop at a byte budget.
+func (e *Encoder) Len() int { return len(e.out) + int(e.cacheSize) + 4 }
+
+// Flush terminates the stream and returns the encoded bytes. The encoder
+// must not be used afterwards.
+func (e *Encoder) Flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Decoder mirrors Encoder. Reads past the end of the buffer yield zero
+// bytes, so decoding a truncated stream degrades instead of crashing.
+type Decoder struct {
+	buf  []byte
+	pos  int
+	rng  uint32
+	code uint32
+}
+
+// NewDecoder returns a decoder over buf (the output of Encoder.Flush).
+func NewDecoder(buf []byte) *Decoder {
+	d := &Decoder{buf: buf, rng: 0xFFFFFFFF}
+	d.nextByte() // the encoder's first shifted byte is always 0
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+func (d *Decoder) nextByte() byte {
+	if d.pos >= len(d.buf) {
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+// Decode returns the next bit under context p, updating p exactly as the
+// encoder did.
+func (d *Decoder) Decode(p *Prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (probTotal - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.code = d.code<<8 | uint32(d.nextByte())
+		d.rng <<= 8
+	}
+	return bit
+}
+
+// DecodeBypass returns the next equiprobable bit.
+func (d *Decoder) DecodeBypass() int {
+	d.rng >>= 1
+	var bit int
+	if d.code >= d.rng {
+		d.code -= d.rng
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.code = d.code<<8 | uint32(d.nextByte())
+		d.rng <<= 8
+	}
+	return bit
+}

@@ -1,0 +1,197 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSingleContext(t *testing.T) {
+	bits := []int{0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 0}
+	enc := NewEncoder()
+	p := NewProbs(1)
+	for _, b := range bits {
+		enc.Encode(&p[0], b)
+	}
+	data := enc.Flush()
+	dec := NewDecoder(data)
+	q := NewProbs(1)
+	for i, want := range bits {
+		if got := dec.Decode(&q[0]); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%2000) + 1
+		bits := make([]int, count)
+		ctxIdx := make([]int, count)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+			ctxIdx[i] = rng.Intn(8)
+		}
+		enc := NewEncoder()
+		ps := NewProbs(8)
+		for i := range bits {
+			enc.Encode(&ps[ctxIdx[i]], bits[i])
+		}
+		data := enc.Flush()
+		dec := NewDecoder(data)
+		qs := NewProbs(8)
+		for i := range bits {
+			if dec.Decode(&qs[ctxIdx[i]]) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBypassRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bits := make([]int, 5000)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	enc := NewEncoder()
+	for _, b := range bits {
+		enc.EncodeBypass(b)
+	}
+	dec := NewDecoder(enc.Flush())
+	for i, want := range bits {
+		if got := dec.DecodeBypass(); got != want {
+			t.Fatalf("bypass bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMixedContextAndBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	enc := NewEncoder()
+	ps := NewProbs(2)
+	var script []int // 0/1: context bit, 2/3: bypass bit
+	for i := 0; i < 3000; i++ {
+		b := rng.Intn(2)
+		if rng.Intn(3) == 0 {
+			enc.EncodeBypass(b)
+			script = append(script, 2+b)
+		} else {
+			enc.Encode(&ps[i%2], b)
+			script = append(script, b)
+		}
+	}
+	dec := NewDecoder(enc.Flush())
+	qs := NewProbs(2)
+	for i, s := range script {
+		var got, want int
+		if s >= 2 {
+			got, want = dec.DecodeBypass(), s-2
+		} else {
+			got, want = dec.Decode(&qs[i%2]), s
+		}
+		if got != want {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Skewed input must compress well below 1 bit per symbol — this is the whole
+// point of the adaptive coder.
+func TestCompressionOnSkewedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	enc := NewEncoder()
+	p := NewProbs(1)
+	ones := 0
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Float64() < 0.05 {
+			b = 1
+		}
+		ones += b
+		enc.Encode(&p[0], b)
+	}
+	data := enc.Flush()
+	bitsPerSymbol := float64(len(data)*8) / n
+	// Entropy of a 5% source is ~0.29 bits; adaptive coding should land
+	// well under 0.5.
+	if bitsPerSymbol > 0.5 {
+		t.Fatalf("skewed stream cost %.3f bits/symbol (len=%d, ones=%d)", bitsPerSymbol, len(data), ones)
+	}
+}
+
+func TestUniformInputNearOneBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 20000
+	enc := NewEncoder()
+	p := NewProbs(1)
+	for i := 0; i < n; i++ {
+		enc.Encode(&p[0], rng.Intn(2))
+	}
+	bitsPerSymbol := float64(len(enc.Flush())*8) / n
+	if bitsPerSymbol < 0.98 || bitsPerSymbol > 1.1 {
+		t.Fatalf("uniform stream cost %.3f bits/symbol, want ~1", bitsPerSymbol)
+	}
+}
+
+func TestLenUpperBound(t *testing.T) {
+	enc := NewEncoder()
+	p := NewProbs(1)
+	for i := 0; i < 1000; i++ {
+		est := enc.Len()
+		enc.Encode(&p[0], i%3%2)
+		if enc.Len() < len(enc.out) {
+			t.Fatal("Len below committed bytes")
+		}
+		_ = est
+	}
+	before := enc.Len()
+	data := enc.Flush()
+	if len(data) > before {
+		t.Fatalf("flushed %d bytes > estimate %d", len(data), before)
+	}
+}
+
+func TestTruncatedStreamDoesNotPanic(t *testing.T) {
+	enc := NewEncoder()
+	p := NewProbs(1)
+	for i := 0; i < 1000; i++ {
+		enc.Encode(&p[0], i%2)
+	}
+	data := enc.Flush()
+	dec := NewDecoder(data[:len(data)/2])
+	q := NewProbs(1)
+	for i := 0; i < 1000; i++ {
+		bit := dec.Decode(&q[0])
+		if bit != 0 && bit != 1 {
+			t.Fatalf("invalid bit %d", bit)
+		}
+	}
+}
+
+func TestEmptyFlushDecodes(t *testing.T) {
+	data := NewEncoder().Flush()
+	if len(data) == 0 {
+		t.Fatal("flush of empty stream produced no bytes")
+	}
+	dec := NewDecoder(data)
+	p := NewProbs(1)
+	_ = dec.Decode(&p[0]) // must not panic
+}
+
+func TestResetProbs(t *testing.T) {
+	ps := NewProbs(3)
+	ps[0], ps[2] = 1, 2000
+	ResetProbs(ps)
+	for i, p := range ps {
+		if p != probInit {
+			t.Fatalf("ps[%d] = %d after reset", i, p)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"time"
+
+	"earthplus/internal/change"
+	"earthplus/internal/cloud"
+	"earthplus/internal/codec"
+	"earthplus/internal/illum"
+	"earthplus/internal/raster"
+	"earthplus/internal/sat"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+	"earthplus/internal/station"
+)
+
+// SatRoI is the reference-based baseline [61]: it keeps a fixed full-
+// resolution reference image on board (set once, never refreshed — there
+// is no uplink path for updates) and downloads tiles that changed against
+// it. As the reference ages, nearly everything reads as changed (§3),
+// which is exactly the failure mode Earth+'s constellation-wide refresh
+// removes.
+type SatRoI struct {
+	env      *sim.Env
+	gamma    float64
+	opts     codec.Options
+	detector cloud.Detector
+	dropCov  float64
+	tileFrac float64
+	// guaranteeDays matches Earth+'s periodic full download so the two
+	// reference-based systems share the same quality floor mechanism.
+	guaranteeDays int
+	ground        *station.Ground
+	refs          []*raster.Image // fixed full-res reference per location
+	refDay        []int
+	lastGuar      []int
+}
+
+var _ sim.System = (*SatRoI)(nil)
+
+// NewSatRoI builds the SatRoI baseline.
+func NewSatRoI(env *sim.Env, gammaBPP float64, opts codec.Options) (*SatRoI, error) {
+	bands := env.Scene.Bands()
+	n := env.Scene.NumLocations()
+	ground, err := station.NewGround(station.Config{
+		Bands:       bands,
+		Grid:        env.Scene.Grid(),
+		Downsample:  4,
+		CodecOpts:   opts,
+		RefBPP:      1, // unused: SatRoI never uplinks references
+		MaxRefCloud: -1,
+	}, n)
+	if err != nil {
+		return nil, err
+	}
+	refDay := make([]int, n)
+	lastGuar := make([]int, n)
+	for i := range refDay {
+		refDay[i] = -1
+		lastGuar[i] = -1 << 30
+	}
+	return &SatRoI{
+		env:           env,
+		gamma:         gammaBPP,
+		opts:          opts,
+		detector:      cloud.DefaultCheap(bands),
+		dropCov:       0.5,
+		tileFrac:      0.5,
+		guaranteeDays: 30,
+		ground:        ground,
+		refs:          make([]*raster.Image, n),
+		refDay:        refDay,
+		lastGuar:      lastGuar,
+	}, nil
+}
+
+// Name implements sim.System.
+func (s *SatRoI) Name() string { return "SatRoI" }
+
+// Bootstrap implements sim.System: the bootstrap capture becomes the fixed
+// on-board reference.
+func (s *SatRoI) Bootstrap(cap *scene.Capture) error {
+	if err := s.ground.SeedBootstrap(cap.Loc, cap.Day, cap.Truth, nil); err != nil {
+		return err
+	}
+	s.refs[cap.Loc] = cap.Truth.Clone()
+	s.refDay[cap.Loc] = cap.Day
+	s.lastGuar[cap.Loc] = cap.Day
+	return nil
+}
+
+// OnCapture implements sim.System: cheap cloud removal, illumination
+// alignment and full-resolution change detection against the fixed
+// reference.
+func (s *SatRoI) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
+	grid := s.env.Scene.Grid()
+	out := sim.Outcome{TotalTiles: grid.NumTiles(), RefAge: -1}
+	ref := s.refs[cap.Loc]
+	if ref != nil {
+		out.RefAge = cap.Day - s.refDay[cap.Loc]
+	}
+
+	tCloud := time.Now()
+	mask := s.detector.Detect(cap.Image)
+	out.CloudSec = time.Since(tCloud).Seconds()
+	if mask.Coverage() > s.dropCov {
+		out.Dropped = true
+		return out, nil
+	}
+	cloudTiles := mask.TileMask(grid, s.tileFrac)
+	nonCloud := cloudTiles.Clone()
+	nonCloud.Invert()
+
+	work := cap.Image.Clone()
+	roi := make([]*raster.TileMask, len(s.env.Scene.Bands()))
+	guaranteed := cap.Day-s.lastGuar[cap.Loc] >= s.guaranteeDays && mask.Coverage() <= 0.05
+	tChange := time.Now()
+	if ref == nil || guaranteed {
+		for b := range roi {
+			roi[b] = nonCloud
+		}
+		if guaranteed {
+			s.lastGuar[cap.Loc] = cap.Day
+			out.Guaranteed = true
+		}
+	} else {
+		// Full-resolution detection: this is SatRoI's change-detection
+		// cost in Fig 16 — no downsampling shortcut.
+		clear := make([]bool, len(mask.Bits))
+		for i, c := range mask.Bits {
+			clear[i] = !c
+		}
+		det := change.Detector{Theta: change.FullResThreshold}
+		for b := range roi {
+			model, _ := illum.FitRobust(ref.Plane(b), work.Plane(b), clear, 2, 0.2)
+			model.Normalize(work.Plane(b))
+			roi[b] = det.DetectBand(ref, work, b, grid, cloudTiles)
+		}
+	}
+	out.ChangeSec = time.Since(tChange).Seconds()
+
+	tEnc := time.Now()
+	streams, err := sat.EncodeROI(work, roi, s.gamma, s.opts)
+	if err != nil {
+		return sim.Outcome{}, err
+	}
+	out.EncodeSec = time.Since(tEnc).Seconds()
+	var tileSum int
+	out.PerBandBytes = make([]int64, len(streams))
+	for b := range streams {
+		out.PerBandBytes[b] = int64(len(streams[b]))
+		out.DownBytes += out.PerBandBytes[b]
+		if roi[b] != nil {
+			tileSum += roi[b].Count()
+		}
+	}
+	out.DownTilesPerBand = float64(tileSum) / float64(len(roi))
+
+	if err := s.ground.ApplyDownload(cap.Loc, cap.Day, streams, roi, nil); err != nil {
+		return sim.Outcome{}, err
+	}
+	out.Recon = s.ground.Recon(cap.Loc)
+	return out, nil
+}
+
+// OnDayEnd implements sim.System; SatRoI uses no uplink.
+func (s *SatRoI) OnDayEnd(int) (int64, error) { return 0, nil }

@@ -1,0 +1,141 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter()
+	pattern := []int{1, 0, 1, 1, 0, 0, 1, 0, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestWriteBitsRoundTripProperty(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		w := NewWriter()
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		want := make([]uint64, 0, n)
+		ws := make([]uint, 0, n)
+		for i := 0; i < n; i++ {
+			width := uint(widths[i]%64) + 1
+			v := vals[i] & (1<<width - 1)
+			w.WriteBits(v, width)
+			want = append(want, v)
+			ws = append(ws, width)
+		}
+		r := NewReader(w.Bytes())
+		for i := range want {
+			if r.ReadBits(ws[i]) != want[i] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 0)
+	if w.BitLen() != 0 {
+		t.Fatalf("zero-width write produced %d bits", w.BitLen())
+	}
+}
+
+func TestLenAndBitLen(t *testing.T) {
+	w := NewWriter()
+	if w.Len() != 0 || w.BitLen() != 0 {
+		t.Fatal("fresh writer not empty")
+	}
+	w.WriteBits(0b101, 3)
+	if w.Len() != 1 || w.BitLen() != 3 {
+		t.Fatalf("Len=%d BitLen=%d, want 1,3", w.Len(), w.BitLen())
+	}
+	w.WriteBits(0, 5)
+	if w.Len() != 1 || w.BitLen() != 8 {
+		t.Fatalf("Len=%d BitLen=%d, want 1,8", w.Len(), w.BitLen())
+	}
+	w.WriteByte(0xAB)
+	if w.Len() != 2 || w.BitLen() != 16 {
+		t.Fatalf("Len=%d BitLen=%d, want 2,16", w.Len(), w.BitLen())
+	}
+}
+
+func TestPartialBytePadding(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b11, 2)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b11000000 {
+		t.Fatalf("Bytes() = %08b", got)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if v := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("first byte = %x", v)
+	}
+	if v := r.ReadBit(); v != 0 {
+		t.Fatalf("past-end bit = %d, want 0", v)
+	}
+	if r.Err() != ErrShortRead {
+		t.Fatalf("Err = %v, want ErrShortRead", r.Err())
+	}
+}
+
+func TestBitsConsumed(t *testing.T) {
+	r := NewReader([]byte{0xAA, 0x55})
+	r.ReadBits(3)
+	if got := r.BitsConsumed(); got != 3 {
+		t.Fatalf("BitsConsumed = %d, want 3", got)
+	}
+	r.ReadBits(10)
+	if got := r.BitsConsumed(); got != 13 {
+		t.Fatalf("BitsConsumed = %d, want 13", got)
+	}
+}
+
+func TestWriterReusableAfterBytes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xA, 4)
+	first := append([]byte(nil), w.Bytes()...)
+	w.WriteByte(0x42)
+	second := w.Bytes()
+	if len(second) != 2 || second[0] != first[0] || second[1] != 0x42 {
+		t.Fatalf("continued buffer = %x", second)
+	}
+}
+
+func TestRandomStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	w := NewWriter()
+	bits := make([]int, 10000)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+		w.WriteBit(bits[i])
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package change implements Earth+'s tile-granular change detector. A tile
+// is changed when its mean absolute pixel difference against the reference
+// exceeds a threshold θ (§3 uses 0.01 on [0,1]-normalised values at full
+// resolution). Earth+ detects changes on downsampled images, compensating
+// for the averaging-out of differences with a lower θ chosen by profiling
+// the previous year's data (§4.3, §5).
+package change
+
+import (
+	"math"
+	"sort"
+
+	"earthplus/internal/raster"
+)
+
+// FullResThreshold is the paper's definition of a truly-changed tile: mean
+// absolute pixel difference above 0.01 at full resolution after
+// illumination alignment (§3, footnote 5).
+const FullResThreshold = 0.01
+
+// Detector flags changed tiles from downsampled, illumination-aligned
+// planes.
+type Detector struct {
+	// Theta is the per-tile mean-absolute-difference threshold applied at
+	// the detector's (downsampled) working resolution.
+	Theta float64
+}
+
+// DetectBand compares band b of the downsampled capture against the
+// downsampled reference over grid gLow and returns the changed-tile mask.
+// Tiles marked in exclude (e.g. cloudy tiles, where differences say
+// nothing about the ground) are never flagged.
+func (d Detector) DetectBand(refLow, capLow *raster.Image, b int, gLow raster.TileGrid, exclude *raster.TileMask) *raster.TileMask {
+	diffs := raster.TileMeanAbsDiff(refLow, capLow, b, gLow)
+	out := raster.NewTileMask(gLow)
+	for t, diff := range diffs {
+		if exclude != nil && exclude.Set[t] {
+			continue
+		}
+		out.Set[t] = diff > d.Theta
+	}
+	return out
+}
+
+// Sample is one profiling observation: a tile's mean absolute difference
+// at the detector's working resolution, and whether the tile truly changed
+// (judged at full resolution with FullResThreshold).
+type Sample struct {
+	LowResDiff float64
+	Changed    bool
+}
+
+// ProfileTheta chooses θ from historical samples, mirroring the paper's
+// calibration: pick the largest θ whose miss rate — truly-changed tiles
+// whose low-resolution difference falls at or below θ — does not exceed
+// targetMiss (Fig 8 tolerates ~1.7% undetected changes). Larger θ means
+// fewer unchanged tiles downloaded, so the largest safe θ is the cheapest.
+// With no changed samples it returns fallback.
+func ProfileTheta(samples []Sample, targetMiss float64, fallback float64) float64 {
+	var changed []float64
+	for _, s := range samples {
+		if s.Changed {
+			changed = append(changed, s.LowResDiff)
+		}
+	}
+	if len(changed) == 0 {
+		return fallback
+	}
+	sort.Float64s(changed)
+	// θ must sit below all but a targetMiss fraction of changed tiles'
+	// diffs. Index of the first diff we must still detect:
+	k := int(targetMiss * float64(len(changed)))
+	if k >= len(changed) {
+		k = len(changed) - 1
+	}
+	theta := changed[k] * 0.999 // strictly below the k-th changed diff
+	if theta <= 0 {
+		theta = math.Nextafter(0, 1)
+	}
+	return theta
+}
+
+// MissAndFalseAlarm evaluates a θ over samples: miss is the fraction of
+// truly-changed tiles not flagged; falseAlarm is the fraction of unchanged
+// tiles flagged. Used by the Fig 8 experiment and detector ablations.
+func MissAndFalseAlarm(samples []Sample, theta float64) (miss, falseAlarm float64) {
+	var changed, missed, unchanged, flagged int
+	for _, s := range samples {
+		if s.Changed {
+			changed++
+			if s.LowResDiff <= theta {
+				missed++
+			}
+		} else {
+			unchanged++
+			if s.LowResDiff > theta {
+				flagged++
+			}
+		}
+	}
+	if changed > 0 {
+		miss = float64(missed) / float64(changed)
+	}
+	if unchanged > 0 {
+		falseAlarm = float64(flagged) / float64(unchanged)
+	}
+	return miss, falseAlarm
+}
+
+// TrueChanges labels tiles changed at full resolution: mean absolute
+// difference above FullResThreshold, excluding the given tiles. It is the
+// ground-truth judgement used for profiling and evaluation.
+func TrueChanges(ref, cap *raster.Image, b int, g raster.TileGrid, exclude *raster.TileMask) *raster.TileMask {
+	diffs := raster.TileMeanAbsDiff(ref, cap, b, g)
+	out := raster.NewTileMask(g)
+	for t, diff := range diffs {
+		if exclude != nil && exclude.Set[t] {
+			continue
+		}
+		out.Set[t] = diff > FullResThreshold
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package change
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"earthplus/internal/noise"
+	"earthplus/internal/raster"
+)
+
+// makePair builds a reference image and a capture where a known set of
+// tiles received a visible content change.
+func makePair(seed uint64, w, h, tile int, changedTiles []int, delta float32) (*raster.Image, *raster.Image, raster.TileGrid) {
+	g := raster.MustTileGrid(w, h, tile)
+	ref := raster.New(w, h, []raster.BandInfo{{Name: "g"}})
+	noise.New(seed).FillFBM(ref.Plane(0), w, h, 6, 4)
+	cap := ref.Clone()
+	for _, t := range changedTiles {
+		x0, y0, x1, y1 := g.Bounds(t)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				cap.Set(0, x, y, cap.At(0, x, y)+delta)
+			}
+		}
+	}
+	return ref, cap, g
+}
+
+func TestDetectBandFindsChangedTiles(t *testing.T) {
+	ref, cap, g := makePair(1, 256, 256, 64, []int{0, 5, 10}, 0.1)
+	refLow, _ := ref.Downsample(8)
+	capLow, _ := cap.Downsample(8)
+	gLow, _ := g.Scaled(8)
+	d := Detector{Theta: 0.02}
+	mask := d.DetectBand(refLow, capLow, 0, gLow, nil)
+	for _, want := range []int{0, 5, 10} {
+		if !mask.Set[want] {
+			t.Fatalf("tile %d not detected", want)
+		}
+	}
+	if mask.Count() != 3 {
+		t.Fatalf("detected %d tiles, want 3", mask.Count())
+	}
+}
+
+func TestDetectBandRespectsExclusions(t *testing.T) {
+	ref, cap, g := makePair(2, 128, 128, 64, []int{1, 3}, 0.2)
+	gLow, _ := g.Scaled(4)
+	refLow, _ := ref.Downsample(4)
+	capLow, _ := cap.Downsample(4)
+	exclude := raster.NewTileMask(gLow)
+	exclude.Set[1] = true // "cloudy" tile
+	mask := Detector{Theta: 0.02}.DetectBand(refLow, capLow, 0, gLow, exclude)
+	if mask.Set[1] {
+		t.Fatal("excluded tile was flagged")
+	}
+	if !mask.Set[3] {
+		t.Fatal("non-excluded changed tile missed")
+	}
+}
+
+func TestDownsamplingAveragesOutSmallChanges(t *testing.T) {
+	// A thin change (one column per tile) dilutes 8x under 8x
+	// downsampling: detectable at full resolution, marginal at low.
+	const w, h, tile = 128, 128, 64
+	g := raster.MustTileGrid(w, h, tile)
+	ref := raster.New(w, h, []raster.BandInfo{{Name: "g"}})
+	noise.New(3).FillFBM(ref.Plane(0), w, h, 6, 4)
+	cap := ref.Clone()
+	x0, y0, _, y1 := g.Bounds(0)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x0+8; x++ { // 8 of 64 columns
+			cap.Set(0, x, y, cap.At(0, x, y)+0.3)
+		}
+	}
+	fullDiff := raster.TileMeanAbsDiff(ref, cap, 0, g)[0]
+	refLow, _ := ref.Downsample(8)
+	capLow, _ := cap.Downsample(8)
+	gLow, _ := g.Scaled(8)
+	lowDiff := raster.TileMeanAbsDiff(refLow, capLow, 0, gLow)[0]
+	if fullDiff <= FullResThreshold {
+		t.Fatalf("setup broken: full-res diff %v below threshold", fullDiff)
+	}
+	// Box averaging preserves the mean of |diff| only when the sign is
+	// uniform; this change is uniform-positive so means match, but mixed
+	// content in real tiles shrinks it. At minimum the low-res diff must
+	// not exceed the full-res diff.
+	if lowDiff > fullDiff+1e-6 {
+		t.Fatalf("low-res diff %v exceeds full-res %v", lowDiff, fullDiff)
+	}
+}
+
+func TestProfileThetaHitsMissTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var samples []Sample
+	// Changed tiles: diffs spread 0.004..0.05; unchanged: 0..0.003.
+	for i := 0; i < 2000; i++ {
+		samples = append(samples, Sample{LowResDiff: 0.004 + rng.Float64()*0.046, Changed: true})
+		samples = append(samples, Sample{LowResDiff: rng.Float64() * 0.003, Changed: false})
+	}
+	theta := ProfileTheta(samples, 0.02, 0.01)
+	miss, fa := MissAndFalseAlarm(samples, theta)
+	if miss > 0.02 {
+		t.Fatalf("miss rate %.4f exceeds target 0.02 (theta=%v)", miss, theta)
+	}
+	// With separable populations the false-alarm rate should stay tiny.
+	if fa > 0.05 {
+		t.Fatalf("false alarm rate %.4f too high (theta=%v)", fa, theta)
+	}
+	if theta <= 0.003 {
+		t.Fatalf("theta %v should sit above the unchanged population", theta)
+	}
+}
+
+func TestProfileThetaFallback(t *testing.T) {
+	samples := []Sample{{LowResDiff: 0.001, Changed: false}}
+	if got := ProfileTheta(samples, 0.02, 0.42); got != 0.42 {
+		t.Fatalf("fallback = %v, want 0.42", got)
+	}
+	if got := ProfileTheta(nil, 0.02, 0.42); got != 0.42 {
+		t.Fatalf("nil-sample fallback = %v", got)
+	}
+}
+
+func TestProfileThetaZeroMissIsStrict(t *testing.T) {
+	samples := []Sample{
+		{LowResDiff: 0.01, Changed: true},
+		{LowResDiff: 0.02, Changed: true},
+		{LowResDiff: 0.002, Changed: false},
+	}
+	theta := ProfileTheta(samples, 0, 0.05)
+	miss, _ := MissAndFalseAlarm(samples, theta)
+	if miss != 0 {
+		t.Fatalf("zero-target profiling still misses %.3f (theta=%v)", miss, theta)
+	}
+}
+
+func TestMissAndFalseAlarmEmpty(t *testing.T) {
+	miss, fa := MissAndFalseAlarm(nil, 0.01)
+	if miss != 0 || fa != 0 {
+		t.Fatalf("empty samples: miss=%v fa=%v", miss, fa)
+	}
+}
+
+func TestTrueChanges(t *testing.T) {
+	ref, cap, g := makePair(9, 128, 128, 64, []int{2}, 0.05)
+	mask := TrueChanges(ref, cap, 0, g, nil)
+	if !mask.Set[2] || mask.Count() != 1 {
+		t.Fatalf("TrueChanges = %v", mask.Set)
+	}
+	exclude := raster.NewTileMask(g)
+	exclude.Set[2] = true
+	mask = TrueChanges(ref, cap, 0, g, exclude)
+	if mask.Count() != 0 {
+		t.Fatal("excluded tile still marked")
+	}
+}
+
+// End-to-end property mirroring Fig 8's premise: with a suitably lowered θ,
+// detection at low resolution still finds nearly all strongly-changed tiles
+// without flagging unchanged ones.
+func TestLowResDetectionEndToEnd(t *testing.T) {
+	const w, h, tile, factor = 256, 256, 64, 8
+	changed := []int{1, 6, 9, 14}
+	ref, cap, g := makePair(11, w, h, tile, changed, 0.08)
+	refLow, _ := ref.Downsample(factor)
+	capLow, _ := cap.Downsample(factor)
+	gLow, _ := g.Scaled(factor)
+	mask := Detector{Theta: 0.01}.DetectBand(refLow, capLow, 0, gLow, nil)
+	for _, want := range changed {
+		if !mask.Set[want] {
+			t.Fatalf("low-res detection missed tile %d", want)
+		}
+	}
+	extra := mask.Count() - len(changed)
+	if extra > 0 {
+		t.Fatalf("%d unchanged tiles flagged", extra)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,304 @@
+// Package cloud provides per-pixel cloud masks and the paper's two cloud
+// detectors: the cheap on-board decision tree (high precision, catches only
+// heavy clouds, §5) and the expensive accurate ground detector standing in
+// for the neural model of [74] (catches thin haze too, §4.3).
+package cloud
+
+import (
+	"fmt"
+
+	"earthplus/internal/raster"
+)
+
+// Mask is a per-pixel boolean cloud mask over a w x h image.
+type Mask struct {
+	W, H int
+	Bits []bool
+}
+
+// NewMask returns an all-clear mask.
+func NewMask(w, h int) *Mask {
+	return &Mask{W: w, H: h, Bits: make([]bool, w*h)}
+}
+
+// At reports whether pixel (x, y) is cloudy.
+func (m *Mask) At(x, y int) bool { return m.Bits[y*m.W+x] }
+
+// Set marks pixel (x, y).
+func (m *Mask) Set(x, y int, v bool) { m.Bits[y*m.W+x] = v }
+
+// Coverage returns the cloudy fraction of the mask in [0,1].
+func (m *Mask) Coverage() float64 {
+	n := 0
+	for _, b := range m.Bits {
+		if b {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.Bits))
+}
+
+// Clone returns a deep copy.
+func (m *Mask) Clone() *Mask {
+	out := NewMask(m.W, m.H)
+	copy(out.Bits, m.Bits)
+	return out
+}
+
+// TileCoverage returns, per tile of g, the cloudy pixel fraction.
+func (m *Mask) TileCoverage(g raster.TileGrid) []float64 {
+	if g.ImageW != m.W || g.ImageH != m.H {
+		panic(fmt.Sprintf("cloud: mask %dx%d does not match grid %dx%d", m.W, m.H, g.ImageW, g.ImageH))
+	}
+	out := make([]float64, g.NumTiles())
+	inv := 1 / float64(g.Tile*g.Tile)
+	for t := range out {
+		x0, y0, x1, y1 := g.Bounds(t)
+		n := 0
+		for y := y0; y < y1; y++ {
+			row := y * m.W
+			for x := x0; x < x1; x++ {
+				if m.Bits[row+x] {
+					n++
+				}
+			}
+		}
+		out[t] = float64(n) * inv
+	}
+	return out
+}
+
+// TileMask marks tiles whose cloudy-pixel fraction exceeds thresh.
+func (m *Mask) TileMask(g raster.TileGrid, thresh float64) *raster.TileMask {
+	cov := m.TileCoverage(g)
+	out := raster.NewTileMask(g)
+	for t, c := range cov {
+		out.Set[t] = c > thresh
+	}
+	return out
+}
+
+// Detector identifies cloudy pixels in a capture.
+type Detector interface {
+	// Detect returns the detected cloud mask at the image's resolution.
+	Detect(im *raster.Image) *Mask
+	// Name identifies the detector in reports.
+	Name() string
+}
+
+// CheapDetector is the on-board decision tree: a pixel is cloudy when the
+// infrared band is cold AND the visible brightness is high. The paper runs
+// it on a heavily downsampled capture because cloudiness is only needed at
+// tile granularity (§5); the same downsampling is what makes it cheap.
+type CheapDetector struct {
+	// IRBand indexes the infrared band used for the temperature split.
+	IRBand int
+	// VisBands are the bands averaged into the brightness feature.
+	VisBands []int
+	// IRMax: pixels with IR above this are warm, hence not heavy cloud.
+	IRMax float32
+	// BrightMin: pixels dimmer than this are not cloud tops.
+	BrightMin float32
+	// Downsample is the per-axis factor the detector works at.
+	Downsample int
+}
+
+// DefaultCheap returns the cheap detector configured for the given band
+// set, tuned (like the paper's) so that >99% of flagged pixels are truly
+// cloudy at the cost of missing thin haze.
+func DefaultCheap(bands []raster.BandInfo) *CheapDetector {
+	ir := raster.InfraredBand(bands)
+	vis := raster.GroundBands(bands)
+	if len(vis) == 0 {
+		vis = []int{0}
+	}
+	return &CheapDetector{IRBand: ir, VisBands: vis, IRMax: 0.22, BrightMin: 0.62, Downsample: 8}
+}
+
+// Name implements Detector.
+func (d *CheapDetector) Name() string { return "cheap-tree" }
+
+// Detect implements Detector.
+func (d *CheapDetector) Detect(im *raster.Image) *Mask {
+	work := im
+	factor := d.Downsample
+	if factor > 1 && im.Width%factor == 0 && im.Height%factor == 0 {
+		lo, err := im.Downsample(factor)
+		if err == nil {
+			work = lo
+		} else {
+			factor = 1
+		}
+	} else {
+		factor = 1
+	}
+	lw, lh := work.Width, work.Height
+	low := NewMask(lw, lh)
+	for i := 0; i < lw*lh; i++ {
+		var bright float32
+		for _, b := range d.VisBands {
+			bright += work.Pix[b][i]
+		}
+		bright /= float32(len(d.VisBands))
+		cold := d.IRBand < 0 || work.Pix[d.IRBand][i] < d.IRMax
+		low.Bits[i] = cold && bright > d.BrightMin
+	}
+	if factor == 1 {
+		return low
+	}
+	out := NewMask(im.Width, im.Height)
+	for y := 0; y < im.Height; y++ {
+		row := (y / factor) * lw
+		for x := 0; x < im.Width; x++ {
+			out.Bits[y*im.Width+x] = low.Bits[row+x/factor]
+		}
+	}
+	return out
+}
+
+// AccurateDetector is the ground-side stand-in for the expensive neural
+// detector: it scores each pixel by a multi-scale smoothed combination of
+// brightness and IR coldness, then dilates, catching thin haze and cloud
+// fringes the cheap tree misses. Its cost (several full-resolution blur
+// passes) is deliberately much higher than CheapDetector's.
+type AccurateDetector struct {
+	IRBand    int
+	VisBands  []int
+	Threshold float32
+	// Scales are box-blur radii evaluated at full resolution.
+	Scales []int
+	// DilatePx grows the detected regions to swallow cloud edges.
+	DilatePx int
+}
+
+// DefaultAccurate returns the accurate detector for a band set.
+func DefaultAccurate(bands []raster.BandInfo) *AccurateDetector {
+	ir := raster.InfraredBand(bands)
+	vis := raster.GroundBands(bands)
+	if len(vis) == 0 {
+		vis = []int{0}
+	}
+	return &AccurateDetector{IRBand: ir, VisBands: vis, Threshold: 0.27, Scales: []int{1, 3, 7}, DilatePx: 2}
+}
+
+// Name implements Detector.
+func (d *AccurateDetector) Name() string { return "accurate-multiscale" }
+
+// Detect implements Detector.
+func (d *AccurateDetector) Detect(im *raster.Image) *Mask {
+	w, h := im.Width, im.Height
+	score := make([]float32, w*h)
+	for i := range score {
+		var bright float32
+		for _, b := range d.VisBands {
+			bright += im.Pix[b][i]
+		}
+		bright /= float32(len(d.VisBands))
+		coldness := float32(0.5)
+		if d.IRBand >= 0 {
+			coldness = 1 - im.Pix[d.IRBand][i]
+		}
+		// Clouds are simultaneously bright and cold; ground is rarely both.
+		score[i] = bright * coldness
+	}
+	best := make([]float32, w*h)
+	copy(best, score)
+	tmp := make([]float32, w*h)
+	for _, r := range d.Scales {
+		blurred := boxBlur(score, tmp, w, h, r)
+		for i, v := range blurred {
+			if v > best[i] {
+				best[i] = v
+			}
+		}
+	}
+	out := NewMask(w, h)
+	for i, v := range best {
+		out.Bits[i] = v > d.Threshold
+	}
+	for i := 0; i < d.DilatePx; i++ {
+		dilate(out)
+	}
+	return out
+}
+
+// boxBlur returns score blurred by a (2r+1)² box, using a separable
+// running-sum pass in each axis. tmp is scratch of the same size.
+func boxBlur(src, tmp []float32, w, h, r int) []float32 {
+	out := make([]float32, w*h)
+	// Horizontal pass into tmp.
+	for y := 0; y < h; y++ {
+		row := y * w
+		var sum float32
+		for x := -r; x <= r; x++ {
+			sum += src[row+clampInt(x, w)]
+		}
+		for x := 0; x < w; x++ {
+			tmp[row+x] = sum / float32(2*r+1)
+			sum += src[row+clampInt(x+r+1, w)] - src[row+clampInt(x-r, w)]
+		}
+	}
+	// Vertical pass into out.
+	for x := 0; x < w; x++ {
+		var sum float32
+		for y := -r; y <= r; y++ {
+			sum += tmp[clampInt(y, h)*w+x]
+		}
+		for y := 0; y < h; y++ {
+			out[y*w+x] = sum / float32(2*r+1)
+			sum += tmp[clampInt(y+r+1, h)*w+x] - tmp[clampInt(y-r, h)*w+x]
+		}
+	}
+	return out
+}
+
+func clampInt(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// dilate grows the mask by one pixel in the 4-neighbourhood.
+func dilate(m *Mask) {
+	src := append([]bool(nil), m.Bits...)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if src[y*m.W+x] {
+				continue
+			}
+			if (x > 0 && src[y*m.W+x-1]) || (x < m.W-1 && src[y*m.W+x+1]) ||
+				(y > 0 && src[(y-1)*m.W+x]) || (y < m.H-1 && src[(y+1)*m.W+x]) {
+				m.Bits[y*m.W+x] = true
+			}
+		}
+	}
+}
+
+// PrecisionRecall compares a predicted mask against ground truth and
+// returns classification precision and recall of the cloudy class. Both
+// are 1 when there are no predictions / no positives respectively.
+func PrecisionRecall(pred, truth *Mask) (precision, recall float64) {
+	var tp, fp, fn int
+	for i := range pred.Bits {
+		switch {
+		case pred.Bits[i] && truth.Bits[i]:
+			tp++
+		case pred.Bits[i] && !truth.Bits[i]:
+			fp++
+		case !pred.Bits[i] && truth.Bits[i]:
+			fn++
+		}
+	}
+	precision, recall = 1, 1
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}

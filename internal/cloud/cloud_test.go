@@ -1,0 +1,234 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"earthplus/internal/noise"
+	"earthplus/internal/raster"
+)
+
+// syntheticScene paints a Planet-band image with dark-ish terrain, a heavy
+// cloud disc (bright + cold IR), and a thin-haze ring around it. Returns
+// the image, the truth mask (heavy + haze), and the heavy-only mask.
+func syntheticScene(w, h int) (*raster.Image, *Mask, *Mask) {
+	im := raster.New(w, h, raster.PlanetBands())
+	src := noise.New(77)
+	for b := 0; b < 3; b++ {
+		src.FillFBM(im.Plane(b), w, h, 5, 3)
+		for i, v := range im.Plane(b) {
+			im.Plane(b)[i] = 0.15 + 0.3*v // terrain reflectance 0.15-0.45
+		}
+	}
+	for i := range im.Plane(3) {
+		im.Plane(3)[i] = 0.55 + 0.2*im.Plane(0)[i] // warm ground IR
+	}
+	truth, heavy := NewMask(w, h), NewMask(w, h)
+	cx, cy := float64(w)/2, float64(h)/2
+	rHeavy, rHaze := float64(w)/6, float64(w)/4
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := math.Hypot(float64(x)-cx, float64(y)-cy)
+			var tau float32
+			switch {
+			case d < rHeavy:
+				tau = 0.95
+				heavy.Set(x, y, true)
+				truth.Set(x, y, true)
+			case d < rHaze:
+				tau = 0.45
+				truth.Set(x, y, true)
+			}
+			if tau == 0 {
+				continue
+			}
+			i := y*w + x
+			for b := 0; b < 3; b++ {
+				im.Pix[b][i] = im.Pix[b][i]*(1-tau) + 0.92*tau
+			}
+			im.Pix[3][i] = im.Pix[3][i]*(1-tau) + 0.05*tau // cold cloud top
+		}
+	}
+	return im, truth, heavy
+}
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(4, 2)
+	if m.Coverage() != 0 {
+		t.Fatal("fresh mask not clear")
+	}
+	m.Set(1, 1, true)
+	m.Set(3, 0, true)
+	if !m.At(1, 1) || m.At(0, 0) {
+		t.Fatal("Set/At mismatch")
+	}
+	if m.Coverage() != 0.25 {
+		t.Fatalf("coverage = %v, want 0.25", m.Coverage())
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, true)
+	if m.At(0, 0) {
+		t.Fatal("Clone aliased")
+	}
+}
+
+func TestTileCoverageAndTileMask(t *testing.T) {
+	g := raster.MustTileGrid(8, 8, 4)
+	m := NewMask(8, 8)
+	// Fill tile 1 (top-right) fully and tile 2 (bottom-left) one pixel.
+	for y := 0; y < 4; y++ {
+		for x := 4; x < 8; x++ {
+			m.Set(x, y, true)
+		}
+	}
+	m.Set(0, 4, true)
+	cov := m.TileCoverage(g)
+	if cov[1] != 1 || math.Abs(cov[2]-1.0/16) > 1e-9 || cov[0] != 0 {
+		t.Fatalf("tile coverage = %v", cov)
+	}
+	tm := m.TileMask(g, 0.5)
+	if !tm.Set[1] || tm.Set[2] || tm.Set[0] || tm.Set[3] {
+		t.Fatalf("tile mask = %v", tm.Set)
+	}
+}
+
+func TestCheapDetectorHighPrecision(t *testing.T) {
+	im, truth, heavy := syntheticScene(128, 128)
+	det := DefaultCheap(im.Bands)
+	pred := det.Detect(im)
+	prec, _ := PrecisionRecall(pred, truth)
+	if prec < 0.99 {
+		t.Fatalf("cheap detector precision = %.3f, want >= 0.99 (paper: >99%%)", prec)
+	}
+	// It must at least find the heavy core.
+	_, recHeavy := PrecisionRecall(pred, heavy)
+	if recHeavy < 0.8 {
+		t.Fatalf("cheap detector heavy-cloud recall = %.3f, want >= 0.8", recHeavy)
+	}
+}
+
+func TestAccurateDetectorBeatsCheapOnHaze(t *testing.T) {
+	im, truth, _ := syntheticScene(128, 128)
+	cheap := DefaultCheap(im.Bands).Detect(im)
+	acc := DefaultAccurate(im.Bands).Detect(im)
+	_, recCheap := PrecisionRecall(cheap, truth)
+	precAcc, recAcc := PrecisionRecall(acc, truth)
+	if recAcc <= recCheap {
+		t.Fatalf("accurate recall %.3f should beat cheap recall %.3f", recAcc, recCheap)
+	}
+	if recAcc < 0.9 {
+		t.Fatalf("accurate recall = %.3f, want >= 0.9", recAcc)
+	}
+	if precAcc < 0.6 {
+		t.Fatalf("accurate precision = %.3f collapsed", precAcc)
+	}
+}
+
+func TestCheapDetectorClearScene(t *testing.T) {
+	im := raster.New(64, 64, raster.PlanetBands())
+	src := noise.New(3)
+	for b := 0; b < 4; b++ {
+		src.FillFBM(im.Plane(b), 64, 64, 4, 3)
+		for i, v := range im.Plane(b) {
+			im.Plane(b)[i] = 0.2 + 0.3*v
+		}
+	}
+	// Warm IR everywhere.
+	for i := range im.Plane(3) {
+		im.Plane(3)[i] = 0.6
+	}
+	pred := DefaultCheap(im.Bands).Detect(im)
+	if c := pred.Coverage(); c > 0.01 {
+		t.Fatalf("clear scene flagged %.3f cloudy", c)
+	}
+}
+
+func TestCheapDetectorNoIRBandFallsBack(t *testing.T) {
+	bands := []raster.BandInfo{{Name: "R", Kind: raster.KindGround}}
+	im := raster.New(32, 32, bands)
+	im.Fill(0, 0.9) // uniformly bright
+	det := DefaultCheap(bands)
+	if det.IRBand != -1 {
+		t.Fatalf("expected IRBand -1, got %d", det.IRBand)
+	}
+	pred := det.Detect(im)
+	if pred.Coverage() != 1 {
+		t.Fatalf("bright scene without IR should be all-cloud under the tree, got %v", pred.Coverage())
+	}
+}
+
+func TestDetectorsHandleNonDivisibleDownsample(t *testing.T) {
+	im, _, _ := syntheticScene(100, 100) // 100 % 8 != 0 -> full-res path
+	pred := DefaultCheap(im.Bands).Detect(im)
+	if pred.W != 100 || pred.H != 100 {
+		t.Fatalf("mask geometry %dx%d", pred.W, pred.H)
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	a, b := NewMask(4, 4), NewMask(4, 4)
+	p, r := PrecisionRecall(a, b)
+	if p != 1 || r != 1 {
+		t.Fatalf("empty masks: p=%v r=%v", p, r)
+	}
+	a.Set(0, 0, true)
+	p, r = PrecisionRecall(a, b)
+	if p != 0 || r != 1 {
+		t.Fatalf("false positive only: p=%v r=%v", p, r)
+	}
+	a, b = NewMask(4, 4), NewMask(4, 4)
+	b.Set(0, 0, true)
+	p, r = PrecisionRecall(a, b)
+	if p != 1 || r != 0 {
+		t.Fatalf("false negative only: p=%v r=%v", p, r)
+	}
+}
+
+func TestBoxBlurPreservesConstant(t *testing.T) {
+	const w, h = 16, 12
+	src := make([]float32, w*h)
+	for i := range src {
+		src[i] = 0.7
+	}
+	out := boxBlur(src, make([]float32, w*h), w, h, 3)
+	for i, v := range out {
+		if math.Abs(float64(v-0.7)) > 1e-5 {
+			t.Fatalf("blur changed constant at %d: %v", i, v)
+		}
+	}
+}
+
+func TestDilate(t *testing.T) {
+	m := NewMask(5, 5)
+	m.Set(2, 2, true)
+	dilate(m)
+	want := 5 // centre + 4-neighbourhood
+	n := 0
+	for _, b := range m.Bits {
+		if b {
+			n++
+		}
+	}
+	if n != want {
+		t.Fatalf("dilated count = %d, want %d", n, want)
+	}
+	if !m.At(1, 2) || !m.At(3, 2) || !m.At(2, 1) || !m.At(2, 3) {
+		t.Fatal("dilate missed a 4-neighbour")
+	}
+}
+
+func BenchmarkCheapDetect128(b *testing.B) {
+	im, _, _ := syntheticScene(128, 128)
+	det := DefaultCheap(im.Bands)
+	for i := 0; i < b.N; i++ {
+		det.Detect(im)
+	}
+}
+
+func BenchmarkAccurateDetect128(b *testing.B) {
+	im, _, _ := syntheticScene(128, 128)
+	det := DefaultAccurate(im.Bands)
+	for i := 0; i < b.N; i++ {
+		det.Detect(im)
+	}
+}

@@ -1,0 +1,192 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"earthplus/internal/arith"
+	"earthplus/internal/wavelet"
+)
+
+// Lossless mode addresses the paper's §8 limitation ("lossy compression may
+// not be applicable to applications that require lossless compression"):
+// pixels are quantised once to 16-bit samples, transformed with the exactly
+// reversible integer CDF 5/3 wavelet, and bit-plane coded without any
+// quantiser, so DecodePlaneLossless reproduces the 16-bit samples exactly.
+
+const losslessMagic = "EPL1"
+
+// losslessScale maps [0,1] floats onto 16-bit samples.
+const losslessScale = 65535
+
+// EncodePlaneLossless compresses a [0,1] plane exactly (at 16-bit sample
+// precision). There is no rate control: the stream is as long as the
+// content demands.
+func EncodePlaneLossless(plane []float32, w, h int, levels int) ([]byte, error) {
+	if len(plane) != w*h {
+		return nil, fmt.Errorf("codec: plane length %d != %dx%d", len(plane), w, h)
+	}
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("codec: unsupported dimensions %dx%d", w, h)
+	}
+	levels = effectiveLevels(w, h, levels)
+	coeffs := make([]int32, w*h)
+	for i, v := range plane {
+		x := math.Round(float64(v) * losslessScale)
+		if x < 0 {
+			x = 0
+		} else if x > losslessScale {
+			x = losslessScale
+		}
+		coeffs[i] = int32(x)
+	}
+	wavelet.Forward53(coeffs, w, h, levels)
+
+	sbs := wavelet.Subbands(w, h, levels)
+	q := make([]uint32, len(coeffs))
+	neg := make([]bool, len(coeffs))
+	sbPlanes := make([]uint8, len(sbs))
+	maxPlane := 0
+	for si, sb := range sbs {
+		var sbMax uint32
+		for y := sb.Y0; y < sb.Y1; y++ {
+			for x := sb.X0; x < sb.X1; x++ {
+				i := y*w + x
+				c := coeffs[i]
+				if c < 0 {
+					neg[i] = true
+					c = -c
+				}
+				q[i] = uint32(c)
+				if q[i] > sbMax {
+					sbMax = q[i]
+				}
+			}
+		}
+		sbPlanes[si] = uint8(bitsFor(sbMax))
+		if int(sbPlanes[si]) > maxPlane {
+			maxPlane = int(sbPlanes[si])
+		}
+	}
+
+	out := make([]byte, 0, w*h/2)
+	out = append(out, losslessMagic...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(w))
+	out = binary.LittleEndian.AppendUint16(out, uint16(h))
+	out = append(out, uint8(levels), uint8(maxPlane), uint8(len(sbs)))
+	out = append(out, sbPlanes...)
+
+	sigP := arith.NewProbs(sigContexts)
+	refP := arith.NewProbs(refContexts)
+	sig := make([]bool, len(coeffs))
+	enc := arith.NewEncoder()
+	for p := maxPlane - 1; p >= 0; p-- {
+		for si, sb := range sbs {
+			if int(sbPlanes[si]) <= p {
+				continue
+			}
+			kind := int(sb.Kind)
+			for y := sb.Y0; y < sb.Y1; y++ {
+				for x := sb.X0; x < sb.X1; x++ {
+					i := y*w + x
+					bit := int(q[i] >> uint(p) & 1)
+					if sig[i] {
+						enc.Encode(&refP[kind], bit)
+					} else {
+						ctx := kind*4 + neighbourSig(sig, w, sb, x, y)
+						enc.Encode(&sigP[ctx], bit)
+						if bit == 1 {
+							sign := 0
+							if neg[i] {
+								sign = 1
+							}
+							enc.EncodeBypass(sign)
+							sig[i] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return append(out, enc.Flush()...), nil
+}
+
+// DecodePlaneLossless reverses EncodePlaneLossless exactly (at 16-bit
+// sample precision).
+func DecodePlaneLossless(data []byte) ([]float32, int, int, error) {
+	if len(data) < 11 || string(data[:4]) != losslessMagic {
+		return nil, 0, 0, fmt.Errorf("codec: bad lossless magic or truncated header")
+	}
+	w := int(binary.LittleEndian.Uint16(data[4:]))
+	h := int(binary.LittleEndian.Uint16(data[6:]))
+	levels := int(data[8])
+	maxPlane := int(data[9])
+	nSb := int(data[10])
+	if w <= 0 || h <= 0 {
+		return nil, 0, 0, fmt.Errorf("codec: implausible lossless geometry %dx%d", w, h)
+	}
+	sbs := wavelet.Subbands(w, h, levels)
+	if len(sbs) != nSb || len(data) < 11+nSb {
+		return nil, 0, 0, fmt.Errorf("codec: lossless subband table mismatch")
+	}
+	sbPlanes := data[11 : 11+nSb]
+	payload := data[11+nSb:]
+
+	q := make([]uint32, w*h)
+	neg := make([]bool, w*h)
+	sig := make([]bool, w*h)
+	sigP := arith.NewProbs(sigContexts)
+	refP := arith.NewProbs(refContexts)
+	dec := arith.NewDecoder(payload)
+	for p := maxPlane - 1; p >= 0; p-- {
+		for si, sb := range sbs {
+			if int(sbPlanes[si]) <= p {
+				continue
+			}
+			kind := int(sb.Kind)
+			for y := sb.Y0; y < sb.Y1; y++ {
+				for x := sb.X0; x < sb.X1; x++ {
+					i := y*w + x
+					if sig[i] {
+						q[i] |= uint32(dec.Decode(&refP[kind])) << uint(p)
+					} else {
+						ctx := kind*4 + neighbourSig(sig, w, sb, x, y)
+						if dec.Decode(&sigP[ctx]) == 1 {
+							q[i] |= 1 << uint(p)
+							neg[i] = dec.DecodeBypass() == 1
+							sig[i] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	coeffs := make([]int32, w*h)
+	for i := range coeffs {
+		c := int32(q[i])
+		if neg[i] {
+			c = -c
+		}
+		coeffs[i] = c
+	}
+	wavelet.Inverse53(coeffs, w, h, levels)
+	plane := make([]float32, w*h)
+	for i, c := range coeffs {
+		plane[i] = float32(c) / losslessScale
+	}
+	return plane, w, h, nil
+}
+
+// Quantize16 returns the 16-bit sample a [0,1] value maps to in lossless
+// mode; equality of Quantize16 values is the lossless guarantee.
+func Quantize16(v float32) uint16 {
+	x := math.Round(float64(v) * losslessScale)
+	if x < 0 {
+		return 0
+	}
+	if x > losslessScale {
+		return losslessScale
+	}
+	return uint16(x)
+}

@@ -1,0 +1,137 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"earthplus/internal/noise"
+)
+
+func TestLosslessRoundTripExact(t *testing.T) {
+	for _, dim := range []struct{ w, h int }{{64, 64}, {37, 23}, {16, 128}} {
+		plane := testPlane(uint64(dim.w), dim.w, dim.h)
+		data, err := EncodePlaneLossless(plane, dim.w, dim.h, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gw, gh, err := DecodePlaneLossless(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gw != dim.w || gh != dim.h {
+			t.Fatalf("geometry %dx%d", gw, gh)
+		}
+		for i := range plane {
+			if Quantize16(got[i]) != Quantize16(plane[i]) {
+				t.Fatalf("%dx%d: sample %d not exact: %v vs %v", dim.w, dim.h, i, got[i], plane[i])
+			}
+		}
+	}
+}
+
+func TestLosslessCompressesSmoothContent(t *testing.T) {
+	const w, h = 128, 128
+	plane := make([]float32, w*h)
+	noise.New(41).FillFBM(plane, w, h, 3, 3)
+	data, err := EncodePlaneLossless(plane, w, h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := w * h * 2 // 16-bit samples
+	if len(data) >= raw {
+		t.Fatalf("lossless stream %d bytes >= raw %d", len(data), raw)
+	}
+	t.Logf("lossless ratio on smooth content: %.2fx", float64(raw)/float64(len(data)))
+}
+
+func TestLosslessAllZeroAndConstant(t *testing.T) {
+	const w, h = 32, 32
+	data, err := EncodePlaneLossless(make([]float32, w*h), w, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := DecodePlaneLossless(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero plane sample %d = %v", i, v)
+		}
+	}
+	cst := make([]float32, w*h)
+	for i := range cst {
+		cst[i] = 0.5
+	}
+	data, err = EncodePlaneLossless(cst, w, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 700 {
+		t.Fatalf("constant plane cost %d bytes", len(data))
+	}
+}
+
+func TestLosslessRejectsBadInput(t *testing.T) {
+	if _, err := EncodePlaneLossless(make([]float32, 7), 4, 4, 3); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, _, _, err := DecodePlaneLossless([]byte("bogus")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	plane := testPlane(3, 16, 16)
+	data, _ := EncodePlaneLossless(plane, 16, 16, 3)
+	if _, _, _, err := DecodePlaneLossless(data[:9]); err == nil {
+		t.Fatal("expected truncated-header error")
+	}
+}
+
+// Property: exactness holds for arbitrary random content, including values
+// outside [0,1] (clamped at the 16-bit quantisation).
+func TestLosslessExactnessProperty(t *testing.T) {
+	f := func(seed uint64, wRaw, hRaw uint8) bool {
+		w := int(wRaw%40) + 8
+		h := int(hRaw%40) + 8
+		src := noise.New(seed)
+		plane := make([]float32, w*h)
+		for i := range plane {
+			plane[i] = float32(src.Uniform(1, int64(i))*1.4 - 0.2)
+		}
+		data, err := EncodePlaneLossless(plane, w, h, 4)
+		if err != nil {
+			return false
+		}
+		got, _, _, err := DecodePlaneLossless(data)
+		if err != nil {
+			return false
+		}
+		for i := range plane {
+			if Quantize16(got[i]) != Quantize16(plane[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantize16Bounds(t *testing.T) {
+	if Quantize16(-0.5) != 0 || Quantize16(1.5) != 65535 {
+		t.Fatal("clamping broken")
+	}
+	if Quantize16(0.5) != 32768 {
+		t.Fatalf("midpoint = %d", Quantize16(0.5))
+	}
+}
+
+func BenchmarkEncodeLossless128(b *testing.B) {
+	plane := testPlane(42, 128, 128)
+	b.SetBytes(128 * 128 * 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodePlaneLossless(plane, 128, 128, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

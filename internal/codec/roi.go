@@ -1,0 +1,112 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"earthplus/internal/raster"
+)
+
+// ROI (region-of-interest) coding packs the marked tiles of a plane into a
+// compact near-square mosaic and encodes only that. Compared to zeroing
+// the non-ROI area of the full frame, the mosaic wastes no bits on the
+// artificial zero/content boundaries (whose wavelet ringing would dominate
+// small tiles) and every coefficient the budget buys belongs to ROI
+// content. The tile order inside the mosaic is the ascending tile index of
+// the mask, so encoder and decoder need only share the mask.
+
+// mosaicDims returns the tile geometry of the packed mosaic for n tiles.
+func mosaicDims(n int) (cols, rows int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	rows = (n + cols - 1) / cols
+	return cols, rows
+}
+
+// EncodeROIPlane encodes the tiles marked in roi from the row-major plane
+// (geometry roi.Grid). opt.BudgetBytes applies to the emitted codestream.
+// An empty ROI yields a nil stream.
+func EncodeROIPlane(plane []float32, roi *raster.TileMask, opt Options) ([]byte, error) {
+	g := roi.Grid
+	if len(plane) != g.ImageW*g.ImageH {
+		return nil, fmt.Errorf("codec: plane length %d does not match grid %dx%d",
+			len(plane), g.ImageW, g.ImageH)
+	}
+	n := roi.Count()
+	if n == 0 {
+		return nil, nil
+	}
+	cols, rows := mosaicDims(n)
+	mw, mh := cols*g.Tile, rows*g.Tile
+	mosaic := make([]float32, mw*mh)
+	slot := 0
+	for t, keep := range roi.Set {
+		if !keep {
+			continue
+		}
+		x0, y0, _, _ := g.Bounds(t)
+		sx, sy := (slot%cols)*g.Tile, (slot/cols)*g.Tile
+		for dy := 0; dy < g.Tile; dy++ {
+			srcRow := (y0 + dy) * g.ImageW
+			dstRow := (sy + dy) * mw
+			copy(mosaic[dstRow+sx:dstRow+sx+g.Tile], plane[srcRow+x0:srcRow+x0+g.Tile])
+		}
+		slot++
+	}
+	return EncodePlane(mosaic, mw, mh, opt)
+}
+
+// DecodeROIPlaneInto decodes a stream produced by EncodeROIPlane and
+// scatters the tiles marked in roi back into dst (full-plane row-major,
+// geometry roi.Grid). Unmarked tiles of dst are left untouched. A nil
+// stream (empty ROI) is a no-op.
+func DecodeROIPlaneInto(dst []float32, roi *raster.TileMask, data []byte, maxLayers int) error {
+	if data == nil {
+		return nil
+	}
+	g := roi.Grid
+	if len(dst) != g.ImageW*g.ImageH {
+		return fmt.Errorf("codec: dst length %d does not match grid %dx%d",
+			len(dst), g.ImageW, g.ImageH)
+	}
+	n := roi.Count()
+	cols, rows := mosaicDims(n)
+	mosaic, mw, mh, err := DecodePlane(data, maxLayers)
+	if err != nil {
+		return err
+	}
+	if mw != cols*g.Tile || mh != rows*g.Tile {
+		return fmt.Errorf("codec: mosaic %dx%d does not match ROI of %d tiles", mw, mh, n)
+	}
+	slot := 0
+	for t, keep := range roi.Set {
+		if !keep {
+			continue
+		}
+		x0, y0, _, _ := g.Bounds(t)
+		sx, sy := (slot%cols)*g.Tile, (slot/cols)*g.Tile
+		for dy := 0; dy < g.Tile; dy++ {
+			srcRow := (sy + dy) * mw
+			dstRow := (y0 + dy) * g.ImageW
+			for dx := 0; dx < g.Tile; dx++ {
+				v := mosaic[srcRow+sx+dx]
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				dst[dstRow+x0+dx] = v
+			}
+		}
+		slot++
+	}
+	return nil
+}
+
+// ROIMaskBytes is the metadata cost of shipping a tile mask alongside an
+// ROI stream (one bit per tile).
+func ROIMaskBytes(g raster.TileGrid) int64 {
+	return int64((g.NumTiles() + 7) / 8)
+}

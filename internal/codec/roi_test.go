@@ -1,0 +1,151 @@
+package codec
+
+import (
+	"testing"
+
+	"earthplus/internal/noise"
+	"earthplus/internal/raster"
+)
+
+func TestMosaicDims(t *testing.T) {
+	cases := []struct{ n, cols, rows int }{
+		{0, 0, 0}, {1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2},
+		{5, 3, 2}, {9, 3, 3}, {10, 4, 3}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		cols, rows := mosaicDims(c.n)
+		if cols != c.cols || rows != c.rows {
+			t.Errorf("mosaicDims(%d) = %d,%d want %d,%d", c.n, cols, rows, c.cols, c.rows)
+		}
+		if c.n > 0 && cols*rows < c.n {
+			t.Errorf("mosaicDims(%d) too small", c.n)
+		}
+	}
+}
+
+func TestROIPlaneRoundTripHighQuality(t *testing.T) {
+	const w, h, tile = 128, 128, 16
+	g := raster.MustTileGrid(w, h, tile)
+	plane := testPlane(31, w, h)
+	roi := raster.NewTileMask(g)
+	for _, tl := range []int{0, 5, 17, 33, 34, 35, 63} {
+		roi.Set[tl] = true
+	}
+	data, err := EncodeROIPlane(plane, roi, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, w*h)
+	for i := range dst {
+		dst[i] = -7 // sentinel: untouched tiles must keep it
+	}
+	if err := DecodeROIPlaneInto(dst, roi, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sumSq float64
+	var n int
+	for tl, keep := range roi.Set {
+		x0, y0, x1, y1 := g.Bounds(tl)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				v := dst[y*w+x]
+				if !keep {
+					if v != -7 {
+						t.Fatalf("non-ROI tile %d touched", tl)
+					}
+					continue
+				}
+				d := float64(v - plane[y*w+x])
+				sumSq += d * d
+				n++
+			}
+		}
+	}
+	if psnr := raster.PSNR(sumSq / float64(n)); psnr < 45 {
+		t.Fatalf("ROI round-trip PSNR = %.1f dB", psnr)
+	}
+}
+
+func TestROIPlaneEmptyROI(t *testing.T) {
+	g := raster.MustTileGrid(64, 64, 16)
+	roi := raster.NewTileMask(g)
+	data, err := EncodeROIPlane(make([]float32, 64*64), roi, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Fatalf("empty ROI produced %d bytes", len(data))
+	}
+	dst := make([]float32, 64*64)
+	if err := DecodeROIPlaneInto(dst, roi, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROIPlaneMaskMismatchDetected(t *testing.T) {
+	g := raster.MustTileGrid(64, 64, 16)
+	plane := testPlane(32, 64, 64)
+	roi := raster.NewTileMask(g)
+	roi.Set[0], roi.Set[1], roi.Set[2] = true, true, true
+	data, err := EncodeROIPlane(plane, roi, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding with a different tile count must fail loudly.
+	other := raster.NewTileMask(g)
+	other.Set[0] = true
+	if err := DecodeROIPlaneInto(make([]float32, 64*64), other, data, 0); err == nil {
+		t.Fatal("expected mosaic-geometry mismatch error")
+	}
+}
+
+func TestROIPlaneSingleTileAndFull(t *testing.T) {
+	const w, h, tile = 64, 64, 16
+	g := raster.MustTileGrid(w, h, tile)
+	plane := testPlane(33, w, h)
+	for _, count := range []int{1, g.NumTiles()} {
+		roi := raster.NewTileMask(g)
+		for i := 0; i < count; i++ {
+			roi.Set[i] = true
+		}
+		data, err := EncodeROIPlane(plane, roi, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float32, w*h)
+		if err := DecodeROIPlaneInto(dst, roi, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		x0, y0, _, _ := g.Bounds(0)
+		if d := dst[(y0+3)*w+x0+3] - plane[(y0+3)*w+x0+3]; d > 0.05 || d < -0.05 {
+			t.Fatalf("count=%d tile 0 decoded badly: delta %v", count, d)
+		}
+	}
+}
+
+func TestROIBudgetAppliesToMosaic(t *testing.T) {
+	const w, h, tile = 192, 192, 16
+	g := raster.MustTileGrid(w, h, tile)
+	plane := make([]float32, w*h)
+	noise.New(34).FillFBM(plane, w, h, 8, 4)
+	roi := raster.NewTileMask(g)
+	for i := 0; i < g.NumTiles(); i += 3 {
+		roi.Set[i] = true
+	}
+	opt := DefaultOptions()
+	opt.BudgetBytes = 2048
+	data, err := EncodeROIPlane(plane, roi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 2048+192 {
+		t.Fatalf("ROI stream %d bytes exceeds budget", len(data))
+	}
+}
+
+func TestROIMaskBytes(t *testing.T) {
+	g := raster.MustTileGrid(192, 192, 16) // 144 tiles -> 18 bytes
+	if got := ROIMaskBytes(g); got != 18 {
+		t.Fatalf("ROIMaskBytes = %d, want 18", got)
+	}
+}

@@ -1,0 +1,326 @@
+// Package core implements Earth+ itself — the paper's contribution: a
+// constellation-wide reference-based on-board compression system. Each
+// satellite keeps downsampled reference images for the locations it will
+// visit, detects changed 64x64 tiles against them (after cheap cloud
+// removal and illumination alignment), and downloads only the changed
+// tiles; the ground refreshes every satellite's references with the
+// freshest cloud-free image any satellite produced, delta-encoded to fit
+// the narrow uplink (§4).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"earthplus/internal/cloud"
+	"earthplus/internal/codec"
+	"earthplus/internal/link"
+	"earthplus/internal/raster"
+	"earthplus/internal/sat"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+	"earthplus/internal/station"
+)
+
+// Config holds Earth+'s tunables.
+type Config struct {
+	// Theta is the change threshold at detection resolution, chosen by
+	// profiling year-1 data (§5); see the experiments package.
+	Theta float64
+	// GammaBPP is γ: bits per pixel spent on each downloaded tile (§5).
+	GammaBPP float64
+	// RefDownsample is the per-axis reference downsampling factor (§4.3).
+	RefDownsample int
+	// DropCoverage drops captures with more detected cloud than this.
+	DropCoverage float64
+	// CloudTileFrac marks a tile cloudy above this cloudy-pixel fraction.
+	CloudTileFrac float64
+	// GuaranteePeriodDays is the guaranteed-download cadence (§5).
+	GuaranteePeriodDays int
+	// GuaranteeMaxCloud is the most cloud a guaranteed download accepts.
+	GuaranteeMaxCloud float64
+	// RefBPP is the bits per pixel spent on uplinked reference tiles.
+	RefBPP float64
+	// MaxRefCloud bounds reference-candidate cloudiness. The paper uses
+	// <1% on whole images; our ground promotes the cloud-free archive
+	// MOSAIC (cloudy tiles keep their older clear content), so a looser
+	// gate only staggers per-tile freshness and never injects clouds.
+	MaxRefCloud float64
+	// LookaheadDays is how far ahead reference uploads are planned.
+	LookaheadDays int
+	// RejectCloudFrac makes the ground discard downloaded tiles whose
+	// accurately-detected cloud fraction exceeds it instead of applying
+	// them to the archive — the operational payoff of ground-side cloud
+	// re-detection (§4.3): archives and hence references stay cloud-free
+	// even though the cheap on-board detector lets haze through. Zero
+	// disables rejection (the ablation bench sweeps this).
+	RejectCloudFrac float64
+	// CodecOpts configures the wavelet codec.
+	CodecOpts codec.Options
+}
+
+// DefaultConfig returns the configuration used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Theta:               0.008,
+		GammaBPP:            1.0,
+		RefDownsample:       4,
+		DropCoverage:        0.5,
+		CloudTileFrac:       0.25,
+		GuaranteePeriodDays: 30,
+		GuaranteeMaxCloud:   0.05,
+		RefBPP:              6.0,
+		MaxRefCloud:         0.05,
+		LookaheadDays:       3,
+		RejectCloudFrac:     0, // self-heal via re-download beats rejection (see ablation bench)
+		CodecOpts:           codec.DefaultOptions(),
+	}
+}
+
+// System is the Earth+ implementation of sim.System.
+type System struct {
+	cfg      Config
+	env      *sim.Env
+	pipeline *sat.Pipeline
+	caches   map[int]*sat.RefCache // per satellite
+	ground   *station.Ground
+	lastGuar []int // per location: day of last guaranteed download
+}
+
+var _ sim.System = (*System)(nil)
+
+// New wires an Earth+ system for the environment.
+func New(env *sim.Env, cfg Config) (*System, error) {
+	bands := env.Scene.Bands()
+	grid := env.Scene.Grid()
+	if cfg.RefDownsample <= 0 || grid.Tile%cfg.RefDownsample != 0 {
+		return nil, fmt.Errorf("core: RefDownsample %d incompatible with tile %d", cfg.RefDownsample, grid.Tile)
+	}
+	ground, err := station.NewGround(station.Config{
+		Bands:       bands,
+		Grid:        grid,
+		Downsample:  cfg.RefDownsample,
+		Accurate:    cloud.DefaultTemporal(bands),
+		CodecOpts:   cfg.CodecOpts,
+		RefBPP:      cfg.RefBPP,
+		MaxRefCloud: cfg.MaxRefCloud,
+	}, env.Scene.NumLocations())
+	if err != nil {
+		return nil, err
+	}
+	lastGuar := make([]int, env.Scene.NumLocations())
+	for i := range lastGuar {
+		lastGuar[i] = -1 << 30
+	}
+	return &System{
+		cfg: cfg,
+		env: env,
+		pipeline: &sat.Pipeline{
+			Bands:         bands,
+			Grid:          grid,
+			Downsample:    cfg.RefDownsample,
+			CloudDet:      cloud.DefaultCheap(bands),
+			Theta:         cfg.Theta,
+			DropCoverage:  cfg.DropCoverage,
+			CloudTileFrac: cfg.CloudTileFrac,
+		},
+		caches:   make(map[int]*sat.RefCache),
+		ground:   ground,
+		lastGuar: lastGuar,
+	}, nil
+}
+
+// Name implements sim.System.
+func (s *System) Name() string { return "Earth+" }
+
+// cacheFor returns (creating if needed) a satellite's reference cache.
+func (s *System) cacheFor(satID int) *sat.RefCache {
+	c := s.caches[satID]
+	if c == nil {
+		c = sat.NewRefCache()
+		s.caches[satID] = c
+	}
+	return c
+}
+
+// Bootstrap implements sim.System: it seeds the ground archive and every
+// satellite's reference cache with the location's pre-mission history.
+func (s *System) Bootstrap(cap *scene.Capture) error {
+	sats := make([]int, s.env.Orbit.Satellites)
+	for i := range sats {
+		sats[i] = i
+	}
+	if err := s.ground.SeedBootstrap(cap.Loc, cap.Day, cap.Truth, sats); err != nil {
+		return err
+	}
+	low, err := cap.Truth.Downsample(s.cfg.RefDownsample)
+	if err != nil {
+		return err
+	}
+	for _, id := range sats {
+		s.cacheFor(id).Put(cap.Loc, low.Clone(), cap.Day)
+	}
+	s.lastGuar[cap.Loc] = cap.Day
+	return nil
+}
+
+// fullAlias reinterprets a detection-resolution tile mask on the full grid
+// (tile indices are scale-invariant).
+func fullAlias(m *raster.TileMask, full raster.TileGrid) *raster.TileMask {
+	if m == nil {
+		return nil
+	}
+	return &raster.TileMask{Grid: full, Set: m.Set}
+}
+
+// OnCapture implements sim.System: the on-board pipeline followed by the
+// ground-side application of the downloaded tiles.
+func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
+	grid := s.env.Scene.Grid()
+	ref := s.cacheFor(cap.Sat).Get(cap.Loc)
+	res, err := s.pipeline.Process(cap.Image, ref)
+	if err != nil {
+		return sim.Outcome{}, err
+	}
+	out := sim.Outcome{
+		TotalTiles: grid.NumTiles(),
+		CloudSec:   res.CloudSec,
+		ChangeSec:  res.ChangeSec,
+		RefAge:     -1,
+	}
+	if ref != nil {
+		out.RefAge = cap.Day - ref.Day
+	}
+	if res.Dropped {
+		out.Dropped = true
+		return out, nil
+	}
+
+	// Pick this capture's region of interest per band.
+	nonCloud := res.CloudTiles.Clone()
+	nonCloud.Invert()
+	guaranteed := cap.Day-s.lastGuar[cap.Loc] >= s.cfg.GuaranteePeriodDays &&
+		res.CloudCover <= s.cfg.GuaranteeMaxCloud
+	roi := make([]*raster.TileMask, len(s.pipeline.Bands))
+	switch {
+	case guaranteed || res.Changed == nil:
+		// Guaranteed download (§5), or no usable reference: everything
+		// that is not cloudy goes down.
+		for b := range roi {
+			roi[b] = nonCloud
+		}
+		if guaranteed {
+			s.lastGuar[cap.Loc] = cap.Day
+			out.Guaranteed = true
+		}
+	default:
+		for b := range roi {
+			roi[b] = fullAlias(res.Changed[b], grid)
+		}
+	}
+
+	// Normalise the capture into the reference illumination domain before
+	// encoding so the ground archive stays radiometrically coherent.
+	work := cap.Image.Clone()
+	if res.Illum != nil {
+		for b := range work.Pix {
+			res.Illum[b].Normalize(work.Plane(b))
+		}
+	}
+	tEnc := time.Now()
+	streams, err := sat.EncodeROI(work, roi, s.cfg.GammaBPP, s.cfg.CodecOpts)
+	if err != nil {
+		return sim.Outcome{}, err
+	}
+	out.EncodeSec = time.Since(tEnc).Seconds()
+	var tileSum int
+	out.PerBandBytes = make([]int64, len(streams))
+	for b := range streams {
+		out.PerBandBytes[b] = int64(len(streams[b]))
+		out.DownBytes += out.PerBandBytes[b]
+		if roi[b] != nil {
+			tileSum += roi[b].Count()
+		}
+	}
+	out.DownTilesPerBand = float64(tileSum) / float64(len(roi))
+
+	// Ground side: re-detect clouds accurately against the archive, apply
+	// the download while rejecting haze-contaminated tiles, then refresh
+	// the reference candidacy.
+	var reject *raster.TileMask
+	if s.cfg.RejectCloudFrac > 0 {
+		// Pre-application detection: contaminated tiles must be caught
+		// before they enter the archive.
+		preMask := s.ground.AccurateMask(cap.Image, cap.Loc)
+		reject = preMask.TileMask(grid, s.cfg.RejectCloudFrac)
+	}
+	if err := s.ground.ApplyDownload(cap.Loc, cap.Day, streams, roi, reject); err != nil {
+		return sim.Outcome{}, err
+	}
+	// Promotion coverage must be assessed against the REFRESHED archive:
+	// before the download lands, accumulated terrestrial change would
+	// read as cloud and block every promotion.
+	postMask := s.ground.AccurateMask(cap.Image, cap.Loc)
+	if _, err := s.ground.MaybePromote(cap.Loc, cap.Day, postMask.Coverage()); err != nil {
+		return sim.Outcome{}, err
+	}
+	out.Recon = s.ground.Recon(cap.Loc)
+	return out, nil
+}
+
+// OnDayEnd implements sim.System: the ground packs reference updates for
+// each satellite's upcoming passes into the day's uplink budget.
+func (s *System) OnDayEnd(day int) (int64, error) {
+	var total int64
+	for satID := 0; satID < s.env.Orbit.Satellites; satID++ {
+		locs := s.plannedLocs(satID, day)
+		if len(locs) == 0 {
+			continue
+		}
+		meter := link.NewMeter(s.env.UplinkBytesPerDay)
+		updates, err := s.ground.PackUplink(satID, day, locs, meter)
+		if err != nil {
+			return total, err
+		}
+		cache := s.cacheFor(satID)
+		for _, u := range updates {
+			cache.Put(u.Loc, u.Decoded, u.Day)
+			total += u.Bytes
+		}
+	}
+	return total, nil
+}
+
+// plannedLocs predicts which locations satID will visit within the
+// lookahead window, soonest first (the paper predicts passes from TLE
+// data, §4.2).
+func (s *System) plannedLocs(satID, day int) []int {
+	var locs []int
+	for d := day + 1; d <= day+s.cfg.LookaheadDays; d++ {
+		for loc := 0; loc < s.env.Scene.NumLocations(); loc++ {
+			if s.env.Orbit.Visits(satID, loc, d) && !contains(locs, loc) {
+				locs = append(locs, loc)
+			}
+		}
+	}
+	return locs
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Ground exposes the ground segment for experiments (storage and uplink
+// accounting).
+func (s *System) Ground() *station.Ground { return s.ground }
+
+// RefCacheBytes reports the on-board reference cache footprint of one
+// satellite, assuming 2 bytes per stored sample.
+func (s *System) RefCacheBytes(satID int) int64 {
+	return s.cacheFor(satID).StorageBytes(2)
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"earthplus/internal/metrics"
+	"earthplus/internal/sim"
+)
+
+// fig12Gamma is the fixed per-tile quality used by the distribution,
+// time-series and per-location experiments.
+const fig12Gamma = 1.0
+
+// Fig12Result holds the per-capture distributions of downloaded-tile
+// fraction and PSNR for all three systems (paper Fig 12).
+type Fig12Result struct {
+	TileFrac map[string][]float64
+	PSNR     map[string][]float64
+}
+
+// Fig12 runs the three systems on the rich-content dataset at a fixed γ
+// and collects the raw distributions.
+func Fig12(sc Scale) (*Fig12Result, error) {
+	mkEnv, theta := datasetEnv(sc, RichContent)
+	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{TileFrac: map[string][]float64{}, PSNR: map[string][]float64{}}
+	for name, run := range runs {
+		for _, r := range run.Records {
+			if r.Dropped {
+				continue
+			}
+			res.TileFrac[name] = append(res.TileFrac[name], r.DownTileFrac)
+			if !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0) {
+				res.PSNR[name] = append(res.PSNR[name], r.PSNR)
+			}
+		}
+	}
+	return res, nil
+}
+
+// ID implements Result.
+func (r *Fig12Result) ID() string { return "Figure 12" }
+
+// Render implements Result.
+func (r *Fig12Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "CDF of downloaded tiles per capture:")
+	rows := [][]string{{"system", "p10", "p25", "p50", "p75", "p90"}}
+	for _, name := range []string{"SatRoI", "Kodan", "Earth+"} {
+		xs := r.TileFrac[name]
+		row := []string{name}
+		for _, p := range []float64{10, 25, 50, 75, 90} {
+			row = append(row, fmt.Sprintf("%.0f%%", metrics.Percentile(xs, p)*100))
+		}
+		rows = append(rows, row)
+	}
+	metrics.Table(w, rows)
+	fmt.Fprintln(w, "\nCDF of PSNR per capture (dB):")
+	rows = [][]string{{"system", "p10", "p25", "p50", "p75", "p90"}}
+	for _, name := range []string{"SatRoI", "Kodan", "Earth+"} {
+		xs := r.PSNR[name]
+		row := []string{name}
+		for _, p := range []float64{10, 25, 50, 75, 90} {
+			row = append(row, fmt.Sprintf("%.1f", metrics.Percentile(xs, p)))
+		}
+		rows = append(rows, row)
+	}
+	metrics.Table(w, rows)
+	fmt.Fprintln(w, "(paper: Earth+ downloads <20% of tiles for most images while the baselines exceed 80%)")
+	return nil
+}
+
+// Fig13Point is one capture in the one-location time series.
+type Fig13Point struct {
+	Day      int
+	TileFrac float64
+	PSNR     float64
+}
+
+// Fig13Result is the one-year single-location time series (paper Fig 13).
+type Fig13Result struct {
+	Series map[string][]Fig13Point
+}
+
+// Fig13 runs the three systems and extracts location 0's trace.
+func Fig13(sc Scale) (*Fig13Result, error) {
+	mkEnv, theta := datasetEnv(sc, RichContent)
+	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{Series: map[string][]Fig13Point{}}
+	for name, run := range runs {
+		for _, r := range run.Records {
+			if r.Loc != 0 || r.Dropped {
+				continue
+			}
+			res.Series[name] = append(res.Series[name], Fig13Point{Day: r.Day, TileFrac: r.DownTileFrac, PSNR: r.PSNR})
+		}
+		sort.Slice(res.Series[name], func(i, j int) bool { return res.Series[name][i].Day < res.Series[name][j].Day })
+	}
+	return res, nil
+}
+
+// ID implements Result.
+func (r *Fig13Result) ID() string { return "Figure 13" }
+
+// Render implements Result.
+func (r *Fig13Result) Render(w io.Writer) error {
+	for _, name := range []string{"Earth+", "SatRoI", "Kodan"} {
+		pts := r.Series[name]
+		var xs, fr, ps []float64
+		for _, p := range pts {
+			xs = append(xs, float64(p.Day))
+			fr = append(fr, p.TileFrac*100)
+			if !math.IsNaN(p.PSNR) {
+				ps = append(ps, p.PSNR)
+			}
+		}
+		metrics.Series(w, fmt.Sprintf("%s downloaded tiles over time", name), "day", "%tiles", xs, fr, 60, 8)
+		fmt.Fprintf(w, "  mean downloaded %.0f%%, mean PSNR %.1f dB\n\n", metrics.Mean(fr), metrics.Mean(ps))
+	}
+	fmt.Fprintln(w, "(paper: Earth+ downloads 5-10x fewer areas most of the time, with occasional full guaranteed downloads)")
+	return nil
+}
+
+// Fig14Result is the downlink saving per location and per band (paper
+// Fig 14: better at 10 of 11 locations, worst at the snowy D and H;
+// improvements on all 13 bands, largest on ground bands).
+type Fig14Result struct {
+	Locations   []string
+	LocSaving   []float64
+	Bands       []string
+	BandSaving  []float64
+	BaselineSys string
+}
+
+// Fig14 computes savings against the strongest baseline with PSNR not
+// above Earth+'s, per the paper's definition.
+func Fig14(sc Scale) (*Fig14Result, error) {
+	mkEnv, theta := datasetEnv(sc, RichContent)
+	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	if err != nil {
+		return nil, err
+	}
+	down := dovesDownlink()
+	earth := sim.Summarize(runs["Earth+"], down)
+	// Strongest qualifying baseline: lowest bytes among those whose PSNR
+	// does not exceed Earth+'s; if none qualifies, the lowest-bytes one.
+	baseName := ""
+	var baseBytes float64 = math.Inf(1)
+	for _, name := range []string{"Kodan", "SatRoI"} {
+		s := sim.Summarize(runs[name], down)
+		qualifies := s.MeanPSNR <= earth.MeanPSNR
+		if (qualifies || baseName == "") && s.MeanDownBytes < baseBytes {
+			baseName, baseBytes = name, s.MeanDownBytes
+		}
+	}
+	base := runs[baseName]
+
+	env := mkEnv()
+	res := &Fig14Result{BaselineSys: baseName}
+	// Per location.
+	for loc := 0; loc < env.Scene.NumLocations(); loc++ {
+		eb := meanBytesAt(runs["Earth+"], loc)
+		bb := meanBytesAt(base, loc)
+		res.Locations = append(res.Locations, env.Scene.Location(loc).Name)
+		res.LocSaving = append(res.LocSaving, metrics.Ratio(bb, eb))
+	}
+	// Per band.
+	bands := env.Scene.Bands()
+	for b := range bands {
+		eb := meanBandBytes(runs["Earth+"], b)
+		bb := meanBandBytes(base, b)
+		res.Bands = append(res.Bands, bands[b].Name)
+		res.BandSaving = append(res.BandSaving, metrics.Ratio(bb, eb))
+	}
+	return res, nil
+}
+
+// meanBytesAt averages DownBytes over non-dropped records of one location.
+func meanBytesAt(run *sim.Result, loc int) float64 {
+	var sum float64
+	n := 0
+	for _, r := range run.Records {
+		if r.Loc != loc || r.Dropped {
+			continue
+		}
+		sum += float64(r.DownBytes)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// meanBandBytes averages one band's bytes over non-dropped records.
+func meanBandBytes(run *sim.Result, band int) float64 {
+	var sum float64
+	n := 0
+	for _, r := range run.Records {
+		if r.Dropped || band >= len(r.PerBandBytes) {
+			continue
+		}
+		sum += float64(r.PerBandBytes[band])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// ID implements Result.
+func (r *Fig14Result) ID() string { return "Figure 14" }
+
+// Render implements Result.
+func (r *Fig14Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "baseline: strongest qualifying = %s\n", r.BaselineSys)
+	metrics.Bar(w, "downlink saving by location (x):", r.Locations, r.LocSaving, "x", 40)
+	fmt.Fprintln(w, "(paper: better at 10/11 locations; snow-prone D and H improve least)")
+	metrics.Bar(w, "downlink saving by band (x):", r.Bands, r.BandSaving, "x", 40)
+	fmt.Fprintln(w, "(paper: improvements on all 13 bands; largest on ground bands, smallest on atmosphere bands)")
+	return nil
+}

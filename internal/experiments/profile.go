@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"earthplus/internal/change"
+	"earthplus/internal/codec"
+	"earthplus/internal/raster"
+	"earthplus/internal/scene"
+)
+
+// ProfileThetaOnScene calibrates the change-detection threshold θ exactly
+// the way the paper does (§5): profile one location's previous-year data,
+// choosing the largest θ whose miss rate stays under targetMiss. The
+// profiling pairs replicate the operational pipeline: the reference side is
+// downsampled AND passed through the uplink codec, so θ lands above the
+// codec-noise floor the satellite will actually see.
+func ProfileThetaOnScene(s *scene.Scene, loc, startDay, endDay, downsample int, targetMiss, fallback float64) float64 {
+	grid := s.Grid()
+	gLow, err := grid.Scaled(downsample)
+	if err != nil {
+		return fallback
+	}
+	band := groundBand(s)
+	refBPP := 6.0
+	var samples []change.Sample
+	for d := startDay; d+8 < endDay; d += 8 {
+		ref := s.GroundTruth(loc, d)
+		refLow, err := ref.Downsample(downsample)
+		if err != nil {
+			return fallback
+		}
+		// Emulate the uplink codec round trip the on-board reference
+		// actually experiences.
+		opts := codec.DefaultOptions()
+		opts.BudgetBytes = int(refBPP * float64(refLow.Width*refLow.Height) / 8)
+		data, err := codec.EncodePlane(refLow.Plane(band), refLow.Width, refLow.Height, opts)
+		if err != nil {
+			return fallback
+		}
+		plane, _, _, err := codec.DecodePlane(data, 0)
+		if err != nil {
+			return fallback
+		}
+		copy(refLow.Plane(band), plane)
+		for _, gap := range []int{3, 5} {
+			cap := s.GroundTruth(loc, d+gap)
+			capLow, err := cap.Downsample(downsample)
+			if err != nil {
+				return fallback
+			}
+			lowDiffs := raster.TileMeanAbsDiff(refLow, capLow, band, gLow)
+			truly := change.TrueChanges(ref, cap, band, grid, nil)
+			for t := range lowDiffs {
+				samples = append(samples, change.Sample{LowResDiff: lowDiffs[t], Changed: truly.Set[t]})
+			}
+		}
+	}
+	return change.ProfileTheta(samples, targetMiss, fallback)
+}
+
+// groundBand returns the index of the first ground-kind band (B2 for
+// Sentinel-2, R for Planet).
+func groundBand(s *scene.Scene) int {
+	if g := raster.GroundBands(s.Bands()); len(g) > 0 {
+		return g[0]
+	}
+	return 0
+}

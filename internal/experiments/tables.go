@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"earthplus/internal/metrics"
+	"earthplus/internal/orbit"
+	"earthplus/internal/scene"
+)
+
+// Table1Result echoes the Doves specification constants (paper Table 1)
+// the experiments are grounded in.
+type Table1Result struct {
+	Spec orbit.Spec
+}
+
+// Table1 returns the specification table.
+func Table1() *Table1Result {
+	return &Table1Result{Spec: orbit.DovesSpec()}
+}
+
+// ID implements Result.
+func (r *Table1Result) ID() string { return "Table 1" }
+
+// Render implements Result.
+func (r *Table1Result) Render(w io.Writer) error {
+	s := r.Spec
+	rows := [][]string{
+		{"property", "value"},
+		{"ground contact duration", fmt.Sprintf("%.0f s", s.ContactSeconds)},
+		{"ground contacts per day", fmt.Sprintf("%d", s.ContactsPerDay)},
+		{"uplink bandwidth", fmt.Sprintf("%.0f kbps", s.UplinkBps/1e3)},
+		{"downlink bandwidth", fmt.Sprintf("%.0f Mbps", s.DownlinkBps/1e6)},
+		{"on-board storage", fmt.Sprintf("%d GB", s.StorageBytes>>30)},
+		{"image resolution", fmt.Sprintf("%dx%d", s.ImageWidth, s.ImageHeight)},
+		{"image channels", fmt.Sprintf("%d (RGB+IR)", s.ImageBands)},
+		{"raw image file size", fmt.Sprintf("%d MB", s.RawImageBytes>>20)},
+		{"ground sampling distance", fmt.Sprintf("%.1f m", s.GSDMeters)},
+		{"single-satellite revisit", fmt.Sprintf("%d days", s.RevisitDays)},
+		{"downloadable area/contact", fmt.Sprintf("%.0f km²", s.DownloadableKm2PerContact())},
+	}
+	metrics.Table(w, rows)
+	return nil
+}
+
+// Table2Result characterises the two synthetic datasets (paper Table 2).
+type Table2Result struct {
+	Rows [][]string
+}
+
+// Table2 measures both dataset presets: geometry, bands, content variety
+// and the empirical cloud statistics over a sample window.
+func Table2(sc Scale) *Table2Result {
+	rows := [][]string{{
+		"dataset", "satellites", "locations", "resolution", "bands",
+		"mean cloud", "clear(<1%) days", "contents",
+	}}
+	add := func(name string, cfg scene.Config, sats int) {
+		s := scene.New(cfg)
+		var sum float64
+		clear := 0
+		const days = 365
+		for d := 0; d < days; d++ {
+			c := s.CloudCoverageTarget(0, d)
+			sum += c
+			if c < 0.01 {
+				clear++
+			}
+		}
+		contents := map[string]bool{}
+		for _, l := range cfg.Locations {
+			contents[l.Content.String()] = true
+		}
+		uniq := ""
+		for name := range contents {
+			if uniq != "" {
+				uniq += ","
+			}
+			uniq += name
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", sats),
+			fmt.Sprintf("%d", len(cfg.Locations)),
+			fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+			fmt.Sprintf("%d", len(cfg.Bands)),
+			fmt.Sprintf("%.0f%%", sum/days*100),
+			fmt.Sprintf("%.0f%%", float64(clear)/days*100),
+			uniq,
+		})
+	}
+	add("rich-content (Sentinel-2-like)", richConfig(sc), richOrbit().Satellites)
+	add("large-constellation (Planet-like)", scene.LargeConstellation(sc.Size), planetOrbit(48).Satellites)
+	add("large-constellation sampled <5%", scene.LargeConstellationSampled(sc.Size), planetOrbit(48).Satellites)
+	return &Table2Result{Rows: rows}
+}
+
+// ID implements Result.
+func (r *Table2Result) ID() string { return "Table 2" }
+
+// Render implements Result.
+func (r *Table2Result) Render(w io.Writer) error {
+	metrics.Table(w, r.Rows)
+	return nil
+}

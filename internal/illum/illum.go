@@ -1,0 +1,151 @@
+// Package illum implements the paper's illumination alignment: the
+// illumination condition affects pixel values linearly (§5, citing [72]),
+// so a capture is aligned to its reference by ordinary least squares over
+// the mutually cloud-free pixels.
+package illum
+
+import "sort"
+
+// Model is a linear pixel-value mapping capture ≈ Gain*reference + Offset.
+type Model struct {
+	Gain   float64
+	Offset float64
+}
+
+// Identity is the no-op model used when a fit is impossible.
+var Identity = Model{Gain: 1, Offset: 0}
+
+// minSamples is the fewest usable pixels for a trustworthy fit.
+const minSamples = 16
+
+// Fit estimates the linear illumination model mapping ref to cap by least
+// squares over pixels where use[i] is true (a nil use means all pixels).
+// It returns Identity with ok=false when too few pixels are usable or the
+// reference has no variance.
+func Fit(ref, cap []float32, use []bool) (Model, bool) {
+	var n int
+	var sx, sy, sxx, sxy float64
+	for i := range ref {
+		if use != nil && !use[i] {
+			continue
+		}
+		x, y := float64(ref[i]), float64(cap[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < minSamples {
+		return Identity, false
+	}
+	fn := float64(n)
+	varX := sxx - sx*sx/fn
+	if varX < 1e-9 {
+		return Identity, false
+	}
+	gain := (sxy - sx*sy/fn) / varX
+	// A non-positive or wild gain means the "reference" explains nothing
+	// (e.g. nearly-disjoint content); refuse to warp the capture with it.
+	if gain < 0.2 || gain > 5 {
+		return Identity, false
+	}
+	offset := (sy - gain*sx) / fn
+	return Model{Gain: gain, Offset: offset}, true
+}
+
+// FitRobust estimates the illumination model like Fit but with trimmed
+// refits: after an initial least-squares pass it discards the pixels with
+// the largest absolute residuals and refits. Undetected haze brightens
+// pixels one-sidedly, so a plain OLS fit is biased bright — and because
+// every downloaded tile passes through this fit, the bias would compound
+// into a systematic illumination drift of the whole ground archive.
+// Trimming the residual tail removes the haze pixels from the fit.
+func FitRobust(ref, cap []float32, use []bool, rounds int, trimFrac float64) (Model, bool) {
+	m, ok := Fit(ref, cap, use)
+	if !ok {
+		return m, false
+	}
+	if trimFrac <= 0 || trimFrac >= 1 {
+		return m, ok
+	}
+	cur := make([]bool, len(ref))
+	if use != nil {
+		copy(cur, use)
+	} else {
+		for i := range cur {
+			cur[i] = true
+		}
+	}
+	resid := make([]float64, len(ref))
+	for r := 0; r < rounds; r++ {
+		// Residuals under the current model, over current pixels.
+		var abs []float64
+		for i := range ref {
+			if !cur[i] {
+				continue
+			}
+			resid[i] = float64(cap[i]) - (m.Gain*float64(ref[i]) + m.Offset)
+			if resid[i] < 0 {
+				abs = append(abs, -resid[i])
+			} else {
+				abs = append(abs, resid[i])
+			}
+		}
+		if len(abs) < 4*minSamples {
+			return m, ok
+		}
+		sort.Float64s(abs)
+		cut := abs[int(float64(len(abs))*(1-trimFrac))]
+		next := make([]bool, len(cur))
+		kept := 0
+		for i := range ref {
+			if !cur[i] {
+				continue
+			}
+			d := resid[i]
+			if d < 0 {
+				d = -d
+			}
+			if d <= cut {
+				next[i] = true
+				kept++
+			}
+		}
+		if kept < 2*minSamples {
+			return m, ok
+		}
+		cur = next
+		m2, ok2 := Fit(ref, cap, cur)
+		if !ok2 {
+			return m, ok
+		}
+		m = m2
+	}
+	return m, true
+}
+
+// Normalize maps capture-domain values back into reference-domain values,
+// in place: v -> (v - Offset) / Gain. After Normalize, the capture can be
+// differenced against the reference without illumination bias.
+func (m Model) Normalize(cap []float32) {
+	if m == Identity {
+		return
+	}
+	invGain := float32(1 / m.Gain)
+	off := float32(m.Offset)
+	for i, v := range cap {
+		cap[i] = (v - off) * invGain
+	}
+}
+
+// Apply maps reference-domain values into capture-domain values, in place.
+func (m Model) Apply(ref []float32) {
+	if m == Identity {
+		return
+	}
+	g, off := float32(m.Gain), float32(m.Offset)
+	for i, v := range ref {
+		ref[i] = v*g + off
+	}
+}

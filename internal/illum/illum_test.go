@@ -1,0 +1,133 @@
+package illum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversExactLinearModel(t *testing.T) {
+	ref := make([]float32, 256)
+	cap := make([]float32, 256)
+	for i := range ref {
+		ref[i] = float32(i) / 256
+		cap[i] = 1.1*ref[i] + 0.03
+	}
+	m, ok := Fit(ref, cap, nil)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(m.Gain-1.1) > 1e-4 || math.Abs(m.Offset-0.03) > 1e-4 {
+		t.Fatalf("model = %+v, want gain 1.1 offset 0.03", m)
+	}
+}
+
+func TestFitRecoversUnderNoiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gain := 0.85 + rng.Float64()*0.3 // 0.85 - 1.15 as in the scene model
+		offset := (rng.Float64() - 0.5) * 0.1
+		ref := make([]float32, 1024)
+		cap := make([]float32, 1024)
+		for i := range ref {
+			ref[i] = rng.Float32()
+			cap[i] = float32(gain)*ref[i] + float32(offset) + float32(rng.NormFloat64()*0.005)
+		}
+		m, ok := Fit(ref, cap, nil)
+		return ok && math.Abs(m.Gain-gain) < 0.02 && math.Abs(m.Offset-offset) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitHonoursUseMask(t *testing.T) {
+	ref := make([]float32, 200)
+	cap := make([]float32, 200)
+	use := make([]bool, 200)
+	for i := range ref {
+		ref[i] = float32(i) / 200
+		if i < 100 {
+			cap[i] = 0.9*ref[i] + 0.01 // clean pixels
+			use[i] = true
+		} else {
+			cap[i] = 0.95 // "cloud": junk that must be ignored
+		}
+	}
+	m, ok := Fit(ref, cap, use)
+	if !ok || math.Abs(m.Gain-0.9) > 1e-3 || math.Abs(m.Offset-0.01) > 1e-3 {
+		t.Fatalf("masked fit = %+v ok=%v", m, ok)
+	}
+}
+
+func TestFitRejectsDegenerateInputs(t *testing.T) {
+	// Too few samples.
+	if _, ok := Fit(make([]float32, 8), make([]float32, 8), nil); ok {
+		t.Fatal("fit accepted 8 samples")
+	}
+	// Constant reference: no variance.
+	ref := make([]float32, 64)
+	cap := make([]float32, 64)
+	for i := range ref {
+		ref[i] = 0.5
+		cap[i] = float32(i) / 64
+	}
+	if m, ok := Fit(ref, cap, nil); ok || m != Identity {
+		t.Fatalf("constant-ref fit = %+v ok=%v", m, ok)
+	}
+	// Anti-correlated (negative gain) content must be refused.
+	for i := range ref {
+		ref[i] = float32(i) / 64
+		cap[i] = 1 - ref[i]
+	}
+	if _, ok := Fit(ref, cap, nil); ok {
+		t.Fatal("fit accepted negative gain")
+	}
+}
+
+func TestNormalizeInvertsApply(t *testing.T) {
+	m := Model{Gain: 1.07, Offset: -0.02}
+	orig := []float32{0.1, 0.5, 0.9, 0.33}
+	vals := append([]float32(nil), orig...)
+	m.Apply(vals)
+	m.Normalize(vals)
+	for i := range vals {
+		if math.Abs(float64(vals[i]-orig[i])) > 1e-6 {
+			t.Fatalf("round trip drifted at %d: %v vs %v", i, vals[i], orig[i])
+		}
+	}
+}
+
+func TestIdentityIsNoOp(t *testing.T) {
+	vals := []float32{0.25, 0.75}
+	Identity.Normalize(vals)
+	Identity.Apply(vals)
+	if vals[0] != 0.25 || vals[1] != 0.75 {
+		t.Fatalf("identity modified values: %v", vals)
+	}
+}
+
+func TestNormalizeRemovesIlluminationBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := make([]float32, 512)
+	cap := make([]float32, 512)
+	for i := range ref {
+		ref[i] = rng.Float32()
+		cap[i] = 1.12*ref[i] + 0.04
+	}
+	m, ok := Fit(ref, cap, nil)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	m.Normalize(cap)
+	var maxDiff float64
+	for i := range ref {
+		if d := math.Abs(float64(cap[i] - ref[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Fatalf("after normalisation max residual = %v", maxDiff)
+	}
+}

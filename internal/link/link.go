@@ -1,0 +1,84 @@
+// Package link models the satellite-to-ground and ground-to-satellite
+// channels the way the paper does (§6.1): constant-rate windows of fixed
+// duration, with byte-granular budget accounting on the scarce uplink.
+package link
+
+import "fmt"
+
+// Budget describes one direction of a satellite's connectivity.
+type Budget struct {
+	// Bps is the channel bandwidth in bits per second.
+	Bps float64
+	// SecondsPerContact is the usable window length per ground contact.
+	SecondsPerContact float64
+	// ContactsPerDay is how many contacts each satellite gets per day.
+	ContactsPerDay int
+}
+
+// BytesPerContact returns the channel capacity of a single contact.
+func (b Budget) BytesPerContact() int64 {
+	return int64(b.Bps * b.SecondsPerContact / 8)
+}
+
+// BytesPerDay returns the per-day capacity across all contacts.
+func (b Budget) BytesPerDay() int64 {
+	return b.BytesPerContact() * int64(b.ContactsPerDay)
+}
+
+// RequiredBps converts a transferred byte count back into the average
+// bandwidth that would be needed to move it within one contact — the
+// paper's "required downlink bandwidth" metric (§6.1).
+func (b Budget) RequiredBps(bytes int64) float64 {
+	if b.SecondsPerContact <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / b.SecondsPerContact
+}
+
+// Meter enforces a byte budget.
+type Meter struct {
+	capacity int64
+	used     int64
+}
+
+// NewMeter returns a meter with the given capacity; a non-positive
+// capacity means unlimited.
+func NewMeter(capacity int64) *Meter {
+	return &Meter{capacity: capacity}
+}
+
+// TryConsume reserves n bytes if they fit, reporting whether it succeeded.
+func (m *Meter) TryConsume(n int64) bool {
+	if n < 0 {
+		panic(fmt.Sprintf("link: negative consume %d", n))
+	}
+	if m.capacity > 0 && m.used+n > m.capacity {
+		return false
+	}
+	m.used += n
+	return true
+}
+
+// Consume reserves n bytes unconditionally (overage tracking).
+func (m *Meter) Consume(n int64) { m.used += n }
+
+// Used returns the bytes consumed so far.
+func (m *Meter) Used() int64 { return m.used }
+
+// Remaining returns the bytes left, or -1 when unlimited.
+func (m *Meter) Remaining() int64 {
+	if m.capacity <= 0 {
+		return -1
+	}
+	r := m.capacity - m.used
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Capacity returns the configured capacity (<=0 means unlimited).
+func (m *Meter) Capacity() int64 { return m.capacity }
+
+// Reset clears consumption (e.g. at the start of a new day).
+func (m *Meter) Reset() { m.used = 0 }

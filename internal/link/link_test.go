@@ -1,0 +1,74 @@
+package link
+
+import "testing"
+
+func TestBudgetArithmetic(t *testing.T) {
+	b := Budget{Bps: 250e3, SecondsPerContact: 600, ContactsPerDay: 7}
+	if got := b.BytesPerContact(); got != 18750000 {
+		t.Fatalf("BytesPerContact = %d", got)
+	}
+	if got := b.BytesPerDay(); got != 7*18750000 {
+		t.Fatalf("BytesPerDay = %d", got)
+	}
+}
+
+func TestRequiredBps(t *testing.T) {
+	b := Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7}
+	// 15 GB over one 600 s contact needs 200 Mbps.
+	if got := b.RequiredBps(15e9); got != 2e8 {
+		t.Fatalf("RequiredBps = %v", got)
+	}
+	if got := (Budget{}).RequiredBps(100); got != 0 {
+		t.Fatalf("zero-window RequiredBps = %v", got)
+	}
+}
+
+func TestMeterEnforcesCapacity(t *testing.T) {
+	m := NewMeter(100)
+	if !m.TryConsume(60) || !m.TryConsume(40) {
+		t.Fatal("consumes within capacity refused")
+	}
+	if m.TryConsume(1) {
+		t.Fatal("consume over capacity accepted")
+	}
+	if m.Used() != 100 || m.Remaining() != 0 {
+		t.Fatalf("used=%d remaining=%d", m.Used(), m.Remaining())
+	}
+	m.Reset()
+	if m.Used() != 0 || m.Remaining() != 100 {
+		t.Fatalf("after reset used=%d remaining=%d", m.Used(), m.Remaining())
+	}
+}
+
+func TestMeterUnlimited(t *testing.T) {
+	m := NewMeter(0)
+	if !m.TryConsume(1 << 40) {
+		t.Fatal("unlimited meter refused")
+	}
+	if m.Remaining() != -1 {
+		t.Fatalf("unlimited Remaining = %d", m.Remaining())
+	}
+}
+
+func TestMeterConsumeOverage(t *testing.T) {
+	m := NewMeter(10)
+	m.Consume(25)
+	if m.Used() != 25 {
+		t.Fatalf("Used = %d", m.Used())
+	}
+	if m.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want clamped 0", m.Remaining())
+	}
+	if m.Capacity() != 10 {
+		t.Fatalf("Capacity = %d", m.Capacity())
+	}
+}
+
+func TestMeterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter(10).TryConsume(-1)
+}

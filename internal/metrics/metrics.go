@@ -1,0 +1,189 @@
+// Package metrics provides the small statistics and text-rendering helpers
+// the experiment harness uses to regenerate the paper's tables and figures
+// as terminal output: means, CDFs, percentiles, aligned tables, and ASCII
+// series plots.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// CDF returns the empirical distribution of xs as sorted (value, fraction)
+// pairs, one per sample.
+func CDF(xs []float64) (values, fractions []float64) {
+	values = append([]float64(nil), xs...)
+	sort.Float64s(values)
+	fractions = make([]float64, len(values))
+	for i := range values {
+		fractions[i] = float64(i+1) / float64(len(values))
+	}
+	return values, fractions
+}
+
+// CDFAt returns the empirical CDF of xs evaluated at x.
+func CDFAt(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Table renders rows with aligned columns. The first row is treated as the
+// header and underlined.
+func Table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(rows[0])
+	var under []string
+	for i := range rows[0] {
+		under = append(under, strings.Repeat("-", widths[i]))
+	}
+	writeRow(under)
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+}
+
+// Series renders an ASCII line chart of y versus x (both same length),
+// labelled with the given axis names. Height rows, width columns.
+func Series(w io.Writer, title, xLabel, yLabel string, x, y []float64, width, height int) {
+	fmt.Fprintln(w, title)
+	if len(x) == 0 || len(x) != len(y) || width < 8 || height < 2 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	minX, maxX := x[0], x[0]
+	minY, maxY := y[0], y[0]
+	for i := range x {
+		minX = math.Min(minX, x[i])
+		maxX = math.Max(maxX, x[i])
+		minY = math.Min(minY, y[i])
+		maxY = math.Max(maxY, y[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range x {
+		col := int((x[i] - minX) / (maxX - minX) * float64(width-1))
+		row := int((y[i] - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = '*'
+	}
+	fmt.Fprintf(w, "  %s: %.4g .. %.4g\n", yLabel, maxY, minY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   %s: %.4g .. %.4g\n", xLabel, minX, maxX)
+}
+
+// Bar renders a labelled horizontal bar chart with values scaled to
+// maxWidth characters.
+func Bar(w io.Writer, title string, labels []string, values []float64, unit string, maxWidth int) {
+	fmt.Fprintln(w, title)
+	var maxV float64
+	maxLabel := 0
+	for i, v := range values {
+		maxV = math.Max(maxV, v)
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(maxWidth))
+		fmt.Fprintf(w, "  %-*s %s %.4g %s\n", maxLabel, labels[i], strings.Repeat("#", n), v, unit)
+	}
+}
+
+// Ratio divides a by b, returning NaN when b is 0 — for "X times less
+// downlink" style factors.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Std(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", got)
+	}
+	if Std([]float64{1}) != 0 {
+		t.Fatal("single-element std")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		vals, fracs := CDF(xs)
+		if !sort.Float64sAreSorted(vals) {
+			return false
+		}
+		if fracs[len(fracs)-1] != 1 {
+			return false
+		}
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] < fracs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CDFAt(xs, 2.5); got != 0.5 {
+		t.Fatalf("CDFAt = %v", got)
+	}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Fatalf("CDFAt(0) = %v", got)
+	}
+	if got := CDFAt(xs, 10); got != 1 {
+		t.Fatalf("CDFAt(10) = %v", got)
+	}
+	if !math.IsNaN(CDFAt(nil, 1)) {
+		t.Fatal("empty CDFAt should be NaN")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, [][]string{
+		{"name", "value"},
+		{"x", "1"},
+		{"longer", "22"},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("underline = %q", lines[1])
+	}
+	// Columns align: "value" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if lines[2][idx:idx+1] != "1" && lines[3][idx:idx+2] != "22" {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+	Table(&b, nil) // must not panic
+}
+
+func TestSeriesRendersPoints(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "demo", "day", "psnr", []float64{0, 1, 2, 3}, []float64{1, 2, 3, 4}, 20, 5)
+	out := b.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("series output missing content:\n%s", out)
+	}
+	var e strings.Builder
+	Series(&e, "empty", "x", "y", nil, nil, 20, 5)
+	if !strings.Contains(e.String(), "no data") {
+		t.Fatal("empty series should say so")
+	}
+}
+
+func TestSeriesConstantSeriesDoesNotPanic(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "flat", "x", "y", []float64{1, 2}, []float64{5, 5}, 10, 3)
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("flat series lost points")
+	}
+}
+
+func TestBar(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "storage", []string{"Kodan", "Earth+"}, []float64{255, 24}, "GB", 30)
+	out := b.String()
+	if !strings.Contains(out, "Kodan") || !strings.Contains(out, "#") {
+		t.Fatalf("bar output:\n%s", out)
+	}
+	if strings.Count(strings.Split(out, "\n")[1], "#") <= strings.Count(strings.Split(out, "\n")[2], "#") {
+		t.Fatal("larger value must render a longer bar")
+	}
+	var z strings.Builder
+	Bar(&z, "zeros", []string{"a"}, []float64{0}, "x", 10) // must not panic
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 2); got != 3 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("divide by zero should be NaN")
+	}
+}

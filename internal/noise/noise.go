@@ -1,0 +1,104 @@
+// Package noise implements deterministic, seeded value noise and fractal
+// Brownian motion (fBm). The synthetic scene generator uses it for terrain
+// texture, change patches, and spatially-correlated cloud fields. Everything
+// here is a pure function of (seed, coordinates), so scenes are perfectly
+// reproducible across runs and platforms.
+package noise
+
+import "math"
+
+// Source generates smooth 2-D value noise from a 64-bit seed.
+type Source struct {
+	seed uint64
+}
+
+// New returns a noise source for the given seed.
+func New(seed uint64) *Source { return &Source{seed: seed} }
+
+// hash mixes lattice coordinates with the seed into a uniform-ish 64-bit
+// value (SplitMix64 finaliser).
+func (s *Source) hash(x, y int64) uint64 {
+	h := s.seed ^ uint64(x)*0x9e3779b97f4a7c15 ^ uint64(y)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// lattice returns the pseudo-random value in [0,1) at integer lattice point
+// (x, y).
+func (s *Source) lattice(x, y int64) float64 {
+	return float64(s.hash(x, y)>>11) / float64(1<<53)
+}
+
+// smoothstep is the C1-continuous fade used for interpolation weights.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// At returns smooth value noise in [0,1) at continuous coordinates (x, y).
+func (s *Source) At(x, y float64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	tx, ty := smoothstep(x-x0), smoothstep(y-y0)
+	ix, iy := int64(x0), int64(y0)
+	v00 := s.lattice(ix, iy)
+	v10 := s.lattice(ix+1, iy)
+	v01 := s.lattice(ix, iy+1)
+	v11 := s.lattice(ix+1, iy+1)
+	top := v00 + (v10-v00)*tx
+	bot := v01 + (v11-v01)*tx
+	return top + (bot-top)*ty
+}
+
+// FBM sums octaves of value noise (fractal Brownian motion) and returns a
+// value in [0,1). gain scales successive octave amplitudes, lacunarity scales
+// successive octave frequencies.
+func (s *Source) FBM(x, y float64, octaves int, lacunarity, gain float64) float64 {
+	var sum, amp, norm float64
+	amp = 1
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * s.At(x*freq, y*freq)
+		norm += amp
+		amp *= gain
+		freq *= lacunarity
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / norm
+}
+
+// FillFBM writes an fBm field into plane (row-major w x h) with the given
+// base frequency (feature size ~ w/frequency pixels), octave count and
+// standard lacunarity 2 / gain 0.5.
+func (s *Source) FillFBM(plane []float32, w, h int, frequency float64, octaves int) {
+	if len(plane) != w*h {
+		panic("noise: plane length does not match dimensions")
+	}
+	sx := frequency / float64(w)
+	sy := frequency / float64(h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			plane[y*w+x] = float32(s.FBM(float64(x)*sx, float64(y)*sy, octaves, 2, 0.5))
+		}
+	}
+}
+
+// Uniform returns the k-th uniform variate in [0,1) of the stream identified
+// by (seed, stream). It gives scene code cheap, order-independent random
+// numbers: Uniform(stream, k) never depends on other draws.
+func (s *Source) Uniform(stream, k int64) float64 {
+	return float64(s.hash(stream, k)>>11) / float64(1<<53)
+}
+
+// Normal returns the k-th standard-normal variate of the stream, via the
+// Box–Muller transform on two independent uniforms.
+func (s *Source) Normal(stream, k int64) float64 {
+	u1 := s.Uniform(stream, 2*k)
+	u2 := s.Uniform(stream, 2*k+1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,120 @@
+// Package orbit models a sun-synchronous earth-observation constellation at
+// day granularity: phase-staggered revisit schedules (a single LEO satellite
+// revisits a location only every 10-15 days, §3; a constellation covers it
+// daily, §2.1), deterministic visit prediction (the paper's stand-in for
+// Two-Line-Element forecasts, §4.2), and the Doves Table 1 specification.
+package orbit
+
+import "fmt"
+
+// Constellation is a fleet of identical, evenly phased satellites.
+type Constellation struct {
+	// Satellites is the fleet size.
+	Satellites int
+	// RevisitDays is how often one satellite revisits the same location.
+	RevisitDays int
+}
+
+// Validate reports configuration errors.
+func (c Constellation) Validate() error {
+	if c.Satellites <= 0 || c.RevisitDays <= 0 {
+		return fmt.Errorf("orbit: need positive satellites (%d) and revisit period (%d)",
+			c.Satellites, c.RevisitDays)
+	}
+	return nil
+}
+
+// phase returns the day offset (mod RevisitDays) at which satellite sat
+// visits location loc. Satellites are spread evenly across the revisit
+// period; the location term decorrelates different locations' schedules.
+func (c Constellation) phase(sat, loc int) int {
+	return (sat*c.RevisitDays/c.Satellites + loc*7) % c.RevisitDays
+}
+
+// Visits reports whether satellite sat photographs location loc on day.
+func (c Constellation) Visits(sat, loc, day int) bool {
+	if day < 0 {
+		return false
+	}
+	return day%c.RevisitDays == c.phase(sat, loc)
+}
+
+// VisitsOn returns the satellites photographing loc on day, in ascending
+// satellite order.
+func (c Constellation) VisitsOn(loc, day int) []int {
+	var out []int
+	for s := 0; s < c.Satellites; s++ {
+		if c.Visits(s, loc, day) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NextVisit returns the first day strictly after afterDay on which sat
+// visits loc. This is the prediction ground stations use to decide which
+// reference images a satellite needs before its next pass (§4.2).
+func (c Constellation) NextVisit(sat, loc, afterDay int) int {
+	p := c.phase(sat, loc)
+	d := afterDay + 1
+	r := d % c.RevisitDays
+	delta := (p - r + c.RevisitDays) % c.RevisitDays
+	return d + delta
+}
+
+// MeanVisitGapDays returns the average gap between consecutive visits of a
+// location by any satellite in the fleet.
+func (c Constellation) MeanVisitGapDays() float64 {
+	// Each of the RevisitDays slots is hit by Satellites/RevisitDays
+	// satellites on average; visits per day = Satellites/RevisitDays.
+	perDay := float64(c.Satellites) / float64(c.RevisitDays)
+	if perDay > 1 {
+		perDay = 1 // at most one usable pass per day in our day-granular model
+	}
+	return 1 / perDay
+}
+
+// Spec mirrors Table 1: the Doves constellation's connectivity, hardware
+// and imaging characteristics used to ground the storage, uplink and
+// downlink experiments.
+type Spec struct {
+	ContactSeconds    float64 // ground contact duration (10 minutes)
+	ContactsPerDay    int     // ground contacts per day (7)
+	UplinkBps         float64 // 250 kbps
+	DownlinkBps       float64 // 200 Mbps
+	StorageBytes      int64   // on-board storage (360 GB)
+	ImageWidth        int     // 6600
+	ImageHeight       int     // 4400
+	ImageBands        int     // RGB + InfraRed
+	RawImageBytes     int64   // 150 MB
+	GSDMeters         float64 // 3.7 m
+	RevisitDays       int     // one satellite rescans Earth every ~10 days
+	MBPerKm2          float64 // 0.87 MB of raw imagery per km² (Appendix A)
+	RefLocationFactor float64 // reference area is up to 160x a contact's download (Appendix A)
+}
+
+// DovesSpec returns the Table 1 values.
+func DovesSpec() Spec {
+	return Spec{
+		ContactSeconds:    600,
+		ContactsPerDay:    7,
+		UplinkBps:         250e3,
+		DownlinkBps:       200e6,
+		StorageBytes:      360 << 30,
+		ImageWidth:        6600,
+		ImageHeight:       4400,
+		ImageBands:        4,
+		RawImageBytes:     150 << 20,
+		GSDMeters:         3.7,
+		RevisitDays:       10,
+		MBPerKm2:          0.87,
+		RefLocationFactor: 160,
+	}
+}
+
+// DownloadableKm2PerContact returns `a` from Appendix A: the area whose
+// raw imagery one ground contact can download.
+func (s Spec) DownloadableKm2PerContact() float64 {
+	bytesPerContact := s.DownlinkBps * s.ContactSeconds / 8
+	return bytesPerContact / (s.MBPerKm2 * (1 << 20))
+}

@@ -1,0 +1,126 @@
+package orbit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Constellation{Satellites: 2, RevisitDays: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Constellation{Satellites: 0, RevisitDays: 10}).Validate(); err == nil {
+		t.Fatal("expected error for zero satellites")
+	}
+	if err := (Constellation{Satellites: 1, RevisitDays: 0}).Validate(); err == nil {
+		t.Fatal("expected error for zero revisit period")
+	}
+}
+
+func TestSingleSatelliteRevisitPeriod(t *testing.T) {
+	c := Constellation{Satellites: 1, RevisitDays: 10}
+	var visits []int
+	for d := 0; d < 50; d++ {
+		if c.Visits(0, 3, d) {
+			visits = append(visits, d)
+		}
+	}
+	if len(visits) != 5 {
+		t.Fatalf("got %d visits in 50 days, want 5", len(visits))
+	}
+	for i := 1; i < len(visits); i++ {
+		if visits[i]-visits[i-1] != 10 {
+			t.Fatalf("gap %d != revisit period 10", visits[i]-visits[i-1])
+		}
+	}
+}
+
+func TestConstellationCoversDaily(t *testing.T) {
+	// 10 satellites with a 10-day revisit: some satellite visits every day.
+	c := Constellation{Satellites: 10, RevisitDays: 10}
+	for d := 0; d < 30; d++ {
+		if len(c.VisitsOn(4, d)) == 0 {
+			t.Fatalf("no visit on day %d", d)
+		}
+	}
+}
+
+func TestPhasesSpreadSatellites(t *testing.T) {
+	c := Constellation{Satellites: 2, RevisitDays: 10}
+	// The two satellites should be 5 days apart at any location.
+	var days []int
+	for d := 0; d < 20; d++ {
+		if len(c.VisitsOn(0, d)) > 0 {
+			days = append(days, d)
+		}
+	}
+	if len(days) != 4 {
+		t.Fatalf("expected 4 visit days in 20, got %v", days)
+	}
+	if days[1]-days[0] != 5 {
+		t.Fatalf("effective gap %d, want 5", days[1]-days[0])
+	}
+}
+
+func TestNextVisitConsistentWithVisits(t *testing.T) {
+	c := Constellation{Satellites: 3, RevisitDays: 12}
+	f := func(satRaw, locRaw, afterRaw uint8) bool {
+		sat := int(satRaw) % c.Satellites
+		loc := int(locRaw) % 8
+		after := int(afterRaw)
+		next := c.NextVisit(sat, loc, after)
+		if next <= after {
+			return false
+		}
+		if !c.Visits(sat, loc, next) {
+			return false
+		}
+		for d := after + 1; d < next; d++ {
+			if c.Visits(sat, loc, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVisitGap(t *testing.T) {
+	if g := (Constellation{Satellites: 1, RevisitDays: 10}).MeanVisitGapDays(); g != 10 {
+		t.Fatalf("1-sat gap = %v, want 10", g)
+	}
+	if g := (Constellation{Satellites: 2, RevisitDays: 10}).MeanVisitGapDays(); g != 5 {
+		t.Fatalf("2-sat gap = %v, want 5", g)
+	}
+	// Saturates at one visit per day.
+	if g := (Constellation{Satellites: 48, RevisitDays: 12}).MeanVisitGapDays(); g != 1 {
+		t.Fatalf("48-sat gap = %v, want 1", g)
+	}
+}
+
+func TestVisitsNegativeDay(t *testing.T) {
+	c := Constellation{Satellites: 1, RevisitDays: 10}
+	if c.Visits(0, 0, -5) {
+		t.Fatal("negative day visited")
+	}
+}
+
+func TestDovesSpecValues(t *testing.T) {
+	s := DovesSpec()
+	if s.UplinkBps != 250e3 || s.DownlinkBps != 200e6 {
+		t.Fatalf("link spec = %v / %v", s.UplinkBps, s.DownlinkBps)
+	}
+	if s.ContactsPerDay != 7 || s.ContactSeconds != 600 {
+		t.Fatalf("contact spec = %d x %vs", s.ContactsPerDay, s.ContactSeconds)
+	}
+	if s.StorageBytes != 360<<30 {
+		t.Fatalf("storage = %d", s.StorageBytes)
+	}
+	// Appendix A: a = downlink-per-contact / 0.87 MB ≈ 17,241 km².
+	a := s.DownloadableKm2PerContact()
+	if a < 16000 || a < 0 || a > 18500 {
+		t.Fatalf("downloadable area per contact = %v km²", a)
+	}
+}

@@ -1,0 +1,99 @@
+package raster
+
+// BandKind classifies what a spectral band chiefly observes. Earth+ treats
+// bands separately because "the amount of changes of different bands on
+// cloud-free areas are different" (§5, Handling different bands).
+type BandKind uint8
+
+const (
+	// KindGround marks bands dominated by terrestrial surface content
+	// (visible RGB, SWIR).
+	KindGround BandKind = iota
+	// KindVegetation marks chlorophyll-sensitive bands (red edge, NIR);
+	// the paper notes these change more due to temperature sensitivity.
+	KindVegetation
+	// KindAtmosphere marks air-observing bands (coastal aerosol, water
+	// vapor, cirrus); these change little over cloud-free ground.
+	KindAtmosphere
+	// KindInfrared marks thermal/short-wave infrared bands usable for
+	// cheap cloud detection (heavy clouds are cold, §5).
+	KindInfrared
+)
+
+// String returns the band kind's name.
+func (k BandKind) String() string {
+	switch k {
+	case KindGround:
+		return "ground"
+	case KindVegetation:
+		return "vegetation"
+	case KindAtmosphere:
+		return "atmosphere"
+	case KindInfrared:
+		return "infrared"
+	}
+	return "unknown"
+}
+
+// BandInfo describes one spectral band of an instrument.
+type BandInfo struct {
+	// Name is the instrument's band label, e.g. "B8a" or "NIR".
+	Name string
+	// Kind classifies the band's dominant signal.
+	Kind BandKind
+	// CenterNM is the band's centre wavelength in nanometres.
+	CenterNM int
+}
+
+// Sentinel2Bands returns the 13-band set of the Sentinel-2 MSI instrument
+// used by the paper's rich-content dataset (Table 2).
+func Sentinel2Bands() []BandInfo {
+	return []BandInfo{
+		{Name: "B1", Kind: KindAtmosphere, CenterNM: 443},   // coastal aerosol
+		{Name: "B2", Kind: KindGround, CenterNM: 490},       // blue
+		{Name: "B3", Kind: KindGround, CenterNM: 560},       // green
+		{Name: "B4", Kind: KindGround, CenterNM: 665},       // red
+		{Name: "B5", Kind: KindVegetation, CenterNM: 705},   // red edge 1
+		{Name: "B6", Kind: KindVegetation, CenterNM: 740},   // red edge 2
+		{Name: "B7", Kind: KindVegetation, CenterNM: 783},   // red edge 3
+		{Name: "B8", Kind: KindVegetation, CenterNM: 842},   // NIR
+		{Name: "B8a", Kind: KindVegetation, CenterNM: 865},  // narrow NIR
+		{Name: "B9", Kind: KindAtmosphere, CenterNM: 945},   // water vapor
+		{Name: "B10", Kind: KindAtmosphere, CenterNM: 1375}, // cirrus
+		{Name: "B11", Kind: KindInfrared, CenterNM: 1610},   // SWIR 1
+		{Name: "B12", Kind: KindInfrared, CenterNM: 2190},   // SWIR 2
+	}
+}
+
+// PlanetBands returns the 4-band RGB+InfraRed set of the Doves (PlanetScope)
+// instrument used by the paper's large-constellation dataset (Tables 1, 2).
+func PlanetBands() []BandInfo {
+	return []BandInfo{
+		{Name: "R", Kind: KindGround, CenterNM: 655},
+		{Name: "G", Kind: KindGround, CenterNM: 545},
+		{Name: "B", Kind: KindGround, CenterNM: 485},
+		{Name: "NIR", Kind: KindInfrared, CenterNM: 820},
+	}
+}
+
+// InfraredBand returns the index of the first infrared band in bands, or -1
+// if none exists. The cheap on-board cloud detector needs one (§5).
+func InfraredBand(bands []BandInfo) int {
+	for i, b := range bands {
+		if b.Kind == KindInfrared {
+			return i
+		}
+	}
+	return -1
+}
+
+// GroundBands returns the indices of all bands whose kind is KindGround.
+func GroundBands(bands []BandInfo) []int {
+	var out []int
+	for i, b := range bands {
+		if b.Kind == KindGround {
+			out = append(out, i)
+		}
+	}
+	return out
+}

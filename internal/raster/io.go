@@ -1,0 +1,182 @@
+package raster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// rasterMagic identifies the repository's simple binary raster container.
+const rasterMagic = "EPRAST1\x00"
+
+// Write serialises the image into the repository's binary raster format:
+// magic, dims, band metadata, then little-endian float32 planes. The format
+// exists so cmd/earthplus-encode and the examples can exchange images.
+func (im *Image) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(rasterMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(im.Width), uint32(im.Height), uint32(len(im.Bands))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, b := range im.Bands {
+		name := []byte(b.Name)
+		if len(name) > 255 {
+			return fmt.Errorf("raster: band name %q too long", b.Name)
+		}
+		if err := bw.WriteByte(byte(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(b.Kind)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(b.CenterNM)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4)
+	for _, plane := range im.Pix {
+		for _, v := range plane {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses an image previously serialised with Write.
+func Read(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(rasterMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("raster: reading magic: %w", err)
+	}
+	if string(magic) != rasterMagic {
+		return nil, fmt.Errorf("raster: bad magic %q", magic)
+	}
+	var w32, h32, nb uint32
+	for _, p := range []*uint32{&w32, &h32, &nb} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("raster: reading header: %w", err)
+		}
+	}
+	const maxDim = 1 << 16
+	if w32 == 0 || h32 == 0 || w32 > maxDim || h32 > maxDim || nb == 0 || nb > 256 {
+		return nil, fmt.Errorf("raster: implausible geometry %dx%dx%d", w32, h32, nb)
+	}
+	bands := make([]BandInfo, nb)
+	for i := range bands {
+		nameLen, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("raster: reading band %d: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("raster: reading band %d name: %w", i, err)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("raster: reading band %d kind: %w", i, err)
+		}
+		var nm uint32
+		if err := binary.Read(br, binary.LittleEndian, &nm); err != nil {
+			return nil, fmt.Errorf("raster: reading band %d wavelength: %w", i, err)
+		}
+		bands[i] = BandInfo{Name: string(name), Kind: BandKind(kind), CenterNM: int(nm)}
+	}
+	im := New(int(w32), int(h32), bands)
+	buf := make([]byte, 4)
+	for _, plane := range im.Pix {
+		for i := range plane {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("raster: reading pixels: %w", err)
+			}
+			plane[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+	}
+	return im, nil
+}
+
+// WritePGM emits band b as a binary 16-bit PGM (P5), mapping [0,1] to
+// [0,65535]. Useful for eyeballing outputs with standard tooling.
+func (im *Image) WritePGM(w io.Writer, b int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n65535\n", im.Width, im.Height); err != nil {
+		return err
+	}
+	buf := make([]byte, 2)
+	for _, v := range im.Pix[b] {
+		u := uint16(math.Round(float64(clamp01(v)) * 65535))
+		binary.BigEndian.PutUint16(buf, u)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM parses a binary 8- or 16-bit PGM into a single-band image with
+// values scaled into [0,1].
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("raster: reading PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("raster: unsupported PGM magic %q", magic)
+	}
+	var w, h, maxv int
+	for _, p := range []*int{&w, &h, &maxv} {
+		if _, err := fmt.Fscan(br, p); err != nil {
+			return nil, fmt.Errorf("raster: reading PGM header: %w", err)
+		}
+	}
+	if _, err := br.ReadByte(); err != nil { // single whitespace after maxval
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535 {
+		return nil, fmt.Errorf("raster: implausible PGM header %dx%d max %d", w, h, maxv)
+	}
+	im := New(w, h, []BandInfo{{Name: "gray", Kind: KindGround}})
+	scale := 1 / float32(maxv)
+	if maxv < 256 {
+		buf := make([]byte, w*h)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("raster: reading PGM pixels: %w", err)
+		}
+		for i, v := range buf {
+			im.Pix[0][i] = float32(v) * scale
+		}
+		return im, nil
+	}
+	buf := make([]byte, 2*w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("raster: reading PGM pixels: %w", err)
+	}
+	for i := 0; i < w*h; i++ {
+		im.Pix[0][i] = float32(binary.BigEndian.Uint16(buf[2*i:])) * scale
+	}
+	return im, nil
+}
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

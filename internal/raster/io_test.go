@@ -1,0 +1,101 @@
+package raster
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomImage(seed int64, w, h int, bands []BandInfo) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := New(w, h, bands)
+	for b := range im.Pix {
+		for i := range im.Pix[b] {
+			im.Pix[b][i] = rng.Float32()
+		}
+	}
+	return im
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	im := randomImage(1, 24, 16, Sentinel2Bands())
+	var buf bytes.Buffer
+	if err := im.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.SameShape(back) {
+		t.Fatalf("shape changed: %dx%dx%d", back.Width, back.Height, back.NumBands())
+	}
+	for b := range im.Pix {
+		if im.Bands[b] != back.Bands[b] {
+			t.Fatalf("band %d metadata %+v != %+v", b, back.Bands[b], im.Bands[b])
+		}
+		for i := range im.Pix[b] {
+			if im.Pix[b][i] != back.Pix[b][i] {
+				t.Fatalf("pixel (%d,%d) = %v, want %v", b, i, back.Pix[b][i], im.Pix[b][i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a raster at all")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := Read(strings.NewReader(rasterMagic + "\x00")); err == nil {
+		t.Fatal("expected truncated-header error")
+	}
+}
+
+func TestReadRejectsImplausibleGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(rasterMagic)
+	// width=0 triggers the sanity check before any allocation.
+	buf.Write([]byte{0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected geometry error")
+	}
+}
+
+func TestPGMRoundTrip16(t *testing.T) {
+	im := randomImage(2, 9, 7, []BandInfo{{Name: "gray"}})
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 9 || back.Height != 7 {
+		t.Fatalf("PGM geometry %dx%d", back.Width, back.Height)
+	}
+	for i := range im.Pix[0] {
+		if d := math.Abs(float64(im.Pix[0][i] - back.Pix[0][i])); d > 1.0/65535+1e-6 {
+			t.Fatalf("pixel %d differs by %v after 16-bit PGM round trip", i, d)
+		}
+	}
+}
+
+func TestReadPGM8Bit(t *testing.T) {
+	raw := "P5\n2 1\n255\n" + string([]byte{0, 255})
+	im, err := ReadPGM(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Pix[0][0] != 0 || im.Pix[0][1] != 1 {
+		t.Fatalf("8-bit PGM pixels = %v", im.Pix[0])
+	}
+}
+
+func TestReadPGMRejectsBadMagic(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P6\n1 1\n255\n\x00")); err == nil {
+		t.Fatal("expected error for P6")
+	}
+}

@@ -1,0 +1,105 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSEAndPSNRKnownValues(t *testing.T) {
+	a := New(2, 2, []BandInfo{{Name: "g"}})
+	b := New(2, 2, []BandInfo{{Name: "g"}})
+	b.Fill(0, 0.1)
+	mse := MSE(a, b, 0)
+	if math.Abs(mse-0.01) > 1e-9 {
+		t.Fatalf("MSE = %v, want 0.01", mse)
+	}
+	if got := PSNR(mse); math.Abs(got-20) > 1e-6 {
+		t.Fatalf("PSNR = %v, want 20", got)
+	}
+}
+
+func TestPSNRInfiniteForIdentical(t *testing.T) {
+	a := New(4, 4, PlanetBands())
+	if got := PSNRBand(a, a.Clone(), 0); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR of identical images = %v, want +Inf", got)
+	}
+}
+
+// Property: PSNR is monotonically decreasing in noise amplitude.
+func TestPSNRMonotoneInNoiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := New(16, 16, []BandInfo{{Name: "g"}})
+		for i := range base.Plane(0) {
+			base.Plane(0)[i] = rng.Float32()
+		}
+		small, big := base.Clone(), base.Clone()
+		for i := range small.Plane(0) {
+			n := rng.Float32() - 0.5
+			small.Plane(0)[i] += 0.01 * n
+			big.Plane(0)[i] += 0.1 * n
+		}
+		return PSNRBand(base, small, 0) > PSNRBand(base, big, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSEMaskedTiles(t *testing.T) {
+	g := MustTileGrid(8, 8, 4)
+	a := New(8, 8, []BandInfo{{Name: "g"}})
+	b := a.Clone()
+	// Corrupt only tile 0.
+	x0, y0, x1, y1 := g.Bounds(0)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			b.Set(0, x, y, 1)
+		}
+	}
+	sum, n := MSEMaskedTiles(a, b, 0, g, func(t int) bool { return t == 0 })
+	if n != 16 || math.Abs(sum-16) > 1e-9 {
+		t.Fatalf("tile-0 MSE sum=%v n=%v, want 16,16", sum, n)
+	}
+	sum, n = MSEMaskedTiles(a, b, 0, g, func(t int) bool { return t != 0 })
+	if n != 48 || sum != 0 {
+		t.Fatalf("other-tile MSE sum=%v n=%v, want 0,48", sum, n)
+	}
+	if got := PSNRMaskedTiles(a, b, 0, g, func(int) bool { return false }); !math.IsNaN(got) {
+		t.Fatalf("empty mask PSNR = %v, want NaN", got)
+	}
+}
+
+func TestPSNRAllBandsPools(t *testing.T) {
+	g := MustTileGrid(4, 4, 4)
+	a := New(4, 4, PlanetBands())
+	b := a.Clone()
+	b.Fill(0, 0.2) // only band 0 differs: per-pixel sq err 0.04 on 1 of 4 bands
+	got := PSNRAllBandsMaskedTiles(a, b, g, nil)
+	want := PSNR(0.04 / 4)
+	if math.Abs(got-want) > 1e-5 { // float32 0.2² is not exactly 0.04
+
+		t.Fatalf("pooled PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestTileMeanAbsDiff(t *testing.T) {
+	g := MustTileGrid(8, 4, 4)
+	a := New(8, 4, []BandInfo{{Name: "g"}})
+	b := a.Clone()
+	x0, y0, x1, y1 := g.Bounds(1)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			b.Set(0, x, y, 0.5)
+		}
+	}
+	d := TileMeanAbsDiff(a, b, 0, g)
+	if len(d) != 2 {
+		t.Fatalf("len = %d, want 2", len(d))
+	}
+	if d[0] != 0 || math.Abs(d[1]-0.5) > 1e-9 {
+		t.Fatalf("tile diffs = %v", d)
+	}
+}

@@ -1,0 +1,213 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	im := New(8, 4, PlanetBands())
+	if im.Width != 8 || im.Height != 4 || im.NumBands() != 4 {
+		t.Fatalf("geometry = %dx%dx%d, want 8x4x4", im.Width, im.Height, im.NumBands())
+	}
+	for b := 0; b < im.NumBands(); b++ {
+		for _, v := range im.Plane(b) {
+			if v != 0 {
+				t.Fatalf("new image not zeroed: band %d has %v", b, v)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{0, 4}, {4, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.w, tc.h)
+				}
+			}()
+			New(tc.w, tc.h, PlanetBands())
+		}()
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	im := New(5, 7, PlanetBands())
+	im.Set(2, 3, 4, 0.625)
+	if got := im.At(2, 3, 4); got != 0.625 {
+		t.Fatalf("At = %v, want 0.625", got)
+	}
+	if got := im.Plane(2)[4*5+3]; got != 0.625 {
+		t.Fatalf("Plane value = %v, want 0.625", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	im := New(4, 4, PlanetBands())
+	im.Set(0, 1, 1, 0.5)
+	cl := im.Clone()
+	cl.Set(0, 1, 1, 0.9)
+	if im.At(0, 1, 1) != 0.5 {
+		t.Fatalf("clone aliased the original: %v", im.At(0, 1, 1))
+	}
+}
+
+func TestCloneBand(t *testing.T) {
+	im := New(4, 4, Sentinel2Bands())
+	im.Fill(5, 0.25)
+	one := im.CloneBand(5)
+	if one.NumBands() != 1 || one.Bands[0].Name != "B6" {
+		t.Fatalf("CloneBand metadata = %+v", one.Bands)
+	}
+	if one.At(0, 2, 2) != 0.25 {
+		t.Fatalf("CloneBand pixels not copied: %v", one.At(0, 2, 2))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	im := New(2, 1, PlanetBands())
+	im.Set(0, 0, 0, -0.5)
+	im.Set(0, 1, 0, 1.5)
+	im.Clamp()
+	if im.At(0, 0, 0) != 0 || im.At(0, 1, 0) != 1 {
+		t.Fatalf("Clamp produced %v, %v", im.At(0, 0, 0), im.At(0, 1, 0))
+	}
+}
+
+func TestDownsampleBoxAverage(t *testing.T) {
+	im := New(4, 2, []BandInfo{{Name: "g"}})
+	vals := []float32{0, 1, 2, 3, 4, 5, 6, 7}
+	copy(im.Plane(0), vals)
+	lo, err := im.Downsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Width != 2 || lo.Height != 1 {
+		t.Fatalf("downsampled geometry %dx%d", lo.Width, lo.Height)
+	}
+	// Block (0,1,4,5) averages 2.5; block (2,3,6,7) averages 4.5.
+	if lo.At(0, 0, 0) != 2.5 || lo.At(0, 1, 0) != 4.5 {
+		t.Fatalf("box average = %v, %v", lo.At(0, 0, 0), lo.At(0, 1, 0))
+	}
+}
+
+func TestDownsampleRejectsNonDivisible(t *testing.T) {
+	im := New(6, 6, PlanetBands())
+	if _, err := im.Downsample(4); err == nil {
+		t.Fatal("expected error for 6x6 / 4")
+	}
+	if _, err := im.Downsample(0); err == nil {
+		t.Fatal("expected error for factor 0")
+	}
+}
+
+func TestUpsampleNearest(t *testing.T) {
+	im := New(2, 1, []BandInfo{{Name: "g"}})
+	im.Set(0, 0, 0, 0.25)
+	im.Set(0, 1, 0, 0.75)
+	hi, err := im.Upsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0.25, 0.25, 0.75, 0.75, 0.25, 0.25, 0.75, 0.75}
+	for i, v := range hi.Plane(0) {
+		if v != want[i] {
+			t.Fatalf("upsampled[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestDownsampleUpsampleConstantIsIdentity(t *testing.T) {
+	im := New(16, 16, []BandInfo{{Name: "g"}})
+	im.Fill(0, 0.3)
+	lo, err := im.Downsample(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := lo.Upsample(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range hi.Plane(0) {
+		if math.Abs(float64(v-0.3)) > 1e-6 {
+			t.Fatalf("pixel %d = %v after down/up of constant", i, v)
+		}
+	}
+}
+
+// Property: Downsample preserves the global mean exactly (box filter).
+func TestDownsamplePreservesMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		im := New(32, 32, []BandInfo{{Name: "g"}})
+		for i := range im.Plane(0) {
+			im.Plane(0)[i] = rng.Float32()
+		}
+		lo, err := im.Downsample(8)
+		if err != nil {
+			return false
+		}
+		return math.Abs(mean(im.Plane(0))-mean(lo.Plane(0))) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mean(p []float32) float64 {
+	var s float64
+	for _, v := range p {
+		s += float64(v)
+	}
+	return s / float64(len(p))
+}
+
+func TestCopyTileAndZeroTile(t *testing.T) {
+	g := MustTileGrid(8, 8, 4)
+	src := New(8, 8, []BandInfo{{Name: "g"}})
+	dst := New(8, 8, []BandInfo{{Name: "g"}})
+	src.Fill(0, 1)
+	CopyTile(dst, src, 0, g, 3) // bottom-right tile
+	var inside, outside float32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x >= 4 && y >= 4 {
+				inside += dst.At(0, x, y)
+			} else {
+				outside += dst.At(0, x, y)
+			}
+		}
+	}
+	if inside != 16 || outside != 0 {
+		t.Fatalf("CopyTile inside=%v outside=%v", inside, outside)
+	}
+	ZeroTile(dst, 0, g, 3)
+	if dst.At(0, 5, 5) != 0 {
+		t.Fatalf("ZeroTile left %v", dst.At(0, 5, 5))
+	}
+}
+
+func TestAbsDiffMean(t *testing.T) {
+	a := New(2, 2, []BandInfo{{Name: "g"}})
+	b := New(2, 2, []BandInfo{{Name: "g"}})
+	b.Fill(0, 0.5)
+	if got := AbsDiffMean(a, b, 0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("AbsDiffMean = %v, want 0.5", got)
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	a := New(4, 4, PlanetBands())
+	if !a.SameShape(New(4, 4, PlanetBands())) {
+		t.Fatal("identical shapes reported different")
+	}
+	if a.SameShape(New(4, 5, PlanetBands())) {
+		t.Fatal("different heights reported same")
+	}
+	if a.SameShape(nil) {
+		t.Fatal("nil reported same shape")
+	}
+}

@@ -1,0 +1,130 @@
+package raster
+
+import "fmt"
+
+// DefaultTileSize is the paper's tile granularity: "we use a 64x64 pixel
+// block as a tile by default" (§3).
+const DefaultTileSize = 64
+
+// TileGrid partitions a Width x Height image into square tiles. Image
+// dimensions must be divisible by the tile size; the synthetic scenes are
+// generated that way, mirroring the aligned tiling codecs use.
+type TileGrid struct {
+	ImageW, ImageH int
+	Tile           int
+	Cols, Rows     int
+}
+
+// NewTileGrid builds the tile grid for a w x h image with square tiles of
+// the given size.
+func NewTileGrid(w, h, tile int) (TileGrid, error) {
+	if tile <= 0 {
+		return TileGrid{}, fmt.Errorf("raster: tile size %d must be positive", tile)
+	}
+	if w%tile != 0 || h%tile != 0 {
+		return TileGrid{}, fmt.Errorf("raster: image %dx%d not divisible by tile %d", w, h, tile)
+	}
+	return TileGrid{ImageW: w, ImageH: h, Tile: tile, Cols: w / tile, Rows: h / tile}, nil
+}
+
+// MustTileGrid is NewTileGrid that panics on error, for geometry known to be
+// valid by construction.
+func MustTileGrid(w, h, tile int) TileGrid {
+	g, err := NewTileGrid(w, h, tile)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumTiles returns the number of tiles in the grid.
+func (g TileGrid) NumTiles() int { return g.Cols * g.Rows }
+
+// Bounds returns the half-open pixel rectangle [x0,x1) x [y0,y1) of tile t.
+func (g TileGrid) Bounds(t int) (x0, y0, x1, y1 int) {
+	col, row := t%g.Cols, t/g.Cols
+	x0, y0 = col*g.Tile, row*g.Tile
+	return x0, y0, x0 + g.Tile, y0 + g.Tile
+}
+
+// TileAt returns the tile index containing pixel (x, y).
+func (g TileGrid) TileAt(x, y int) int { return (y/g.Tile)*g.Cols + x/g.Tile }
+
+// Scaled returns the grid describing the same tiling after the image is
+// downsampled by factor per axis. The tile size must stay >= 1 pixel.
+func (g TileGrid) Scaled(factor int) (TileGrid, error) {
+	if factor <= 0 || g.Tile%factor != 0 {
+		return TileGrid{}, fmt.Errorf("raster: tile %d not divisible by scale factor %d", g.Tile, factor)
+	}
+	return NewTileGrid(g.ImageW/factor, g.ImageH/factor, g.Tile/factor)
+}
+
+// TileMask marks a subset of a grid's tiles (changed tiles, cloudy tiles,
+// region-of-interest tiles, ...).
+type TileMask struct {
+	Grid TileGrid
+	Set  []bool
+}
+
+// NewTileMask returns an empty mask over g.
+func NewTileMask(g TileGrid) *TileMask {
+	return &TileMask{Grid: g, Set: make([]bool, g.NumTiles())}
+}
+
+// Count returns the number of marked tiles.
+func (m *TileMask) Count() int {
+	n := 0
+	for _, s := range m.Set {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Fraction returns the fraction of tiles marked, in [0,1].
+func (m *TileMask) Fraction() float64 {
+	if len(m.Set) == 0 {
+		return 0
+	}
+	return float64(m.Count()) / float64(len(m.Set))
+}
+
+// Clone returns a deep copy of the mask.
+func (m *TileMask) Clone() *TileMask {
+	out := NewTileMask(m.Grid)
+	copy(out.Set, m.Set)
+	return out
+}
+
+// Union marks every tile set in other. The grids must match in tile count.
+func (m *TileMask) Union(other *TileMask) {
+	for i, s := range other.Set {
+		if s {
+			m.Set[i] = true
+		}
+	}
+}
+
+// Subtract clears every tile set in other.
+func (m *TileMask) Subtract(other *TileMask) {
+	for i, s := range other.Set {
+		if s {
+			m.Set[i] = false
+		}
+	}
+}
+
+// Invert flips every tile.
+func (m *TileMask) Invert() {
+	for i := range m.Set {
+		m.Set[i] = !m.Set[i]
+	}
+}
+
+// SetAll marks every tile.
+func (m *TileMask) SetAll() {
+	for i := range m.Set {
+		m.Set[i] = true
+	}
+}

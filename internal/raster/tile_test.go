@@ -1,0 +1,93 @@
+package raster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTileGridGeometry(t *testing.T) {
+	g, err := NewTileGrid(512, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 8 || g.Rows != 4 || g.NumTiles() != 32 {
+		t.Fatalf("grid = %+v", g)
+	}
+	x0, y0, x1, y1 := g.Bounds(9) // second row, second column
+	if x0 != 64 || y0 != 64 || x1 != 128 || y1 != 128 {
+		t.Fatalf("Bounds(9) = %d,%d,%d,%d", x0, y0, x1, y1)
+	}
+}
+
+func TestTileGridRejectsBadGeometry(t *testing.T) {
+	if _, err := NewTileGrid(100, 64, 64); err == nil {
+		t.Fatal("expected error for indivisible width")
+	}
+	if _, err := NewTileGrid(64, 64, 0); err == nil {
+		t.Fatal("expected error for zero tile")
+	}
+}
+
+func TestTileAtInverseOfBounds(t *testing.T) {
+	g := MustTileGrid(256, 128, 32)
+	f := func(tt uint16) bool {
+		idx := int(tt) % g.NumTiles()
+		x0, y0, x1, y1 := g.Bounds(idx)
+		return g.TileAt(x0, y0) == idx && g.TileAt(x1-1, y1-1) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledGridKeepsTileCount(t *testing.T) {
+	g := MustTileGrid(512, 512, 64)
+	lo, err := g.Scaled(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.NumTiles() != g.NumTiles() {
+		t.Fatalf("scaled tile count %d != %d", lo.NumTiles(), g.NumTiles())
+	}
+	if lo.Tile != 8 {
+		t.Fatalf("scaled tile size = %d, want 8", lo.Tile)
+	}
+	if _, err := g.Scaled(7); err == nil {
+		t.Fatal("expected error for indivisible scale")
+	}
+}
+
+func TestTileMaskOps(t *testing.T) {
+	g := MustTileGrid(128, 128, 64)
+	m := NewTileMask(g)
+	if m.Count() != 0 || m.Fraction() != 0 {
+		t.Fatalf("fresh mask count=%d frac=%v", m.Count(), m.Fraction())
+	}
+	m.Set[0], m.Set[3] = true, true
+	if m.Count() != 2 || m.Fraction() != 0.5 {
+		t.Fatalf("count=%d frac=%v, want 2, 0.5", m.Count(), m.Fraction())
+	}
+	other := NewTileMask(g)
+	other.Set[1] = true
+	m.Union(other)
+	if m.Count() != 3 {
+		t.Fatalf("after union count=%d, want 3", m.Count())
+	}
+	m.Subtract(other)
+	if m.Count() != 2 || m.Set[1] {
+		t.Fatalf("after subtract count=%d set1=%v", m.Count(), m.Set[1])
+	}
+	cl := m.Clone()
+	cl.Set[2] = true
+	if m.Set[2] {
+		t.Fatal("Clone aliased backing slice")
+	}
+	m.Invert()
+	if m.Count() != 2 || !m.Set[1] || !m.Set[2] {
+		t.Fatalf("after invert %+v", m.Set)
+	}
+	m.SetAll()
+	if m.Fraction() != 1 {
+		t.Fatalf("SetAll fraction = %v", m.Fraction())
+	}
+}

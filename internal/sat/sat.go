@@ -1,0 +1,248 @@
+// Package sat implements the on-board half of the reproduction: the
+// reference cache a satellite keeps for every location it will visit, and
+// the capture-processing pipeline of §5 — cheap cloud removal, image
+// dropping, illumination alignment, downsampled change detection, and
+// region-of-interest encoding of the changed tiles.
+package sat
+
+import (
+	"fmt"
+	"time"
+
+	"earthplus/internal/change"
+	"earthplus/internal/cloud"
+	"earthplus/internal/codec"
+	"earthplus/internal/illum"
+	"earthplus/internal/raster"
+)
+
+// LowResRef is one cached downsampled reference image.
+type LowResRef struct {
+	// Image is the reference content at the pipeline's detection
+	// resolution (already cloud-free by ground-side construction).
+	Image *raster.Image
+	// Day is the capture day of the reference content (its freshness).
+	Day int
+}
+
+// RefCache holds a satellite's on-board reference images, keyed by
+// location. Earth+ caches references on board so that uplink updates only
+// need to carry changed reference tiles (§4.3).
+type RefCache struct {
+	refs map[int]*LowResRef
+}
+
+// NewRefCache returns an empty cache.
+func NewRefCache() *RefCache {
+	return &RefCache{refs: make(map[int]*LowResRef)}
+}
+
+// Get returns the cached reference for loc, or nil.
+func (c *RefCache) Get(loc int) *LowResRef { return c.refs[loc] }
+
+// Put replaces the reference for loc (the image is not copied).
+func (c *RefCache) Put(loc int, im *raster.Image, day int) {
+	c.refs[loc] = &LowResRef{Image: im, Day: day}
+}
+
+// ApplyTileUpdate copies the marked low-resolution tiles of update into the
+// cached reference for loc and advances its day. A missing cache entry is
+// created from the update itself.
+func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*raster.TileMask, day int) {
+	ref := c.refs[loc]
+	if ref == nil {
+		c.Put(loc, update.Clone(), day)
+		return
+	}
+	for b, mask := range perBand {
+		if mask == nil {
+			continue
+		}
+		for t, set := range mask.Set {
+			if set {
+				raster.CopyTile(ref.Image, update, b, mask.Grid, t)
+			}
+		}
+	}
+	ref.Day = day
+}
+
+// StorageBytes returns the cache's footprint assuming bytesPerPixel of
+// storage per band sample.
+func (c *RefCache) StorageBytes(bytesPerPixel float64) int64 {
+	var total float64
+	for _, r := range c.refs {
+		total += float64(r.Image.Width*r.Image.Height*r.Image.NumBands()) * bytesPerPixel
+	}
+	return int64(total)
+}
+
+// Len returns the number of cached references.
+func (c *RefCache) Len() int { return len(c.refs) }
+
+// Pipeline is the on-board change-detection pipeline of §5.
+type Pipeline struct {
+	Bands []raster.BandInfo
+	// Grid is the full-resolution tile grid.
+	Grid raster.TileGrid
+	// Downsample is the per-axis factor for detection (reference images
+	// are cached at this resolution).
+	Downsample int
+	// CloudDet is the on-board detector (cheap decision tree).
+	CloudDet cloud.Detector
+	// Theta is the change threshold at detection resolution (profiled).
+	Theta float64
+	// DropCoverage drops captures whose detected cloud cover exceeds it
+	// (paper drops above 50%).
+	DropCoverage float64
+	// CloudTileFrac marks a tile cloudy when its cloudy-pixel fraction
+	// exceeds this.
+	CloudTileFrac float64
+}
+
+// Result is the pipeline's output for one capture.
+type Result struct {
+	// Dropped is set when detected cloud coverage exceeded DropCoverage.
+	Dropped bool
+	// CloudCover is the detected (not true) cloud coverage.
+	CloudCover float64
+	// CloudMask is the detected per-pixel mask.
+	CloudMask *cloud.Mask
+	// CloudTiles marks tiles considered cloudy (full-res grid indexing).
+	CloudTiles *raster.TileMask
+	// Changed holds, per band, the changed-tile mask (nil when no
+	// reference was available; the caller decides the fallback).
+	Changed []*raster.TileMask
+	// Illum holds the per-band alignment fitted against the reference.
+	Illum []illum.Model
+	// CapLow is the downsampled capture after cloud zeroing and
+	// illumination normalisation (used for reference bookkeeping).
+	CapLow *raster.Image
+	// CloudSec and ChangeSec are the measured wall-clock costs of the
+	// cloud-detection and change-detection stages (Fig 16).
+	CloudSec  float64
+	ChangeSec float64
+}
+
+// lowGrid returns the tile grid at detection resolution.
+func (p *Pipeline) lowGrid() (raster.TileGrid, error) {
+	return p.Grid.Scaled(p.Downsample)
+}
+
+// Process runs the §5 pipeline on one capture against the cached reference
+// (which may be nil).
+func (p *Pipeline) Process(capImg *raster.Image, ref *LowResRef) (*Result, error) {
+	if capImg.Width != p.Grid.ImageW || capImg.Height != p.Grid.ImageH {
+		return nil, fmt.Errorf("sat: capture %dx%d does not match grid", capImg.Width, capImg.Height)
+	}
+	res := &Result{}
+	// Cloud removal: detect, then drop heavily cloudy captures.
+	tCloud := time.Now()
+	res.CloudMask = p.CloudDet.Detect(capImg)
+	res.CloudSec = time.Since(tCloud).Seconds()
+	res.CloudCover = res.CloudMask.Coverage()
+	res.CloudTiles = res.CloudMask.TileMask(p.Grid, p.CloudTileFrac)
+	if res.CloudCover > p.DropCoverage {
+		res.Dropped = true
+		return res, nil
+	}
+	gLow, err := p.lowGrid()
+	if err != nil {
+		return nil, fmt.Errorf("sat: %w", err)
+	}
+	capLow, err := capImg.Downsample(p.Downsample)
+	if err != nil {
+		return nil, fmt.Errorf("sat: %w", err)
+	}
+	res.CapLow = capLow
+	if ref == nil {
+		return res, nil
+	}
+	if !ref.Image.SameShape(capLow) {
+		return nil, fmt.Errorf("sat: reference %dx%d does not match detection resolution %dx%d",
+			ref.Image.Width, ref.Image.Height, capLow.Width, capLow.Height)
+	}
+	// Clear-pixel mask at detection resolution for the illumination fit.
+	tChange := time.Now()
+	clearLow := clearPixelsLow(res.CloudMask, p.Downsample, capLow.Width, capLow.Height)
+	det := change.Detector{Theta: p.Theta}
+	res.Changed = make([]*raster.TileMask, len(p.Bands))
+	res.Illum = make([]illum.Model, len(p.Bands))
+	for b := range p.Bands {
+		model, _ := illum.FitRobust(ref.Image.Plane(b), capLow.Plane(b), clearLow, 2, 0.2)
+		model.Normalize(capLow.Plane(b))
+		res.Illum[b] = model
+		res.Changed[b] = det.DetectBand(ref.Image, capLow, b, gLow, lowAlias(res.CloudTiles, gLow))
+	}
+	res.ChangeSec = time.Since(tChange).Seconds()
+	return res, nil
+}
+
+// lowAlias reinterprets a full-resolution-grid tile mask as a mask over the
+// scaled grid (tile indices are identical across scales).
+func lowAlias(m *raster.TileMask, gLow raster.TileGrid) *raster.TileMask {
+	return &raster.TileMask{Grid: gLow, Set: m.Set}
+}
+
+// clearPixelsLow reduces a full-resolution cloud mask to a clear-pixel
+// selector at detection resolution: a low-res pixel is usable when fewer
+// than half of its footprint is cloudy.
+func clearPixelsLow(m *cloud.Mask, factor, lw, lh int) []bool {
+	out := make([]bool, lw*lh)
+	half := factor * factor / 2
+	for ly := 0; ly < lh; ly++ {
+		for lx := 0; lx < lw; lx++ {
+			n := 0
+			for dy := 0; dy < factor; dy++ {
+				row := (ly*factor + dy) * m.W
+				for dx := 0; dx < factor; dx++ {
+					if m.Bits[row+lx*factor+dx] {
+						n++
+					}
+				}
+			}
+			out[ly*lw+lx] = n <= half
+		}
+	}
+	return out
+}
+
+// EncodeROI encodes the capture for downlink: each band's ROI tiles are
+// packed into a mosaic and encoded at gammaBPP bits per ROI pixel — the
+// paper's constant per-tile bit budget γ (§5). Downloaded tiles carry
+// their original pixel values (§3): cloud zero-filling is a detection-side
+// device only, and mostly-cloudy tiles are excluded from the ROI by the
+// caller. Bands whose ROI is empty yield nil streams.
+func EncodeROI(capImg *raster.Image, perBandROI []*raster.TileMask,
+	gammaBPP float64, opts codec.Options) ([][]byte, error) {
+	streams := make([][]byte, len(perBandROI))
+	for b, roi := range perBandROI {
+		if roi == nil || roi.Count() == 0 {
+			continue
+		}
+		bandOpts := opts
+		roiPixels := roi.Count() * roi.Grid.Tile * roi.Grid.Tile
+		bandOpts.BudgetBytes = int(gammaBPP * float64(roiPixels) / 8)
+		if bandOpts.BudgetBytes < 64 {
+			bandOpts.BudgetBytes = 64
+		}
+		data, err := codec.EncodeROIPlane(capImg.Plane(b), roi, bandOpts)
+		if err != nil {
+			return nil, fmt.Errorf("sat: encoding band %d: %w", b, err)
+		}
+		streams[b] = data
+	}
+	return streams, nil
+}
+
+// MaskOverheadBytes is the downlink metadata cost of the per-band ROI
+// masks for one capture (one bit per tile per band with a non-empty ROI).
+func MaskOverheadBytes(perBandROI []*raster.TileMask) int64 {
+	var total int64
+	for _, roi := range perBandROI {
+		if roi != nil && roi.Count() > 0 {
+			total += codec.ROIMaskBytes(roi.Grid)
+		}
+	}
+	return total
+}

@@ -1,0 +1,259 @@
+package sat
+
+import (
+	"testing"
+
+	"earthplus/internal/cloud"
+	"earthplus/internal/codec"
+	"earthplus/internal/raster"
+	"earthplus/internal/scene"
+)
+
+func testScene() *scene.Scene {
+	return scene.New(scene.LargeConstellationSampled(scene.Quick))
+}
+
+func testPipeline(s *scene.Scene) *Pipeline {
+	return &Pipeline{
+		Bands:         s.Bands(),
+		Grid:          s.Grid(),
+		Downsample:    4,
+		CloudDet:      cloud.DefaultCheap(s.Bands()),
+		Theta:         0.008,
+		DropCoverage:  0.5,
+		CloudTileFrac: 0.25,
+	}
+}
+
+func clearCapture(t *testing.T, s *scene.Scene, from int) *scene.Capture {
+	t.Helper()
+	for d := from; d < from+400; d++ {
+		if s.CloudCoverageTarget(0, d) < 0.005 {
+			return s.CaptureImage(0, d, 0)
+		}
+	}
+	t.Fatal("no clear day found")
+	return nil
+}
+
+func cloudyCapture(t *testing.T, s *scene.Scene, minCov float64) *scene.Capture {
+	t.Helper()
+	for d := 0; d < 800; d++ {
+		if s.CloudCoverageTarget(0, d) > minCov {
+			return s.CaptureImage(0, d, 0)
+		}
+	}
+	t.Fatal("no cloudy day found")
+	return nil
+}
+
+func TestRefCacheBasics(t *testing.T) {
+	c := NewRefCache()
+	if c.Get(3) != nil || c.Len() != 0 {
+		t.Fatal("fresh cache not empty")
+	}
+	im := raster.New(8, 8, raster.PlanetBands())
+	c.Put(3, im, 17)
+	ref := c.Get(3)
+	if ref == nil || ref.Day != 17 {
+		t.Fatalf("Get = %+v", ref)
+	}
+	if c.StorageBytes(2) != 8*8*4*2 {
+		t.Fatalf("StorageBytes = %d", c.StorageBytes(2))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestRefCacheApplyTileUpdate(t *testing.T) {
+	c := NewRefCache()
+	g := raster.MustTileGrid(8, 8, 4)
+	base := raster.New(8, 8, raster.PlanetBands())
+	c.Put(0, base, 5)
+	update := raster.New(8, 8, raster.PlanetBands())
+	update.Fill(0, 1)
+	masks := make([]*raster.TileMask, 4)
+	masks[0] = raster.NewTileMask(g)
+	masks[0].Set[0] = true
+	c.ApplyTileUpdate(0, update, masks, 9)
+	ref := c.Get(0)
+	if ref.Day != 9 {
+		t.Fatalf("day = %d", ref.Day)
+	}
+	if ref.Image.At(0, 0, 0) != 1 || ref.Image.At(0, 7, 7) != 0 {
+		t.Fatal("tile update applied wrong region")
+	}
+	// Update to an empty slot installs the image as-is.
+	c.ApplyTileUpdate(1, update, masks, 3)
+	if c.Get(1) == nil || c.Get(1).Day != 3 {
+		t.Fatal("update to empty slot not installed")
+	}
+}
+
+func TestPipelineDropsCloudyCaptures(t *testing.T) {
+	s := testScene()
+	p := testPipeline(s)
+	cap := cloudyCapture(t, s, 0.75)
+	res, err := p.Process(cap.Image, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped {
+		t.Fatalf("capture with %.2f true coverage not dropped (detected %.2f)", cap.Coverage, res.CloudCover)
+	}
+	if res.Changed != nil {
+		t.Fatal("dropped capture still ran change detection")
+	}
+	if res.CloudSec <= 0 {
+		t.Fatal("cloud timing not recorded")
+	}
+}
+
+func TestPipelineNoReferenceYieldsNilChanged(t *testing.T) {
+	s := testScene()
+	p := testPipeline(s)
+	cap := clearCapture(t, s, 0)
+	res, err := p.Process(cap.Image, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.Changed != nil || res.CapLow == nil {
+		t.Fatalf("no-ref result: dropped=%v changed=%v", res.Dropped, res.Changed != nil)
+	}
+}
+
+func TestPipelineDetectsInjectedChange(t *testing.T) {
+	s := testScene()
+	p := testPipeline(s)
+	cap := clearCapture(t, s, 0)
+	// Reference = downsampled truth of the same day: no real change.
+	refImg, err := cap.Truth.Downsample(p.Downsample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &LowResRef{Image: refImg, Day: cap.Day}
+	res, err := p.Process(cap.Image, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped {
+		t.Fatal("clear capture dropped")
+	}
+	baselineCount := res.Changed[0].Count()
+
+	// Inject a strong change into one tile of the capture and reprocess.
+	g := p.Grid
+	target := g.NumTiles() / 2
+	x0, y0, x1, y1 := g.Bounds(target)
+	mod := cap.Image.Clone()
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			mod.Set(0, x, y, mod.At(0, x, y)*0.3+0.5)
+		}
+	}
+	res2, err := p.Process(mod, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Changed[0].Set[target] {
+		t.Fatal("injected change not detected")
+	}
+	if res2.Changed[0].Count() > baselineCount+3 {
+		t.Fatalf("injection rippled: %d -> %d flagged tiles", baselineCount, res2.Changed[0].Count())
+	}
+}
+
+func TestPipelineFalsePositiveFloorIsLow(t *testing.T) {
+	s := testScene()
+	p := testPipeline(s)
+	cap := clearCapture(t, s, 0)
+	refImg, _ := cap.Truth.Downsample(p.Downsample)
+	res, err := p.Process(cap.Image, &LowResRef{Image: refImg, Day: cap.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-day reference: everything flagged is a false positive (sensor
+	// noise, illumination residual). The paper's profiling keeps this
+	// near zero.
+	if frac := res.Changed[0].Fraction(); frac > 0.08 {
+		t.Fatalf("false-positive changed fraction = %.3f on a no-change day", frac)
+	}
+}
+
+func TestPipelineRejectsGeometryMismatch(t *testing.T) {
+	s := testScene()
+	p := testPipeline(s)
+	wrong := raster.New(32, 32, s.Bands())
+	if _, err := p.Process(wrong, nil); err == nil {
+		t.Fatal("expected geometry error")
+	}
+	cap := clearCapture(t, s, 0)
+	badRef := &LowResRef{Image: raster.New(5, 5, s.Bands()), Day: 0}
+	if _, err := p.Process(cap.Image, badRef); err == nil {
+		t.Fatal("expected reference-shape error")
+	}
+}
+
+func TestClearPixelsLow(t *testing.T) {
+	m := cloud.NewMask(8, 8)
+	// Fully cloud the top-left 4x4 block.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			m.Set(x, y, true)
+		}
+	}
+	low := clearPixelsLow(m, 4, 2, 2)
+	if low[0] || !low[1] || !low[2] || !low[3] {
+		t.Fatalf("clearPixelsLow = %v", low)
+	}
+}
+
+func TestEncodeROIBudgetAndNilBands(t *testing.T) {
+	s := testScene()
+	cap := clearCapture(t, s, 0)
+	g := s.Grid()
+	roi := make([]*raster.TileMask, len(s.Bands()))
+	mask := raster.NewTileMask(g)
+	for i := 0; i < g.NumTiles()/4; i++ {
+		mask.Set[i*2] = true
+	}
+	roi[0] = mask // only band 0 downloads
+	streams, err := EncodeROI(cap.Image, roi, 1.0, codec.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streams[1] != nil || streams[2] != nil {
+		t.Fatal("empty-ROI bands produced streams")
+	}
+	budget := int(1.0 * float64(mask.Count()*g.Tile*g.Tile) / 8)
+	if len(streams[0]) > budget+256 {
+		t.Fatalf("band stream %d bytes exceeds gamma budget %d", len(streams[0]), budget)
+	}
+	if MaskOverheadBytes(roi) != codec.ROIMaskBytes(g) {
+		t.Fatalf("MaskOverheadBytes = %d", MaskOverheadBytes(roi))
+	}
+}
+
+func TestEncodeROIDecodableByStationPath(t *testing.T) {
+	s := testScene()
+	cap := clearCapture(t, s, 0)
+	g := s.Grid()
+	mask := raster.NewTileMask(g)
+	mask.Set[0], mask.Set[7] = true, true
+	roi := []*raster.TileMask{mask, nil, nil, nil}
+	streams, err := EncodeROI(cap.Image, roi, 4.0, codec.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, g.ImageW*g.ImageH)
+	if err := codec.DecodeROIPlaneInto(dst, mask, streams[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	x0, y0, _, _ := g.Bounds(7)
+	got := dst[(y0+8)*g.ImageW+x0+8]
+	want := cap.Image.At(0, x0+8, y0+8)
+	if d := got - want; d > 0.08 || d < -0.08 {
+		t.Fatalf("decoded tile pixel off by %v", d)
+	}
+}

@@ -1,0 +1,109 @@
+package scene
+
+import "earthplus/internal/raster"
+
+// bandProfile controls how one spectral band renders terrain, change
+// events, seasonality, clouds and snow. Profiles are derived from the
+// band's kind, realising the paper's observation that "the amount of
+// changes of different bands on cloud-free areas are different" (§5):
+// vegetation bands change most (chlorophyll is temperature sensitive),
+// atmosphere-observing bands barely change over cloud-free ground.
+type bandProfile struct {
+	// base is the band's flat background reflectance.
+	base float32
+	// terrainWeight scales how strongly the elevation plane shows.
+	terrainWeight float32
+	// vegWeight scales how strongly the vegetation plane shows.
+	vegWeight float32
+	// waterDark is how much open water darkens the band.
+	waterDark float32
+	// changeGain scales terrestrial change events.
+	changeGain float32
+	// seasonalGain scales the annual drift component.
+	seasonalGain float32
+	// cloudValue is the value clouds pull pixels towards (bright in
+	// visible bands, cold/dark in the infrared, §5).
+	cloudValue float32
+	// snowValue is the reflectance of snow cover in this band.
+	snowValue float32
+	// snowShows is whether snow cover displaces the band's signal.
+	snowShows bool
+	// atmosWeight scales the day-to-day atmospheric variability this
+	// band observes at capture time. Air-observing bands (water vapor,
+	// cirrus) see the atmosphere itself, which changes between any two
+	// captures — the reason the paper's Fig 14 finds the least savings
+	// on those bands.
+	atmosWeight float32
+}
+
+// profileFor derives the rendering profile from band metadata.
+func profileFor(b raster.BandInfo) bandProfile {
+	switch b.Kind {
+	case raster.KindVegetation:
+		return bandProfile{
+			base: 0.28, terrainWeight: 0.20, vegWeight: 0.45, waterDark: 0.30,
+			changeGain: 1.3, seasonalGain: 1.5, cloudValue: 0.85,
+			snowValue: 0.62, snowShows: true, atmosWeight: 0.15,
+		}
+	case raster.KindAtmosphere:
+		return bandProfile{
+			base: 0.40, terrainWeight: 0.06, vegWeight: 0.04, waterDark: 0.05,
+			changeGain: 0.12, seasonalGain: 0.25, cloudValue: 0.95,
+			snowValue: 0.45, snowShows: false, atmosWeight: 1.0,
+		}
+	case raster.KindInfrared:
+		return bandProfile{
+			// Warm ground: the cheap cloud detector's temperature split
+			// relies on clouds being much colder than any surface.
+			base: 0.58, terrainWeight: 0.22, vegWeight: 0.12, waterDark: 0.25,
+			changeGain: 0.8, seasonalGain: 0.8, cloudValue: 0.05,
+			snowValue: 0.42, snowShows: true, atmosWeight: 0.10,
+		}
+	default: // KindGround
+		return bandProfile{
+			base: 0.25, terrainWeight: 0.40, vegWeight: 0.15, waterDark: 0.20,
+			changeGain: 1.0, seasonalGain: 0.6, cloudValue: 0.92,
+			snowValue: 0.85, snowShows: true, atmosWeight: 0.10,
+		}
+	}
+}
+
+// eventClass shapes how a change event hits different band kinds.
+type eventClass uint8
+
+const (
+	// eventStructural models construction, flooding, roads: strongest in
+	// ground/IR bands.
+	eventStructural eventClass = iota
+	// eventVegetation models harvests, growth, wildfire scars: strongest
+	// in the red-edge/NIR bands.
+	eventVegetation
+)
+
+// classGain returns the event-class multiplier for a band kind.
+func classGain(c eventClass, k raster.BandKind) float32 {
+	switch c {
+	case eventVegetation:
+		switch k {
+		case raster.KindVegetation:
+			return 1.2
+		case raster.KindGround:
+			return 0.35
+		case raster.KindInfrared:
+			return 0.5
+		default:
+			return 0.08
+		}
+	default: // structural
+		switch k {
+		case raster.KindGround:
+			return 1.0
+		case raster.KindVegetation:
+			return 0.6
+		case raster.KindInfrared:
+			return 0.8
+		default:
+			return 0.08
+		}
+	}
+}

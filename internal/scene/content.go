@@ -1,0 +1,145 @@
+package scene
+
+import (
+	"earthplus/internal/noise"
+)
+
+// ContentType classifies a location's dominant geographic content, matching
+// the variety the paper samples from Washington State (Fig 10): fluvial
+// landscapes, forests, mountains, agriculture, cities, coastline, and the
+// snow-prone locations (D, H) that limit Earth+'s savings (Fig 14).
+type ContentType uint8
+
+const (
+	// River is a fluvial landscape with a dark meandering channel.
+	River ContentType = iota
+	// Forest is mid-frequency vegetated terrain.
+	Forest
+	// Mountain is high-relief terrain with strong shading contrast.
+	Mountain
+	// Agriculture is a quilt of uniform field patches.
+	Agriculture
+	// City is high-frequency blocky texture.
+	City
+	// Coastal splits the frame into water and land.
+	Coastal
+	// Snowfield is alpine terrain that carries seasonal snow cover.
+	Snowfield
+)
+
+// String returns the content type's name.
+func (c ContentType) String() string {
+	switch c {
+	case River:
+		return "river"
+	case Forest:
+		return "forest"
+	case Mountain:
+		return "mountain"
+	case Agriculture:
+		return "agriculture"
+	case City:
+		return "city"
+	case Coastal:
+		return "coastal"
+	case Snowfield:
+		return "snowfield"
+	}
+	return "unknown"
+}
+
+// terrainFields holds the location-invariant structure planes every band is
+// rendered from: an elevation-like plane and a vegetation-like plane, both
+// in [0,1], plus a water mask in [0,1] (1 = open water).
+type terrainFields struct {
+	elev []float32
+	veg  []float32
+	wat  []float32
+}
+
+// buildTerrain synthesises the structure planes for one location. Each
+// content type mixes fBm octaves differently so the datasets cover the
+// paper's "wide range of contents".
+func buildTerrain(src *noise.Source, content ContentType, w, h int) terrainFields {
+	n := w * h
+	tf := terrainFields{
+		elev: make([]float32, n),
+		veg:  make([]float32, n),
+		wat:  make([]float32, n),
+	}
+	switch content {
+	case Mountain, Snowfield:
+		src.FillFBM(tf.elev, w, h, 5, 6)
+		contrast(tf.elev, 1.6)
+		src.FillFBM(tf.veg, w, h, 7, 3)
+	case City:
+		src.FillFBM(tf.elev, w, h, 24, 2)
+		quantize(tf.elev, 6)
+		src.FillFBM(tf.veg, w, h, 18, 2)
+		quantize(tf.veg, 4)
+	case Agriculture:
+		src.FillFBM(tf.elev, w, h, 3, 2)
+		src.FillFBM(tf.veg, w, h, 10, 1)
+		quantize(tf.veg, 8) // uniform field parcels
+	case Coastal:
+		src.FillFBM(tf.elev, w, h, 3, 4)
+		src.FillFBM(tf.veg, w, h, 8, 3)
+		for i, e := range tf.elev {
+			if e < 0.45 {
+				tf.wat[i] = smooth01((0.45 - e) / 0.08)
+			}
+		}
+	case River:
+		src.FillFBM(tf.elev, w, h, 4, 4)
+		src.FillFBM(tf.veg, w, h, 9, 3)
+		// Carve a channel along an fBm iso-contour.
+		for i, e := range tf.elev {
+			d := e - 0.5
+			if d < 0 {
+				d = -d
+			}
+			if d < 0.03 {
+				tf.wat[i] = smooth01((0.03 - d) / 0.015)
+			}
+		}
+	default: // Forest
+		src.FillFBM(tf.elev, w, h, 6, 4)
+		src.FillFBM(tf.veg, w, h, 12, 4)
+		for i := range tf.veg {
+			tf.veg[i] = 0.3 + 0.7*tf.veg[i] // densely vegetated
+		}
+	}
+	return tf
+}
+
+// contrast stretches a [0,1] plane around 0.5 by factor k, clamped.
+func contrast(p []float32, k float32) {
+	for i, v := range p {
+		v = 0.5 + (v-0.5)*k
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		p[i] = v
+	}
+}
+
+// quantize snaps a [0,1] plane to n discrete levels (field parcels, city
+// blocks).
+func quantize(p []float32, n int) {
+	for i, v := range p {
+		p[i] = float32(int(v*float32(n))) / float32(n)
+	}
+}
+
+// smooth01 clamps t into [0,1] with smoothstep easing.
+func smooth01(t float32) float32 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 1
+	}
+	return t * t * (3 - 2*t)
+}

@@ -1,0 +1,131 @@
+package scene
+
+import (
+	"math"
+
+	"earthplus/internal/raster"
+)
+
+// event is one permanent terrestrial change: a patch of ground whose
+// reflectance shifts on a given day (construction, harvest, burn scar,
+// flood deposit, ...). Events accumulate over the simulation — the ground
+// never reverts, matching the paper's model of slow, persistent change.
+type event struct {
+	day    int
+	cx, cy float64
+	radius float64
+	amp    float32 // signed peak amplitude
+	class  eventClass
+	shape  int64 // offset into the noise field for the patch texture
+}
+
+// maxEventsPerDay caps the per-day event draw (keeps parameter streams
+// collision-free; the cap is far above any calibrated rate).
+const maxEventsPerDay = 32
+
+// ensureEvents extends st.events so all days < day+1 have been generated.
+func (s *Scene) ensureEvents(loc int, st *locState, day int) {
+	for d := st.eventsTo; d <= day; d++ {
+		n := s.poisson(s.expectedEventsPerDay(), s.src.Uniform(s.stream(loc, purEventCount), int64(d)))
+		if n > maxEventsPerDay {
+			n = maxEventsPerDay
+		}
+		for e := 0; e < n; e++ {
+			k := int64(d)*8*maxEventsPerDay + int64(e)*8
+			u := func(j int64) float64 { return s.src.Uniform(s.stream(loc, purEventParam), k+j) }
+			ev := event{
+				day:    d,
+				cx:     u(0) * float64(s.cfg.Width),
+				cy:     u(1) * float64(s.cfg.Height),
+				radius: (0.5 + u(2)) * float64(s.cfg.TileSize),
+				amp:    float32(s.cfg.Changes.EventAmp) * float32(0.6+0.8*u(3)),
+				shape:  int64(u(5) * (1 << 20)),
+			}
+			if u(4) < 0.5 {
+				ev.amp = -ev.amp
+			}
+			if u(6) < 0.5 {
+				ev.class = eventVegetation
+			}
+			st.events = append(st.events, ev)
+		}
+	}
+	if day >= st.eventsTo {
+		st.eventsTo = day + 1
+	}
+}
+
+// meanTilesPerEvent is the average tile footprint of one event (radius
+// 0.5-1.5 tiles gives an expected disc area of about three tiles).
+const meanTilesPerEvent = 3.0
+
+// expectedEventsPerDay converts the configured per-tile change rate into a
+// per-day event intensity for the whole frame, accounting for each event
+// touching several tiles.
+func (s *Scene) expectedEventsPerDay() float64 {
+	return s.cfg.Changes.TileRatePerDay * float64(s.grid.NumTiles()) / meanTilesPerEvent
+}
+
+// poisson inverts a uniform draw into a Poisson count with mean lambda.
+func (s *Scene) poisson(lambda, u float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	p := math.Exp(-lambda)
+	f := p
+	k := 0
+	for u > f && k < 10*maxEventsPerDay {
+		k++
+		p *= lambda / float64(k)
+		f += p
+	}
+	return k
+}
+
+// applyEvent stamps the event's patch onto every band of the canvas.
+func (s *Scene) applyEvent(im *raster.Image, e event) {
+	x0 := int(e.cx - e.radius)
+	x1 := int(e.cx + e.radius + 1)
+	y0 := int(e.cy - e.radius)
+	y1 := int(e.cy + e.radius + 1)
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > im.Width {
+		x1 = im.Width
+	}
+	if y1 > im.Height {
+		y1 = im.Height
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	invR := 1 / e.radius
+	// Pre-compute per-band gains once.
+	gains := make([]float32, len(s.cfg.Bands))
+	for b, info := range s.cfg.Bands {
+		gains[b] = e.amp * s.profiles[b].changeGain * classGain(e.class, info.Kind)
+	}
+	for y := y0; y < y1; y++ {
+		dy := (float64(y) - e.cy) * invR
+		for x := x0; x < x1; x++ {
+			dx := (float64(x) - e.cx) * invR
+			d2 := dx*dx + dy*dy
+			if d2 >= 1 {
+				continue
+			}
+			fall := smooth01(float32(1 - math.Sqrt(d2)))
+			// Patch texture from the shared noise field, offset by the
+			// event's shape seed so each event looks different.
+			tex := float32(0.5 + 0.5*s.src.At(float64(x)*0.11+float64(e.shape), float64(y)*0.11))
+			delta := fall * tex
+			i := y*im.Width + x
+			for b := range gains {
+				im.Pix[b][i] += gains[b] * delta
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package scene
+
+import "earthplus/internal/raster"
+
+// Size selects the experiment scale: Quick keeps tests fast, Full runs
+// closer to paper scale (more pixels per location, hence more tiles and
+// smoother statistics).
+type Size int
+
+const (
+	// Quick is the default for `go test` and short benches.
+	Quick Size = iota
+	// Full is used by cmd/earthplus-bench -full.
+	Full
+)
+
+// dims returns the per-location image size for a scale.
+func (s Size) dims() (w, h, tile int) {
+	if s == Full {
+		return 384, 384, 16
+	}
+	return 192, 192, 16
+}
+
+// RichContent models the paper's Sentinel-2 Washington State dataset
+// (Table 2): 11 locations labelled A..K covering rivers, forests,
+// mountains, agriculture, cities and coastline, with D and H snow-prone
+// (Fig 14), observed in 13 bands.
+func RichContent(size Size) Config {
+	w, h, tile := size.dims()
+	return Config{
+		Seed:     20240318,
+		Width:    w,
+		Height:   h,
+		TileSize: tile,
+		Bands:    raster.Sentinel2Bands(),
+		Locations: []Location{
+			{Name: "A", Content: River},
+			{Name: "B", Content: Forest},
+			{Name: "C", Content: Mountain},
+			{Name: "D", Content: Snowfield, SnowProne: true},
+			{Name: "E", Content: City},
+			{Name: "F", Content: Agriculture},
+			{Name: "G", Content: Forest},
+			{Name: "H", Content: Snowfield, SnowProne: true},
+			{Name: "I", Content: Agriculture},
+			{Name: "J", Content: City},
+			{Name: "K", Content: Coastal},
+		},
+		Clouds:            DefaultClouds(),
+		Changes:           DefaultChanges(),
+		IllumGainJitter:   0.10,
+		IllumOffsetJitter: 0.03,
+		SensorNoise:       0.004,
+		AtmosVariability:  0.03,
+		MicroTexture:      0.12,
+	}
+}
+
+// LargeConstellation models the paper's Planet dataset (Table 2): a single
+// coastal US location observed by many Doves satellites in 4 bands. Its
+// terrain changes faster than the rich-content dataset (the paper measured
+// ~20% of tiles changed within 5 days on Planet data, §1).
+func LargeConstellation(size Size) Config {
+	w, h, tile := size.dims()
+	cfg := Config{
+		Seed:     20240411,
+		Width:    w,
+		Height:   h,
+		TileSize: tile,
+		Bands:    raster.PlanetBands(),
+		Locations: []Location{
+			{Name: "Coastal-US", Content: Coastal},
+		},
+		Clouds:            DefaultClouds(),
+		Changes:           DefaultChanges(),
+		IllumGainJitter:   0.10,
+		IllumOffsetJitter: 0.03,
+		SensorNoise:       0.004,
+		AtmosVariability:  0.03,
+		MicroTexture:      0.12,
+	}
+	cfg.Changes.TileRatePerDay = 0.03
+	return cfg
+}
+
+// LargeConstellationSampled is the large-constellation dataset as the paper
+// actually evaluated it: Planet images were sampled with cloud coverage
+// below 5% (Table 2), so captures are overwhelmingly clear. Use
+// LargeConstellation (natural clouds) for reference-age availability
+// experiments (Fig 5) and this preset for compression experiments
+// (Fig 11b, Fig 19).
+func LargeConstellationSampled(size Size) Config {
+	cfg := LargeConstellation(size)
+	cfg.Clouds = CloudRegime{ClearProb: 0.9, ClearMax: 0.04, CloudyMin: 0.08, CloudyExp: 1}
+	return cfg
+}

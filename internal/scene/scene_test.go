@@ -1,0 +1,355 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"earthplus/internal/change"
+	"earthplus/internal/cloud"
+	"earthplus/internal/illum"
+	"earthplus/internal/raster"
+)
+
+func quickConfig() Config {
+	cfg := LargeConstellation(Quick)
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := quickConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.TileSize = 13
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected tile-divisibility error")
+	}
+	bad = good
+	bad.Locations = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected no-locations error")
+	}
+	bad = good
+	bad.Bands = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected no-bands error")
+	}
+}
+
+func TestGroundTruthDeterministic(t *testing.T) {
+	a := New(quickConfig())
+	b := New(quickConfig())
+	ta := a.GroundTruth(0, 100)
+	tb := b.GroundTruth(0, 100)
+	for band := 0; band < ta.NumBands(); band++ {
+		for i := range ta.Plane(band) {
+			if ta.Plane(band)[i] != tb.Plane(band)[i] {
+				t.Fatalf("two scenes from same config diverge at band %d pixel %d", band, i)
+			}
+		}
+	}
+}
+
+func TestGroundTruthRewindMatchesForward(t *testing.T) {
+	s := New(quickConfig())
+	d50a := s.GroundTruth(0, 50)
+	_ = s.GroundTruth(0, 200)    // roll canvas forward
+	d50b := s.GroundTruth(0, 50) // forces rewind/rebuild
+	for i := range d50a.Plane(0) {
+		if d50a.Plane(0)[i] != d50b.Plane(0)[i] {
+			t.Fatalf("rewound truth differs at pixel %d", i)
+		}
+	}
+}
+
+func TestGroundTruthValuesInRange(t *testing.T) {
+	s := New(RichContent(Quick))
+	for _, loc := range []int{0, 3, 4} {
+		im := s.GroundTruth(loc, 40)
+		for b := 0; b < im.NumBands(); b++ {
+			for i, v := range im.Plane(b) {
+				if v < 0 || v > 1 {
+					t.Fatalf("loc %d band %d pixel %d = %v out of range", loc, b, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestChangeAccumulatesWithAge(t *testing.T) {
+	s := New(quickConfig())
+	g := s.Grid()
+	base := s.GroundTruth(0, 400)
+	fracAt := func(age int) float64 {
+		later := s.GroundTruth(0, 400+age)
+		m := change.TrueChanges(base, later, 0, g, nil)
+		return m.Fraction()
+	}
+	f5, f20, f60 := fracAt(5), fracAt(20), fracAt(60)
+	if !(f5 < f20 && f20 < f60) {
+		t.Fatalf("changed fraction not increasing: %v %v %v", f5, f20, f60)
+	}
+	if f60 < 0.2 {
+		t.Fatalf("60-day change fraction %v suspiciously low", f60)
+	}
+	if f5 > 0.8 {
+		t.Fatalf("5-day change fraction %v suspiciously high", f5)
+	}
+}
+
+func TestCloudCoverageTargetDistribution(t *testing.T) {
+	s := New(RichContent(Quick))
+	clear, total := 0, 2000
+	var sum float64
+	for d := 0; d < total; d++ {
+		c := s.CloudCoverageTarget(0, d)
+		if c < 0 || c > 1 {
+			t.Fatalf("coverage %v out of range", c)
+		}
+		if c < 0.01 {
+			clear++
+		}
+		sum += c
+	}
+	clearFrac := float64(clear) / float64(total)
+	if clearFrac < 0.18 || clearFrac > 0.32 {
+		t.Fatalf("clear-day fraction = %.3f, want ~0.25", clearFrac)
+	}
+	if mean := sum / float64(total); mean < 0.45 || mean > 0.75 {
+		t.Fatalf("mean coverage = %.3f, want ~2/3-ish", mean)
+	}
+}
+
+func TestCaptureCloudsMatchMask(t *testing.T) {
+	s := New(quickConfig())
+	// Find a decently cloudy day.
+	day := -1
+	for d := 0; d < 200; d++ {
+		if c := s.CloudCoverageTarget(0, d); c > 0.4 && c < 0.8 {
+			day = d
+			break
+		}
+	}
+	if day < 0 {
+		t.Fatal("no suitable cloudy day found")
+	}
+	cap := s.CaptureImage(0, day, 0)
+	if math.Abs(cap.Coverage-cap.TrueCloud.Coverage()) > 1e-9 {
+		t.Fatalf("Coverage %v != mask coverage %v", cap.Coverage, cap.TrueCloud.Coverage())
+	}
+	if cap.Coverage < 0.2 {
+		t.Fatalf("expected cloudy capture, coverage=%v", cap.Coverage)
+	}
+	// Cloudy pixels should be brighter in visible bands and colder in IR
+	// than the underlying truth.
+	irBand := raster.InfraredBand(s.Bands())
+	var visCloud, visTruth, irCloud, irTruth float64
+	n := 0
+	for y := 0; y < cap.Image.Height; y++ {
+		for x := 0; x < cap.Image.Width; x++ {
+			if !cap.TrueCloud.At(x, y) {
+				continue
+			}
+			visCloud += float64(cap.Image.At(0, x, y))
+			visTruth += float64(cap.Truth.At(0, x, y))
+			irCloud += float64(cap.Image.At(irBand, x, y))
+			irTruth += float64(cap.Truth.At(irBand, x, y))
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no cloudy pixels")
+	}
+	if visCloud <= visTruth {
+		t.Fatal("clouds did not brighten visible band")
+	}
+	if irCloud >= irTruth {
+		t.Fatal("clouds did not cool the IR band")
+	}
+}
+
+func TestCaptureClearDayNearTruth(t *testing.T) {
+	s := New(quickConfig())
+	day := -1
+	for d := 0; d < 300; d++ {
+		if s.CloudCoverageTarget(0, d) < 0.005 {
+			day = d
+			break
+		}
+	}
+	if day < 0 {
+		t.Fatal("no clear day found")
+	}
+	cap := s.CaptureImage(0, day, 0)
+	// Undo the true illumination; what remains is sensor noise only.
+	rec := cap.Image.Clone()
+	for b := 0; b < rec.NumBands(); b++ {
+		cap.TrueIllum.Normalize(rec.Plane(b))
+	}
+	if psnr := raster.PSNRBand(cap.Truth, rec, 0); psnr < 38 {
+		t.Fatalf("clear-day capture PSNR vs truth = %.1f dB, want > 38", psnr)
+	}
+}
+
+func TestIllumModelWithinConfiguredJitter(t *testing.T) {
+	s := New(quickConfig())
+	cfg := s.Config()
+	for d := 0; d < 200; d++ {
+		m := s.IllumModel(0, d, 3)
+		if m.Gain < 1-cfg.IllumGainJitter-1e-9 || m.Gain > 1+cfg.IllumGainJitter+1e-9 {
+			t.Fatalf("gain %v outside jitter", m.Gain)
+		}
+		if math.Abs(m.Offset) > cfg.IllumOffsetJitter+1e-9 {
+			t.Fatalf("offset %v outside jitter", m.Offset)
+		}
+	}
+	if s.IllumModel(0, 10, 1) == s.IllumModel(0, 10, 2) {
+		t.Fatal("different satellites got identical illumination")
+	}
+}
+
+func TestIllumRecoverableByFit(t *testing.T) {
+	s := New(quickConfig())
+	day := -1
+	for d := 0; d < 300; d++ {
+		if s.CloudCoverageTarget(0, d) < 0.005 {
+			day = d
+			break
+		}
+	}
+	cap := s.CaptureImage(0, day, 0)
+	m, ok := illum.Fit(cap.Truth.Plane(0), cap.Image.Plane(0), nil)
+	if !ok {
+		t.Fatal("fit failed on clear capture")
+	}
+	if math.Abs(m.Gain-cap.TrueIllum.Gain) > 0.02 || math.Abs(m.Offset-cap.TrueIllum.Offset) > 0.02 {
+		t.Fatalf("fit %+v vs true %+v", m, cap.TrueIllum)
+	}
+}
+
+func TestSnowyLocationChangesConstantlyInWinter(t *testing.T) {
+	s := New(RichContent(Quick))
+	g := s.Grid()
+	const snowLoc = 3 // "D"
+	const forestLoc = 1
+	// Mid-winter: day 380 (= day 15 of year 2).
+	// Band 1 is B2 (blue, a ground band); snow does not show in the
+	// atmosphere band B1 at index 0.
+	winterSnowy := change.TrueChanges(s.GroundTruth(snowLoc, 380), s.GroundTruth(snowLoc, 383), 1, g, nil).Fraction()
+	winterForest := change.TrueChanges(s.GroundTruth(forestLoc, 380), s.GroundTruth(forestLoc, 383), 1, g, nil).Fraction()
+	if winterSnowy <= winterForest+0.05 {
+		t.Fatalf("snow-prone winter change %.3f should clearly exceed forest %.3f", winterSnowy, winterForest)
+	}
+	// Mid-summer the snowfield behaves like ordinary terrain.
+	summerSnowy := change.TrueChanges(s.GroundTruth(snowLoc, 560), s.GroundTruth(snowLoc, 563), 1, g, nil).Fraction()
+	if summerSnowy > winterSnowy {
+		t.Fatalf("summer snowfield change %.3f exceeds winter %.3f", summerSnowy, winterSnowy)
+	}
+}
+
+func TestBandHeterogeneity(t *testing.T) {
+	s := New(RichContent(Quick))
+	bands := s.Bands()
+	a := s.GroundTruth(1, 300)
+	b := s.GroundTruth(1, 330)
+	diffByKind := map[raster.BandKind]float64{}
+	countByKind := map[raster.BandKind]int{}
+	for i, info := range bands {
+		diffByKind[info.Kind] += raster.AbsDiffMean(a, b, i)
+		countByKind[info.Kind]++
+	}
+	veg := diffByKind[raster.KindVegetation] / float64(countByKind[raster.KindVegetation])
+	atm := diffByKind[raster.KindAtmosphere] / float64(countByKind[raster.KindAtmosphere])
+	if veg < 2*atm {
+		t.Fatalf("vegetation bands should change much more than atmosphere bands: veg=%v atm=%v", veg, atm)
+	}
+}
+
+func TestCheapDetectorPrecisionOnSceneCaptures(t *testing.T) {
+	s := New(RichContent(Quick))
+	det := cloud.DefaultCheap(s.Bands())
+	var tp, fp int
+	for d := 0; d < 40; d++ {
+		if s.CloudCoverageTarget(2, d) < 0.2 {
+			continue
+		}
+		cap := s.CaptureImage(2, d, 0)
+		pred := det.Detect(cap.Image)
+		for i := range pred.Bits {
+			if pred.Bits[i] {
+				if cap.TrueCloud.Bits[i] {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+	}
+	if tp == 0 {
+		t.Fatal("cheap detector found no clouds at all")
+	}
+	if prec := float64(tp) / float64(tp+fp); prec < 0.97 {
+		t.Fatalf("cheap detector precision on scene = %.3f, want >= 0.97", prec)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{RichContent(Quick), RichContent(Full), LargeConstellation(Quick), LargeConstellation(Full)} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(RichContent(Quick).Locations) != 11 {
+		t.Fatal("rich-content preset must have 11 locations (paper Table 2)")
+	}
+	if len(RichContent(Quick).Bands) != 13 {
+		t.Fatal("rich-content preset must have 13 bands")
+	}
+	if len(LargeConstellation(Quick).Bands) != 4 {
+		t.Fatal("large-constellation preset must have 4 bands")
+	}
+}
+
+func TestNumLocationsAndMetadata(t *testing.T) {
+	s := New(RichContent(Quick))
+	if s.NumLocations() != 11 {
+		t.Fatalf("NumLocations = %d", s.NumLocations())
+	}
+	if s.Location(3).Name != "D" || !s.Location(3).SnowProne {
+		t.Fatalf("location D metadata = %+v", s.Location(3))
+	}
+	if s.Grid().NumTiles() == 0 {
+		t.Fatal("empty grid")
+	}
+}
+
+func BenchmarkCaptureImage(b *testing.B) {
+	s := New(quickConfig())
+	s.CaptureImage(0, 0, 0) // warm caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CaptureImage(0, i%365, i%4)
+	}
+}
+
+// The scene must be safe for concurrent captures (the experiment harness
+// and future parallel sweeps share one scene).
+func TestConcurrentCaptures(t *testing.T) {
+	s := New(quickConfig())
+	ref := s.CaptureImage(0, 33, 0)
+	done := make(chan *raster.Image, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			done <- s.CaptureImage(0, 33, 0).Image
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		im := <-done
+		for i, v := range im.Plane(0) {
+			if v != ref.Image.Plane(0)[i] {
+				t.Fatalf("concurrent capture differs at pixel %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package sim drives end-to-end simulations: it walks simulated days,
+// generates captures for every (location, satellite) visit, hands them to a
+// compression System (Earth+ or a baseline), and collects the per-capture
+// records every experiment aggregates.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"earthplus/internal/illum"
+	"earthplus/internal/link"
+	"earthplus/internal/orbit"
+	"earthplus/internal/raster"
+	"earthplus/internal/scene"
+)
+
+// Env is the shared simulation environment.
+type Env struct {
+	Scene *scene.Scene
+	Orbit orbit.Constellation
+	// Downlink sizes the paper's required-bandwidth metric.
+	Downlink link.Budget
+	// UplinkBytesPerDay caps each satellite's daily reference traffic
+	// (<= 0 means unlimited). See EXPERIMENTS.md for how the Doves uplink
+	// is scaled down to the modeled location count.
+	UplinkBytesPerDay int64
+}
+
+// Outcome is what a System reports for one processed capture.
+type Outcome struct {
+	// Dropped marks captures discarded on board (cloud cover > 50%).
+	Dropped bool
+	// DownBytes is the downlink cost of this capture.
+	DownBytes int64
+	// PerBandBytes breaks DownBytes down by band (Fig 14).
+	PerBandBytes []int64
+	// DownTilesPerBand and TotalTiles size the downloaded-tile fraction
+	// (averaged over bands).
+	DownTilesPerBand float64
+	TotalTiles       int
+	// Recon is the ground's reconstruction after this capture's download
+	// (nil when nothing was delivered).
+	Recon *raster.Image
+	// RefAge is the age in days of the reference used, -1 if none.
+	RefAge int
+	// Guaranteed marks the periodic full downloads (§5).
+	Guaranteed bool
+	// Component timings in seconds (measured on this machine, Fig 16).
+	EncodeSec, CloudSec, ChangeSec float64
+}
+
+// System is one on-board compression scheme under test.
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Bootstrap installs operational history for one location: a clear
+	// capture every deployed system would already have downloaded.
+	Bootstrap(cap *scene.Capture) error
+	// OnCapture processes one capture end to end (on-board encoding and
+	// ground-side application).
+	OnCapture(cap *scene.Capture) (Outcome, error)
+	// OnDayEnd runs ground-side work after a day's captures (reference
+	// uploads for Earth+); it returns the uplink bytes consumed per
+	// satellite.
+	OnDayEnd(day int) (upBytes int64, err error)
+}
+
+// Record is one capture's evaluated outcome.
+type Record struct {
+	Day, Loc, Sat int
+	Dropped       bool
+	TrueCoverage  float64
+	DownBytes     int64
+	PerBandBytes  []int64
+	DownTileFrac  float64
+	PSNR          float64 // NaN when not evaluable
+	RefAge        int
+	Guaranteed    bool
+	EncodeSec     float64
+	CloudSec      float64
+	ChangeSec     float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	System  string
+	Records []Record
+	// UpBytesByDay records the uplink consumption per simulated day.
+	UpBytesByDay map[int]int64
+	// Days is the number of simulated days.
+	Days int
+}
+
+// Run simulates days [startDay, endDay) of the environment under sys.
+// Bootstrap uses the first near-clear day at or after bootstrapFrom for
+// each location (searching up to startDay).
+func Run(env *Env, sys System, bootstrapFrom, startDay, endDay int) (*Result, error) {
+	if err := env.Orbit.Validate(); err != nil {
+		return nil, err
+	}
+	if err := bootstrap(env, sys, bootstrapFrom, startDay); err != nil {
+		return nil, err
+	}
+	res := &Result{System: sys.Name(), UpBytesByDay: make(map[int]int64), Days: endDay - startDay}
+	grid := env.Scene.Grid()
+	for day := startDay; day < endDay; day++ {
+		for loc := 0; loc < env.Scene.NumLocations(); loc++ {
+			for _, satID := range env.Orbit.VisitsOn(loc, day) {
+				cap := env.Scene.CaptureImage(loc, day, satID)
+				out, err := sys.OnCapture(cap)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s day %d loc %d sat %d: %w", sys.Name(), day, loc, satID, err)
+				}
+				rec := Record{
+					Day: day, Loc: loc, Sat: satID,
+					Dropped:      out.Dropped,
+					TrueCoverage: cap.Coverage,
+					DownBytes:    out.DownBytes,
+					PerBandBytes: out.PerBandBytes,
+					RefAge:       out.RefAge,
+					Guaranteed:   out.Guaranteed,
+					EncodeSec:    out.EncodeSec,
+					CloudSec:     out.CloudSec,
+					ChangeSec:    out.ChangeSec,
+					PSNR:         math.NaN(),
+				}
+				if out.TotalTiles > 0 {
+					rec.DownTileFrac = out.DownTilesPerBand / float64(out.TotalTiles)
+				}
+				if !out.Dropped && out.Recon != nil {
+					rec.PSNR = EvalPSNR(cap, out.Recon, grid)
+				}
+				res.Records = append(res.Records, rec)
+			}
+		}
+		up, err := sys.OnDayEnd(day)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s day %d ground: %w", sys.Name(), day, err)
+		}
+		res.UpBytesByDay[day] = up
+	}
+	return res, nil
+}
+
+// EvalPSNR scores a ground reconstruction against the captured image over
+// truly-clear tiles, pooled across bands — the paper's quality metric
+// compares downloaded imagery against what the satellite sensed (§2.2).
+// Cloudy tiles carry no ground information in any system (all of them
+// remove clouds), so they are excluded for every system alike. Before
+// scoring, each band is radiometrically aligned with a global linear fit —
+// standard ground calibration — so systems that download raw
+// capture-domain pixels (Kodan) and systems that normalise on board
+// (Earth+, SatRoI) are scored in the same domain.
+func EvalPSNR(cap *scene.Capture, recon *raster.Image, grid raster.TileGrid) float64 {
+	clear := cap.TrueCloud.TileMask(grid, 0.05)
+	include := func(t int) bool { return !clear.Set[t] }
+	// Fit only over evaluated pixels; excluded (cloudy) tiles may hold
+	// stale or zeroed content that would poison the fit.
+	use := make([]bool, grid.ImageW*grid.ImageH)
+	for t := 0; t < grid.NumTiles(); t++ {
+		if !include(t) {
+			continue
+		}
+		x0, y0, x1, y1 := grid.Bounds(t)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				use[y*grid.ImageW+x] = true
+			}
+		}
+	}
+	aligned := recon.Clone()
+	for b := 0; b < aligned.NumBands(); b++ {
+		if m, ok := illum.Fit(cap.Image.Plane(b), aligned.Plane(b), use); ok {
+			m.Normalize(aligned.Plane(b))
+		}
+	}
+	return raster.PSNRAllBandsMaskedTiles(cap.Image, aligned, grid, include)
+}
+
+// bootstrap feeds each location's first near-clear capture to the system.
+func bootstrap(env *Env, sys System, fromDay, beforeDay int) error {
+	for loc := 0; loc < env.Scene.NumLocations(); loc++ {
+		day := -1
+		for d := fromDay; d < beforeDay; d++ {
+			if env.Scene.CloudCoverageTarget(loc, d) < 0.01 {
+				day = d
+				break
+			}
+		}
+		if day < 0 {
+			// Fall back to the least cloudy day in the window.
+			best := math.Inf(1)
+			for d := fromDay; d < beforeDay; d++ {
+				if c := env.Scene.CloudCoverageTarget(loc, d); c < best {
+					best, day = c, d
+				}
+			}
+		}
+		if day < 0 {
+			return fmt.Errorf("sim: no bootstrap day for loc %d in [%d,%d)", loc, fromDay, beforeDay)
+		}
+		sats := env.Orbit.VisitsOn(loc, day)
+		satID := 0
+		if len(sats) > 0 {
+			satID = sats[0]
+		}
+		if err := sys.Bootstrap(env.Scene.CaptureImage(loc, day, satID)); err != nil {
+			return fmt.Errorf("sim: bootstrap loc %d: %w", loc, err)
+		}
+	}
+	return nil
+}
+
+// Summary condenses a result into the aggregates experiments report.
+type Summary struct {
+	Captures       int
+	Dropped        int
+	MeanPSNR       float64 // over evaluable captures
+	MeanDownBytes  float64 // over non-dropped captures
+	MeanTileFrac   float64 // over non-dropped captures
+	TotalDownBytes int64
+	// RequiredDownlinkBps is the paper's metric: bytes per (satellite,
+	// day) pair with downloads, through the contact window.
+	RequiredDownlinkBps float64
+	MeanRefAge          float64 // over captures that used a reference
+	MeanUpBytesPerDay   float64
+}
+
+// Summarize computes aggregates from a run under the given downlink model.
+func Summarize(res *Result, down link.Budget) Summary {
+	var s Summary
+	var psnrSum float64
+	var psnrN int
+	var bytesSum float64
+	var tileSum float64
+	var nonDropped int
+	var refSum float64
+	var refN int
+	perSatDay := map[[2]int]int64{}
+	for _, r := range res.Records {
+		s.Captures++
+		if r.Dropped {
+			s.Dropped++
+			continue
+		}
+		nonDropped++
+		bytesSum += float64(r.DownBytes)
+		tileSum += r.DownTileFrac
+		s.TotalDownBytes += r.DownBytes
+		perSatDay[[2]int{r.Sat, r.Day}] += r.DownBytes
+		if !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0) {
+			psnrSum += r.PSNR
+			psnrN++
+		}
+		if r.RefAge >= 0 {
+			refSum += float64(r.RefAge)
+			refN++
+		}
+	}
+	if psnrN > 0 {
+		s.MeanPSNR = psnrSum / float64(psnrN)
+	}
+	if nonDropped > 0 {
+		s.MeanDownBytes = bytesSum / float64(nonDropped)
+		s.MeanTileFrac = tileSum / float64(nonDropped)
+	}
+	if refN > 0 {
+		s.MeanRefAge = refSum / float64(refN)
+	}
+	if len(perSatDay) > 0 {
+		var bpsSum float64
+		secondsPerDay := down.SecondsPerContact * float64(down.ContactsPerDay)
+		for _, b := range perSatDay {
+			bpsSum += float64(b) * 8 / secondsPerDay
+		}
+		s.RequiredDownlinkBps = bpsSum / float64(len(perSatDay))
+	}
+	if res.Days > 0 {
+		var up int64
+		for _, b := range res.UpBytesByDay {
+			up += b
+		}
+		s.MeanUpBytesPerDay = float64(up) / float64(res.Days)
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace is the serialisable form of a simulation run: the header describes
+// the workload, each line of the body is one capture record. The format is
+// JSON-lines so multi-gigabyte traces stream without loading whole.
+type TraceHeader struct {
+	System    string `json:"system"`
+	Days      int    `json:"days"`
+	Version   int    `json:"version"`
+	Generator string `json:"generator"`
+}
+
+// traceVersion is bumped when Record's serialised shape changes.
+const traceVersion = 1
+
+// WriteTrace streams a result as a JSON-lines trace: one header line
+// followed by one line per record, then one line per (day, uplink bytes)
+// pair.
+func WriteTrace(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := TraceHeader{System: res.System, Days: res.Days, Version: traceVersion, Generator: "earthplus-sim"}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("sim: writing trace header: %w", err)
+	}
+	for i := range res.Records {
+		if err := enc.Encode(toWire(&res.Records[i])); err != nil {
+			return fmt.Errorf("sim: writing record %d: %w", i, err)
+		}
+	}
+	type upLine struct {
+		UpDay   int   `json:"upDay"`
+		UpBytes int64 `json:"upBytes"`
+	}
+	for day, b := range res.UpBytesByDay {
+		if err := enc.Encode(upLine{UpDay: day, UpBytes: b}); err != nil {
+			return fmt.Errorf("sim: writing uplink line: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// wireRecord is Record's JSON shape: PSNR is a pointer so the NaN of
+// dropped captures round-trips as null (encoding/json rejects NaN).
+type wireRecord struct {
+	Record
+	PSNR *float64 `json:"PSNR,omitempty"`
+}
+
+// wireInfPSNR stands in for an infinite PSNR (bit-exact reconstruction);
+// JSON cannot carry Inf.
+const wireInfPSNR = 999.0
+
+func toWire(r *Record) wireRecord {
+	w := wireRecord{Record: *r}
+	w.Record.PSNR = 0
+	switch {
+	case math.IsInf(r.PSNR, 1):
+		v := wireInfPSNR
+		w.PSNR = &v
+	case !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0):
+		v := r.PSNR
+		w.PSNR = &v
+	}
+	return w
+}
+
+func (w wireRecord) record() Record {
+	r := w.Record
+	if w.PSNR != nil {
+		r.PSNR = *w.PSNR
+	} else {
+		r.PSNR = math.NaN()
+	}
+	return r
+}
+
+// ReadTrace parses a trace written by WriteTrace back into a Result.
+func ReadTrace(r io.Reader) (*Result, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr TraceHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("sim: reading trace header: %w", err)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("sim: trace version %d unsupported (want %d)", hdr.Version, traceVersion)
+	}
+	res := &Result{System: hdr.System, Days: hdr.Days, UpBytesByDay: make(map[int]int64)}
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("sim: reading trace line: %w", err)
+		}
+		// Uplink lines carry "upDay"; records do not.
+		var up struct {
+			UpDay   *int  `json:"upDay"`
+			UpBytes int64 `json:"upBytes"`
+		}
+		if err := json.Unmarshal(raw, &up); err == nil && up.UpDay != nil {
+			res.UpBytesByDay[*up.UpDay] = up.UpBytes
+			continue
+		}
+		var wr wireRecord
+		if err := json.Unmarshal(raw, &wr); err != nil {
+			return nil, fmt.Errorf("sim: parsing record: %w", err)
+		}
+		res.Records = append(res.Records, wr.record())
+	}
+	return res, nil
+}

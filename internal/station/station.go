@@ -1,0 +1,416 @@
+// Package station implements the ground half of Earth+ (§4.2-§4.3): the
+// per-location image archive assembled from downloaded tiles, accurate
+// cloud re-detection, constellation-wide selection of the freshest
+// cloud-free reference, and delta-encoded reference uploads packed into the
+// scarce uplink budget.
+package station
+
+import (
+	"fmt"
+	"sort"
+
+	"earthplus/internal/cloud"
+	"earthplus/internal/codec"
+	"earthplus/internal/link"
+	"earthplus/internal/raster"
+)
+
+// refState is a downsampled reference candidate or mirror.
+type refState struct {
+	img *raster.Image
+	day int
+}
+
+// Ground is the ground-segment state shared by all ground stations (the
+// paper treats connected ground stations as one logical overlay point).
+type Ground struct {
+	bands      []raster.BandInfo
+	grid       raster.TileGrid
+	downsample int
+	accurate   cloud.Detector
+	codecOpts  codec.Options
+	// refBPP is the bits-per-pixel spent on uploaded reference tiles.
+	refBPP float64
+	// maxRefCloud is the coverage bound for reference candidacy (<1%).
+	maxRefCloud float64
+
+	archive []*raster.Image // per location: latest known full-res content
+	bestRef []*refState     // per location: freshest cloud-free reference (downsampled)
+	// mirrors[sat][loc] tracks what each satellite's on-board cache holds,
+	// so uploads can carry only changed reference tiles (§4.3).
+	mirrors map[int][]*refState
+}
+
+// Config parameterises the ground segment.
+type Config struct {
+	Bands      []raster.BandInfo
+	Grid       raster.TileGrid
+	Downsample int
+	Accurate   cloud.Detector
+	CodecOpts  codec.Options
+	RefBPP     float64
+	// MaxRefCloud is the maximum accurate-detected coverage for an image
+	// to become a reference (the paper uses <1%).
+	MaxRefCloud float64
+}
+
+// NewGround builds the ground segment for numLocations locations.
+func NewGround(cfg Config, numLocations int) (*Ground, error) {
+	if cfg.Downsample <= 0 || cfg.Grid.Tile%cfg.Downsample != 0 {
+		return nil, fmt.Errorf("station: downsample %d incompatible with tile %d", cfg.Downsample, cfg.Grid.Tile)
+	}
+	if cfg.RefBPP <= 0 {
+		return nil, fmt.Errorf("station: RefBPP must be positive")
+	}
+	return &Ground{
+		bands:       cfg.Bands,
+		grid:        cfg.Grid,
+		downsample:  cfg.Downsample,
+		accurate:    cfg.Accurate,
+		codecOpts:   cfg.CodecOpts,
+		refBPP:      cfg.RefBPP,
+		maxRefCloud: cfg.MaxRefCloud,
+		archive:     make([]*raster.Image, numLocations),
+		bestRef:     make([]*refState, numLocations),
+		mirrors:     make(map[int][]*refState),
+	}, nil
+}
+
+// Archive returns the ground's current full-resolution view of loc (nil
+// before any download). Callers must not mutate it.
+func (g *Ground) Archive(loc int) *raster.Image { return g.archive[loc] }
+
+// Recon returns a copy of the archive for evaluation.
+func (g *Ground) Recon(loc int) *raster.Image {
+	if g.archive[loc] == nil {
+		return nil
+	}
+	return g.archive[loc].Clone()
+}
+
+// BestRefDay returns the capture day of loc's current reference, or -1.
+func (g *Ground) BestRefDay(loc int) int {
+	if g.bestRef[loc] == nil {
+		return -1
+	}
+	return g.bestRef[loc].day
+}
+
+// ApplyDownload integrates one capture's downloaded tiles: per-band streams
+// (nil = band not downloaded) are decoded and their ROI tiles copied into
+// the archive. Tiles marked in reject — those the ground's accurate
+// detector found cloud-contaminated — are decoded but NOT applied, keeping
+// the archive (and hence every future reference) haze-free. This is the
+// operational payoff of re-detecting clouds on the ground (§4.3).
+func (g *Ground) ApplyDownload(loc, day int, streams [][]byte, perBandROI []*raster.TileMask, reject *raster.TileMask) error {
+	if g.archive[loc] == nil {
+		g.archive[loc] = raster.New(g.grid.ImageW, g.grid.ImageH, g.bands)
+	}
+	scratch := make([]float32, g.grid.ImageW*g.grid.ImageH)
+	for b, data := range streams {
+		if data == nil || perBandROI[b] == nil {
+			continue
+		}
+		dst := g.archive[loc].Plane(b)
+		if reject == nil || reject.Count() == 0 {
+			if err := codec.DecodeROIPlaneInto(dst, perBandROI[b], data, 0); err != nil {
+				return fmt.Errorf("station: decoding loc %d band %d: %w", loc, b, err)
+			}
+			continue
+		}
+		copy(scratch, dst)
+		if err := codec.DecodeROIPlaneInto(scratch, perBandROI[b], data, 0); err != nil {
+			return fmt.Errorf("station: decoding loc %d band %d: %w", loc, b, err)
+		}
+		for t, set := range perBandROI[b].Set {
+			if !set || reject.Set[t] {
+				continue
+			}
+			x0, y0, x1, y1 := g.grid.Bounds(t)
+			for y := y0; y < y1; y++ {
+				copy(dst[y*g.grid.ImageW+x0:y*g.grid.ImageW+x1], scratch[y*g.grid.ImageW+x0:y*g.grid.ImageW+x1])
+			}
+		}
+	}
+	return nil
+}
+
+// MaybePromote promotes the archive mosaic to the location's reference
+// when the capture's accurately-assessed coverage is low enough.
+// Constellation-wide selection falls out naturally: downloads from every
+// satellite land in the same archive. It reports whether promotion
+// happened.
+func (g *Ground) MaybePromote(loc, day int, coverage float64) (bool, error) {
+	if coverage > g.maxRefCloud {
+		return false, nil
+	}
+	low, err := g.archive[loc].Downsample(g.downsample)
+	if err != nil {
+		return false, fmt.Errorf("station: downsampling reference: %w", err)
+	}
+	g.bestRef[loc] = &refState{img: low, day: day}
+	return true, nil
+}
+
+// AccurateMask runs the ground's accurate (archive-referenced) detector on
+// a capture and returns the detected per-pixel mask.
+func (g *Ground) AccurateMask(capImg *raster.Image, loc int) *cloud.Mask {
+	if rd, ok := g.accurate.(cloud.ReferenceDetector); ok {
+		return rd.DetectWithReference(capImg, g.archive[loc])
+	}
+	if g.accurate != nil {
+		return g.accurate.Detect(capImg)
+	}
+	return cloud.NewMask(capImg.Width, capImg.Height)
+}
+
+// ReassessCoverage runs the ground's accurate detector over a capture and
+// returns its coverage. The paper re-detects clouds on the ground because
+// the satellite cannot afford an accurate detector (§4.3); the ground
+// detector exploits the archive as a cloud-free reference (the paper's
+// detector consumes image sequences [74]).
+func (g *Ground) ReassessCoverage(capImg *raster.Image, loc int) float64 {
+	if g.accurate == nil {
+		return 0
+	}
+	if rd, ok := g.accurate.(cloud.ReferenceDetector); ok {
+		return rd.DetectWithReference(capImg, g.archive[loc]).Coverage()
+	}
+	return g.accurate.Detect(capImg).Coverage()
+}
+
+// RefUpdate is one packed uplink message: the changed low-resolution
+// reference tiles for a location, per band.
+type RefUpdate struct {
+	Loc int
+	// Day is the reference content's capture day.
+	Day int
+	// Decoded is the post-codec reference image the satellite should
+	// splice into its cache (the satellite sees exactly what survived
+	// the uplink encoding, not the pristine ground copy).
+	Decoded *raster.Image
+	// PerBand marks which low-res tiles each band carries.
+	PerBand []*raster.TileMask
+	// Bytes is the uplink cost actually consumed.
+	Bytes int64
+}
+
+// refDiffEps is the low-res mean-abs-diff above which a reference tile is
+// re-uploaded. Below it, the on-board tile is already equivalent.
+const refDiffEps = 2e-3
+
+// PackUplink prepares reference updates for satellite sat covering the
+// given locations (in priority order: soonest-visited first), consuming
+// from budget. Locations that no longer fit are skipped, matching the
+// paper's random skipping under uplink shortage — priority order is the
+// visit schedule, so what is dropped varies day to day.
+func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]RefUpdate, error) {
+	mirror := g.mirrors[sat]
+	if mirror == nil {
+		mirror = make([]*refState, len(g.archive))
+		g.mirrors[sat] = mirror
+	}
+	gLow, err := g.grid.Scaled(g.downsample)
+	if err != nil {
+		return nil, fmt.Errorf("station: %w", err)
+	}
+	var updates []RefUpdate
+	for _, loc := range locs {
+		best := g.bestRef[loc]
+		if best == nil {
+			continue
+		}
+		if mirror[loc] != nil && mirror[loc].day >= best.day && mirror[loc].img == best.img {
+			continue // nothing new since the last upload
+		}
+		perBand := make([]*raster.TileMask, len(g.bands))
+		totalTiles := 0
+		for b := range g.bands {
+			mask := raster.NewTileMask(gLow)
+			if mirror[loc] == nil {
+				mask.SetAll()
+			} else {
+				diffs := raster.TileMeanAbsDiff(best.img, mirror[loc].img, b, gLow)
+				for t, d := range diffs {
+					mask.Set[t] = d > refDiffEps
+				}
+			}
+			perBand[b] = mask
+			totalTiles += mask.Count()
+		}
+		if totalTiles == 0 {
+			// Content identical; just advance the mirror's age for free.
+			mirror[loc].day = best.day
+			continue
+		}
+		streams, masks, n, err := g.encodeRefUpdate(best.img, perBand)
+		if err != nil {
+			return nil, err
+		}
+		if !budget.TryConsume(n) {
+			// The full update does not fit. Ship the most-changed tiles
+			// that do — the paper skips reference data under uplink
+			// shortage (§5); skipping at tile granularity avoids the
+			// deadlock where a whole-image update never fits a small
+			// daily budget and the reference ages forever.
+			perBand = g.trimUpdateToBudget(best, mirror[loc], perBand, budget.Remaining())
+			totalTiles = 0
+			for _, m := range perBand {
+				totalTiles += m.Count()
+			}
+			if totalTiles == 0 {
+				continue
+			}
+			streams, masks, n, err = g.encodeRefUpdate(best.img, perBand)
+			if err != nil {
+				return nil, err
+			}
+			if !budget.TryConsume(n) {
+				continue // not even the trimmed update fits today
+			}
+		}
+		decoded, err := g.decodeRefUpdate(streams, masks, mirror[loc], best)
+		if err != nil {
+			return nil, err
+		}
+		mirror[loc] = &refState{img: decoded.Clone(), day: best.day}
+		updates = append(updates, RefUpdate{
+			Loc: loc, Day: best.day, Decoded: decoded, PerBand: masks, Bytes: n,
+		})
+	}
+	return updates, nil
+}
+
+// trimUpdateToBudget reduces per-band update masks to the most-changed
+// (band, tile) units whose estimated cost fits remaining bytes. The tiles
+// that do not make the cut remain different from the reference, so the
+// content diff re-selects them on the following days until the mirror
+// converges.
+func (g *Ground) trimUpdateToBudget(best, mirror *refState, perBand []*raster.TileMask, remaining int64) []*raster.TileMask {
+	if remaining <= 0 {
+		for b := range perBand {
+			perBand[b] = raster.NewTileMask(perBand[b].Grid)
+		}
+		return perBand
+	}
+	type unit struct {
+		band, tile int
+		diff       float64
+	}
+	var units []unit
+	gLow := perBand[0].Grid
+	for b, mask := range perBand {
+		if mask.Count() == 0 {
+			continue
+		}
+		var diffs []float64
+		if mirror != nil {
+			diffs = raster.TileMeanAbsDiff(best.img, mirror.img, b, gLow)
+		}
+		for t, set := range mask.Set {
+			if !set {
+				continue
+			}
+			d := 1.0
+			if diffs != nil {
+				d = diffs[t]
+			}
+			units = append(units, unit{band: b, tile: t, diff: d})
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].diff > units[j].diff })
+	// Cost estimate per unit: the γ-style budget the encoder will spend,
+	// plus a small share of stream overhead.
+	costPerUnit := int64(g.refBPP*float64(gLow.Tile*gLow.Tile)/8) + 12
+	keep := int(remaining / costPerUnit)
+	out := make([]*raster.TileMask, len(perBand))
+	for b := range out {
+		out[b] = raster.NewTileMask(gLow)
+	}
+	for i := 0; i < keep && i < len(units); i++ {
+		out[units[i].band].Set[units[i].tile] = true
+	}
+	return out
+}
+
+// encodeRefUpdate ROI-encodes the changed tiles of the low-res reference.
+func (g *Ground) encodeRefUpdate(ref *raster.Image, perBand []*raster.TileMask) ([][]byte, []*raster.TileMask, int64, error) {
+	streams := make([][]byte, len(g.bands))
+	var total int64
+	for b, mask := range perBand {
+		if mask.Count() == 0 {
+			continue
+		}
+		opts := g.codecOpts
+		roiPixels := mask.Count() * mask.Grid.Tile * mask.Grid.Tile
+		opts.BudgetBytes = int(g.refBPP * float64(roiPixels) / 8)
+		if opts.BudgetBytes < 48 {
+			opts.BudgetBytes = 48
+		}
+		data, err := codec.EncodeROIPlane(ref.Plane(b), mask, opts)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("station: encoding reference band %d: %w", b, err)
+		}
+		streams[b] = data
+		total += int64(len(data)) + codec.ROIMaskBytes(mask.Grid)
+	}
+	return streams, perBand, total, nil
+}
+
+// decodeRefUpdate reconstructs the reference image a satellite ends up with
+// after applying the update on top of its current mirror.
+func (g *Ground) decodeRefUpdate(streams [][]byte, masks []*raster.TileMask, current *refState, best *refState) (*raster.Image, error) {
+	var base *raster.Image
+	if current != nil {
+		base = current.img.Clone()
+	} else {
+		base = raster.New(best.img.Width, best.img.Height, g.bands)
+	}
+	for b, data := range streams {
+		if data == nil {
+			continue
+		}
+		if err := codec.DecodeROIPlaneInto(base.Plane(b), masks[b], data, 0); err != nil {
+			return nil, fmt.Errorf("station: decoding reference band %d: %w", b, err)
+		}
+	}
+	base.Clamp()
+	return base, nil
+}
+
+// SeedBootstrap installs an initial archive and reference for loc (the
+// operational history every deployed system would already have) and primes
+// every listed satellite mirror with it, free of uplink charge.
+func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) error {
+	g.archive[loc] = full.Clone()
+	low, err := full.Downsample(g.downsample)
+	if err != nil {
+		return fmt.Errorf("station: bootstrap downsample: %w", err)
+	}
+	g.bestRef[loc] = &refState{img: low, day: day}
+	for _, s := range sats {
+		mirror := g.mirrors[s]
+		if mirror == nil {
+			mirror = make([]*refState, len(g.archive))
+			g.mirrors[s] = mirror
+		}
+		mirror[loc] = &refState{img: low.Clone(), day: day}
+	}
+	return nil
+}
+
+// MirrorRefDay returns the day of the reference satellite sat holds for
+// loc, or -1.
+func (g *Ground) MirrorRefDay(sat, loc int) int {
+	if m := g.mirrors[sat]; m != nil && m[loc] != nil {
+		return m[loc].day
+	}
+	return -1
+}
+
+// RefRawBytes returns the raw (uncompressed, 2 bytes/sample) size of one
+// full-resolution reference set per location — the numerator of the
+// uplink-compression experiment (Fig 17).
+func (g *Ground) RefRawBytes() int64 {
+	return int64(g.grid.ImageW) * int64(g.grid.ImageH) * int64(len(g.bands)) * 2
+}

@@ -1,0 +1,105 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind names the four subband types of a 2-D dyadic decomposition.
+type Kind uint8
+
+const (
+	// LL is the low-low (approximation) subband of the deepest level.
+	LL Kind = iota
+	// HL holds horizontal detail.
+	HL
+	// LH holds vertical detail.
+	LH
+	// HH holds diagonal detail.
+	HH
+)
+
+// String returns the subband kind's conventional name.
+func (k Kind) String() string {
+	switch k {
+	case LL:
+		return "LL"
+	case HL:
+		return "HL"
+	case LH:
+		return "LH"
+	case HH:
+		return "HH"
+	}
+	return "??"
+}
+
+// Subband describes one rectangular subband inside the pyramid layout
+// produced by Forward97/Forward53.
+type Subband struct {
+	Kind  Kind
+	Level int // 1 = finest detail level, Levels = coarsest
+	// Pixel rectangle [X0,X1) x [Y0,Y1) within the transformed plane.
+	X0, Y0, X1, Y1 int
+}
+
+// Width returns the subband's width in coefficients.
+func (s Subband) Width() int { return s.X1 - s.X0 }
+
+// Height returns the subband's height in coefficients.
+func (s Subband) Height() int { return s.Y1 - s.Y0 }
+
+// Size returns the number of coefficients in the subband.
+func (s Subband) Size() int { return s.Width() * s.Height() }
+
+// String renders the subband for debugging.
+func (s Subband) String() string {
+	return fmt.Sprintf("%s%d[%d,%d)x[%d,%d)", s.Kind, s.Level, s.X0, s.X1, s.Y0, s.Y1)
+}
+
+// Subbands enumerates the subbands of a w x h plane decomposed `levels`
+// times, ordered coarse to fine (LL_L, then HL/LH/HH from level L down to
+// 1). The bit-plane codec encodes subbands in this order so truncated
+// streams keep the perceptually-dominant coefficients.
+func Subbands(w, h, levels int) []Subband {
+	if levels == 0 {
+		return []Subband{{Kind: LL, Level: 0, X1: w, Y1: h}}
+	}
+	llW, llH := levelDims(w, h, levels)
+	out := []Subband{{Kind: LL, Level: levels, X1: llW, Y1: llH}}
+	for l := levels; l >= 1; l-- {
+		pw, ph := levelDims(w, h, l-1) // region transformed at this level
+		cw, ch := (pw+1)/2, (ph+1)/2   // its LL quadrant
+		if cw < pw {
+			out = append(out, Subband{Kind: HL, Level: l, X0: cw, Y0: 0, X1: pw, Y1: ch})
+		}
+		if ch < ph {
+			out = append(out, Subband{Kind: LH, Level: l, X0: 0, Y0: ch, X1: cw, Y1: ph})
+		}
+		if cw < pw && ch < ph {
+			out = append(out, Subband{Kind: HH, Level: l, X0: cw, Y0: ch, X1: pw, Y1: ph})
+		}
+	}
+	return out
+}
+
+// SynthesisNorm measures the L2 norm of the synthesis basis function of
+// subband sb numerically: it places a unit impulse at the subband's centre
+// of an otherwise-zero w x h plane, inverse-transforms, and returns the
+// resulting L2 norm. The codec divides quantiser steps by this to equalise
+// the image-domain error contributed by each subband.
+func SynthesisNorm(w, h, levels int, sb Subband) float64 {
+	plane := make([]float32, w*h)
+	cx := sb.X0 + sb.Width()/2
+	cy := sb.Y0 + sb.Height()/2
+	plane[cy*w+cx] = 1
+	Inverse97(plane, w, h, levels)
+	var sum float64
+	for _, v := range plane {
+		sum += float64(v) * float64(v)
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,256 @@
+// Package wavelet implements the two discrete wavelet transforms JPEG-2000
+// uses — the lossy CDF 9/7 (float) and the lossless CDF 5/3 (integer) — via
+// lifting with whole-sample symmetric extension, for arbitrary (including
+// odd) lengths and multiple decomposition levels. The codec built on top
+// mirrors the paper's use of a JPEG-2000 encoder (Kakadu, §5).
+package wavelet
+
+// CDF 9/7 lifting constants (Daubechies & Sweldens factorisation).
+const (
+	alpha = -1.586134342059924
+	beta  = -0.052980118572961
+	gamma = 0.882911075530934
+	delta = 0.443506852043971
+	kNorm = 1.230174104914001
+)
+
+// mirror reflects index i into [0, n) with whole-sample symmetry
+// (… 2 1 0 1 2 … n-2 n-1 n-2 …).
+func mirror(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	period := 2 * (n - 1)
+	i %= period
+	if i < 0 {
+		i += period
+	}
+	if i >= n {
+		i = period - i
+	}
+	return i
+}
+
+// fwd97Line transforms line (length n) in place into low | high halves:
+// ceil(n/2) lowpass coefficients followed by floor(n/2) highpass ones.
+// scratch must have length >= n.
+func fwd97Line(line, scratch []float32, n int) {
+	if n == 1 {
+		return
+	}
+	x := scratch[:n]
+	copy(x, line[:n])
+	at := func(i int) float64 { return float64(x[mirror(i, n)]) }
+	// Lifting operates on the interleaved signal; four passes.
+	for i := 1; i < n; i += 2 {
+		x[i] += float32(alpha * (at(i-1) + at(i+1)))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] += float32(beta * (at(i-1) + at(i+1)))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] += float32(gamma * (at(i-1) + at(i+1)))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] += float32(delta * (at(i-1) + at(i+1)))
+	}
+	nLow := (n + 1) / 2
+	for i := 0; i < n; i += 2 {
+		line[i/2] = x[i] * float32(1/kNorm)
+	}
+	for i := 1; i < n; i += 2 {
+		line[nLow+i/2] = x[i] * float32(kNorm)
+	}
+}
+
+// inv97Line inverts fwd97Line.
+func inv97Line(line, scratch []float32, n int) {
+	if n == 1 {
+		return
+	}
+	x := scratch[:n]
+	nLow := (n + 1) / 2
+	for i := 0; i < n; i += 2 {
+		x[i] = line[i/2] * float32(kNorm)
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] = line[nLow+i/2] * float32(1/kNorm)
+	}
+	at := func(i int) float64 { return float64(x[mirror(i, n)]) }
+	for i := 0; i < n; i += 2 {
+		x[i] -= float32(delta * (at(i-1) + at(i+1)))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] -= float32(gamma * (at(i-1) + at(i+1)))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] -= float32(beta * (at(i-1) + at(i+1)))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] -= float32(alpha * (at(i-1) + at(i+1)))
+	}
+	copy(line[:n], x)
+}
+
+// levelDims returns the LL region size after l levels on a w x h plane.
+func levelDims(w, h, l int) (int, int) {
+	for i := 0; i < l; i++ {
+		w = (w + 1) / 2
+		h = (h + 1) / 2
+	}
+	return w, h
+}
+
+// Forward97 applies `levels` 2-D CDF 9/7 decompositions in place. The plane
+// is row-major w x h; after the call it holds the usual pyramid layout
+// (LL of level L in the top-left corner).
+func Forward97(plane []float32, w, h, levels int) {
+	checkGeometry(len(plane), w, h, levels)
+	scratch := make([]float32, maxInt(w, h))
+	col := make([]float32, h)
+	cw, ch := w, h
+	for l := 0; l < levels; l++ {
+		for y := 0; y < ch; y++ {
+			fwd97Line(plane[y*w:y*w+cw], scratch, cw)
+		}
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = plane[y*w+x]
+			}
+			fwd97Line(col, scratch, ch)
+			for y := 0; y < ch; y++ {
+				plane[y*w+x] = col[y]
+			}
+		}
+		cw, ch = (cw+1)/2, (ch+1)/2
+	}
+}
+
+// Inverse97 undoes Forward97.
+func Inverse97(plane []float32, w, h, levels int) {
+	checkGeometry(len(plane), w, h, levels)
+	scratch := make([]float32, maxInt(w, h))
+	col := make([]float32, h)
+	for l := levels - 1; l >= 0; l-- {
+		cw, ch := levelDims(w, h, l)
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = plane[y*w+x]
+			}
+			inv97Line(col, scratch, ch)
+			for y := 0; y < ch; y++ {
+				plane[y*w+x] = col[y]
+			}
+		}
+		for y := 0; y < ch; y++ {
+			inv97Line(plane[y*w:y*w+cw], scratch, cw)
+		}
+	}
+}
+
+// fwd53Line is the integer 5/3 lifting step (exact, reversible).
+func fwd53Line(line, scratch []int32, n int) {
+	if n == 1 {
+		return
+	}
+	x := scratch[:n]
+	copy(x, line[:n])
+	at := func(i int) int32 { return x[mirror(i, n)] }
+	for i := 1; i < n; i += 2 {
+		x[i] -= (at(i-1) + at(i+1)) >> 1
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] += (at(i-1) + at(i+1) + 2) >> 2
+	}
+	nLow := (n + 1) / 2
+	for i := 0; i < n; i += 2 {
+		line[i/2] = x[i]
+	}
+	for i := 1; i < n; i += 2 {
+		line[nLow+i/2] = x[i]
+	}
+}
+
+func inv53Line(line, scratch []int32, n int) {
+	if n == 1 {
+		return
+	}
+	x := scratch[:n]
+	nLow := (n + 1) / 2
+	for i := 0; i < n; i += 2 {
+		x[i] = line[i/2]
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] = line[nLow+i/2]
+	}
+	at := func(i int) int32 { return x[mirror(i, n)] }
+	for i := 0; i < n; i += 2 {
+		x[i] -= (at(i-1) + at(i+1) + 2) >> 2
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] += (at(i-1) + at(i+1)) >> 1
+	}
+	copy(line[:n], x)
+}
+
+// Forward53 applies `levels` 2-D integer 5/3 decompositions in place.
+// It is exactly reversible by Inverse53.
+func Forward53(plane []int32, w, h, levels int) {
+	checkGeometry(len(plane), w, h, levels)
+	scratch := make([]int32, maxInt(w, h))
+	col := make([]int32, h)
+	cw, ch := w, h
+	for l := 0; l < levels; l++ {
+		for y := 0; y < ch; y++ {
+			fwd53Line(plane[y*w:y*w+cw], scratch, cw)
+		}
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = plane[y*w+x]
+			}
+			fwd53Line(col, scratch, ch)
+			for y := 0; y < ch; y++ {
+				plane[y*w+x] = col[y]
+			}
+		}
+		cw, ch = (cw+1)/2, (ch+1)/2
+	}
+}
+
+// Inverse53 undoes Forward53 exactly.
+func Inverse53(plane []int32, w, h, levels int) {
+	checkGeometry(len(plane), w, h, levels)
+	scratch := make([]int32, maxInt(w, h))
+	col := make([]int32, h)
+	for l := levels - 1; l >= 0; l-- {
+		cw, ch := levelDims(w, h, l)
+		for x := 0; x < cw; x++ {
+			for y := 0; y < ch; y++ {
+				col[y] = plane[y*w+x]
+			}
+			inv53Line(col, scratch, ch)
+			for y := 0; y < ch; y++ {
+				plane[y*w+x] = col[y]
+			}
+		}
+		for y := 0; y < ch; y++ {
+			inv53Line(plane[y*w:y*w+cw], scratch, cw)
+		}
+	}
+}
+
+func checkGeometry(n, w, h, levels int) {
+	if w <= 0 || h <= 0 || n != w*h {
+		panic("wavelet: plane length does not match dimensions")
+	}
+	if levels < 0 {
+		panic("wavelet: negative level count")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPlane(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]float32, n)
+	for i := range p {
+		p[i] = rng.Float32()
+	}
+	return p
+}
+
+func TestMirror(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 5, 0}, {4, 5, 4}, {-1, 5, 1}, {-2, 5, 2},
+		{5, 5, 3}, {6, 5, 2}, {8, 5, 0}, {9, 5, 1},
+		{0, 1, 0}, {7, 1, 0},
+	}
+	for _, c := range cases {
+		if got := mirror(c.i, c.n); got != c.want {
+			t.Errorf("mirror(%d,%d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForward97PerfectReconstruction(t *testing.T) {
+	for _, dim := range []struct{ w, h, levels int }{
+		{64, 64, 3}, {64, 32, 2}, {33, 17, 2}, {1, 16, 2}, {16, 1, 2}, {5, 5, 1},
+	} {
+		orig := randPlane(int64(dim.w*1000+dim.h), dim.w*dim.h)
+		plane := append([]float32(nil), orig...)
+		Forward97(plane, dim.w, dim.h, dim.levels)
+		Inverse97(plane, dim.w, dim.h, dim.levels)
+		for i := range orig {
+			if d := math.Abs(float64(plane[i] - orig[i])); d > 2e-4 {
+				t.Fatalf("%dx%d L%d: pixel %d off by %v", dim.w, dim.h, dim.levels, i, d)
+			}
+		}
+	}
+}
+
+func TestForward53ExactReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := rng.Intn(40) + 1
+		h := rng.Intn(40) + 1
+		levels := rng.Intn(3)
+		orig := make([]int32, w*h)
+		for i := range orig {
+			orig[i] = int32(rng.Intn(4096) - 2048)
+		}
+		plane := append([]int32(nil), orig...)
+		Forward53(plane, w, h, levels)
+		Inverse53(plane, w, h, levels)
+		for i := range orig {
+			if plane[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForward97ConstantSignalEnergyInLL(t *testing.T) {
+	const w, h, levels = 32, 32, 3
+	plane := make([]float32, w*h)
+	for i := range plane {
+		plane[i] = 0.5
+	}
+	Forward97(plane, w, h, levels)
+	llW, llH := levelDims(w, h, levels)
+	var detail float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x < llW && y < llH {
+				continue
+			}
+			detail += math.Abs(float64(plane[y*w+x]))
+		}
+	}
+	if detail > 1e-3 {
+		t.Fatalf("constant image leaked %v into detail subbands", detail)
+	}
+	// The lifting DC gain of K cancels against the 1/K lowpass scale, so
+	// the overall DC gain is 1 per level: LL stays at the signal mean.
+	var got float64
+	for y := 0; y < llH; y++ {
+		for x := 0; x < llW; x++ {
+			got += float64(plane[y*w+x])
+		}
+	}
+	got /= float64(llW * llH)
+	if math.Abs(got-0.5) > 0.005 {
+		t.Fatalf("LL mean = %v, want ~0.5", got)
+	}
+}
+
+func TestSubbandsPartitionPlane(t *testing.T) {
+	f := func(wRaw, hRaw, lRaw uint8) bool {
+		w := int(wRaw%60) + 4
+		h := int(hRaw%60) + 4
+		levels := int(lRaw % 4)
+		covered := make([]int, w*h)
+		for _, sb := range Subbands(w, h, levels) {
+			for y := sb.Y0; y < sb.Y1; y++ {
+				for x := sb.X0; x < sb.X1; x++ {
+					covered[y*w+x]++
+				}
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubbandsOrderCoarseToFine(t *testing.T) {
+	sbs := Subbands(64, 64, 3)
+	if sbs[0].Kind != LL || sbs[0].Level != 3 {
+		t.Fatalf("first subband = %v, want LL3", sbs[0])
+	}
+	if len(sbs) != 1+3*3 {
+		t.Fatalf("got %d subbands, want 10", len(sbs))
+	}
+	for i := 1; i < len(sbs)-1; i++ {
+		if sbs[i].Level < sbs[i+1].Level {
+			t.Fatalf("subband order not coarse-to-fine: %v before %v", sbs[i], sbs[i+1])
+		}
+	}
+}
+
+func TestSubbandsZeroLevels(t *testing.T) {
+	sbs := Subbands(8, 8, 0)
+	if len(sbs) != 1 || sbs[0].Size() != 64 {
+		t.Fatalf("Subbands(8,8,0) = %v", sbs)
+	}
+}
+
+func TestSynthesisNormDeeperLevelsLarger(t *testing.T) {
+	const w, h, levels = 64, 64, 3
+	var normLL, normHH1 float64
+	for _, sb := range Subbands(w, h, levels) {
+		if sb.Kind == LL {
+			normLL = SynthesisNorm(w, h, levels, sb)
+		}
+		if sb.Kind == HH && sb.Level == 1 {
+			normHH1 = SynthesisNorm(w, h, levels, sb)
+		}
+	}
+	if normLL <= normHH1 {
+		t.Fatalf("LL norm %v should exceed HH1 norm %v", normLL, normHH1)
+	}
+	if normLL <= 0 || normHH1 <= 0 {
+		t.Fatalf("norms must be positive: %v %v", normLL, normHH1)
+	}
+}
+
+func TestGeometryChecks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched plane length")
+		}
+	}()
+	Forward97(make([]float32, 10), 4, 4, 1)
+}
+
+func BenchmarkForward97_256(b *testing.B) {
+	plane := randPlane(1, 256*256)
+	work := make([]float32, len(plane))
+	b.SetBytes(256 * 256 * 4)
+	for i := 0; i < b.N; i++ {
+		copy(work, plane)
+		Forward97(work, 256, 256, 4)
+	}
+}
+
+func BenchmarkInverse97_256(b *testing.B) {
+	plane := randPlane(1, 256*256)
+	Forward97(plane, 256, 256, 4)
+	work := make([]float32, len(plane))
+	b.SetBytes(256 * 256 * 4)
+	for i := 0; i < b.N; i++ {
+		copy(work, plane)
+		Inverse97(work, 256, 256, 4)
+	}
+}
