@@ -8,6 +8,8 @@
 //	earthplus-bench            # every experiment, quick scale
 //	earthplus-bench -full      # every experiment, full scale
 //	earthplus-bench -only fig11b
+//	earthplus-bench -only codecbench   # codec perf snapshot -> BENCH_codec.json
+//	earthplus-bench -parallel 8        # bound per-image band workers
 //	earthplus-bench -list
 package main
 
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"earthplus/internal/codec"
 	"earthplus/internal/experiments"
 )
 
@@ -26,7 +29,13 @@ func main() {
 	full := flag.Bool("full", false, "run at full (paper-ish) scale instead of quick")
 	only := flag.String("only", "", "run a single experiment (see -list)")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	parallel := flag.Int("parallel", 0,
+		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "BENCH_codec.json",
+		"where codecbench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
+
+	codec.Parallelism = *parallel
 
 	sc := experiments.QuickScale()
 	if *full {
@@ -56,6 +65,7 @@ func main() {
 		{"ablation-theta", func() (experiments.Result, error) { return experiments.AblationTheta(sc) }},
 		{"ablation-guarantee", func() (experiments.Result, error) { return experiments.AblationGuarantee(sc) }},
 		{"ablation-reject", func() (experiments.Result, error) { return experiments.AblationReject(sc) }},
+		{"codecbench", func() (experiments.Result, error) { return experiments.CodecBench(*benchJSON) }},
 	}
 
 	if *list {

@@ -33,7 +33,11 @@ func main() {
 	fullSize := flag.Bool("fullsize", false, "use the larger scene size")
 	trace := flag.Bool("trace", false, "print the per-capture trace")
 	dump := flag.String("dump", "", "write the run as a JSON-lines trace to this file")
+	parallel := flag.Int("parallel", 0,
+		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	codec.Parallelism = *parallel
 
 	size := scene.Quick
 	if *fullSize {

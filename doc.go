@@ -1,9 +1,37 @@
 // Package earthplus is a from-scratch Go reproduction of "Earth+: On-Board
 // Satellite Imagery Compression Leveraging Historical Earth Observations"
 // (ASPLOS 2025). The root package only anchors the module; the system lives
-// under internal/ (see DESIGN.md for the inventory) and is exercised by the
-// executables in cmd/ and the runnable examples in examples/.
+// under internal/ and is exercised by the executables in cmd/ and the
+// runnable examples in examples/.
+//
+// # Layout
+//
+//   - internal/codec — the layered wavelet codec every encode funnels
+//     through: CDF 9/7 transform, dead-zone quantisation, embedded
+//     bit-plane coding with an adaptive binary arithmetic coder, quality
+//     layers, exact byte budgets, ROI mosaics and a lossless 5/3 mode.
+//   - internal/wavelet, internal/arith — the transform and entropy-coding
+//     primitives underneath it.
+//   - internal/sat, internal/station, internal/core — the on-board
+//     pipeline, the ground segment, and Earth+ itself wired from both.
+//   - internal/baseline — the Kodan and SatRoI comparison systems.
+//   - internal/sim, internal/scene, internal/orbit, internal/experiments —
+//     the constellation simulator, synthetic Earth scenes and every
+//     regenerated table/figure of the paper's evaluation.
+//
+// # Performance
+//
+// The codec hot path is engineered for the paper's on-board compute
+// envelope: steady-state encodes and decodes allocate only the returned
+// buffers (scratch planes, significance maps, probability contexts and
+// coder buffers are pooled), the bit-plane scan skips all-insignificant
+// rows in bulk, sign bits travel as batched bypass bits, and multi-band
+// images are coded by a bounded worker pool (codec.Options.Parallelism,
+// package default codec.Parallelism, earthplus-bench/-sim flag -parallel).
+// See README.md for the perf knobs and how to run the microbenchmarks, and
+// cmd/earthplus-bench -only codecbench for the tracked BENCH_codec.json
+// snapshot.
 package earthplus
 
 // Version identifies this reproduction's release line.
-const Version = "1.0.0"
+const Version = "1.1.0"

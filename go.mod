@@ -1,0 +1,3 @@
+module earthplus
+
+go 1.24

@@ -47,6 +47,14 @@ func NewEncoder() *Encoder {
 	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1}
 }
 
+// Reset returns the encoder to its initial state, adopting buf (which may be
+// nil) as the output buffer. It lets a caller producing many independent
+// streams reuse one encoder and one backing array instead of allocating per
+// stream.
+func (e *Encoder) Reset(buf []byte) {
+	*e = Encoder{rng: 0xFFFFFFFF, cacheSize: 1, out: buf[:0]}
+}
+
 // Encode codes one bit under the adaptive context p, updating p.
 func (e *Encoder) Encode(p *Prob, bit int) {
 	bound := (e.rng >> probBits) * uint32(*p)
@@ -73,6 +81,23 @@ func (e *Encoder) EncodeBypass(bit int) {
 	for e.rng < topValue {
 		e.shiftLow()
 		e.rng <<= 8
+	}
+}
+
+// EncodeBypassN codes the low n bits of v (1 <= n <= 32) as equiprobable
+// bits, most significant first. It is equivalent to n EncodeBypass calls but
+// amortises the call and renormalisation overhead, which matters when the
+// codec batches a plane's sign bits.
+func (e *Encoder) EncodeBypassN(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if v>>uint(i)&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		if e.rng < topValue {
+			e.shiftLow()
+			e.rng <<= 8
+		}
 	}
 }
 
@@ -120,12 +145,19 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over buf (the output of Encoder.Flush).
 func NewDecoder(buf []byte) *Decoder {
-	d := &Decoder{buf: buf, rng: 0xFFFFFFFF}
+	d := &Decoder{}
+	d.Reset(buf)
+	return d
+}
+
+// Reset re-primes the decoder over buf, letting a caller consuming many
+// independent streams reuse one decoder instead of allocating per stream.
+func (d *Decoder) Reset(buf []byte) {
+	*d = Decoder{buf: buf, rng: 0xFFFFFFFF}
 	d.nextByte() // the encoder's first shifted byte is always 0
 	for i := 0; i < 4; i++ {
 		d.code = d.code<<8 | uint32(d.nextByte())
 	}
-	return d
 }
 
 func (d *Decoder) nextByte() byte {
@@ -171,4 +203,23 @@ func (d *Decoder) DecodeBypass() int {
 		d.rng <<= 8
 	}
 	return bit
+}
+
+// DecodeBypassN mirrors EncodeBypassN: it returns the next n equiprobable
+// bits (1 <= n <= 32) packed most-significant-first.
+func (d *Decoder) DecodeBypassN(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		d.rng >>= 1
+		v <<= 1
+		if d.code >= d.rng {
+			d.code -= d.rng
+			v |= 1
+		}
+		if d.rng < topValue {
+			d.code = d.code<<8 | uint32(d.nextByte())
+			d.rng <<= 8
+		}
+	}
+	return v
 }

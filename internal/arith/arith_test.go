@@ -71,6 +71,81 @@ func TestBypassRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBypassNRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	type batch struct {
+		v uint32
+		n int
+	}
+	var batches []batch
+	enc := NewEncoder()
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(32) + 1
+		v := rng.Uint32()
+		if n < 32 {
+			v &= 1<<uint(n) - 1
+		}
+		batches = append(batches, batch{v, n})
+		enc.EncodeBypassN(v, n)
+	}
+	dec := NewDecoder(enc.Flush())
+	for i, b := range batches {
+		if got := dec.DecodeBypassN(b.n); got != b.v {
+			t.Fatalf("batch %d (%d bits) = %#x, want %#x", i, b.n, got, b.v)
+		}
+	}
+}
+
+// EncodeBypassN must be bit-identical to the equivalent EncodeBypass
+// sequence so batched and unbatched writers interoperate.
+func TestBypassNMatchesSingleBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	single := NewEncoder()
+	batched := NewEncoder()
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(32) + 1
+		v := rng.Uint32()
+		if n < 32 {
+			v &= 1<<uint(n) - 1
+		}
+		for j := n - 1; j >= 0; j-- {
+			single.EncodeBypass(int(v >> uint(j) & 1))
+		}
+		batched.EncodeBypassN(v, n)
+	}
+	a, b := single.Flush(), batched.Flush()
+	if string(a) != string(b) {
+		t.Fatalf("batched stream differs: %d vs %d bytes", len(b), len(a))
+	}
+}
+
+func TestEncoderDecoderReset(t *testing.T) {
+	enc := NewEncoder()
+	var streams [][]byte
+	for s := 0; s < 3; s++ {
+		var buf []byte
+		if s > 0 {
+			buf = streams[s-1][:0:0] // fresh arrays; Reset also accepts reused ones
+		}
+		enc.Reset(buf)
+		p := NewProbs(1)
+		for i := 0; i < 100; i++ {
+			enc.Encode(&p[0], (i+s)%2)
+		}
+		streams = append(streams, append([]byte(nil), enc.Flush()...))
+	}
+	dec := NewDecoder(nil)
+	for s, data := range streams {
+		dec.Reset(data)
+		p := NewProbs(1)
+		for i := 0; i < 100; i++ {
+			if got := dec.Decode(&p[0]); got != (i+s)%2 {
+				t.Fatalf("stream %d bit %d = %d", s, i, got)
+			}
+		}
+	}
+}
+
 func TestMixedContextAndBypass(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	enc := NewEncoder()

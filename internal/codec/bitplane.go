@@ -1,0 +1,256 @@
+package codec
+
+import (
+	"earthplus/internal/arith"
+	"earthplus/internal/wavelet"
+)
+
+// planeCoder is the embedded bit-plane coder shared by the lossy and
+// lossless paths. Both sides of the symmetric coder walk the subbands in
+// the same deterministic order, so the encoder and decoder stay in lockstep
+// without any side information beyond the per-subband plane counts.
+//
+// Two structural optimisations keep the per-sample cost low:
+//
+//   - Row-significance skip: each subband row carries a count of its
+//     significant samples. While a row and its two vertical neighbours hold
+//     none, every sample's 4-neighbour context is provably the zero count,
+//     so the scan runs a tight loop on one context pointer and only falls
+//     back to the probing path after the first 1-bit appears. Early bit
+//     planes — where almost everything is insignificant — skip the
+//     neighbour probes entirely.
+//
+//   - Deferred batched signs: sign bits are not interleaved with the
+//     significance scan. Each pass records newly-significant positions and
+//     appends their signs as one bypass-bit batch (EncodeBypassN) at the
+//     end of the pass. Significance state, and therefore context modelling,
+//     is unchanged; only the bit layout inside a layer differs.
+type planeCoder struct {
+	w        int
+	sbs      []wavelet.Subband
+	sbPlanes []uint8
+	rowOff   []int32 // per-subband start into rowSig
+	q        []uint32
+	neg      []bool
+	sig      []bool
+	rowSig   []int32
+	pend     []int32
+	sigP     []arith.Prob
+	refP     []arith.Prob
+}
+
+// budgetMargin is the conservative per-symbol headroom of the rate check:
+// one arithmetic-coded bit can commit at most one byte (the probability
+// floor bounds it well under 8 bits), and the symbol's deferred sign bit
+// can round the batched-sign tail up by one more byte.
+const budgetMargin = 4
+
+// neighbourSig counts significant 4-neighbours of (x,y) within subband sb,
+// clamped to 3. It is the coder's spatial context model.
+func (c *planeCoder) neighbourSig(sb *wavelet.Subband, x, y int) int {
+	n := 0
+	i := y*c.w + x
+	if x > sb.X0 && c.sig[i-1] {
+		n++
+	}
+	if x < sb.X1-1 && c.sig[i+1] {
+		n++
+	}
+	if y > sb.Y0 && c.sig[i-c.w] {
+		n++
+	}
+	if y < sb.Y1-1 && c.sig[i+c.w] {
+		n++
+	}
+	if n > 3 {
+		n = 3
+	}
+	return n
+}
+
+// rowQuiet reports whether row ry of a subband with rows rs has no
+// significant sample in itself or its vertical neighbours.
+func rowQuiet(rs []int32, ry int) bool {
+	return rs[ry] == 0 &&
+		(ry == 0 || rs[ry-1] == 0) &&
+		(ry == len(rs)-1 || rs[ry+1] == 0)
+}
+
+// encodePass codes bit plane p of every contributing subband into enc using
+// the deferred-sign layout. limit, when positive, is the largest enc.Len()
+// the pass may reach (the caller folds header and layer-table overhead into
+// it); the pass truncates the embedded stream rather than exceed it. It
+// returns the number of scan symbols coded and whether truncation fired.
+func (c *planeCoder) encodePass(enc *arith.Encoder, p int, limit int) (symbols uint32, truncated bool) {
+	shift := uint(p)
+	c.pend = c.pend[:0]
+scan:
+	for si := range c.sbs {
+		if int(c.sbPlanes[si]) <= p {
+			continue
+		}
+		sb := &c.sbs[si]
+		kind := int(sb.Kind)
+		kindBase := kind * 4
+		refP := &c.refP[kind]
+		sig0 := &c.sigP[kindBase]
+		rs := c.rowSig[c.rowOff[si] : int(c.rowOff[si])+sb.Y1-sb.Y0]
+		rowW := sb.X1 - sb.X0
+		for y := sb.Y0; y < sb.Y1; y++ {
+			ry := y - sb.Y0
+			base := y * c.w
+			// Rate control runs at row granularity: a symbol commits at
+			// most one byte plus one deferred sign bit, so when the limit
+			// is more than a worst-case row away the whole row is coded
+			// check-free; only rows near the edge pay the per-symbol test.
+			checked := false
+			if limit > 0 {
+				free := limit - enc.Len() - (len(c.pend)+7)/8 - budgetMargin
+				if free <= 0 {
+					truncated = true
+					break scan
+				}
+				checked = free <= rowW+rowW/8+2
+			}
+			qrow := c.q[base+sb.X0 : base+sb.X1]
+			srow := c.sig[base+sb.X0 : base+sb.X1]
+			x := 0
+			if rowQuiet(rs, ry) {
+				for ; x < rowW; x++ {
+					if checked && enc.Len()+(len(c.pend)+7)/8+budgetMargin >= limit {
+						truncated = true
+						break scan
+					}
+					bit := int(qrow[x] >> shift & 1)
+					enc.Encode(sig0, bit)
+					symbols++
+					if bit != 0 {
+						srow[x] = true
+						rs[ry]++
+						c.pend = append(c.pend, int32(base+sb.X0+x))
+						x++
+						break
+					}
+				}
+			}
+			for ; x < rowW; x++ {
+				if checked && enc.Len()+(len(c.pend)+7)/8+budgetMargin >= limit {
+					truncated = true
+					break scan
+				}
+				bit := int(qrow[x] >> shift & 1)
+				if srow[x] {
+					enc.Encode(refP, bit)
+				} else {
+					enc.Encode(&c.sigP[kindBase+c.neighbourSig(sb, sb.X0+x, y)], bit)
+					if bit != 0 {
+						srow[x] = true
+						rs[ry]++
+						c.pend = append(c.pend, int32(base+sb.X0+x))
+					}
+				}
+				symbols++
+			}
+		}
+	}
+	c.encodeSigns(enc)
+	return symbols, truncated
+}
+
+// encodeSigns appends the pass's deferred sign bits as packed bypass
+// batches.
+func (c *planeCoder) encodeSigns(enc *arith.Encoder) {
+	for off := 0; off < len(c.pend); off += 32 {
+		k := len(c.pend) - off
+		if k > 32 {
+			k = 32
+		}
+		var v uint32
+		for j := 0; j < k; j++ {
+			v <<= 1
+			if c.neg[c.pend[off+j]] {
+				v |= 1
+			}
+		}
+		enc.EncodeBypassN(v, k)
+	}
+}
+
+// decodePass mirrors encodePass exactly: it decodes up to maxSymbols scan
+// symbols of bit plane p, then the batched sign bits of the samples that
+// became significant. When pStop is non-nil every visited sample's entry is
+// set to p (the deepest decoded plane, used for midpoint reconstruction).
+// It returns the number of scan symbols consumed.
+func (c *planeCoder) decodePass(dec *arith.Decoder, p int, maxSymbols uint32, pStop []uint8) uint32 {
+	shift := uint(p)
+	remaining := maxSymbols
+	c.pend = c.pend[:0]
+scan:
+	for si := range c.sbs {
+		if int(c.sbPlanes[si]) <= p {
+			continue
+		}
+		sb := &c.sbs[si]
+		kind := int(sb.Kind)
+		kindBase := kind * 4
+		refP := &c.refP[kind]
+		sig0 := &c.sigP[kindBase]
+		rs := c.rowSig[c.rowOff[si] : int(c.rowOff[si])+sb.Y1-sb.Y0]
+		for y := sb.Y0; y < sb.Y1; y++ {
+			ry := y - sb.Y0
+			base := y * c.w
+			x := sb.X0
+			if rowQuiet(rs, ry) {
+				for ; x < sb.X1; x++ {
+					if remaining == 0 {
+						break scan
+					}
+					remaining--
+					bit := dec.Decode(sig0)
+					if pStop != nil {
+						pStop[base+x] = uint8(p)
+					}
+					if bit != 0 {
+						c.q[base+x] |= 1 << shift
+						c.sig[base+x] = true
+						rs[ry]++
+						c.pend = append(c.pend, int32(base+x))
+						x++
+						break
+					}
+				}
+			}
+			for ; x < sb.X1; x++ {
+				if remaining == 0 {
+					break scan
+				}
+				remaining--
+				i := base + x
+				if c.sig[i] {
+					c.q[i] |= uint32(dec.Decode(refP)) << shift
+				} else if dec.Decode(&c.sigP[kindBase+c.neighbourSig(sb, x, y)]) != 0 {
+					c.q[i] |= 1 << shift
+					c.sig[i] = true
+					rs[ry]++
+					c.pend = append(c.pend, int32(i))
+				}
+				if pStop != nil {
+					pStop[i] = uint8(p)
+				}
+			}
+		}
+	}
+	for off := 0; off < len(c.pend); off += 32 {
+		k := len(c.pend) - off
+		if k > 32 {
+			k = 32
+		}
+		v := dec.DecodeBypassN(k)
+		for j := 0; j < k; j++ {
+			if v>>uint(k-1-j)&1 != 0 {
+				c.neg[c.pend[off+j]] = true
+			}
+		}
+	}
+	return maxSymbols - remaining
+}

@@ -12,15 +12,23 @@
 //     layers when the downlink degrades ("layered codec", §5),
 //   - region-of-interest encoding by zeroing non-ROI tiles, matching the
 //     paper's "select changed tiles as region-of-interest" strategy.
+//
+// The implementation is built for the on-board compute envelope: all
+// per-call scratch state is pooled (steady-state encodes allocate only the
+// returned codestream), the bit-plane scan skips insignificant rows in
+// bulk, sign bits travel as batched bypass bits, and multi-band images are
+// coded by a bounded worker pool (see Options.Parallelism and the package
+// Parallelism default).
 package codec
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
-	"earthplus/internal/arith"
 	"earthplus/internal/raster"
 	"earthplus/internal/wavelet"
 )
@@ -36,7 +44,14 @@ type Options struct {
 	BaseStep float64
 	// BudgetBytes, when positive, truncates the embedded stream once the
 	// codestream reaches the budget. Zero means encode every bit plane.
+	// The accounting is exact: the emitted codestream, including header
+	// and layer table, never exceeds the budget (provided the budget
+	// covers at least the fixed header).
 	BudgetBytes int
+	// Parallelism bounds the number of bands EncodeImage and the ROI
+	// helpers code concurrently. Zero falls back to the package-level
+	// Parallelism default, which itself defaults to GOMAXPROCS.
+	Parallelism int
 }
 
 // DefaultOptions returns the options used throughout the experiments.
@@ -57,23 +72,113 @@ const (
 	refContexts = 4  // per subband kind
 )
 
-// normCache memoises per-(w,h,levels) subband synthesis norms; computing
-// them costs one inverse transform per subband.
-var normCache sync.Map // key normKey -> []float64
+// MaxDecodePixels bounds the plane size the decoders will reconstruct. A
+// codestream header is a few dozen bytes however large a plane it claims,
+// so without a bound a corrupt or hostile stream can demand gigabytes of
+// scratch and seconds of inverse-transform work. The default admits every
+// geometry the encoder accepts up to 8192x8192; operators decoding from
+// untrusted links can tighten it, and 0 disables the check entirely.
+var MaxDecodePixels = 1 << 26
 
-type normKey struct{ w, h, levels int }
+// Parallelism is the package-wide default for the number of bands encoded
+// or decoded concurrently when Options.Parallelism is zero. Values <= 0
+// mean GOMAXPROCS. It exists so whole-constellation simulations can turn
+// one knob (earthplus-bench -parallel) without threading an option through
+// every call site.
+var Parallelism int
 
-func subbandNorms(w, h, levels int, sbs []wavelet.Subband) []float64 {
-	key := normKey{w, h, levels}
-	if v, ok := normCache.Load(key); ok {
-		return v.([]float64)
+// Workers resolves a requested parallelism (0 = package default) against n
+// independent band tasks.
+func Workers(requested, n int) int {
+	p := requested
+	if p <= 0 {
+		p = Parallelism
 	}
-	norms := make([]float64, len(sbs))
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// ParallelBands runs fn(b) for every band index in [0, n) on a bounded
+// worker pool of Workers(requested, n) goroutines. fn must be safe to call
+// concurrently for distinct b.
+func ParallelBands(requested, n int, fn func(b int)) {
+	w := Workers(requested, n)
+	if w <= 1 {
+		for b := 0; b < n; b++ {
+			fn(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= n {
+					return
+				}
+				fn(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// geometry is the per-(w,h,levels) immutable decomposition description: the
+// subband list, the row-offset table of the bit-plane coder's significance
+// counters, and (lazily, since only the lossy path needs them) the subband
+// synthesis norms. Computing the norms costs one inverse transform per
+// subband, so geometries are cached for the life of the process.
+type geometry struct {
+	sbs      []wavelet.Subband
+	rowOff   []int32
+	rowTotal int
+	normOnce sync.Once
+	norms    []float64
+}
+
+var geomCache sync.Map // geomKey -> *geometry
+
+type geomKey struct{ w, h, levels int }
+
+func geometryFor(w, h, levels int) *geometry {
+	key := geomKey{w, h, levels}
+	if v, ok := geomCache.Load(key); ok {
+		return v.(*geometry)
+	}
+	sbs := wavelet.Subbands(w, h, levels)
+	g := &geometry{sbs: sbs, rowOff: make([]int32, len(sbs))}
+	rows := 0
 	for i, sb := range sbs {
-		norms[i] = wavelet.SynthesisNorm(w, h, levels, sb)
+		g.rowOff[i] = int32(rows)
+		rows += sb.Height()
 	}
-	normCache.Store(key, norms)
-	return norms
+	g.rowTotal = rows
+	actual, _ := geomCache.LoadOrStore(key, g)
+	return actual.(*geometry)
+}
+
+// subbandNorms returns the memoised synthesis norms for this geometry.
+func (g *geometry) subbandNorms(w, h, levels int) []float64 {
+	g.normOnce.Do(func() {
+		norms := make([]float64, len(g.sbs))
+		for i, sb := range g.sbs {
+			norms[i] = wavelet.SynthesisNorm(w, h, levels, sb)
+		}
+		g.norms = norms
+	})
+	return g.norms
 }
 
 // effectiveLevels clamps the requested level count so the coarsest LL band
@@ -100,120 +205,113 @@ func EncodePlane(plane []float32, w, h int, opt Options) ([]byte, error) {
 		return nil, fmt.Errorf("codec: BaseStep %v must be positive", opt.BaseStep)
 	}
 	levels := effectiveLevels(w, h, opt.Levels)
-	coeffs := make([]float32, len(plane))
+	g := geometryFor(w, h, levels)
+	norms := g.subbandNorms(w, h, levels)
+	n := w * h
+
+	s := getScratch()
+	defer s.release()
+	s.f32 = grow(s.f32, n)
+	coeffs := s.f32
 	copy(coeffs, plane)
 	wavelet.Forward97(coeffs, w, h, levels)
-	sbs := wavelet.Subbands(w, h, levels)
-	norms := subbandNorms(w, h, levels, sbs)
 
 	// Dead-zone quantisation into magnitude+sign.
-	q := make([]uint32, len(plane))
-	neg := make([]bool, len(plane))
-	sbPlanes := make([]uint8, len(sbs))
+	s.q = grow(s.q, n)
+	s.neg = grow(s.neg, n)
+	s.sbPlanes = grow(s.sbPlanes, len(g.sbs))
 	maxPlane := 0
-	for si, sb := range sbs {
-		step := opt.BaseStep / norms[si]
+	for si := range g.sbs {
+		sb := &g.sbs[si]
+		inv := norms[si] / opt.BaseStep // 1/step
 		var sbMax uint32
 		for y := sb.Y0; y < sb.Y1; y++ {
-			for x := sb.X0; x < sb.X1; x++ {
-				i := y*w + x
-				c := float64(coeffs[i])
-				if c < 0 {
-					neg[i] = true
+			row := coeffs[y*w+sb.X0 : y*w+sb.X1]
+			qrow := s.q[y*w+sb.X0 : y*w+sb.X1]
+			nrow := s.neg[y*w+sb.X0 : y*w+sb.X1]
+			for x, cf := range row {
+				c := float64(cf)
+				isNeg := c < 0
+				if isNeg {
 					c = -c
 				}
-				v := uint64(c / step)
+				nrow[x] = isNeg
+				v := uint64(c * inv)
 				if v > (1<<maxQBits)-1 {
 					v = (1 << maxQBits) - 1
 				}
-				q[i] = uint32(v)
-				if q[i] > sbMax {
-					sbMax = q[i]
+				qv := uint32(v)
+				qrow[x] = qv
+				if qv > sbMax {
+					sbMax = qv
 				}
 			}
 		}
-		sbPlanes[si] = uint8(bitsFor(sbMax))
-		if int(sbPlanes[si]) > maxPlane {
-			maxPlane = int(sbPlanes[si])
+		s.sbPlanes[si] = uint8(bitsFor(sbMax))
+		if int(s.sbPlanes[si]) > maxPlane {
+			maxPlane = int(s.sbPlanes[si])
 		}
 	}
 
-	// Header (layer table appended after encoding).
-	hdr := make([]byte, 0, 32+len(sbs))
-	hdr = append(hdr, codecMagic...)
+	// Header (layer table appended after encoding). The header is at most
+	// 15 + 3*levels+1 bytes, which fits the stack buffer for every legal
+	// geometry.
+	var hdrArr [64]byte
+	hdr := append(hdrArr[:0], codecMagic...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(w))
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(h))
 	hdr = append(hdr, uint8(levels))
 	hdr = binary.LittleEndian.AppendUint32(hdr, math.Float32bits(float32(opt.BaseStep)))
-	hdr = append(hdr, uint8(maxPlane), uint8(len(sbs)))
-	hdr = append(hdr, sbPlanes...)
+	hdr = append(hdr, uint8(maxPlane), uint8(len(g.sbs)))
+	hdr = append(hdr, s.sbPlanes...)
 
-	sigP := arith.NewProbs(sigContexts)
-	refP := arith.NewProbs(refContexts)
-	sig := make([]bool, len(plane))
-
-	type layer struct {
-		payload []byte
-		symbols uint32
+	sigP, refP := s.probs()
+	s.sig = grow(s.sig, n)
+	clear(s.sig)
+	s.rowSig = grow(s.rowSig, g.rowTotal)
+	clear(s.rowSig)
+	pc := planeCoder{
+		w: w, sbs: g.sbs, sbPlanes: s.sbPlanes, rowOff: g.rowOff,
+		q: s.q, neg: s.neg, sig: s.sig, rowSig: s.rowSig,
+		pend: s.pend[:0], sigP: sigP, refP: refP,
 	}
-	var layers []layer
-	bytesSoFar := len(hdr) + 1 // +1 for the layer-count byte
+
+	s.layers = s.layers[:0]
+	s.payload = s.payload[:0]
+	fixed := len(hdr) + 1 // +1 for the layer-count byte
+	enc := &s.enc
 	truncated := false
 	for p := maxPlane - 1; p >= 0 && !truncated; p-- {
-		enc := arith.NewEncoder()
-		var symbols uint32
-		for si, sb := range sbs {
-			if int(sbPlanes[si]) <= p {
-				continue
-			}
-			kind := int(sb.Kind)
-			for y := sb.Y0; y < sb.Y1 && !truncated; y++ {
-				for x := sb.X0; x < sb.X1; x++ {
-					i := y*w + x
-					bit := int(q[i] >> uint(p) & 1)
-					if sig[i] {
-						enc.Encode(&refP[kind], bit)
-					} else {
-						ctx := kind*4 + neighbourSig(sig, w, sb, x, y)
-						enc.Encode(&sigP[ctx], bit)
-						if bit == 1 {
-							sign := 0
-							if neg[i] {
-								sign = 1
-							}
-							enc.EncodeBypass(sign)
-							sig[i] = true
-						}
-					}
-					symbols++
-					if opt.BudgetBytes > 0 && symbols%256 == 0 &&
-						bytesSoFar+len(layers)*8+8+enc.Len() >= opt.BudgetBytes {
-						truncated = true
-						break
-					}
-				}
-			}
-			if truncated {
+		limit := 0
+		if opt.BudgetBytes > 0 {
+			// Exact rate control: whatever this layer flushes to, plus its
+			// 8-byte table entry, plus everything already committed, must
+			// stay within the budget.
+			limit = opt.BudgetBytes - fixed - 8*(len(s.layers)+1) - len(s.payload)
+			if limit <= 5+budgetMargin { // 5 = empty-stream flush tail
 				break
 			}
 		}
-		payload := enc.Flush()
+		enc.Reset(s.encBuf)
+		symbols, trunc := pc.encodePass(enc, p, limit)
+		truncated = trunc
+		pl := enc.Flush()
+		s.encBuf = pl
 		if symbols > 0 {
-			layers = append(layers, layer{payload: payload, symbols: symbols})
-			bytesSoFar += len(payload)
+			s.layers = append(s.layers, layerMeta{bytes: uint32(len(pl)), symbols: symbols})
+			s.payload = append(s.payload, pl...)
 		}
 	}
+	s.pend = pc.pend
 
-	out := make([]byte, 0, bytesSoFar+len(layers)*8)
+	out := make([]byte, 0, fixed+8*len(s.layers)+len(s.payload))
 	out = append(out, hdr...)
-	out = append(out, uint8(len(layers)))
-	for _, l := range layers {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(l.payload)))
+	out = append(out, uint8(len(s.layers)))
+	for _, l := range s.layers {
+		out = binary.LittleEndian.AppendUint32(out, l.bytes)
 		out = binary.LittleEndian.AppendUint32(out, l.symbols)
 	}
-	for _, l := range layers {
-		out = append(out, l.payload...)
-	}
+	out = append(out, s.payload...)
 	return out, nil
 }
 
@@ -223,28 +321,6 @@ func bitsFor(v uint32) int {
 	for v > 0 {
 		n++
 		v >>= 1
-	}
-	return n
-}
-
-// neighbourSig counts significant 4-neighbours of (x,y) within subband sb,
-// clamped to 3. It is the coder's spatial context model.
-func neighbourSig(sig []bool, w int, sb wavelet.Subband, x, y int) int {
-	n := 0
-	if x > sb.X0 && sig[y*w+x-1] {
-		n++
-	}
-	if x < sb.X1-1 && sig[y*w+x+1] {
-		n++
-	}
-	if y > sb.Y0 && sig[(y-1)*w+x] {
-		n++
-	}
-	if y < sb.Y1-1 && sig[(y+1)*w+x] {
-		n++
-	}
-	if n > 3 {
-		n = 3
 	}
 	return n
 }
@@ -270,146 +346,181 @@ type parsed struct {
 
 // Parse validates a codestream and returns its header description.
 func Parse(data []byte) (Info, error) {
-	p, err := parse(data)
-	if err != nil {
+	p := new(parsed)
+	if err := parseInto(p, data); err != nil {
 		return Info{}, err
 	}
 	return p.Info, nil
 }
 
-func parse(data []byte) (*parsed, error) {
+// parseInto validates data and fills p, reusing p's slices so a pooled
+// parsed can serve many decodes without allocating.
+func parseInto(p *parsed, data []byte) error {
 	if len(data) < 18 || string(data[:4]) != codecMagic {
-		return nil, fmt.Errorf("codec: bad magic or truncated header")
+		return fmt.Errorf("codec: bad magic or truncated header")
 	}
-	p := &parsed{}
 	p.W = int(binary.LittleEndian.Uint16(data[4:]))
 	p.H = int(binary.LittleEndian.Uint16(data[6:]))
 	p.Levels = int(data[8])
 	p.BaseStep = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[9:])))
 	p.MaxPlane = int(data[13])
 	nSb := int(data[14])
-	if p.W <= 0 || p.H <= 0 || p.BaseStep <= 0 {
-		return nil, fmt.Errorf("codec: implausible header %dx%d step %v", p.W, p.H, p.BaseStep)
+	if p.W <= 0 || p.H <= 0 || p.W > 1<<15 || p.H > 1<<15 || p.BaseStep <= 0 {
+		return fmt.Errorf("codec: implausible header %dx%d step %v", p.W, p.H, p.BaseStep)
+	}
+	// The encoder always clamps the level count to the geometry and the
+	// plane count to the quantiser width; enforce both so corrupt headers
+	// cannot demand absurd decode work.
+	if p.Levels != effectiveLevels(p.W, p.H, p.Levels) {
+		return fmt.Errorf("codec: implausible level count %d for %dx%d", p.Levels, p.W, p.H)
+	}
+	if p.MaxPlane > maxQBits+1 {
+		return fmt.Errorf("codec: implausible plane count %d", p.MaxPlane)
 	}
 	off := 15
 	if len(data) < off+nSb+1 {
-		return nil, fmt.Errorf("codec: truncated subband table")
+		return fmt.Errorf("codec: truncated subband table")
 	}
-	p.sbPlanes = append([]uint8(nil), data[off:off+nSb]...)
+	p.sbPlanes = append(p.sbPlanes[:0], data[off:off+nSb]...)
+	for _, sp := range p.sbPlanes {
+		if int(sp) > p.MaxPlane {
+			return fmt.Errorf("codec: subband plane count %d exceeds stream maximum %d", sp, p.MaxPlane)
+		}
+	}
 	off += nSb
 	p.NLayers = int(data[off])
 	off++
-	if len(data) < off+8*p.NLayers {
-		return nil, fmt.Errorf("codec: truncated layer table")
+	// One quality layer per bit plane, and no layer can carry more scan
+	// symbols than the plane has samples — anything else is corruption,
+	// and rejecting it here bounds the decoder's work on hostile input.
+	if p.NLayers > p.MaxPlane {
+		return fmt.Errorf("codec: %d layers for %d bit planes", p.NLayers, p.MaxPlane)
 	}
-	p.LayerBytes = make([]int, p.NLayers)
-	p.symbols = make([]uint32, p.NLayers)
+	if len(data) < off+8*p.NLayers {
+		return fmt.Errorf("codec: truncated layer table")
+	}
+	p.LayerBytes = grow(p.LayerBytes, p.NLayers)
+	p.symbols = grow(p.symbols, p.NLayers)
+	p.payloads = grow(p.payloads, p.NLayers)
 	for i := 0; i < p.NLayers; i++ {
 		p.LayerBytes[i] = int(binary.LittleEndian.Uint32(data[off:]))
 		p.symbols[i] = binary.LittleEndian.Uint32(data[off+4:])
+		if int64(p.symbols[i]) > int64(p.W)*int64(p.H) {
+			return fmt.Errorf("codec: layer %d claims %d symbols for %dx%d", i, p.symbols[i], p.W, p.H)
+		}
 		off += 8
 	}
-	p.payloads = make([][]byte, p.NLayers)
 	for i := 0; i < p.NLayers; i++ {
 		if len(data) < off+p.LayerBytes[i] {
-			return nil, fmt.Errorf("codec: truncated layer %d payload", i)
+			return fmt.Errorf("codec: truncated layer %d payload", i)
 		}
 		p.payloads[i] = data[off : off+p.LayerBytes[i]]
 		off += p.LayerBytes[i]
 	}
-	if sbs := wavelet.Subbands(p.W, p.H, p.Levels); len(sbs) != nSb {
-		return nil, fmt.Errorf("codec: subband count %d does not match geometry", nSb)
+	// The geometry is cached, so this count check costs nothing after the
+	// first stream of a given shape.
+	if len(geometryFor(p.W, p.H, p.Levels).sbs) != nSb {
+		return fmt.Errorf("codec: subband count %d does not match geometry", nSb)
 	}
-	return p, nil
+	return nil
 }
 
 // DecodePlane reconstructs a plane from a codestream. maxLayers <= 0 (or
 // beyond the stream's layer count) decodes every layer; smaller values give
 // the layered codec's reduced-quality renditions.
 func DecodePlane(data []byte, maxLayers int) ([]float32, int, int, error) {
-	p, err := parse(data)
-	if err != nil {
+	return decodePlane(data, maxLayers, nil)
+}
+
+// decodePlane reconstructs into buf when it has the capacity (the image and
+// ROI paths pass a destination to avoid a copy), allocating otherwise. The
+// destination is fully overwritten.
+func decodePlane(data []byte, maxLayers int, buf []float32) ([]float32, int, int, error) {
+	s := getScratch()
+	defer s.release()
+	p := &s.prs
+	if err := parseInto(p, data); err != nil {
 		return nil, 0, 0, err
 	}
 	w, h := p.W, p.H
-	sbs := wavelet.Subbands(w, h, p.Levels)
-	norms := subbandNorms(w, h, p.Levels, sbs)
+	n := w * h
+	if MaxDecodePixels > 0 && n > MaxDecodePixels {
+		return nil, 0, 0, fmt.Errorf("codec: %dx%d plane exceeds MaxDecodePixels %d", w, h, MaxDecodePixels)
+	}
+	g := geometryFor(w, h, p.Levels)
+	norms := g.subbandNorms(w, h, p.Levels)
 
 	nLayers := p.NLayers
 	if maxLayers > 0 && maxLayers < nLayers {
 		nLayers = maxLayers
 	}
-	q := make([]uint32, w*h)
-	neg := make([]bool, w*h)
-	sig := make([]bool, w*h)
-	pStop := make([]uint8, w*h)
-	for i := range pStop {
-		pStop[i] = uint8(p.MaxPlane)
+	s.q = grow(s.q, n)
+	clear(s.q)
+	s.neg = grow(s.neg, n)
+	clear(s.neg)
+	s.sig = grow(s.sig, n)
+	clear(s.sig)
+	s.pStop = grow(s.pStop, n)
+	for i := range s.pStop {
+		s.pStop[i] = uint8(p.MaxPlane)
 	}
-	sigP := arith.NewProbs(sigContexts)
-	refP := arith.NewProbs(refContexts)
-
+	s.rowSig = grow(s.rowSig, g.rowTotal)
+	clear(s.rowSig)
+	sigP, refP := s.probs()
+	pc := planeCoder{
+		w: w, sbs: g.sbs, sbPlanes: p.sbPlanes, rowOff: g.rowOff,
+		q: s.q, neg: s.neg, sig: s.sig, rowSig: s.rowSig,
+		pend: s.pend[:0], sigP: sigP, refP: refP,
+	}
+	dec := &s.dec
 	for li := 0; li < nLayers; li++ {
 		plane := p.MaxPlane - 1 - li
-		dec := arith.NewDecoder(p.payloads[li])
-		remaining := p.symbols[li]
-	scan:
-		for si, sb := range sbs {
-			if int(p.sbPlanes[si]) <= plane {
-				continue
-			}
-			kind := int(sb.Kind)
-			for y := sb.Y0; y < sb.Y1; y++ {
-				for x := sb.X0; x < sb.X1; x++ {
-					if remaining == 0 {
-						break scan
-					}
-					i := y*w + x
-					if sig[i] {
-						bit := dec.Decode(&refP[kind])
-						q[i] |= uint32(bit) << uint(plane)
-					} else {
-						ctx := kind*4 + neighbourSig(sig, w, sb, x, y)
-						if dec.Decode(&sigP[ctx]) == 1 {
-							q[i] |= 1 << uint(plane)
-							neg[i] = dec.DecodeBypass() == 1
-							sig[i] = true
-						}
-					}
-					pStop[i] = uint8(plane)
-					remaining--
-				}
-			}
+		if plane < 0 {
+			break
 		}
+		dec.Reset(p.payloads[li])
+		pc.decodePass(dec, plane, p.symbols[li], s.pStop)
 	}
+	s.pend = pc.pend
 
-	coeffs := make([]float32, w*h)
-	for si, sb := range sbs {
+	var out []float32
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]float32, n)
+	}
+	for si := range g.sbs {
+		sb := &g.sbs[si]
 		step := p.BaseStep / norms[si]
 		for y := sb.Y0; y < sb.Y1; y++ {
-			for x := sb.X0; x < sb.X1; x++ {
-				i := y*w + x
-				if q[i] == 0 {
+			qrow := s.q[y*w+sb.X0 : y*w+sb.X1]
+			nrow := s.neg[y*w+sb.X0 : y*w+sb.X1]
+			prow := s.pStop[y*w+sb.X0 : y*w+sb.X1]
+			orow := out[y*w+sb.X0 : y*w+sb.X1]
+			for x, qv := range qrow {
+				if qv == 0 {
+					orow[x] = 0
 					continue
 				}
 				// q holds the decoded bits at their true positions; the
 				// remaining planes below pStop are unknown, so reconstruct
 				// at the midpoint of the residual interval.
-				mag := (float64(q[i]) + 0.5*float64(uint64(1)<<pStop[i])) * step
-				if neg[i] {
+				mag := (float64(qv) + 0.5*float64(uint64(1)<<prow[x])) * step
+				if nrow[x] {
 					mag = -mag
 				}
-				coeffs[i] = float32(mag)
+				orow[x] = float32(mag)
 			}
 		}
 	}
-	wavelet.Inverse97(coeffs, w, h, p.Levels)
-	return coeffs, w, h, nil
+	wavelet.Inverse97(out, w, h, p.Levels)
+	return out, w, h, nil
 }
 
 // EncodeImage encodes every band of im, splitting opt.BudgetBytes equally
 // across bands (the paper spends the γ budget per band, treating bands
-// separately).
+// separately). Bands are coded concurrently by a worker pool of
+// Workers(opt.Parallelism, bands) goroutines.
 func EncodeImage(im *raster.Image, opt Options) ([][]byte, error) {
 	perBand := opt
 	if opt.BudgetBytes > 0 {
@@ -418,36 +529,60 @@ func EncodeImage(im *raster.Image, opt Options) ([][]byte, error) {
 			perBand.BudgetBytes = 32
 		}
 	}
-	out := make([][]byte, im.NumBands())
-	for b := range out {
+	nb := im.NumBands()
+	out := make([][]byte, nb)
+	errs := make([]error, nb)
+	ParallelBands(opt.Parallelism, nb, func(b int) {
 		data, err := EncodePlane(im.Plane(b), im.Width, im.Height, perBand)
 		if err != nil {
-			return nil, fmt.Errorf("codec: band %d: %w", b, err)
+			errs[b] = fmt.Errorf("codec: band %d: %w", b, err)
+			return
 		}
 		out[b] = data
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
 // DecodeImage reconstructs a multi-band image from EncodeImage output.
 // The band metadata is attached to the result and must match the stream
-// count.
+// count. Bands are decoded concurrently under the package Parallelism
+// default, each directly into its destination plane.
 func DecodeImage(enc [][]byte, bands []raster.BandInfo, maxLayers int) (*raster.Image, error) {
 	if len(enc) != len(bands) {
 		return nil, fmt.Errorf("codec: %d streams for %d bands", len(enc), len(bands))
 	}
-	var im *raster.Image
-	for b, data := range enc {
-		plane, w, h, err := DecodePlane(data, maxLayers)
+	if len(enc) == 0 {
+		return nil, fmt.Errorf("codec: no bands to decode")
+	}
+	info, err := Parse(enc[0])
+	if err != nil {
+		return nil, fmt.Errorf("codec: band 0: %w", err)
+	}
+	im := raster.New(info.W, info.H, bands)
+	errs := make([]error, len(enc))
+	ParallelBands(0, len(enc), func(b int) {
+		plane, w, h, err := decodePlane(enc[b], maxLayers, im.Plane(b))
 		if err != nil {
-			return nil, fmt.Errorf("codec: band %d: %w", b, err)
+			errs[b] = fmt.Errorf("codec: band %d: %w", b, err)
+			return
 		}
-		if im == nil {
-			im = raster.New(w, h, bands)
-		} else if w != im.Width || h != im.Height {
-			return nil, fmt.Errorf("codec: band %d geometry %dx%d differs", b, w, h)
+		if w != im.Width || h != im.Height {
+			errs[b] = fmt.Errorf("codec: band %d geometry %dx%d differs", b, w, h)
+			return
 		}
-		copy(im.Plane(b), plane)
+		if &plane[0] != &im.Plane(b)[0] {
+			copy(im.Plane(b), plane)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	im.Clamp()
 	return im, nil

@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The ground station parses whatever the downlink delivers, so the parser
+// and decoder must tolerate arbitrary corruption: every failure mode is an
+// error (or garbage pixels), never a panic or an implausible allocation.
+// The fuzz targets drive both entry points with truncated, bit-flipped and
+// synthetic streams; `go test -fuzz=FuzzDecodePlane ./internal/codec` digs
+// deeper than the seeded corpus run in CI.
+
+// fuzzSeedStream builds a small valid codestream to seed mutation from.
+func fuzzSeedStream(tb testing.TB, w, h, budget int) []byte {
+	tb.Helper()
+	opt := DefaultOptions()
+	opt.BudgetBytes = budget
+	data, err := EncodePlane(testPlane(9, w, h), w, h, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("EPC1"))
+	f.Add(fuzzSeedStream(f, 32, 32, 0))
+	f.Add(fuzzSeedStream(f, 48, 16, 256))
+	seed := fuzzSeedStream(f, 32, 32, 512)
+	f.Add(seed[:len(seed)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if info.W <= 0 || info.H <= 0 || info.W > 1<<15 || info.H > 1<<15 {
+			t.Fatalf("Parse accepted implausible geometry %dx%d", info.W, info.H)
+		}
+		if info.NLayers < 0 || info.NLayers != len(info.LayerBytes) {
+			t.Fatalf("Parse returned inconsistent layer table: %d vs %d",
+				info.NLayers, len(info.LayerBytes))
+		}
+	})
+}
+
+func FuzzDecodePlane(f *testing.F) {
+	f.Add(fuzzSeedStream(f, 32, 32, 0))
+	f.Add(fuzzSeedStream(f, 48, 16, 256))
+	f.Add(fuzzSeedStream(f, 37, 23, 128))
+	trunc := fuzzSeedStream(f, 32, 32, 1024)
+	f.Add(trunc[:len(trunc)-3])
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound the decode work: a hostile header may legitimately describe
+		// a huge plane (an all-zero giant plane really is a tiny stream), so
+		// cap the geometry rather than decode gigabytes per input.
+		info, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if info.W*info.H > 1<<16 {
+			return
+		}
+		plane, w, h, err := DecodePlane(data, 0)
+		if err != nil {
+			return
+		}
+		if w != info.W || h != info.H || len(plane) != w*h {
+			t.Fatalf("decode geometry %dx%d (len %d) disagrees with header %dx%d",
+				w, h, len(plane), info.W, info.H)
+		}
+		// Truncated layer decodes must also hold together.
+		if _, _, _, err := DecodePlane(data, 1); err != nil {
+			t.Fatalf("full decode succeeded but maxLayers=1 failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodePlaneLossless(f *testing.F) {
+	small, err := EncodePlaneLossless(testPlane(3, 24, 24), 24, 24, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small)
+	f.Add(small[:len(small)/2])
+	f.Add([]byte("EPL1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Same geometry cap as FuzzDecodePlane, via the raw header fields.
+		if len(data) >= 8 {
+			w := int(binary.LittleEndian.Uint16(data[4:]))
+			h := int(binary.LittleEndian.Uint16(data[6:]))
+			if w*h > 1<<16 {
+				return
+			}
+		}
+		plane, w, h, err := DecodePlaneLossless(data)
+		if err != nil {
+			return
+		}
+		if len(plane) != w*h {
+			t.Fatalf("lossless decode length %d != %dx%d", len(plane), w, h)
+		}
+	})
+}
+
+// TestMaxDecodePixels: a tiny header claiming a huge plane must be
+// rejected before any geometry-sized allocation happens.
+func TestMaxDecodePixels(t *testing.T) {
+	old := MaxDecodePixels
+	defer func() { MaxDecodePixels = old }()
+
+	data := fuzzSeedStream(t, 64, 64, 0)
+	MaxDecodePixels = 1024 // below the stream's 64*64
+	if _, _, _, err := DecodePlane(data, 0); err == nil {
+		t.Fatal("expected MaxDecodePixels rejection")
+	}
+	lossless, err := EncodePlaneLossless(testPlane(2, 64, 64), 64, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodePlaneLossless(lossless); err == nil {
+		t.Fatal("expected lossless MaxDecodePixels rejection")
+	}
+	MaxDecodePixels = 0 // disabled: both must decode again
+	if _, _, _, err := DecodePlane(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodePlaneLossless(lossless); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzRegressionBitFlips runs a deterministic sweep of single-bit
+// corruptions through both decoders as a cheap always-on stand-in for the
+// fuzzers.
+func TestFuzzRegressionBitFlips(t *testing.T) {
+	data := fuzzSeedStream(t, 32, 32, 1024)
+	for pos := 0; pos < len(data); pos++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[pos] ^= 0x40
+		_, _, _, _ = DecodePlane(corrupt, 0) // must not panic
+	}
+	lossless, err := EncodePlaneLossless(testPlane(5, 24, 24), 24, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(lossless); pos++ {
+		corrupt := append([]byte(nil), lossless...)
+		corrupt[pos] ^= 0x04
+		_, _, _, _ = DecodePlaneLossless(corrupt) // must not panic
+	}
+}

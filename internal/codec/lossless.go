@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"earthplus/internal/arith"
 	"earthplus/internal/wavelet"
 )
 
@@ -14,6 +13,8 @@ import (
 // pixels are quantised once to 16-bit samples, transformed with the exactly
 // reversible integer CDF 5/3 wavelet, and bit-plane coded without any
 // quantiser, so DecodePlaneLossless reproduces the 16-bit samples exactly.
+// It shares the pooled scratch arena and the fast bit-plane coder with the
+// lossy path.
 
 const losslessMagic = "EPL1"
 
@@ -31,7 +32,13 @@ func EncodePlaneLossless(plane []float32, w, h int, levels int) ([]byte, error) 
 		return nil, fmt.Errorf("codec: unsupported dimensions %dx%d", w, h)
 	}
 	levels = effectiveLevels(w, h, levels)
-	coeffs := make([]int32, w*h)
+	g := geometryFor(w, h, levels)
+	n := w * h
+
+	s := getScratch()
+	defer s.release()
+	s.i32 = grow(s.i32, n)
+	coeffs := s.i32
 	for i, v := range plane {
 		x := math.Round(float64(v) * losslessScale)
 		if x < 0 {
@@ -43,73 +50,62 @@ func EncodePlaneLossless(plane []float32, w, h int, levels int) ([]byte, error) 
 	}
 	wavelet.Forward53(coeffs, w, h, levels)
 
-	sbs := wavelet.Subbands(w, h, levels)
-	q := make([]uint32, len(coeffs))
-	neg := make([]bool, len(coeffs))
-	sbPlanes := make([]uint8, len(sbs))
+	s.q = grow(s.q, n)
+	s.neg = grow(s.neg, n)
+	s.sbPlanes = grow(s.sbPlanes, len(g.sbs))
 	maxPlane := 0
-	for si, sb := range sbs {
+	for si := range g.sbs {
+		sb := &g.sbs[si]
 		var sbMax uint32
 		for y := sb.Y0; y < sb.Y1; y++ {
-			for x := sb.X0; x < sb.X1; x++ {
-				i := y*w + x
-				c := coeffs[i]
-				if c < 0 {
-					neg[i] = true
+			crow := coeffs[y*w+sb.X0 : y*w+sb.X1]
+			qrow := s.q[y*w+sb.X0 : y*w+sb.X1]
+			nrow := s.neg[y*w+sb.X0 : y*w+sb.X1]
+			for x, c := range crow {
+				isNeg := c < 0
+				if isNeg {
 					c = -c
 				}
-				q[i] = uint32(c)
-				if q[i] > sbMax {
-					sbMax = q[i]
+				nrow[x] = isNeg
+				qv := uint32(c)
+				qrow[x] = qv
+				if qv > sbMax {
+					sbMax = qv
 				}
 			}
 		}
-		sbPlanes[si] = uint8(bitsFor(sbMax))
-		if int(sbPlanes[si]) > maxPlane {
-			maxPlane = int(sbPlanes[si])
+		s.sbPlanes[si] = uint8(bitsFor(sbMax))
+		if int(s.sbPlanes[si]) > maxPlane {
+			maxPlane = int(s.sbPlanes[si])
 		}
 	}
 
-	out := make([]byte, 0, w*h/2)
+	out := make([]byte, 0, 11+len(g.sbs)+w*h/2)
 	out = append(out, losslessMagic...)
 	out = binary.LittleEndian.AppendUint16(out, uint16(w))
 	out = binary.LittleEndian.AppendUint16(out, uint16(h))
-	out = append(out, uint8(levels), uint8(maxPlane), uint8(len(sbs)))
-	out = append(out, sbPlanes...)
+	out = append(out, uint8(levels), uint8(maxPlane), uint8(len(g.sbs)))
+	out = append(out, s.sbPlanes...)
 
-	sigP := arith.NewProbs(sigContexts)
-	refP := arith.NewProbs(refContexts)
-	sig := make([]bool, len(coeffs))
-	enc := arith.NewEncoder()
-	for p := maxPlane - 1; p >= 0; p-- {
-		for si, sb := range sbs {
-			if int(sbPlanes[si]) <= p {
-				continue
-			}
-			kind := int(sb.Kind)
-			for y := sb.Y0; y < sb.Y1; y++ {
-				for x := sb.X0; x < sb.X1; x++ {
-					i := y*w + x
-					bit := int(q[i] >> uint(p) & 1)
-					if sig[i] {
-						enc.Encode(&refP[kind], bit)
-					} else {
-						ctx := kind*4 + neighbourSig(sig, w, sb, x, y)
-						enc.Encode(&sigP[ctx], bit)
-						if bit == 1 {
-							sign := 0
-							if neg[i] {
-								sign = 1
-							}
-							enc.EncodeBypass(sign)
-							sig[i] = true
-						}
-					}
-				}
-			}
-		}
+	sigP, refP := s.probs()
+	s.sig = grow(s.sig, n)
+	clear(s.sig)
+	s.rowSig = grow(s.rowSig, g.rowTotal)
+	clear(s.rowSig)
+	pc := planeCoder{
+		w: w, sbs: g.sbs, sbPlanes: s.sbPlanes, rowOff: g.rowOff,
+		q: s.q, neg: s.neg, sig: s.sig, rowSig: s.rowSig,
+		pend: s.pend[:0], sigP: sigP, refP: refP,
 	}
-	return append(out, enc.Flush()...), nil
+	enc := &s.enc
+	enc.Reset(s.encBuf)
+	for p := maxPlane - 1; p >= 0; p-- {
+		pc.encodePass(enc, p, 0)
+	}
+	s.pend = pc.pend
+	pl := enc.Flush()
+	s.encBuf = pl
+	return append(out, pl...), nil
 }
 
 // DecodePlaneLossless reverses EncodePlaneLossless exactly (at 16-bit
@@ -123,55 +119,60 @@ func DecodePlaneLossless(data []byte) ([]float32, int, int, error) {
 	levels := int(data[8])
 	maxPlane := int(data[9])
 	nSb := int(data[10])
-	if w <= 0 || h <= 0 {
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
 		return nil, 0, 0, fmt.Errorf("codec: implausible lossless geometry %dx%d", w, h)
 	}
-	sbs := wavelet.Subbands(w, h, levels)
-	if len(sbs) != nSb || len(data) < 11+nSb {
+	if levels != effectiveLevels(w, h, levels) {
+		return nil, 0, 0, fmt.Errorf("codec: implausible lossless level count %d for %dx%d", levels, w, h)
+	}
+	if maxPlane > 32 {
+		return nil, 0, 0, fmt.Errorf("codec: implausible lossless plane count %d", maxPlane)
+	}
+	if MaxDecodePixels > 0 && w*h > MaxDecodePixels {
+		return nil, 0, 0, fmt.Errorf("codec: %dx%d plane exceeds MaxDecodePixels %d", w, h, MaxDecodePixels)
+	}
+	g := geometryFor(w, h, levels)
+	if len(g.sbs) != nSb || len(data) < 11+nSb {
 		return nil, 0, 0, fmt.Errorf("codec: lossless subband table mismatch")
 	}
-	sbPlanes := data[11 : 11+nSb]
+	n := w * h
 	payload := data[11+nSb:]
 
-	q := make([]uint32, w*h)
-	neg := make([]bool, w*h)
-	sig := make([]bool, w*h)
-	sigP := arith.NewProbs(sigContexts)
-	refP := arith.NewProbs(refContexts)
-	dec := arith.NewDecoder(payload)
-	for p := maxPlane - 1; p >= 0; p-- {
-		for si, sb := range sbs {
-			if int(sbPlanes[si]) <= p {
-				continue
-			}
-			kind := int(sb.Kind)
-			for y := sb.Y0; y < sb.Y1; y++ {
-				for x := sb.X0; x < sb.X1; x++ {
-					i := y*w + x
-					if sig[i] {
-						q[i] |= uint32(dec.Decode(&refP[kind])) << uint(p)
-					} else {
-						ctx := kind*4 + neighbourSig(sig, w, sb, x, y)
-						if dec.Decode(&sigP[ctx]) == 1 {
-							q[i] |= 1 << uint(p)
-							neg[i] = dec.DecodeBypass() == 1
-							sig[i] = true
-						}
-					}
-				}
-			}
-		}
+	s := getScratch()
+	defer s.release()
+	s.sbPlanes = append(s.sbPlanes[:0], data[11:11+nSb]...)
+	s.q = grow(s.q, n)
+	clear(s.q)
+	s.neg = grow(s.neg, n)
+	clear(s.neg)
+	s.sig = grow(s.sig, n)
+	clear(s.sig)
+	s.rowSig = grow(s.rowSig, g.rowTotal)
+	clear(s.rowSig)
+	sigP, refP := s.probs()
+	pc := planeCoder{
+		w: w, sbs: g.sbs, sbPlanes: s.sbPlanes, rowOff: g.rowOff,
+		q: s.q, neg: s.neg, sig: s.sig, rowSig: s.rowSig,
+		pend: s.pend[:0], sigP: sigP, refP: refP,
 	}
-	coeffs := make([]int32, w*h)
+	dec := &s.dec
+	dec.Reset(payload)
+	for p := maxPlane - 1; p >= 0; p-- {
+		pc.decodePass(dec, p, ^uint32(0), nil)
+	}
+	s.pend = pc.pend
+
+	s.i32 = grow(s.i32, n)
+	coeffs := s.i32
 	for i := range coeffs {
-		c := int32(q[i])
-		if neg[i] {
+		c := int32(s.q[i])
+		if s.neg[i] {
 			c = -c
 		}
 		coeffs[i] = c
 	}
 	wavelet.Inverse53(coeffs, w, h, levels)
-	plane := make([]float32, w*h)
+	plane := make([]float32, n)
 	for i, c := range coeffs {
 		plane[i] = float32(c) / losslessScale
 	}

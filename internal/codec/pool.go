@@ -1,0 +1,92 @@
+package codec
+
+import (
+	"sync"
+
+	"earthplus/internal/arith"
+)
+
+// The codec's hot path runs thousands of times per simulated constellation
+// day, so the per-call scratch state — coefficient planes, quantiser
+// magnitudes, significance maps, probability contexts, layer tables and the
+// arithmetic coder's output buffer — lives in a sync.Pool-backed arena.
+// Steady-state encodes and decodes then allocate only what they must return
+// to the caller.
+
+// grow returns b resized to n elements, reallocating only when the capacity
+// is insufficient. The contents are unspecified; callers that need zeroes
+// must clear() the result.
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+// layerMeta is one quality layer's table entry while a codestream is being
+// assembled.
+type layerMeta struct {
+	bytes   uint32
+	symbols uint32
+}
+
+// scratch is the reusable working state of one encode or decode call.
+type scratch struct {
+	f32      []float32 // coefficient plane (lossy)
+	i32      []int32   // coefficient plane (lossless 5/3)
+	q        []uint32  // quantised magnitudes
+	neg      []bool    // sign plane
+	sig      []bool    // significance map
+	pStop    []uint8   // per-sample deepest decoded plane
+	rowSig   []int32   // per-subband-row significance counts
+	pend     []int32   // deferred sign positions for the current pass
+	sigP     []arith.Prob
+	refP     []arith.Prob
+	sbPlanes []uint8
+	layers   []layerMeta
+	payload  []byte // concatenated layer payloads
+	encBuf   []byte // arithmetic encoder output buffer, recycled per layer
+	enc      arith.Encoder
+	dec      arith.Decoder
+	prs      parsed // reusable parse result for decodePlane
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func (s *scratch) release() {
+	// Drop references into caller-owned memory so pooling does not pin a
+	// decoded codestream past its lifetime; capacities of codec-owned
+	// scratch are retained by design.
+	for i := range s.prs.payloads {
+		s.prs.payloads[i] = nil
+	}
+	s.dec = arith.Decoder{}
+	scratchPool.Put(s)
+}
+
+// probs returns the two context banks reset to the 50/50 state.
+func (s *scratch) probs() (sigP, refP []arith.Prob) {
+	s.sigP = grow(s.sigP, sigContexts)
+	s.refP = grow(s.refP, refContexts)
+	arith.ResetProbs(s.sigP)
+	arith.ResetProbs(s.refP)
+	return s.sigP, s.refP
+}
+
+// planePool recycles full-size float32 planes for the ROI mosaic path,
+// where the packed plane is purely intermediate.
+var planePool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getPlaneBuf borrows an n-sample plane with unspecified contents.
+func getPlaneBuf(n int) *[]float32 {
+	p := planePool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPlaneBuf(p *[]float32) { planePool.Put(p) }

@@ -40,7 +40,10 @@ func EncodeROIPlane(plane []float32, roi *raster.TileMask, opt Options) ([]byte,
 	}
 	cols, rows := mosaicDims(n)
 	mw, mh := cols*g.Tile, rows*g.Tile
-	mosaic := make([]float32, mw*mh)
+	mosaicBuf := getPlaneBuf(mw * mh)
+	defer putPlaneBuf(mosaicBuf)
+	mosaic := *mosaicBuf
+	clear(mosaic)
 	slot := 0
 	for t, keep := range roi.Set {
 		if !keep {
@@ -73,7 +76,9 @@ func DecodeROIPlaneInto(dst []float32, roi *raster.TileMask, data []byte, maxLay
 	}
 	n := roi.Count()
 	cols, rows := mosaicDims(n)
-	mosaic, mw, mh, err := DecodePlane(data, maxLayers)
+	mosaicBuf := getPlaneBuf(cols * g.Tile * rows * g.Tile)
+	defer putPlaneBuf(mosaicBuf)
+	mosaic, mw, mh, err := decodePlane(data, maxLayers, *mosaicBuf)
 	if err != nil {
 		return err
 	}

@@ -213,12 +213,18 @@ func clearPixelsLow(m *cloud.Mask, factor, lw, lh int) []bool {
 // their original pixel values (§3): cloud zero-filling is a detection-side
 // device only, and mostly-cloudy tiles are excluded from the ROI by the
 // caller. Bands whose ROI is empty yield nil streams.
+//
+// Bands are encoded concurrently by a worker pool of
+// codec.Workers(opts.Parallelism, bands) goroutines, so whole-constellation
+// simulations scale with the host's cores.
 func EncodeROI(capImg *raster.Image, perBandROI []*raster.TileMask,
 	gammaBPP float64, opts codec.Options) ([][]byte, error) {
 	streams := make([][]byte, len(perBandROI))
-	for b, roi := range perBandROI {
+	errs := make([]error, len(perBandROI))
+	codec.ParallelBands(opts.Parallelism, len(perBandROI), func(b int) {
+		roi := perBandROI[b]
 		if roi == nil || roi.Count() == 0 {
-			continue
+			return
 		}
 		bandOpts := opts
 		roiPixels := roi.Count() * roi.Grid.Tile * roi.Grid.Tile
@@ -228,9 +234,15 @@ func EncodeROI(capImg *raster.Image, perBandROI []*raster.TileMask,
 		}
 		data, err := codec.EncodeROIPlane(capImg.Plane(b), roi, bandOpts)
 		if err != nil {
-			return nil, fmt.Errorf("sat: encoding band %d: %w", b, err)
+			errs[b] = fmt.Errorf("sat: encoding band %d: %w", b, err)
+			return
 		}
 		streams[b] = data
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return streams, nil
 }
