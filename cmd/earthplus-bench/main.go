@@ -9,7 +9,9 @@
 //	earthplus-bench -full      # every experiment, full scale
 //	earthplus-bench -only fig11b
 //	earthplus-bench -only codecbench   # codec perf snapshot -> BENCH_codec.json
+//	earthplus-bench -only simbench     # sim engine snapshot -> BENCH_sim.json
 //	earthplus-bench -parallel 8        # bound per-image band workers
+//	earthplus-bench -simworkers 8      # bound per-day location shards
 //	earthplus-bench -list
 package main
 
@@ -31,11 +33,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	parallel := flag.Int("parallel", 0,
 		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
+	simWorkers := flag.Int("simworkers", 0,
+		"locations simulated concurrently per day (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	benchJSON := flag.String("benchjson", "BENCH_codec.json",
 		"where codecbench writes its JSON snapshot (empty = don't write)")
+	simBenchJSON := flag.String("simbenchjson", "BENCH_sim.json",
+		"where simbench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
 
 	codec.Parallelism = *parallel
+	experiments.SimWorkers = *simWorkers
 
 	sc := experiments.QuickScale()
 	if *full {
@@ -66,6 +73,7 @@ func main() {
 		{"ablation-guarantee", func() (experiments.Result, error) { return experiments.AblationGuarantee(sc) }},
 		{"ablation-reject", func() (experiments.Result, error) { return experiments.AblationReject(sc) }},
 		{"codecbench", func() (experiments.Result, error) { return experiments.CodecBench(*benchJSON) }},
+		{"simbench", func() (experiments.Result, error) { return experiments.SimBench(*simBenchJSON) }},
 	}
 
 	if *list {

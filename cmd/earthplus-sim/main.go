@@ -6,6 +6,7 @@
 //
 //	earthplus-sim -system earthplus -dataset planet -sats 8 -days 60
 //	earthplus-sim -system kodan -dataset rich -gamma 0.5 -trace
+//	earthplus-sim -dataset rich -simworkers 8   # shard days across 8 workers
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 	dump := flag.String("dump", "", "write the run as a JSON-lines trace to this file")
 	parallel := flag.Int("parallel", 0,
 		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
+	simWorkers := flag.Int("simworkers", 0,
+		"locations simulated concurrently per day (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	flag.Parse()
 
 	codec.Parallelism = *parallel
@@ -61,9 +64,10 @@ func main() {
 	}
 
 	env := &sim.Env{
-		Scene:    scene.New(cfg),
-		Orbit:    cons,
-		Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+		Scene:       scene.New(cfg),
+		Orbit:       cons,
+		Downlink:    link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+		Parallelism: *simWorkers,
 	}
 	var sys sim.System
 	var err error

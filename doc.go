@@ -19,6 +19,21 @@
 //     the constellation simulator, synthetic Earth scenes and every
 //     regenerated table/figure of the paper's evaluation.
 //
+// # Simulation engine
+//
+// internal/sim is a sharded parallel engine: each simulated day is split
+// by location onto a bounded worker pool (sim.Env.Parallelism, the
+// -simworkers flag; 0 = GOMAXPROCS), each location's visit sequence stays
+// ordered, records merge back into serial walk order, and day-end uplink
+// packing runs on a sequential barrier. Results are byte-identical to the
+// serial path at any worker count (only the measured wall-clock timing
+// fields vary); determinism is pinned under -race by the internal/sim
+// tests and tracked by the BENCH_sim.json snapshot
+// (cmd/earthplus-bench -only simbench). Scene synthesis draws capture
+// buffers from pools (scene.ReleaseCapture recycles them), and
+// sim.RunStream plus sim.Accumulator aggregate records without retaining
+// them.
+//
 // # Performance
 //
 // The codec hot path is engineered for the paper's on-board compute
@@ -34,4 +49,4 @@
 package earthplus
 
 // Version identifies this reproduction's release line.
-const Version = "1.1.0"
+const Version = "1.2.0"

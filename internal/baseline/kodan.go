@@ -21,6 +21,11 @@ import (
 // (§6.1). It pays for an accurate on-board cloud detector — the runtime
 // cost Fig 16 charges it for — but never exploits cross-capture
 // redundancy.
+//
+// OnCapture is safe for concurrent calls on distinct locations (the
+// sharded engine's contract): the detector is stateless and all mutable
+// state lives in the ground segment, which is sharded and locked per
+// location.
 type Kodan struct {
 	env      *sim.Env
 	gamma    float64

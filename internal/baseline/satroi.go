@@ -20,6 +20,11 @@ import (
 // it. As the reference ages, nearly everything reads as changed (§3),
 // which is exactly the failure mode Earth+'s constellation-wide refresh
 // removes.
+//
+// OnCapture is safe for concurrent calls on distinct locations (the
+// sharded engine's contract): refs, refDay and lastGuar are per-location
+// slots touched only by their own location's ordered visit sequence, and
+// the ground segment locks per location.
 type SatRoI struct {
 	env      *sim.Env
 	gamma    float64

@@ -1,0 +1,146 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden vectors lock the wire format: committed codestreams under
+// testdata/ must keep encoding and decoding to exactly the same bytes
+// across refactors. Any intentional format change must regenerate them
+// with `go test ./internal/codec -run TestGolden -update-golden` and be
+// called out in review — silently breaking decode compatibility would
+// strand every archived downlink capture.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden codestream vectors")
+
+type goldenCase struct {
+	name     string
+	seed     uint64
+	w, h     int
+	budget   int // 0 = every bit plane
+	lossless bool
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{name: "lossy_full_32x32", seed: 41, w: 32, h: 32},
+		{name: "lossy_budget256_48x32", seed: 42, w: 48, h: 32, budget: 256},
+		{name: "lossy_bpp05_64x64", seed: 43, w: 64, h: 64, budget: BudgetForBPP(0.5, 64, 64)},
+		{name: "lossless_32x32", seed: 44, w: 32, h: 32, lossless: true},
+	}
+}
+
+// encodeGolden produces the case's codestream from its deterministic
+// input plane.
+func encodeGolden(t testing.TB, gc goldenCase) []byte {
+	t.Helper()
+	plane := testPlane(gc.seed, gc.w, gc.h)
+	if gc.lossless {
+		data, err := EncodePlaneLossless(plane, gc.w, gc.h, 5)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", gc.name, err)
+		}
+		return data
+	}
+	opt := DefaultOptions()
+	opt.BudgetBytes = gc.budget
+	data, err := EncodePlane(plane, gc.w, gc.h, opt)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", gc.name, err)
+	}
+	return data
+}
+
+// decodeGolden decodes a committed codestream.
+func decodeGolden(t testing.TB, gc goldenCase, data []byte) []float32 {
+	t.Helper()
+	var plane []float32
+	var w, h int
+	var err error
+	if gc.lossless {
+		plane, w, h, err = DecodePlaneLossless(data)
+	} else {
+		plane, w, h, err = DecodePlane(data, 0)
+	}
+	if err != nil {
+		t.Fatalf("%s: decode: %v", gc.name, err)
+	}
+	if w != gc.w || h != gc.h {
+		t.Fatalf("%s: decoded geometry %dx%d, want %dx%d", gc.name, w, h, gc.w, gc.h)
+	}
+	return plane
+}
+
+func planeBytes(plane []float32) []byte {
+	out := make([]byte, 0, 4*len(plane))
+	for _, v := range plane {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out
+}
+
+// TestGoldenVectors pins both directions of the wire format: encoding the
+// deterministic test planes must reproduce the committed codestreams byte
+// for byte, and decoding the committed codestreams must reproduce the
+// committed reconstructions bit for bit.
+func TestGoldenVectors(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			encPath := filepath.Join("testdata", "golden_"+gc.name+".bin")
+			decPath := filepath.Join("testdata", "golden_"+gc.name+".dec")
+			enc := encodeGolden(t, gc)
+			if *updateGolden {
+				if err := os.WriteFile(encPath, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(decPath, planeBytes(decodeGolden(t, gc, enc)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(encPath)
+			if err != nil {
+				t.Fatalf("missing golden vector (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("%s: encoder output diverged from golden codestream (%d vs %d bytes) — the wire format changed", gc.name, len(enc), len(want))
+			}
+			wantDec, err := os.ReadFile(decPath)
+			if err != nil {
+				t.Fatalf("missing golden reconstruction: %v", err)
+			}
+			if got := planeBytes(decodeGolden(t, gc, want)); !bytes.Equal(got, wantDec) {
+				t.Fatalf("%s: decoder output diverged from golden reconstruction", gc.name)
+			}
+		})
+	}
+}
+
+// TestGoldenLosslessReencodeIdentity decodes the committed lossless
+// codestream and re-encodes the reconstruction: lossless decode is exact,
+// so the round trip must reproduce the committed bytes identically.
+func TestGoldenLosslessReencodeIdentity(t *testing.T) {
+	for _, gc := range goldenCases() {
+		if !gc.lossless {
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "golden_"+gc.name+".bin"))
+		if err != nil {
+			t.Skipf("golden vector not generated yet: %v", err)
+		}
+		plane := decodeGolden(t, gc, want)
+		again, err := EncodePlaneLossless(plane, gc.w, gc.h, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, want) {
+			t.Fatalf("%s: decode + re-encode is not byte-identical (%d vs %d bytes)", gc.name, len(again), len(want))
+		}
+	}
+}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"earthplus/internal/cloud"
@@ -78,11 +79,20 @@ func DefaultConfig() Config {
 }
 
 // System is the Earth+ implementation of sim.System.
+//
+// Concurrency: OnCapture is safe for concurrent calls on DISTINCT
+// locations (the sharded engine's contract). All mutable state is sharded
+// by location — lastGuar and the ground segment's archive/reference slots
+// are per-location, the per-satellite reference caches are only read
+// during captures (RefCache locks internally) — and the cross-location
+// uplink packing happens in OnDayEnd, which the engine runs on its
+// sequential day-end barrier.
 type System struct {
 	cfg      Config
 	env      *sim.Env
 	pipeline *sat.Pipeline
-	caches   map[int]*sat.RefCache // per satellite
+	cacheMu  sync.RWMutex
+	caches   map[int]*sat.RefCache // per satellite; prefilled in New
 	ground   *station.Ground
 	lastGuar []int // per location: day of last guaranteed download
 }
@@ -112,6 +122,12 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 	for i := range lastGuar {
 		lastGuar[i] = -1 << 30
 	}
+	// Prefill the per-satellite caches so the capture hot path only ever
+	// reads the map (concurrent lazy insertion would race).
+	caches := make(map[int]*sat.RefCache, env.Orbit.Satellites)
+	for id := 0; id < env.Orbit.Satellites; id++ {
+		caches[id] = sat.NewRefCache()
+	}
 	return &System{
 		cfg: cfg,
 		env: env,
@@ -124,7 +140,7 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 			DropCoverage:  cfg.DropCoverage,
 			CloudTileFrac: cfg.CloudTileFrac,
 		},
-		caches:   make(map[int]*sat.RefCache),
+		caches:   caches,
 		ground:   ground,
 		lastGuar: lastGuar,
 	}, nil
@@ -133,8 +149,18 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 // Name implements sim.System.
 func (s *System) Name() string { return "Earth+" }
 
-// cacheFor returns (creating if needed) a satellite's reference cache.
+// cacheFor returns a satellite's reference cache. Every id below
+// Orbit.Satellites is prefilled at construction; the locked fallback only
+// serves out-of-range ids (e.g. hand-built test fixtures).
 func (s *System) cacheFor(satID int) *sat.RefCache {
+	s.cacheMu.RLock()
+	c0 := s.caches[satID]
+	s.cacheMu.RUnlock()
+	if c0 != nil {
+		return c0
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	c := s.caches[satID]
 	if c == nil {
 		c = sat.NewRefCache()

@@ -64,17 +64,20 @@ func ablationRun(sc Scale, label string, mutate func(*core.Config)) (AblationPoi
 	if err != nil {
 		return AblationPoint{}, err
 	}
-	run, err := runSystem(sc, env, sys)
-	if err != nil {
-		return AblationPoint{}, err
-	}
-	s := sim.Summarize(run, dovesDownlink())
+	// Stream: the summary accumulates incrementally and only the PSNR
+	// samples (for the p10 quality floor) are retained per capture.
+	acc := sim.NewAccumulator()
 	var psnrs []float64
-	for _, rec := range run.Records {
+	run, err := runSystemStream(sc, env, sys, func(rec *sim.Record) {
+		acc.Add(rec)
 		if !rec.Dropped && rec.PSNR == rec.PSNR { // skip NaN
 			psnrs = append(psnrs, rec.PSNR)
 		}
+	})
+	if err != nil {
+		return AblationPoint{}, err
 	}
+	s := acc.Summary(run, dovesDownlink())
 	return AblationPoint{
 		Label:         label,
 		BytesPerCap:   s.MeanDownBytes,

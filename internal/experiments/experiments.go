@@ -136,12 +136,20 @@ func rawRefBytesPerDay(cfg scene.Config) int64 {
 // Earth+'s delta-encoded updates to keep references fully fresh.
 const defaultUplinkDivisor = 50
 
+// SimWorkers is the package default for Env.Parallelism in every
+// experiment environment: how many locations each simulated day is
+// sharded across (the codec.Parallelism convention — <= 0 means
+// GOMAXPROCS, 1 forces the serial path). Results are identical at any
+// setting; cmd/earthplus-bench exposes it as -simworkers.
+var SimWorkers int
+
 // envFor assembles a simulation environment.
 func envFor(cfg scene.Config, cons orbit.Constellation, uplinkDivisor float64) *sim.Env {
 	env := &sim.Env{
-		Scene:    scene.New(cfg),
-		Orbit:    cons,
-		Downlink: dovesDownlink(),
+		Scene:       scene.New(cfg),
+		Orbit:       cons,
+		Downlink:    dovesDownlink(),
+		Parallelism: SimWorkers,
 	}
 	if uplinkDivisor > 0 {
 		env.UplinkBytesPerDay = int64(float64(rawRefBytesPerDay(cfg)) / uplinkDivisor)
@@ -163,15 +171,34 @@ func earthPlus(env *sim.Env, theta, gamma float64) (*core.System, error) {
 	return core.New(env, cfg)
 }
 
-// runSystem runs one system over the scale's evaluation window.
-func runSystem(sc Scale, env *sim.Env, sys sim.System) (*sim.Result, error) {
-	return sim.Run(env, sys, sc.EvalStart-30, sc.EvalStart, sc.EvalStart+sc.EvalDays)
+// runSystemStream runs one system over the scale's evaluation window,
+// streaming each record into emit (which may be nil) instead of retaining
+// the record set — whole-constellation sweeps hold at most one day of
+// records in memory.
+func runSystemStream(sc Scale, env *sim.Env, sys sim.System, emit func(*sim.Record)) (*sim.Result, error) {
+	return sim.RunStream(env, sys, sc.EvalStart-30, sc.EvalStart, sc.EvalStart+sc.EvalDays, emit)
 }
 
-// threeSystems builds Earth+, Kodan and SatRoI at one γ for an env-factory
-// and runs them concurrently — each system gets a fresh environment (its
-// own scene instance), so the runs are fully independent.
-func threeSystems(sc Scale, mkEnv func() *sim.Env, theta, gamma float64) (map[string]*sim.Result, error) {
+// summarizeSystem runs one system and folds its records straight into a
+// Summary without retaining them.
+func summarizeSystem(sc Scale, env *sim.Env, sys sim.System) (sim.Summary, error) {
+	acc := sim.NewAccumulator()
+	res, err := runSystemStream(sc, env, sys, acc.Add)
+	if err != nil {
+		return sim.Summary{}, err
+	}
+	return acc.Summary(res, dovesDownlink()), nil
+}
+
+// threeSystemsStream builds Earth+, Kodan and SatRoI at one γ for an
+// env-factory and runs them concurrently — each system gets a fresh
+// environment (its own scene instance), so the runs are fully
+// independent. Records are streamed into the per-system collector that
+// mkEmit returns (called once per system before its run starts; the
+// returned emit runs on that system's goroutine, so collectors for
+// different systems must not share state). The returned Results carry the
+// run aggregates with Records nil.
+func threeSystemsStream(sc Scale, mkEnv func() *sim.Env, theta, gamma float64, mkEmit func(name string) func(*sim.Record)) (map[string]*sim.Result, error) {
 	builders := []struct {
 		name string
 		mk   func(env *sim.Env) (sim.System, error)
@@ -184,8 +211,12 @@ func threeSystems(sc Scale, mkEnv func() *sim.Env, theta, gamma float64) (map[st
 	errs := make([]error, len(builders))
 	var wg sync.WaitGroup
 	for i, b := range builders {
+		var emit func(*sim.Record)
+		if mkEmit != nil {
+			emit = mkEmit(b.name)
+		}
 		wg.Add(1)
-		go func(i int, name string, mk func(env *sim.Env) (sim.System, error)) {
+		go func(i int, name string, mk func(env *sim.Env) (sim.System, error), emit func(*sim.Record)) {
 			defer wg.Done()
 			env := mkEnv()
 			sys, err := mk(env)
@@ -193,13 +224,13 @@ func threeSystems(sc Scale, mkEnv func() *sim.Env, theta, gamma float64) (map[st
 				errs[i] = fmt.Errorf("%s: %w", name, err)
 				return
 			}
-			res, err := runSystem(sc, env, sys)
+			res, err := runSystemStream(sc, env, sys, emit)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", name, err)
 				return
 			}
 			results[i] = res
-		}(i, b.name, b.mk)
+		}(i, b.name, b.mk, emit)
 	}
 	wg.Wait()
 	out := make(map[string]*sim.Result, len(builders))

@@ -55,12 +55,19 @@ func Fig11(sc Scale, ds Dataset) (*Fig11Result, error) {
 	res := &Fig11Result{Dataset: ds, Curves: map[string][]TradeoffPoint{}}
 	down := dovesDownlink()
 	for _, gamma := range sc.GammaSweep {
-		runs, err := threeSystems(sc, mkEnv, theta, gamma)
+		// Stream each system's records straight into an accumulator: the
+		// sweep never retains a record set.
+		accs := map[string]*sim.Accumulator{}
+		runs, err := threeSystemsStream(sc, mkEnv, theta, gamma, func(name string) func(*sim.Record) {
+			a := sim.NewAccumulator()
+			accs[name] = a
+			return a.Add
+		})
 		if err != nil {
 			return nil, err
 		}
 		for name, run := range runs {
-			s := sim.Summarize(run, down)
+			s := accs[name].Summary(run, down)
 			res.Curves[name] = append(res.Curves[name], TradeoffPoint{
 				Gamma:        gamma,
 				DownlinkMbps: s.RequiredDownlinkBps / 1e6,

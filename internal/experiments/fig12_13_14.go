@@ -22,24 +22,32 @@ type Fig12Result struct {
 }
 
 // Fig12 runs the three systems on the rich-content dataset at a fixed γ
-// and collects the raw distributions.
+// and collects the raw distributions, streamed per record (only the two
+// floats the figure needs survive each capture).
 func Fig12(sc Scale) (*Fig12Result, error) {
 	mkEnv, theta := datasetEnv(sc, RichContent)
-	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	type dist struct{ tile, psnr []float64 }
+	dists := map[string]*dist{}
+	_, err := threeSystemsStream(sc, mkEnv, theta, fig12Gamma, func(name string) func(*sim.Record) {
+		d := &dist{}
+		dists[name] = d
+		return func(r *sim.Record) {
+			if r.Dropped {
+				return
+			}
+			d.tile = append(d.tile, r.DownTileFrac)
+			if !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0) {
+				d.psnr = append(d.psnr, r.PSNR)
+			}
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig12Result{TileFrac: map[string][]float64{}, PSNR: map[string][]float64{}}
-	for name, run := range runs {
-		for _, r := range run.Records {
-			if r.Dropped {
-				continue
-			}
-			res.TileFrac[name] = append(res.TileFrac[name], r.DownTileFrac)
-			if !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0) {
-				res.PSNR[name] = append(res.PSNR[name], r.PSNR)
-			}
-		}
+	for name, d := range dists {
+		res.TileFrac[name] = d.tile
+		res.PSNR[name] = d.psnr
 	}
 	return res, nil
 }
@@ -87,22 +95,30 @@ type Fig13Result struct {
 	Series map[string][]Fig13Point
 }
 
-// Fig13 runs the three systems and extracts location 0's trace.
+// Fig13 runs the three systems and extracts location 0's trace, streamed
+// per record.
 func Fig13(sc Scale) (*Fig13Result, error) {
 	mkEnv, theta := datasetEnv(sc, RichContent)
-	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	series := map[string]*[]Fig13Point{}
+	_, err := threeSystemsStream(sc, mkEnv, theta, fig12Gamma, func(name string) func(*sim.Record) {
+		pts := &[]Fig13Point{}
+		series[name] = pts
+		return func(r *sim.Record) {
+			if r.Loc != 0 || r.Dropped {
+				return
+			}
+			*pts = append(*pts, Fig13Point{Day: r.Day, TileFrac: r.DownTileFrac, PSNR: r.PSNR})
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig13Result{Series: map[string][]Fig13Point{}}
-	for name, run := range runs {
-		for _, r := range run.Records {
-			if r.Loc != 0 || r.Dropped {
-				continue
-			}
-			res.Series[name] = append(res.Series[name], Fig13Point{Day: r.Day, TileFrac: r.DownTileFrac, PSNR: r.PSNR})
-		}
-		sort.Slice(res.Series[name], func(i, j int) bool { return res.Series[name][i].Day < res.Series[name][j].Day })
+	for name, pts := range series {
+		// Records stream in deterministic day order already; the sort is
+		// kept as a guard for future multi-shard emitters.
+		sort.Slice(*pts, func(i, j int) bool { return (*pts)[i].Day < (*pts)[j].Day })
+		res.Series[name] = *pts
 	}
 	return res, nil
 }
@@ -140,81 +156,95 @@ type Fig14Result struct {
 	BaselineSys string
 }
 
+// fig14Agg streams one system's records into the per-location and
+// per-band byte sums Fig 14 needs, plus the run summary — constant memory
+// per system regardless of the evaluation window.
+type fig14Agg struct {
+	acc             *sim.Accumulator
+	locSum, bandSum []float64
+	locN, bandN     []int
+}
+
+func newFig14Agg(nLoc, nBand int) *fig14Agg {
+	return &fig14Agg{
+		acc:    sim.NewAccumulator(),
+		locSum: make([]float64, nLoc), locN: make([]int, nLoc),
+		bandSum: make([]float64, nBand), bandN: make([]int, nBand),
+	}
+}
+
+func (a *fig14Agg) add(r *sim.Record) {
+	a.acc.Add(r)
+	if r.Dropped {
+		return
+	}
+	a.locSum[r.Loc] += float64(r.DownBytes)
+	a.locN[r.Loc]++
+	for b, n := range r.PerBandBytes {
+		if b < len(a.bandSum) {
+			a.bandSum[b] += float64(n)
+			a.bandN[b]++
+		}
+	}
+}
+
+func (a *fig14Agg) meanAtLoc(loc int) float64 {
+	if a.locN[loc] == 0 {
+		return math.NaN()
+	}
+	return a.locSum[loc] / float64(a.locN[loc])
+}
+
+func (a *fig14Agg) meanAtBand(b int) float64 {
+	if a.bandN[b] == 0 {
+		return math.NaN()
+	}
+	return a.bandSum[b] / float64(a.bandN[b])
+}
+
 // Fig14 computes savings against the strongest baseline with PSNR not
 // above Earth+'s, per the paper's definition.
 func Fig14(sc Scale) (*Fig14Result, error) {
 	mkEnv, theta := datasetEnv(sc, RichContent)
-	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	env := mkEnv()
+	nLoc := env.Scene.NumLocations()
+	bands := env.Scene.Bands()
+	aggs := map[string]*fig14Agg{}
+	runs, err := threeSystemsStream(sc, mkEnv, theta, fig12Gamma, func(name string) func(*sim.Record) {
+		a := newFig14Agg(nLoc, len(bands))
+		aggs[name] = a
+		return a.add
+	})
 	if err != nil {
 		return nil, err
 	}
 	down := dovesDownlink()
-	earth := sim.Summarize(runs["Earth+"], down)
+	earth := aggs["Earth+"].acc.Summary(runs["Earth+"], down)
 	// Strongest qualifying baseline: lowest bytes among those whose PSNR
 	// does not exceed Earth+'s; if none qualifies, the lowest-bytes one.
 	baseName := ""
 	var baseBytes float64 = math.Inf(1)
 	for _, name := range []string{"Kodan", "SatRoI"} {
-		s := sim.Summarize(runs[name], down)
+		s := aggs[name].acc.Summary(runs[name], down)
 		qualifies := s.MeanPSNR <= earth.MeanPSNR
 		if (qualifies || baseName == "") && s.MeanDownBytes < baseBytes {
 			baseName, baseBytes = name, s.MeanDownBytes
 		}
 	}
-	base := runs[baseName]
+	base := aggs[baseName]
 
-	env := mkEnv()
 	res := &Fig14Result{BaselineSys: baseName}
 	// Per location.
-	for loc := 0; loc < env.Scene.NumLocations(); loc++ {
-		eb := meanBytesAt(runs["Earth+"], loc)
-		bb := meanBytesAt(base, loc)
+	for loc := 0; loc < nLoc; loc++ {
 		res.Locations = append(res.Locations, env.Scene.Location(loc).Name)
-		res.LocSaving = append(res.LocSaving, metrics.Ratio(bb, eb))
+		res.LocSaving = append(res.LocSaving, metrics.Ratio(base.meanAtLoc(loc), aggs["Earth+"].meanAtLoc(loc)))
 	}
 	// Per band.
-	bands := env.Scene.Bands()
 	for b := range bands {
-		eb := meanBandBytes(runs["Earth+"], b)
-		bb := meanBandBytes(base, b)
 		res.Bands = append(res.Bands, bands[b].Name)
-		res.BandSaving = append(res.BandSaving, metrics.Ratio(bb, eb))
+		res.BandSaving = append(res.BandSaving, metrics.Ratio(base.meanAtBand(b), aggs["Earth+"].meanAtBand(b)))
 	}
 	return res, nil
-}
-
-// meanBytesAt averages DownBytes over non-dropped records of one location.
-func meanBytesAt(run *sim.Result, loc int) float64 {
-	var sum float64
-	n := 0
-	for _, r := range run.Records {
-		if r.Loc != loc || r.Dropped {
-			continue
-		}
-		sum += float64(r.DownBytes)
-		n++
-	}
-	if n == 0 {
-		return math.NaN()
-	}
-	return sum / float64(n)
-}
-
-// meanBandBytes averages one band's bytes over non-dropped records.
-func meanBandBytes(run *sim.Result, band int) float64 {
-	var sum float64
-	n := 0
-	for _, r := range run.Records {
-		if r.Dropped || band >= len(r.PerBandBytes) {
-			continue
-		}
-		sum += float64(r.PerBandBytes[band])
-		n++
-	}
-	if n == 0 {
-		return math.NaN()
-	}
-	return sum / float64(n)
 }
 
 // ID implements Result.

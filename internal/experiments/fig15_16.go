@@ -44,7 +44,12 @@ type Fig15Result struct {
 //     (Appendix A's 160a km²) but downsampled at the paper's 2601x.
 func Fig15(sc Scale) (*Fig15Result, error) {
 	mkEnv, theta := datasetEnv(sc, RichContent)
-	runs, err := threeSystems(sc, mkEnv, theta, fig12Gamma)
+	accs := map[string]*sim.Accumulator{}
+	runs, err := threeSystemsStream(sc, mkEnv, theta, fig12Gamma, func(name string) func(*sim.Record) {
+		a := sim.NewAccumulator()
+		accs[name] = a
+		return a.Add
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +66,7 @@ func Fig15(sc Scale) (*Fig15Result, error) {
 	encRatio := fig12Gamma / 16 // γ bits per pixel vs 16-bit raw samples
 
 	stats := func(name string) (keptFrac, tileFrac float64) {
-		s := sim.Summarize(runs[name], down)
+		s := accs[name].Summary(runs[name], down)
 		kept := 1 - float64(s.Dropped)/float64(s.Captures)
 		return kept, s.MeanTileFrac
 	}

@@ -7,7 +7,6 @@ import (
 	"earthplus/internal/codec"
 	"earthplus/internal/metrics"
 	"earthplus/internal/scene"
-	"earthplus/internal/sim"
 )
 
 // Fig17Result decomposes the reference compression ratio (paper Fig 17:
@@ -53,7 +52,7 @@ func Fig17(sc Scale) (*Fig17Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := runSystem(sc, env, sys)
+	run, err := runSystemStream(sc, env, sys, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -123,11 +122,10 @@ func Fig18(sc Scale) (*Fig18Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := runSystem(sc, env, sys)
+		s, err := summarizeSystem(sc, env, sys)
 		if err != nil {
 			return nil, err
 		}
-		s := sim.Summarize(run, dovesDownlink())
 		res.Points = append(res.Points, Fig18Point{
 			UplinkBytesPerDay: env.UplinkBytesPerDay,
 			DownlinkMbps:      s.RequiredDownlinkBps / 1e6,
@@ -181,11 +179,10 @@ func Fig19(sc Scale) (*Fig19Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := runSystem(sc, env, sys)
+		s, err := summarizeSystem(sc, env, sys)
 		if err != nil {
 			return nil, err
 		}
-		s := sim.Summarize(run, dovesDownlink())
 		ratio := 0.0
 		if s.MeanTileFrac > 0 {
 			ratio = 1 / s.MeanTileFrac

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"earthplus/internal/core"
+	"earthplus/internal/orbit"
+	"earthplus/internal/sim"
+)
+
+// SimBench snapshots whole-constellation simulation throughput so the
+// perf trajectory of the sharded engine is tracked across PRs
+// (BENCH_sim.json, next to the codec's BENCH_codec.json). It runs the
+// same multi-location, multi-satellite Earth+ workload at several worker
+// counts with the codec pinned to one thread — isolating the engine's
+// location-sharding speedup from the codec's own band parallelism — and
+// verifies the runs are record-identical while it is at it.
+
+// SimBenchRun is one measured worker count.
+type SimBenchRun struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// SpeedupVsSerial is serial_seconds / seconds.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// SimBenchResult is the full snapshot.
+type SimBenchResult struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Satellites int    `json:"satellites"`
+	Locations  int    `json:"locations"`
+	Days       int    `json:"days"`
+	// CapturesPerRun is the number of (day, location, satellite) visits
+	// each measured run processes.
+	CapturesPerRun int `json:"captures_per_run"`
+	// BootstrapSeconds is the serial-by-design bootstrap phase, measured
+	// once and excluded from every run's Seconds.
+	BootstrapSeconds float64       `json:"bootstrap_seconds"`
+	SerialSeconds    float64       `json:"serial_seconds"`
+	Runs             []SimBenchRun `json:"runs"`
+	// Deterministic reports whether every run produced records identical
+	// to the serial run (timing fields excluded).
+	Deterministic bool `json:"deterministic"`
+	path          string
+}
+
+// ID implements Result.
+func (r *SimBenchResult) ID() string { return "Sim engine perf snapshot" }
+
+// Render implements Result.
+func (r *SimBenchResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "workload: %d locations x %d satellites x %d days = %d captures, GOMAXPROCS=%d\n",
+		r.Locations, r.Satellites, r.Days, r.CapturesPerRun, r.GOMAXPROCS)
+	fmt.Fprintf(w, "serial bootstrap phase (excluded from runs): %.2fs\n", r.BootstrapSeconds)
+	fmt.Fprintf(w, "%-10s %10s %10s\n", "workers", "seconds", "speedup")
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%-10d %10.2f %9.2fx\n", run.Workers, run.Seconds, run.SpeedupVsSerial)
+	}
+	fmt.Fprintf(w, "records identical across worker counts: %v\n", r.Deterministic)
+	if r.path != "" {
+		fmt.Fprintf(w, "snapshot written to %s\n", r.path)
+	}
+	return nil
+}
+
+// simBenchDays is the measured evaluation window.
+const simBenchDays = 4
+
+// SimBench measures a whole-constellation Earth+ run at worker counts 1,
+// 2, 4 and GOMAXPROCS and, when outPath is non-empty, writes the JSON
+// snapshot there.
+func SimBench(outPath string) (*SimBenchResult, error) {
+	cfg := richConfig(QuickScale())
+	const satellites = 8
+	res := &SimBenchResult{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Satellites: satellites,
+		Locations:  len(cfg.Locations),
+		Days:       simBenchDays,
+		path:       outPath,
+	}
+
+	mkRun := func(workers int) (*sim.Env, sim.System, error) {
+		env := envFor(cfg, simBenchOrbit(satellites), defaultUplinkDivisor)
+		env.Parallelism = workers
+		cc := core.DefaultConfig()
+		// Pin the codec to one thread so the measurement isolates the
+		// engine's location sharding from band-level parallelism.
+		cc.CodecOpts.Parallelism = 1
+		sys, err := core.New(env, cc)
+		return env, sys, err
+	}
+
+	// The bootstrap phase is serial by design (it runs once, before any
+	// day), so it is measured separately — with a zero-day window — and
+	// subtracted from each timed run; otherwise its fixed cost would
+	// deflate every speedup figure.
+	bootSec := 0.0
+	{
+		env, sys, err := mkRun(1)
+		if err != nil {
+			return nil, fmt.Errorf("simbench: bootstrap run: %w", err)
+		}
+		t0 := time.Now()
+		if _, err := sim.RunStream(env, sys, 10, 40, 40, nil); err != nil {
+			return nil, fmt.Errorf("simbench: bootstrap run: %w", err)
+		}
+		bootSec = time.Since(t0).Seconds()
+	}
+	res.BootstrapSeconds = bootSec
+
+	measure := func(workers int) ([]sim.Record, float64, error) {
+		env, sys, err := mkRun(workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		var recs []sim.Record
+		t0 := time.Now()
+		_, err = sim.RunStream(env, sys, 10, 40, 40+simBenchDays, func(r *sim.Record) {
+			recs = append(recs, *r)
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		sec := time.Since(t0).Seconds() - bootSec
+		if sec < 0 {
+			sec = 0
+		}
+		return recs, sec, nil
+	}
+
+	serialRecs, serialSec, err := measure(1)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: serial run: %w", err)
+	}
+	res.SerialSeconds = serialSec
+	res.CapturesPerRun = len(serialRecs)
+	res.Runs = append(res.Runs, SimBenchRun{Workers: 1, Seconds: serialSec, SpeedupVsSerial: 1})
+	res.Deterministic = true
+
+	workerSweep := []int{2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerSweep = append(workerSweep, p)
+	}
+	for _, wkr := range workerSweep {
+		recs, sec, err := measure(wkr)
+		if err != nil {
+			return nil, fmt.Errorf("simbench: %d workers: %w", wkr, err)
+		}
+		if !sim.RecordsEqualIgnoringTimings(serialRecs, recs) {
+			res.Deterministic = false
+		}
+		res.Runs = append(res.Runs, SimBenchRun{Workers: wkr, Seconds: sec, SpeedupVsSerial: serialSec / sec})
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("simbench: writing snapshot: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// simBenchOrbit visits every location with ~2 satellites per day: a dense
+// whole-constellation day without an unrealistic all-sats-every-day
+// schedule.
+func simBenchOrbit(satellites int) orbit.Constellation {
+	return orbit.Constellation{Satellites: satellites, RevisitDays: 4}
+}

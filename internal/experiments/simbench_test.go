@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simbench measures wall-clock runs")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	res, err := SimBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapturesPerRun == 0 {
+		t.Fatal("benchmark processed no captures")
+	}
+	if !res.Deterministic {
+		t.Fatal("sharded runs diverged from the serial run")
+	}
+	if len(res.Runs) < 3 || res.Runs[0].Workers != 1 || res.Runs[0].SpeedupVsSerial != 1 {
+		t.Fatalf("unexpected run sweep: %+v", res.Runs)
+	}
+	for _, run := range res.Runs {
+		if run.Seconds <= 0 || run.SpeedupVsSerial <= 0 {
+			t.Fatalf("degenerate measurement: %+v", run)
+		}
+	}
+	if res.ID() == "" {
+		t.Fatal("empty ID")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedup") {
+		t.Fatalf("render missing speedup column:\n%s", sb.String())
+	}
+	if err := res.Render(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,6 +58,19 @@ func (im *Image) Clone() *Image {
 	return out
 }
 
+// CopyFrom overwrites every plane of im with src's pixels. The images must
+// have the same shape; it panics otherwise (like Clone, copying is an
+// internal construction step, so a shape mismatch is a programming error).
+func (im *Image) CopyFrom(src *Image) {
+	if !im.SameShape(src) {
+		panic(fmt.Sprintf("raster: CopyFrom shape mismatch %dx%dx%d vs %dx%dx%d",
+			im.Width, im.Height, len(im.Bands), src.Width, src.Height, len(src.Bands)))
+	}
+	for b := range im.Pix {
+		copy(im.Pix[b], src.Pix[b])
+	}
+}
+
 // CloneBand returns a single-band image copied from band b.
 func (im *Image) CloneBand(b int) *Image {
 	out := New(im.Width, im.Height, []BandInfo{im.Bands[b]})
@@ -91,6 +104,24 @@ func (im *Image) Clamp() {
 func (im *Image) SameShape(other *Image) bool {
 	return other != nil && im.Width == other.Width && im.Height == other.Height &&
 		len(im.Bands) == len(other.Bands)
+}
+
+// Equal reports whether two images have the same shape and bit-identical
+// pixels in every band (band metadata is not compared). Exact-reproduction
+// invariants (reference mirrors, pooled synthesis) are asserted with it.
+func (im *Image) Equal(other *Image) bool {
+	if !im.SameShape(other) {
+		return false
+	}
+	for b := range im.Pix {
+		p, q := im.Pix[b], other.Pix[b]
+		for i, v := range p {
+			if q[i] != v {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Downsample box-averages the image by an integer factor per axis. The image

@@ -7,6 +7,7 @@ package sat
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"earthplus/internal/change"
@@ -28,7 +29,14 @@ type LowResRef struct {
 // RefCache holds a satellite's on-board reference images, keyed by
 // location. Earth+ caches references on board so that uplink updates only
 // need to carry changed reference tiles (§4.3).
+//
+// The cache is safe for concurrent use on DISTINCT locations: the sharded
+// simulation engine looks up references for many locations at once while a
+// satellite's cache is shared across its day's visits. Same-location
+// ordering is the caller's responsibility (the engine serialises each
+// location's visit sequence).
 type RefCache struct {
+	mu   sync.RWMutex
 	refs map[int]*LowResRef
 }
 
@@ -38,20 +46,28 @@ func NewRefCache() *RefCache {
 }
 
 // Get returns the cached reference for loc, or nil.
-func (c *RefCache) Get(loc int) *LowResRef { return c.refs[loc] }
+func (c *RefCache) Get(loc int) *LowResRef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.refs[loc]
+}
 
 // Put replaces the reference for loc (the image is not copied).
 func (c *RefCache) Put(loc int, im *raster.Image, day int) {
+	c.mu.Lock()
 	c.refs[loc] = &LowResRef{Image: im, Day: day}
+	c.mu.Unlock()
 }
 
 // ApplyTileUpdate copies the marked low-resolution tiles of update into the
 // cached reference for loc and advances its day. A missing cache entry is
 // created from the update itself.
 func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*raster.TileMask, day int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	ref := c.refs[loc]
 	if ref == nil {
-		c.Put(loc, update.Clone(), day)
+		c.refs[loc] = &LowResRef{Image: update.Clone(), Day: day}
 		return
 	}
 	for b, mask := range perBand {
@@ -70,6 +86,8 @@ func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*ras
 // StorageBytes returns the cache's footprint assuming bytesPerPixel of
 // storage per band sample.
 func (c *RefCache) StorageBytes(bytesPerPixel float64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var total float64
 	for _, r := range c.refs {
 		total += float64(r.Image.Width*r.Image.Height*r.Image.NumBands()) * bytesPerPixel
@@ -78,7 +96,11 @@ func (c *RefCache) StorageBytes(bytesPerPixel float64) int64 {
 }
 
 // Len returns the number of cached references.
-func (c *RefCache) Len() int { return len(c.refs) }
+func (c *RefCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.refs)
+}
 
 // Pipeline is the on-board change-detection pipeline of §5.
 type Pipeline struct {

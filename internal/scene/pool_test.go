@@ -1,0 +1,83 @@
+package scene
+
+import (
+	"testing"
+
+	"earthplus/internal/raster"
+)
+
+// The capture pools must be invisible: recycling buffers through
+// ReleaseCapture cannot change a single synthesized pixel, and foreign
+// images must never enter the pool.
+
+func clonedCapture(c *Capture) (img, truth *raster.Image, bits []bool) {
+	bits = append([]bool(nil), c.TrueCloud.Bits...)
+	return c.Image.Clone(), c.Truth.Clone(), bits
+}
+
+func TestReleaseCaptureKeepsSynthesisDeterministic(t *testing.T) {
+	s := New(LargeConstellationSampled(Quick))
+	first := s.CaptureImage(0, 50, 1)
+	wantImg, wantTruth, wantBits := clonedCapture(first)
+	wantCov := first.Coverage
+	s.ReleaseCapture(first)
+	if first.Image != nil || first.Truth != nil || first.TrueCloud != nil {
+		t.Fatal("ReleaseCapture left dangling references")
+	}
+
+	// Churn other captures through the pools, then regenerate the original.
+	for d := 0; d < 5; d++ {
+		c := s.CaptureImage(0, 60+d, 0)
+		s.ReleaseCapture(c)
+	}
+	again := s.CaptureImage(0, 50, 1)
+	if again.Coverage != wantCov {
+		t.Fatalf("coverage changed after pooling: %v vs %v", again.Coverage, wantCov)
+	}
+	for b := range again.Image.Pix {
+		for i, v := range again.Image.Pix[b] {
+			if wantImg.Pix[b][i] != v {
+				t.Fatalf("pooled capture pixel diverged at band %d index %d", b, i)
+			}
+			if wantTruth.Pix[b][i] != again.Truth.Pix[b][i] {
+				t.Fatalf("pooled truth pixel diverged at band %d index %d", b, i)
+			}
+		}
+	}
+	for i, v := range again.TrueCloud.Bits {
+		if wantBits[i] != v {
+			t.Fatalf("pooled cloud mask diverged at %d", i)
+		}
+	}
+}
+
+func TestReleaseCaptureRecyclesBuffers(t *testing.T) {
+	s := New(LargeConstellationSampled(Quick))
+	// sync.Pool may drop items across GC cycles, so a single Put/Get pair
+	// cannot be asserted; but across several single-goroutine rounds at
+	// least one released image must come back out of the pool.
+	released := map[*raster.Image]bool{}
+	for d := 0; d < 10; d++ {
+		c := s.CaptureImage(0, 42+d, 0)
+		if released[c.Image] || released[c.Truth] {
+			return // a pooled buffer was recycled
+		}
+		released[c.Image], released[c.Truth] = true, true
+		s.ReleaseCapture(c)
+	}
+	t.Fatal("no released capture buffer was ever recycled")
+}
+
+func TestReleaseImageRejectsForeignShapes(t *testing.T) {
+	s := New(LargeConstellationSampled(Quick))
+	foreign := raster.New(8, 8, s.Bands())
+	s.ReleaseImage(foreign) // must be ignored, not pooled
+	c := s.CaptureImage(0, 10, 0)
+	if c.Image.Width != s.Config().Width || c.Image.Height != s.Config().Height {
+		t.Fatalf("capture has wrong geometry %dx%d", c.Image.Width, c.Image.Height)
+	}
+	s.ReleaseCapture(c)
+	// Releasing nil or a double-released capture shell must be harmless.
+	s.ReleaseCapture(nil)
+	s.ReleaseCapture(c)
+}

@@ -135,7 +135,10 @@ type Capture struct {
 	Coverage float64
 }
 
-// Scene generates imagery for a dataset configuration.
+// Scene generates imagery for a dataset configuration. CaptureImage and
+// GroundTruth are safe for concurrent use; per-location synthesis state is
+// guarded by the scene mutex and everything else is a pure function of
+// (seed, location, day), so results never depend on call order.
 type Scene struct {
 	cfg      Config
 	src      *noise.Source
@@ -144,6 +147,13 @@ type Scene struct {
 
 	mu   sync.Mutex
 	locs []*locState
+
+	// Pools recycle capture-sized buffers so scene synthesis stops
+	// allocating per visit once the simulation reaches steady state.
+	// Callers opt in by returning finished captures via ReleaseCapture.
+	imgPool  sync.Pool // *raster.Image with the scene geometry
+	f32Pool  sync.Pool // []float32 of Width*Height
+	maskPool sync.Pool // *cloud.Mask of Width*Height
 }
 
 // locState caches per-location synthesis state.
@@ -175,7 +185,50 @@ func New(cfg Config) *Scene {
 		s.profiles[i] = profileFor(b)
 	}
 	s.locs = make([]*locState, len(cfg.Locations))
+	s.imgPool.New = func() any { return raster.New(cfg.Width, cfg.Height, cfg.Bands) }
+	s.f32Pool.New = func() any { return make([]float32, cfg.Width*cfg.Height) }
+	s.maskPool.New = func() any { return cloud.NewMask(cfg.Width, cfg.Height) }
 	return s
+}
+
+// getImage returns a pooled capture-sized image. Its content is stale; the
+// caller must fully overwrite every plane.
+func (s *Scene) getImage() *raster.Image { return s.imgPool.Get().(*raster.Image) }
+
+// getF32 returns a pooled Width*Height scratch plane with stale content.
+func (s *Scene) getF32() []float32 { return s.f32Pool.Get().([]float32) }
+
+// getMask returns a pooled all-clear cloud mask.
+func (s *Scene) getMask() *cloud.Mask {
+	m := s.maskPool.Get().(*cloud.Mask)
+	clear(m.Bits)
+	return m
+}
+
+// ReleaseImage returns an image with the scene's geometry to the capture
+// pool. Images of any other shape are ignored. The caller must not touch
+// the image afterwards.
+func (s *Scene) ReleaseImage(im *raster.Image) {
+	if im == nil || im.Width != s.cfg.Width || im.Height != s.cfg.Height || len(im.Pix) != len(s.cfg.Bands) {
+		return
+	}
+	s.imgPool.Put(im)
+}
+
+// ReleaseCapture recycles a finished capture's buffers (image, truth and
+// cloud mask) into the scene's pools and clears the capture's references so
+// accidental reuse fails fast. Callers that retain any of the capture's
+// images must clone them first (every sim.System already does).
+func (s *Scene) ReleaseCapture(c *Capture) {
+	if c == nil {
+		return
+	}
+	s.ReleaseImage(c.Image)
+	s.ReleaseImage(c.Truth)
+	if c.TrueCloud != nil && len(c.TrueCloud.Bits) == s.cfg.Width*s.cfg.Height {
+		s.maskPool.Put(c.TrueCloud)
+	}
+	c.Image, c.Truth, c.TrueCloud = nil, nil, nil
 }
 
 // Config returns the scene's configuration.
@@ -286,7 +339,8 @@ func (s *Scene) groundTruthLocked(loc, day int) *raster.Image {
 		}
 		st.canvasDay = day
 	}
-	out := st.canvas.Clone()
+	out := s.getImage()
+	out.CopyFrom(st.canvas)
 	s.applySeasonal(out, st, day)
 	if s.cfg.Locations[loc].SnowProne {
 		s.applySnow(out, st, loc, day)
@@ -379,18 +433,22 @@ func (s *Scene) CloudCoverageTarget(loc, day int) float64 {
 // cloudField renders the optical-thickness plane tau in [0,1] for
 // (loc, day) hitting the day's coverage target, plus the truth mask
 // (tau > 0.15).
+// The returned tau plane comes from the scene's scratch pool; CaptureImage
+// returns it via putF32 once the cloud blend is done.
 func (s *Scene) cloudField(loc, day int) ([]float32, *cloud.Mask, float64) {
 	w, h := s.cfg.Width, s.cfg.Height
 	target := s.CloudCoverageTarget(loc, day)
-	tau := make([]float32, w*h)
+	tau := s.getF32()
 	if target < 0.002 {
-		return tau, cloud.NewMask(w, h), 0
+		clear(tau)
+		return tau, s.getMask(), 0
 	}
-	field := make([]float32, w*h)
+	field := s.getF32()
+	defer s.f32Pool.Put(field)
 	sub := noise.New(s.cfg.Seed ^ uint64(loc)*0x9e3779b97f4a7c15 ^ uint64(day)*0x94d049bb133111eb)
 	sub.FillFBM(field, w, h, 4, 4)
 	thresh := quantileApprox(field, 1-target)
-	mask := cloud.NewMask(w, h)
+	mask := s.getMask()
 	covered := 0
 	// Optical thickness ramps from 0 at the threshold so near-clear days
 	// stay genuinely clear; the ramp itself is the thin-haze fringe that
@@ -447,7 +505,8 @@ func (s *Scene) CaptureImage(loc, day, sat int) *Capture {
 	s.mu.Unlock()
 
 	tau, mask, coverage := s.cloudField(loc, day)
-	im := truth.Clone()
+	im := s.getImage()
+	im.CopyFrom(truth)
 	for b := range s.cfg.Bands {
 		cv := s.profiles[b].cloudValue
 		dst := im.Plane(b)
@@ -457,6 +516,7 @@ func (s *Scene) CaptureImage(loc, day, sat int) *Capture {
 			}
 		}
 	}
+	s.f32Pool.Put(tau)
 	if s.cfg.AtmosVariability > 0 {
 		s.applyAtmosphere(im, loc, day)
 	}
@@ -482,7 +542,8 @@ func (s *Scene) CaptureImage(loc, day, sat int) *Capture {
 // little on them (Fig 14).
 func (s *Scene) applyAtmosphere(im *raster.Image, loc, day int) {
 	w, h := s.cfg.Width, s.cfg.Height
-	field := make([]float32, w*h)
+	field := s.getF32()
+	defer s.f32Pool.Put(field)
 	sub := noise.New(s.cfg.Seed ^ uint64(loc)*0xd6e8feb86659fd93 ^ uint64(day)*0xa0761d6478bd642f)
 	sub.FillFBM(field, w, h, 2, 2)
 	amp := float32(s.cfg.AtmosVariability)

@@ -1,0 +1,143 @@
+package sim_test
+
+// End-to-end determinism: the sharded engine must produce records
+// identical to the serial path at any worker count, for Earth+ (whose
+// ground segment and reference caches are the hardest state to shard) and
+// for Kodan. CI runs this under -race, so it also proves the concurrent
+// OnCapture path is data-race-free.
+
+import (
+	"testing"
+
+	"earthplus/internal/baseline"
+	"earthplus/internal/codec"
+	"earthplus/internal/core"
+	"earthplus/internal/link"
+	"earthplus/internal/orbit"
+	"earthplus/internal/raster"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+)
+
+// detConfig is a small scene with enough locations to exercise real
+// sharding: snow, clouds and several content types at 64x64.
+func detConfig() scene.Config {
+	return scene.Config{
+		Seed:     9137,
+		Width:    64,
+		Height:   64,
+		TileSize: 16,
+		Bands:    raster.PlanetBands(),
+		Locations: []scene.Location{
+			{Name: "A", Content: scene.Coastal},
+			{Name: "B", Content: scene.Forest},
+			{Name: "C", Content: scene.Snowfield, SnowProne: true},
+			{Name: "D", Content: scene.City},
+			{Name: "E", Content: scene.Agriculture},
+		},
+		Clouds:            scene.DefaultClouds(),
+		Changes:           scene.DefaultChanges(),
+		IllumGainJitter:   0.10,
+		IllumOffsetJitter: 0.03,
+		SensorNoise:       0.004,
+		AtmosVariability:  0.03,
+		MicroTexture:      0.12,
+	}
+}
+
+func detEnv(parallelism int) *sim.Env {
+	return &sim.Env{
+		Scene:             scene.New(detConfig()),
+		Orbit:             orbit.Constellation{Satellites: 4, RevisitDays: 2},
+		Downlink:          link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+		UplinkBytesPerDay: 6 << 10, // tight enough to exercise uplink trimming
+		Parallelism:       parallelism,
+	}
+}
+
+// runDet runs one system builder over a short window.
+func runDet(t *testing.T, parallelism int, mk func(env *sim.Env) (sim.System, error)) *sim.Result {
+	t.Helper()
+	env := detEnv(parallelism)
+	sys, err := mk(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(env, sys, 5, 30, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no captures simulated")
+	}
+	return res
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	systems := []struct {
+		name string
+		mk   func(env *sim.Env) (sim.System, error)
+	}{
+		{"Earth+", func(env *sim.Env) (sim.System, error) {
+			cfg := core.DefaultConfig()
+			cfg.GuaranteePeriodDays = 4 // exercise guaranteed downloads in-window
+			return core.New(env, cfg)
+		}},
+		{"Kodan", func(env *sim.Env) (sim.System, error) {
+			return baseline.NewKodan(env, 1.0, codec.DefaultOptions())
+		}},
+	}
+	for _, sys := range systems {
+		t.Run(sys.name, func(t *testing.T) {
+			serial := runDet(t, 1, sys.mk)
+			for _, workers := range []int{4, 8} {
+				got := runDet(t, workers, sys.mk)
+				if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
+					t.Fatalf("records at Parallelism=%d differ from serial run", workers)
+				}
+				if len(got.UpBytesByDay) != len(serial.UpBytesByDay) {
+					t.Fatalf("uplink day count at Parallelism=%d: %d vs %d", workers, len(got.UpBytesByDay), len(serial.UpBytesByDay))
+				}
+				for day, up := range serial.UpBytesByDay {
+					if got.UpBytesByDay[day] != up {
+						t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunStreamMatchesRun pins the streaming emitter to the retained-record
+// path: same records, same order, and a streamed Accumulator must summarise
+// exactly like Summarize over the retained set.
+func TestRunStreamMatchesRun(t *testing.T) {
+	mk := func(env *sim.Env) (sim.System, error) {
+		return baseline.NewKodan(env, 1.0, codec.DefaultOptions())
+	}
+	want := runDet(t, 2, mk)
+
+	env := detEnv(2)
+	sys, err := mk(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := sim.NewAccumulator()
+	var streamed []sim.Record
+	res, err := sim.RunStream(env, sys, 5, 30, 36, func(r *sim.Record) {
+		acc.Add(r)
+		streamed = append(streamed, *r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != nil {
+		t.Fatal("RunStream retained records")
+	}
+	if !sim.RecordsEqualIgnoringTimings(want.Records, streamed) {
+		t.Fatal("streamed records differ from Run records")
+	}
+	if got, wantS := acc.Summary(res, env.Downlink), sim.Summarize(want, env.Downlink); got != wantS {
+		t.Fatalf("streamed summary %+v != retained summary %+v", got, wantS)
+	}
+}

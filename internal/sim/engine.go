@@ -1,0 +1,183 @@
+// The sharded parallel simulation engine. One simulated day is split into
+// per-location shards: a location's visit sequence is always processed in
+// order by a single worker, distinct locations run concurrently on a
+// bounded pool, and the resulting records are merged back into exactly the
+// serial walk order (day ascending, then location ascending, then visiting
+// satellites in ascending id order). Day-end ground work (reference-upload
+// packing) runs on a sequential barrier between days, because the uplink
+// budget couples locations.
+//
+// The engine guarantees determinism: because Systems only share state
+// across locations at the day-end barrier, every Record field except the
+// measured wall-clock timings (EncodeSec, CloudSec, ChangeSec) is
+// byte-identical at any worker count, including the serial path.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"earthplus/internal/raster"
+)
+
+// Workers resolves a requested simulation parallelism against n location
+// shards, following the codec.Parallelism convention: values <= 0 mean
+// GOMAXPROCS, and the pool never exceeds the shard count.
+func Workers(requested, n int) int {
+	p := requested
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// RunStream simulates days [startDay, endDay) like Run, but hands each
+// Record to emit in the deterministic serial order instead of retaining it.
+// The returned Result carries the run's aggregates (System, Days,
+// UpBytesByDay) with Records nil; a nil emit discards records. Experiments
+// that only need aggregates use this with an Accumulator so that
+// whole-constellation runs hold a bounded number of records in memory at
+// once (at most one day's worth) instead of the full evaluation window.
+func RunStream(env *Env, sys System, bootstrapFrom, startDay, endDay int, emit func(*Record)) (*Result, error) {
+	if err := env.Orbit.Validate(); err != nil {
+		return nil, err
+	}
+	if err := bootstrap(env, sys, bootstrapFrom, startDay); err != nil {
+		return nil, err
+	}
+	res := &Result{System: sys.Name(), UpBytesByDay: make(map[int]int64), Days: endDay - startDay}
+	grid := env.Scene.Grid()
+	nLoc := env.Scene.NumLocations()
+	pool := Workers(env.Parallelism, nLoc)
+
+	// shards[loc] is reused across days; records are emitted (and the
+	// backing slices recycled) at the end of every day.
+	var shards [][]Record
+	if pool > 1 {
+		shards = make([][]Record, nLoc)
+	}
+	for day := startDay; day < endDay; day++ {
+		if pool <= 1 {
+			// Serial fast path: identical to the historical walk.
+			for loc := 0; loc < nLoc; loc++ {
+				for _, satID := range env.Orbit.VisitsOn(loc, day) {
+					rec, err := processVisit(env, sys, grid, day, loc, satID)
+					if err != nil {
+						return nil, err
+					}
+					if emit != nil {
+						emit(&rec)
+					}
+				}
+			}
+		} else {
+			if err := runDaySharded(env, sys, grid, day, pool, shards, emit); err != nil {
+				return nil, err
+			}
+		}
+		// Sequential day-end barrier: uplink packing couples locations
+		// through the shared per-satellite budget, so it never runs
+		// concurrently with captures.
+		up, err := sys.OnDayEnd(day)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s day %d ground: %w", sys.Name(), day, err)
+		}
+		res.UpBytesByDay[day] = up
+	}
+	return res, nil
+}
+
+// runDaySharded fans one day's locations out over a bounded worker pool and
+// merges the per-location records back in location order.
+func runDaySharded(env *Env, sys System, grid raster.TileGrid, day, pool int, shards [][]Record, emit func(*Record)) error {
+	nLoc := len(shards)
+	errs := make([]error, nLoc)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(pool)
+	for i := 0; i < pool; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				loc := int(next.Add(1)) - 1
+				if loc >= nLoc {
+					return
+				}
+				recs := shards[loc][:0]
+				for _, satID := range env.Orbit.VisitsOn(loc, day) {
+					rec, err := processVisit(env, sys, grid, day, loc, satID)
+					if err != nil {
+						errs[loc] = err
+						break
+					}
+					recs = append(recs, rec)
+				}
+				shards[loc] = recs
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic error selection: the lowest-location failure wins, as
+	// it would in the serial walk (later locations may have already run —
+	// their records are discarded, matching serial early-return).
+	for loc := 0; loc < nLoc; loc++ {
+		if errs[loc] != nil {
+			return errs[loc]
+		}
+	}
+	if emit != nil {
+		for loc := 0; loc < nLoc; loc++ {
+			for i := range shards[loc] {
+				emit(&shards[loc][i])
+			}
+		}
+	}
+	return nil
+}
+
+// processVisit generates one capture, runs the system on it, evaluates the
+// reconstruction and returns the capture's Record. Capture buffers (and the
+// system's reconstruction) are recycled into the scene's pools afterwards.
+func processVisit(env *Env, sys System, grid raster.TileGrid, day, loc, satID int) (Record, error) {
+	cap := env.Scene.CaptureImage(loc, day, satID)
+	out, err := sys.OnCapture(cap)
+	if err != nil {
+		env.Scene.ReleaseCapture(cap)
+		return Record{}, fmt.Errorf("sim: %s day %d loc %d sat %d: %w", sys.Name(), day, loc, satID, err)
+	}
+	rec := Record{
+		Day: day, Loc: loc, Sat: satID,
+		Dropped:      out.Dropped,
+		TrueCoverage: cap.Coverage,
+		DownBytes:    out.DownBytes,
+		PerBandBytes: out.PerBandBytes,
+		RefAge:       out.RefAge,
+		Guaranteed:   out.Guaranteed,
+		EncodeSec:    out.EncodeSec,
+		CloudSec:     out.CloudSec,
+		ChangeSec:    out.ChangeSec,
+		PSNR:         math.NaN(),
+	}
+	if out.TotalTiles > 0 {
+		rec.DownTileFrac = out.DownTilesPerBand / float64(out.TotalTiles)
+	}
+	if !out.Dropped && out.Recon != nil {
+		rec.PSNR = EvalPSNR(cap, out.Recon, grid)
+	}
+	// A well-behaved System returns a fresh reconstruction; guard against
+	// one aliasing the capture so the pools never hold an image twice.
+	if out.Recon != nil && out.Recon != cap.Image && out.Recon != cap.Truth {
+		env.Scene.ReleaseImage(out.Recon)
+	}
+	env.Scene.ReleaseCapture(cap)
+	return rec, nil
+}

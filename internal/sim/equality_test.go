@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordEqualityIgnoresTimingsOnly(t *testing.T) {
+	base := Record{
+		Day: 3, Loc: 1, Sat: 2, TrueCoverage: 0.25, DownBytes: 1000,
+		PerBandBytes: []int64{400, 600}, DownTileFrac: 0.5, PSNR: 41.5,
+		RefAge: 7, EncodeSec: 0.1, CloudSec: 0.2, ChangeSec: 0.3,
+	}
+	timingsDiffer := base
+	timingsDiffer.EncodeSec, timingsDiffer.CloudSec, timingsDiffer.ChangeSec = 9, 9, 9
+	if !base.EqualIgnoringTimings(timingsDiffer) {
+		t.Fatal("timing fields must be ignored")
+	}
+	nanA, nanB := base, base
+	nanA.PSNR, nanB.PSNR = math.NaN(), math.NaN()
+	if !nanA.EqualIgnoringTimings(nanB) {
+		t.Fatal("two NaN PSNRs must compare equal")
+	}
+
+	mutations := map[string]func(*Record){
+		"day":       func(r *Record) { r.Day++ },
+		"loc":       func(r *Record) { r.Loc++ },
+		"sat":       func(r *Record) { r.Sat++ },
+		"dropped":   func(r *Record) { r.Dropped = true },
+		"coverage":  func(r *Record) { r.TrueCoverage += 0.01 },
+		"bytes":     func(r *Record) { r.DownBytes++ },
+		"tilefrac":  func(r *Record) { r.DownTileFrac += 0.01 },
+		"psnr":      func(r *Record) { r.PSNR += 0.01 },
+		"psnr-nan":  func(r *Record) { r.PSNR = math.NaN() },
+		"refage":    func(r *Record) { r.RefAge++ },
+		"guarantee": func(r *Record) { r.Guaranteed = true },
+		"bandlen":   func(r *Record) { r.PerBandBytes = []int64{400} },
+		"bandval":   func(r *Record) { r.PerBandBytes = []int64{400, 601} },
+	}
+	for name, mutate := range mutations {
+		got := base
+		got.PerBandBytes = append([]int64(nil), base.PerBandBytes...)
+		mutate(&got)
+		if base.EqualIgnoringTimings(got) {
+			t.Fatalf("%s mutation not detected", name)
+		}
+	}
+
+	if !RecordsEqualIgnoringTimings([]Record{base}, []Record{timingsDiffer}) {
+		t.Fatal("sequence comparison must ignore timings")
+	}
+	if RecordsEqualIgnoringTimings([]Record{base}, nil) {
+		t.Fatal("length mismatch not detected")
+	}
+	changed := base
+	changed.DownBytes++
+	if RecordsEqualIgnoringTimings([]Record{base}, []Record{changed}) {
+		t.Fatal("element mismatch not detected")
+	}
+}
+
+func TestWorkersConvention(t *testing.T) {
+	if got := Workers(1, 10); got != 1 {
+		t.Fatalf("Workers(1,10) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8,3) = %d (must not exceed shard count)", got)
+	}
+	if got := Workers(0, 64); got < 1 {
+		t.Fatalf("Workers(0,64) = %d", got)
+	}
+	if got := Workers(-5, 0); got != 1 {
+		t.Fatalf("Workers(-5,0) = %d", got)
+	}
+}

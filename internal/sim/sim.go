@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"earthplus/internal/illum"
 	"earthplus/internal/link"
@@ -25,6 +26,12 @@ type Env struct {
 	// (<= 0 means unlimited). See EXPERIMENTS.md for how the Doves uplink
 	// is scaled down to the modeled location count.
 	UplinkBytesPerDay int64
+	// Parallelism bounds how many locations are simulated concurrently
+	// within one day (the codec.Parallelism convention: <= 0 means
+	// GOMAXPROCS, 1 forces the serial path). Each location's visit
+	// sequence stays ordered and records merge back into serial order, so
+	// results are identical at any setting; see engine.go.
+	Parallelism int
 }
 
 // Outcome is what a System reports for one processed capture.
@@ -82,6 +89,46 @@ type Record struct {
 	ChangeSec     float64
 }
 
+// EqualIgnoringTimings reports whether two records carry identical results,
+// ignoring the measured wall-clock fields (EncodeSec, CloudSec, ChangeSec
+// legitimately vary run to run) and treating two NaN PSNRs as equal. This
+// is the engine's determinism contract: every other field is byte-identical
+// at any worker count.
+func (r Record) EqualIgnoringTimings(o Record) bool {
+	if r.Day != o.Day || r.Loc != o.Loc || r.Sat != o.Sat ||
+		r.Dropped != o.Dropped || r.TrueCoverage != o.TrueCoverage ||
+		r.DownBytes != o.DownBytes || r.DownTileFrac != o.DownTileFrac ||
+		r.RefAge != o.RefAge || r.Guaranteed != o.Guaranteed {
+		return false
+	}
+	if !(r.PSNR == o.PSNR || (math.IsNaN(r.PSNR) && math.IsNaN(o.PSNR))) {
+		return false
+	}
+	if len(r.PerBandBytes) != len(o.PerBandBytes) {
+		return false
+	}
+	for b := range r.PerBandBytes {
+		if r.PerBandBytes[b] != o.PerBandBytes[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// RecordsEqualIgnoringTimings compares two record sequences with
+// EqualIgnoringTimings.
+func RecordsEqualIgnoringTimings(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].EqualIgnoringTimings(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Result aggregates a run.
 type Result struct {
 	System  string
@@ -94,52 +141,18 @@ type Result struct {
 
 // Run simulates days [startDay, endDay) of the environment under sys.
 // Bootstrap uses the first near-clear day at or after bootstrapFrom for
-// each location (searching up to startDay).
+// each location (searching up to startDay). Locations are sharded across
+// Env.Parallelism workers per day (see engine.go); the returned Result is
+// identical to a serial walk at any worker count.
 func Run(env *Env, sys System, bootstrapFrom, startDay, endDay int) (*Result, error) {
-	if err := env.Orbit.Validate(); err != nil {
+	var records []Record
+	res, err := RunStream(env, sys, bootstrapFrom, startDay, endDay, func(r *Record) {
+		records = append(records, *r)
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := bootstrap(env, sys, bootstrapFrom, startDay); err != nil {
-		return nil, err
-	}
-	res := &Result{System: sys.Name(), UpBytesByDay: make(map[int]int64), Days: endDay - startDay}
-	grid := env.Scene.Grid()
-	for day := startDay; day < endDay; day++ {
-		for loc := 0; loc < env.Scene.NumLocations(); loc++ {
-			for _, satID := range env.Orbit.VisitsOn(loc, day) {
-				cap := env.Scene.CaptureImage(loc, day, satID)
-				out, err := sys.OnCapture(cap)
-				if err != nil {
-					return nil, fmt.Errorf("sim: %s day %d loc %d sat %d: %w", sys.Name(), day, loc, satID, err)
-				}
-				rec := Record{
-					Day: day, Loc: loc, Sat: satID,
-					Dropped:      out.Dropped,
-					TrueCoverage: cap.Coverage,
-					DownBytes:    out.DownBytes,
-					PerBandBytes: out.PerBandBytes,
-					RefAge:       out.RefAge,
-					Guaranteed:   out.Guaranteed,
-					EncodeSec:    out.EncodeSec,
-					CloudSec:     out.CloudSec,
-					ChangeSec:    out.ChangeSec,
-					PSNR:         math.NaN(),
-				}
-				if out.TotalTiles > 0 {
-					rec.DownTileFrac = out.DownTilesPerBand / float64(out.TotalTiles)
-				}
-				if !out.Dropped && out.Recon != nil {
-					rec.PSNR = EvalPSNR(cap, out.Recon, grid)
-				}
-				res.Records = append(res.Records, rec)
-			}
-		}
-		up, err := sys.OnDayEnd(day)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s day %d ground: %w", sys.Name(), day, err)
-		}
-		res.UpBytesByDay[day] = up
-	}
+	res.Records = records
 	return res, nil
 }
 
@@ -205,7 +218,10 @@ func bootstrap(env *Env, sys System, fromDay, beforeDay int) error {
 		if len(sats) > 0 {
 			satID = sats[0]
 		}
-		if err := sys.Bootstrap(env.Scene.CaptureImage(loc, day, satID)); err != nil {
+		cap := env.Scene.CaptureImage(loc, day, satID)
+		err := sys.Bootstrap(cap)
+		env.Scene.ReleaseCapture(cap)
+		if err != nil {
 			return fmt.Errorf("sim: bootstrap loc %d: %w", loc, err)
 		}
 	}
@@ -227,54 +243,85 @@ type Summary struct {
 	MeanUpBytesPerDay   float64
 }
 
-// Summarize computes aggregates from a run under the given downlink model.
-func Summarize(res *Result, down link.Budget) Summary {
-	var s Summary
-	var psnrSum float64
-	var psnrN int
-	var bytesSum float64
-	var tileSum float64
-	var nonDropped int
-	var refSum float64
-	var refN int
-	perSatDay := map[[2]int]int64{}
-	for _, r := range res.Records {
-		s.Captures++
-		if r.Dropped {
-			s.Dropped++
-			continue
+// Accumulator folds Records into a Summary one at a time, so streaming
+// runs (RunStream) can aggregate whole-constellation experiments without
+// retaining the record set. Add every record, then call Summary with the
+// run-level aggregates.
+type Accumulator struct {
+	s          Summary
+	psnrSum    float64
+	psnrN      int
+	bytesSum   float64
+	tileSum    float64
+	nonDropped int
+	refSum     float64
+	refN       int
+	perSatDay  map[[2]int]int64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{perSatDay: map[[2]int]int64{}}
+}
+
+// Add folds one record in. It is not safe for concurrent use; RunStream
+// emits from a single goroutine.
+func (a *Accumulator) Add(r *Record) {
+	a.s.Captures++
+	if r.Dropped {
+		a.s.Dropped++
+		return
+	}
+	a.nonDropped++
+	a.bytesSum += float64(r.DownBytes)
+	a.tileSum += r.DownTileFrac
+	a.s.TotalDownBytes += r.DownBytes
+	a.perSatDay[[2]int{r.Sat, r.Day}] += r.DownBytes
+	if !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0) {
+		a.psnrSum += r.PSNR
+		a.psnrN++
+	}
+	if r.RefAge >= 0 {
+		a.refSum += float64(r.RefAge)
+		a.refN++
+	}
+}
+
+// Summary finalises the aggregates for a run (res supplies the day count
+// and uplink consumption; its Records are not read, so it may come from a
+// streaming run).
+func (a *Accumulator) Summary(res *Result, down link.Budget) Summary {
+	s := a.s
+	if a.psnrN > 0 {
+		s.MeanPSNR = a.psnrSum / float64(a.psnrN)
+	}
+	if a.nonDropped > 0 {
+		s.MeanDownBytes = a.bytesSum / float64(a.nonDropped)
+		s.MeanTileFrac = a.tileSum / float64(a.nonDropped)
+	}
+	if a.refN > 0 {
+		s.MeanRefAge = a.refSum / float64(a.refN)
+	}
+	if len(a.perSatDay) > 0 {
+		// Sum in sorted key order: float addition is order-sensitive and
+		// map iteration is randomised, so a raw range would make the
+		// summary differ in the last ulp between identical runs.
+		keys := make([][2]int, 0, len(a.perSatDay))
+		for k := range a.perSatDay {
+			keys = append(keys, k)
 		}
-		nonDropped++
-		bytesSum += float64(r.DownBytes)
-		tileSum += r.DownTileFrac
-		s.TotalDownBytes += r.DownBytes
-		perSatDay[[2]int{r.Sat, r.Day}] += r.DownBytes
-		if !math.IsNaN(r.PSNR) && !math.IsInf(r.PSNR, 0) {
-			psnrSum += r.PSNR
-			psnrN++
-		}
-		if r.RefAge >= 0 {
-			refSum += float64(r.RefAge)
-			refN++
-		}
-	}
-	if psnrN > 0 {
-		s.MeanPSNR = psnrSum / float64(psnrN)
-	}
-	if nonDropped > 0 {
-		s.MeanDownBytes = bytesSum / float64(nonDropped)
-		s.MeanTileFrac = tileSum / float64(nonDropped)
-	}
-	if refN > 0 {
-		s.MeanRefAge = refSum / float64(refN)
-	}
-	if len(perSatDay) > 0 {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
 		var bpsSum float64
 		secondsPerDay := down.SecondsPerContact * float64(down.ContactsPerDay)
-		for _, b := range perSatDay {
-			bpsSum += float64(b) * 8 / secondsPerDay
+		for _, k := range keys {
+			bpsSum += float64(a.perSatDay[k]) * 8 / secondsPerDay
 		}
-		s.RequiredDownlinkBps = bpsSum / float64(len(perSatDay))
+		s.RequiredDownlinkBps = bpsSum / float64(len(a.perSatDay))
 	}
 	if res.Days > 0 {
 		var up int64
@@ -284,4 +331,14 @@ func Summarize(res *Result, down link.Budget) Summary {
 		s.MeanUpBytesPerDay = float64(up) / float64(res.Days)
 	}
 	return s
+}
+
+// Summarize computes aggregates from a retained-record run under the given
+// downlink model.
+func Summarize(res *Result, down link.Budget) Summary {
+	a := NewAccumulator()
+	for i := range res.Records {
+		a.Add(&res.Records[i])
+	}
+	return a.Summary(res, down)
 }

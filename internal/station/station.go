@@ -8,6 +8,7 @@ package station
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"earthplus/internal/cloud"
 	"earthplus/internal/codec"
@@ -23,6 +24,14 @@ type refState struct {
 
 // Ground is the ground-segment state shared by all ground stations (the
 // paper treats connected ground stations as one logical overlay point).
+//
+// Concurrency: all per-location state (archive, bestRef) is sharded by
+// location and guarded by a per-location lock, so the sharded simulation
+// engine may process distinct locations concurrently; calls for the SAME
+// location must stay ordered (the engine serialises each location's visit
+// sequence). The per-satellite mirrors are only touched by the day-end
+// uplink packing, which runs on the engine's sequential barrier, and are
+// guarded by their own lock.
 type Ground struct {
 	bands      []raster.BandInfo
 	grid       raster.TileGrid
@@ -34,11 +43,13 @@ type Ground struct {
 	// maxRefCloud is the coverage bound for reference candidacy (<1%).
 	maxRefCloud float64
 
+	locMu   []sync.Mutex    // per location: guards archive[loc] and bestRef[loc]
 	archive []*raster.Image // per location: latest known full-res content
 	bestRef []*refState     // per location: freshest cloud-free reference (downsampled)
 	// mirrors[sat][loc] tracks what each satellite's on-board cache holds,
 	// so uploads can carry only changed reference tiles (§4.3).
-	mirrors map[int][]*refState
+	mirrorMu sync.Mutex
+	mirrors  map[int][]*refState
 }
 
 // Config parameterises the ground segment.
@@ -70,6 +81,7 @@ func NewGround(cfg Config, numLocations int) (*Ground, error) {
 		codecOpts:   cfg.CodecOpts,
 		refBPP:      cfg.RefBPP,
 		maxRefCloud: cfg.MaxRefCloud,
+		locMu:       make([]sync.Mutex, numLocations),
 		archive:     make([]*raster.Image, numLocations),
 		bestRef:     make([]*refState, numLocations),
 		mirrors:     make(map[int][]*refState),
@@ -77,11 +89,19 @@ func NewGround(cfg Config, numLocations int) (*Ground, error) {
 }
 
 // Archive returns the ground's current full-resolution view of loc (nil
-// before any download). Callers must not mutate it.
-func (g *Ground) Archive(loc int) *raster.Image { return g.archive[loc] }
+// before any download). Callers must not mutate it, and — like every
+// same-location operation — must not race it with a concurrent download
+// application for the same loc.
+func (g *Ground) Archive(loc int) *raster.Image {
+	g.locMu[loc].Lock()
+	defer g.locMu[loc].Unlock()
+	return g.archive[loc]
+}
 
 // Recon returns a copy of the archive for evaluation.
 func (g *Ground) Recon(loc int) *raster.Image {
+	g.locMu[loc].Lock()
+	defer g.locMu[loc].Unlock()
 	if g.archive[loc] == nil {
 		return nil
 	}
@@ -90,6 +110,8 @@ func (g *Ground) Recon(loc int) *raster.Image {
 
 // BestRefDay returns the capture day of loc's current reference, or -1.
 func (g *Ground) BestRefDay(loc int) int {
+	g.locMu[loc].Lock()
+	defer g.locMu[loc].Unlock()
 	if g.bestRef[loc] == nil {
 		return -1
 	}
@@ -103,10 +125,12 @@ func (g *Ground) BestRefDay(loc int) int {
 // the archive (and hence every future reference) haze-free. This is the
 // operational payoff of re-detecting clouds on the ground (§4.3).
 func (g *Ground) ApplyDownload(loc, day int, streams [][]byte, perBandROI []*raster.TileMask, reject *raster.TileMask) error {
+	g.locMu[loc].Lock()
+	defer g.locMu[loc].Unlock()
 	if g.archive[loc] == nil {
 		g.archive[loc] = raster.New(g.grid.ImageW, g.grid.ImageH, g.bands)
 	}
-	scratch := make([]float32, g.grid.ImageW*g.grid.ImageH)
+	var scratch []float32 // allocated only when tiles must be rejected
 	for b, data := range streams {
 		if data == nil || perBandROI[b] == nil {
 			continue
@@ -117,6 +141,9 @@ func (g *Ground) ApplyDownload(loc, day int, streams [][]byte, perBandROI []*ras
 				return fmt.Errorf("station: decoding loc %d band %d: %w", loc, b, err)
 			}
 			continue
+		}
+		if scratch == nil {
+			scratch = make([]float32, g.grid.ImageW*g.grid.ImageH)
 		}
 		copy(scratch, dst)
 		if err := codec.DecodeROIPlaneInto(scratch, perBandROI[b], data, 0); err != nil {
@@ -144,6 +171,8 @@ func (g *Ground) MaybePromote(loc, day int, coverage float64) (bool, error) {
 	if coverage > g.maxRefCloud {
 		return false, nil
 	}
+	g.locMu[loc].Lock()
+	defer g.locMu[loc].Unlock()
 	low, err := g.archive[loc].Downsample(g.downsample)
 	if err != nil {
 		return false, fmt.Errorf("station: downsampling reference: %w", err)
@@ -156,7 +185,7 @@ func (g *Ground) MaybePromote(loc, day int, coverage float64) (bool, error) {
 // a capture and returns the detected per-pixel mask.
 func (g *Ground) AccurateMask(capImg *raster.Image, loc int) *cloud.Mask {
 	if rd, ok := g.accurate.(cloud.ReferenceDetector); ok {
-		return rd.DetectWithReference(capImg, g.archive[loc])
+		return rd.DetectWithReference(capImg, g.Archive(loc))
 	}
 	if g.accurate != nil {
 		return g.accurate.Detect(capImg)
@@ -174,7 +203,7 @@ func (g *Ground) ReassessCoverage(capImg *raster.Image, loc int) float64 {
 		return 0
 	}
 	if rd, ok := g.accurate.(cloud.ReferenceDetector); ok {
-		return rd.DetectWithReference(capImg, g.archive[loc]).Coverage()
+		return rd.DetectWithReference(capImg, g.Archive(loc)).Coverage()
 	}
 	return g.accurate.Detect(capImg).Coverage()
 }
@@ -205,6 +234,8 @@ const refDiffEps = 2e-3
 // paper's random skipping under uplink shortage — priority order is the
 // visit schedule, so what is dropped varies day to day.
 func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]RefUpdate, error) {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
 	mirror := g.mirrors[sat]
 	if mirror == nil {
 		mirror = make([]*refState, len(g.archive))
@@ -216,7 +247,9 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 	}
 	var updates []RefUpdate
 	for _, loc := range locs {
+		g.locMu[loc].Lock()
 		best := g.bestRef[loc]
+		g.locMu[loc].Unlock()
 		if best == nil {
 			continue
 		}
@@ -382,12 +415,16 @@ func (g *Ground) decodeRefUpdate(streams [][]byte, masks []*raster.TileMask, cur
 // operational history every deployed system would already have) and primes
 // every listed satellite mirror with it, free of uplink charge.
 func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) error {
-	g.archive[loc] = full.Clone()
 	low, err := full.Downsample(g.downsample)
 	if err != nil {
 		return fmt.Errorf("station: bootstrap downsample: %w", err)
 	}
+	g.locMu[loc].Lock()
+	g.archive[loc] = full.Clone()
 	g.bestRef[loc] = &refState{img: low, day: day}
+	g.locMu[loc].Unlock()
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
 	for _, s := range sats {
 		mirror := g.mirrors[s]
 		if mirror == nil {
@@ -402,10 +439,24 @@ func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) err
 // MirrorRefDay returns the day of the reference satellite sat holds for
 // loc, or -1.
 func (g *Ground) MirrorRefDay(sat, loc int) int {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
 	if m := g.mirrors[sat]; m != nil && m[loc] != nil {
 		return m[loc].day
 	}
 	return -1
+}
+
+// MirrorImage returns a copy of the reference image satellite sat's mirror
+// holds for loc, or nil. Property tests use it to assert that applying a
+// packed uplink on board reproduces the ground's mirror exactly.
+func (g *Ground) MirrorImage(sat, loc int) *raster.Image {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	if m := g.mirrors[sat]; m != nil && m[loc] != nil {
+		return m[loc].img.Clone()
+	}
+	return nil
 }
 
 // RefRawBytes returns the raw (uncompressed, 2 bytes/sample) size of one
