@@ -23,63 +23,33 @@ import (
 	"strings"
 	"time"
 
-	"earthplus/internal/codec"
-	"earthplus/internal/experiments"
+	"earthplus/internal/cli"
+	"earthplus/pkg/earthplus"
 )
 
 func main() {
+	var perf cli.Perf
+	perf.Register(flag.CommandLine)
 	full := flag.Bool("full", false, "run at full (paper-ish) scale instead of quick")
 	only := flag.String("only", "", "run a single experiment (see -list)")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
-	parallel := flag.Int("parallel", 0,
-		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
-	simWorkers := flag.Int("simworkers", 0,
-		"locations simulated concurrently per day (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	benchJSON := flag.String("benchjson", "BENCH_codec.json",
 		"where codecbench writes its JSON snapshot (empty = don't write)")
 	simBenchJSON := flag.String("simbenchjson", "BENCH_sim.json",
 		"where simbench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
+	perf.Apply()
 
-	codec.Parallelism = *parallel
-	experiments.SimWorkers = *simWorkers
-
-	sc := experiments.QuickScale()
+	sc := earthplus.QuickScale()
 	if *full {
-		sc = experiments.FullScale()
+		sc = earthplus.FullScale()
 	}
-
-	type job struct {
-		key string
-		run func() (experiments.Result, error)
-	}
-	jobs := []job{
-		{"table1", func() (experiments.Result, error) { return experiments.Table1(), nil }},
-		{"table2", func() (experiments.Result, error) { return experiments.Table2(sc), nil }},
-		{"fig4", func() (experiments.Result, error) { return experiments.Fig4(sc), nil }},
-		{"fig5", func() (experiments.Result, error) { return experiments.Fig5(sc), nil }},
-		{"fig8", func() (experiments.Result, error) { return experiments.Fig8(sc), nil }},
-		{"fig11a", func() (experiments.Result, error) { return experiments.Fig11(sc, experiments.RichContent) }},
-		{"fig11b", func() (experiments.Result, error) { return experiments.Fig11(sc, experiments.PlanetSampled) }},
-		{"fig12", func() (experiments.Result, error) { return experiments.Fig12(sc) }},
-		{"fig13", func() (experiments.Result, error) { return experiments.Fig13(sc) }},
-		{"fig14", func() (experiments.Result, error) { return experiments.Fig14(sc) }},
-		{"fig15", func() (experiments.Result, error) { return experiments.Fig15(sc) }},
-		{"fig16", func() (experiments.Result, error) { return experiments.Fig16(sc) }},
-		{"fig17", func() (experiments.Result, error) { return experiments.Fig17(sc) }},
-		{"fig18", func() (experiments.Result, error) { return experiments.Fig18(sc) }},
-		{"fig19", func() (experiments.Result, error) { return experiments.Fig19(sc) }},
-		{"ablation-theta", func() (experiments.Result, error) { return experiments.AblationTheta(sc) }},
-		{"ablation-guarantee", func() (experiments.Result, error) { return experiments.AblationGuarantee(sc) }},
-		{"ablation-reject", func() (experiments.Result, error) { return experiments.AblationReject(sc) }},
-		{"codecbench", func() (experiments.Result, error) { return experiments.CodecBench(*benchJSON) }},
-		{"simbench", func() (experiments.Result, error) { return experiments.SimBench(*simBenchJSON) }},
-	}
+	jobs := earthplus.Experiments(sc, *benchJSON, *simBenchJSON)
 
 	if *list {
 		var keys []string
 		for _, j := range jobs {
-			keys = append(keys, j.key)
+			keys = append(keys, j.Key)
 		}
 		sort.Strings(keys)
 		fmt.Println(strings.Join(keys, "\n"))
@@ -88,25 +58,22 @@ func main() {
 
 	ran := 0
 	for _, j := range jobs {
-		if *only != "" && j.key != strings.ToLower(*only) {
+		if *only != "" && j.Key != strings.ToLower(*only) {
 			continue
 		}
 		ran++
 		t0 := time.Now()
-		res, err := j.run()
+		res, err := j.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "earthplus-bench: %s: %v\n", j.key, err)
-			os.Exit(1)
+			cli.Fail("earthplus-bench", "%s: %v", j.Key, err)
 		}
-		fmt.Printf("===== %s (%s, %.1fs) =====\n", res.ID(), j.key, time.Since(t0).Seconds())
+		fmt.Printf("===== %s (%s, %.1fs) =====\n", res.ID(), j.Key, time.Since(t0).Seconds())
 		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "earthplus-bench: rendering %s: %v\n", j.key, err)
-			os.Exit(1)
+			cli.Fail("earthplus-bench", "rendering %s: %v", j.Key, err)
 		}
 		fmt.Println()
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "earthplus-bench: unknown experiment %q (try -list)\n", *only)
-		os.Exit(1)
+		cli.Fail("earthplus-bench", "unknown experiment %q (try -list)", *only)
 	}
 }

@@ -1,6 +1,6 @@
-// Command earthplus-encode exposes the repository's layered wavelet codec
-// as a standalone tool for 16-bit PGM images: encode to a codestream,
-// decode back (optionally truncated to fewer quality layers), and report
+// Command earthplus-encode exposes the public codec API as a standalone
+// tool for 16-bit PGM images: encode to a per-band codestream, decode
+// back (optionally truncated to fewer quality layers), and report
 // rate/distortion.
 //
 // Usage:
@@ -15,11 +15,15 @@ import (
 	"fmt"
 	"os"
 
-	"earthplus/internal/codec"
-	"earthplus/internal/raster"
+	"earthplus/internal/cli"
+	"earthplus/pkg/earthplus"
 )
 
+const cmdName = "earthplus-encode"
+
 func main() {
+	var perf cli.Perf
+	perf.RegisterCodec(flag.CommandLine)
 	in := flag.String("in", "", "input file (PGM for encode, codestream for decode)")
 	out := flag.String("out", "", "output file (empty with -roundtrip)")
 	bpp := flag.Float64("bpp", 0, "bits per pixel budget (0 = near-lossless)")
@@ -27,59 +31,46 @@ func main() {
 	decode := flag.Bool("decode", false, "decode a codestream back to PGM")
 	roundtrip := flag.Bool("roundtrip", false, "encode+decode in memory and report PSNR")
 	flag.Parse()
+	perf.Apply()
 
 	if *in == "" {
-		fail("missing -in")
+		cli.Fail(cmdName, "missing -in")
 	}
 	switch {
 	case *roundtrip:
 		img := readPGM(*in)
-		opts := codec.DefaultOptions()
-		if *bpp > 0 {
-			opts.BudgetBytes = codec.BudgetForBPP(*bpp, img.Width, img.Height)
-		}
-		data, err := codec.EncodePlane(img.Plane(0), img.Width, img.Height, opts)
+		data := encodePlane(img, *bpp)
+		plane, w, h, err := earthplus.DecodePlane(data, *layers)
 		if err != nil {
-			fail("encode: %v", err)
+			cli.Fail(cmdName, "decode: %v", err)
 		}
-		plane, w, h, err := codec.DecodePlane(data, *layers)
-		if err != nil {
-			fail("decode: %v", err)
-		}
-		rec := raster.New(w, h, img.Bands)
+		rec := earthplus.NewImage(w, h, img.Bands)
 		copy(rec.Plane(0), plane)
 		rec.Clamp()
-		info, _ := codec.Parse(data)
+		info, _ := earthplus.ParseCodestream(data)
 		fmt.Printf("input    %dx%d (%d pixels)\n", w, h, w*h)
 		fmt.Printf("encoded  %d bytes (%.3f bpp), %d layers\n",
 			len(data), float64(len(data))*8/float64(w*h), info.NLayers)
-		fmt.Printf("PSNR     %.2f dB\n", raster.PSNRBand(img, rec, 0))
+		fmt.Printf("PSNR     %.2f dB\n", earthplus.PSNRBand(img, rec, 0))
 	case *decode:
 		data, err := os.ReadFile(*in)
 		if err != nil {
-			fail("reading %s: %v", *in, err)
+			cli.Fail(cmdName, "reading %s: %v", *in, err)
 		}
-		plane, w, h, err := codec.DecodePlane(data, *layers)
+		plane, w, h, err := earthplus.DecodePlane(data, *layers)
 		if err != nil {
-			fail("decode: %v", err)
+			cli.Fail(cmdName, "decode: %v", err)
 		}
-		img := raster.New(w, h, []raster.BandInfo{{Name: "gray"}})
+		img := earthplus.NewImage(w, h, []earthplus.BandInfo{{Name: "gray"}})
 		copy(img.Plane(0), plane)
 		img.Clamp()
 		writePGM(*out, img)
 		fmt.Printf("decoded %dx%d -> %s\n", w, h, *out)
 	default:
 		img := readPGM(*in)
-		opts := codec.DefaultOptions()
-		if *bpp > 0 {
-			opts.BudgetBytes = codec.BudgetForBPP(*bpp, img.Width, img.Height)
-		}
-		data, err := codec.EncodePlane(img.Plane(0), img.Width, img.Height, opts)
-		if err != nil {
-			fail("encode: %v", err)
-		}
+		data := encodePlane(img, *bpp)
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fail("writing %s: %v", *out, err)
+			cli.Fail(cmdName, "writing %s: %v", *out, err)
 		}
 		fmt.Printf("encoded %dx%d -> %d bytes (%.3f bpp) -> %s\n",
 			img.Width, img.Height, len(data),
@@ -87,34 +78,41 @@ func main() {
 	}
 }
 
-func readPGM(path string) *raster.Image {
+func encodePlane(img *earthplus.Image, bpp float64) []byte {
+	opts := earthplus.DefaultCodecOptions()
+	if bpp > 0 {
+		opts.BudgetBytes = earthplus.BudgetForBPP(bpp, img.Width, img.Height)
+	}
+	data, err := earthplus.EncodePlane(img.Plane(0), img.Width, img.Height, opts)
+	if err != nil {
+		cli.Fail(cmdName, "encode: %v", err)
+	}
+	return data
+}
+
+func readPGM(path string) *earthplus.Image {
 	f, err := os.Open(path)
 	if err != nil {
-		fail("opening %s: %v", path, err)
+		cli.Fail(cmdName, "opening %s: %v", path, err)
 	}
 	defer f.Close()
-	img, err := raster.ReadPGM(f)
+	img, err := earthplus.ReadPGM(f)
 	if err != nil {
-		fail("parsing %s: %v", path, err)
+		cli.Fail(cmdName, "parsing %s: %v", path, err)
 	}
 	return img
 }
 
-func writePGM(path string, img *raster.Image) {
+func writePGM(path string, img *earthplus.Image) {
 	if path == "" {
-		fail("missing -out")
+		cli.Fail(cmdName, "missing -out")
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fail("creating %s: %v", path, err)
+		cli.Fail(cmdName, "creating %s: %v", path, err)
 	}
 	defer f.Close()
 	if err := img.WritePGM(f, 0); err != nil {
-		fail("writing %s: %v", path, err)
+		cli.Fail(cmdName, "writing %s: %v", path, err)
 	}
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "earthplus-encode: "+format+"\n", args...)
-	os.Exit(1)
 }

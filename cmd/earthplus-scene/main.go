@@ -9,6 +9,12 @@
 //	earthplus-scene -dataset planet -day 45 -out /tmp/coastal
 //
 // writes <out>-truth.pgm, <out>-capture.pgm and <out>-clouds.pgm.
+//
+// Dataset names are unified with the other cmds: "planet" is the
+// cloud-sampled Planet dataset (as the paper evaluates it) and
+// "planet-natural" keeps the natural cloud regime. Earlier releases of
+// this tool used "planet" for the natural variant — pass -dataset
+// planet-natural to render those scenes.
 package main
 
 import (
@@ -16,50 +22,43 @@ import (
 	"fmt"
 	"os"
 
-	"earthplus/internal/raster"
-	"earthplus/internal/scene"
+	"earthplus/internal/cli"
+	"earthplus/pkg/earthplus"
 )
 
+const cmdName = "earthplus-scene"
+
 func main() {
-	dataset := flag.String("dataset", "rich", "dataset: rich | planet | planet-sampled")
+	var ds cli.Dataset
+	ds.Register(flag.CommandLine, "rich", 8)
 	loc := flag.Int("loc", 0, "location index")
 	day := flag.Int("day", 0, "simulation day")
 	sat := flag.Int("sat", 0, "capturing satellite id")
 	band := flag.Int("band", 0, "band index to render")
-	fullSize := flag.Bool("fullsize", false, "use the larger scene size")
 	out := flag.String("out", "scene", "output path prefix")
 	flag.Parse()
 
-	size := scene.Quick
-	if *fullSize {
-		size = scene.Full
-	}
-	var cfg scene.Config
-	switch *dataset {
-	case "planet":
-		cfg = scene.LargeConstellation(size)
-	case "planet-sampled":
-		cfg = scene.LargeConstellationSampled(size)
-	default:
-		cfg = scene.RichContent(size)
+	cfg, err := ds.SceneConfig()
+	if err != nil {
+		cli.Fail(cmdName, "%v", err)
 	}
 	if *loc < 0 || *loc >= len(cfg.Locations) {
-		fail("location %d out of range (dataset has %d)", *loc, len(cfg.Locations))
+		cli.Fail(cmdName, "location %d out of range (dataset has %d)", *loc, len(cfg.Locations))
 	}
 	if *band < 0 || *band >= len(cfg.Bands) {
-		fail("band %d out of range (dataset has %d)", *band, len(cfg.Bands))
+		cli.Fail(cmdName, "band %d out of range (dataset has %d)", *band, len(cfg.Bands))
 	}
 
-	s := scene.New(cfg)
+	s := earthplus.NewScene(cfg)
 	cap := s.CaptureImage(*loc, *day, *sat)
 	fmt.Printf("%s location %q (%s), day %d, band %s: cloud coverage %.1f%%\n",
-		*dataset, cfg.Locations[*loc].Name, cfg.Locations[*loc].Content,
+		ds.Name, cfg.Locations[*loc].Name, cfg.Locations[*loc].Content,
 		*day, cfg.Bands[*band].Name, cap.Coverage*100)
 
 	writeBand(*out+"-truth.pgm", cap.Truth, *band)
 	writeBand(*out+"-capture.pgm", cap.Image, *band)
 
-	mask := raster.New(cap.Image.Width, cap.Image.Height, []raster.BandInfo{{Name: "clouds"}})
+	mask := earthplus.NewImage(cap.Image.Width, cap.Image.Height, []earthplus.BandInfo{{Name: "clouds"}})
 	for i, cloudy := range cap.TrueCloud.Bits {
 		if cloudy {
 			mask.Plane(0)[i] = 1
@@ -69,18 +68,13 @@ func main() {
 	fmt.Printf("wrote %s-{truth,capture,clouds}.pgm\n", *out)
 }
 
-func writeBand(path string, im *raster.Image, band int) {
+func writeBand(path string, im *earthplus.Image, band int) {
 	f, err := os.Create(path)
 	if err != nil {
-		fail("creating %s: %v", path, err)
+		cli.Fail(cmdName, "creating %s: %v", path, err)
 	}
 	defer f.Close()
 	if err := im.WritePGM(f, band); err != nil {
-		fail("writing %s: %v", path, err)
+		cli.Fail(cmdName, "writing %s: %v", path, err)
 	}
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "earthplus-scene: "+format+"\n", args...)
-	os.Exit(1)
 }

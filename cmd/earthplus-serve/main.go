@@ -1,0 +1,80 @@
+// Command earthplus-serve runs the Earth+ HTTP serving layer: the
+// container codec behind /v1/encode and /v1/decode plus deployment
+// introspection at /v1/info, with a bounded worker pool and graceful
+// shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	earthplus-serve -addr :8080
+//	earthplus-serve -addr :8080 -concurrency 16 -bpp 1.0 -parallel 4
+//
+//	curl -X POST --data-binary @samples.raw \
+//	    'localhost:8080/v1/encode?width=192&height=192&bands=4&lossless=1' > frame.epc
+//	curl -X POST --data-binary @frame.epc 'localhost:8080/v1/decode' > samples.raw
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"earthplus/internal/cli"
+	"earthplus/pkg/earthplus"
+	"earthplus/pkg/earthplus/serve"
+)
+
+const cmdName = "earthplus-serve"
+
+func main() {
+	var perf cli.Perf
+	perf.RegisterCodec(flag.CommandLine)
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrency := flag.Int("concurrency", 0, "max concurrent encode/decode requests (0 = GOMAXPROCS)")
+	queueWait := flag.Duration("queuewait", 10*time.Second, "how long a request may queue for a worker slot")
+	maxBody := flag.Int64("maxbody", 256<<20, "request body size limit in bytes")
+	bpp := flag.Float64("bpp", 1.0, "default encode budget in bits per pixel per band")
+	shutdownWait := flag.Duration("shutdownwait", 10*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+	perf.Apply()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *concurrency,
+		QueueWait:     *queueWait,
+		MaxBodyBytes:  *maxBody,
+		DefaultBPP:    *bpp,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("%s: %s API %s listening on %s (systems: %v)\n",
+		cmdName, earthplus.Version, earthplus.APIVersion, *addr, earthplus.Systems())
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cli.Fail(cmdName, "%v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Printf("%s: shutting down (draining up to %v)\n", cmdName, *shutdownWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			cli.Fail(cmdName, "shutdown: %v", err)
+		}
+	}
+}

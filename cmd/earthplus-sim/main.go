@@ -1,6 +1,8 @@
 // Command earthplus-sim runs one configurable end-to-end simulation of a
 // compression system over a synthetic constellation and prints the summary
-// statistics and a per-capture trace.
+// statistics and a per-capture trace. Systems are resolved by name through
+// the public registry, so ablation variants registered by other packages
+// run unchanged.
 //
 // Usage:
 //
@@ -14,96 +16,50 @@ import (
 	"fmt"
 	"os"
 
-	"earthplus/internal/baseline"
-	"earthplus/internal/codec"
-	"earthplus/internal/core"
-	"earthplus/internal/link"
-	"earthplus/internal/metrics"
-	"earthplus/internal/orbit"
-	"earthplus/internal/scene"
-	"earthplus/internal/sim"
+	"earthplus/internal/cli"
+	"earthplus/pkg/earthplus"
 )
 
 func main() {
-	system := flag.String("system", "earthplus", "system to run: earthplus | kodan | satroi")
-	dataset := flag.String("dataset", "planet", "dataset: rich | planet | planet-natural")
-	sats := flag.Int("sats", 8, "number of satellites in the constellation")
+	var perf cli.Perf
+	var ds cli.Dataset
+	perf.Register(flag.CommandLine)
+	ds.Register(flag.CommandLine, "planet", 8)
+	system := flag.String("system", earthplus.SystemEarthPlus,
+		fmt.Sprintf("system to run (%v)", earthplus.Systems()))
 	days := flag.Int("days", 60, "evaluation days")
 	start := flag.Int("start", 40, "first evaluation day")
 	gamma := flag.Float64("gamma", 1.0, "bits per pixel per downloaded tile (the paper's γ)")
-	fullSize := flag.Bool("fullsize", false, "use the larger scene size")
 	trace := flag.Bool("trace", false, "print the per-capture trace")
 	dump := flag.String("dump", "", "write the run as a JSON-lines trace to this file")
-	parallel := flag.Int("parallel", 0,
-		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
-	simWorkers := flag.Int("simworkers", 0,
-		"locations simulated concurrently per day (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	flag.Parse()
+	perf.Apply()
 
-	codec.Parallelism = *parallel
-
-	size := scene.Quick
-	if *fullSize {
-		size = scene.Full
-	}
-	var cfg scene.Config
-	var cons orbit.Constellation
-	switch *dataset {
-	case "rich":
-		cfg = scene.RichContent(size)
-		cons = orbit.Constellation{Satellites: 2, RevisitDays: 10}
-	case "planet-natural":
-		cfg = scene.LargeConstellation(size)
-		cons = orbit.Constellation{Satellites: *sats, RevisitDays: 12}
-	default:
-		cfg = scene.LargeConstellationSampled(size)
-		cons = orbit.Constellation{Satellites: *sats, RevisitDays: 12}
-	}
-	if *dataset != "rich" {
-		cons.Satellites = *sats
-	}
-
-	env := &sim.Env{
-		Scene:       scene.New(cfg),
-		Orbit:       cons,
-		Downlink:    link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
-		Parallelism: *simWorkers,
-	}
-	var sys sim.System
-	var err error
-	switch *system {
-	case "kodan":
-		sys, err = baseline.NewKodan(env, *gamma, codec.DefaultOptions())
-	case "satroi":
-		sys, err = baseline.NewSatRoI(env, *gamma, codec.DefaultOptions())
-	default:
-		c := core.DefaultConfig()
-		c.GammaBPP = *gamma
-		sys, err = core.New(env, c)
-	}
+	env, err := ds.Env()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
-		os.Exit(1)
+		cli.Fail("earthplus-sim", "%v", err)
+	}
+	env.Parallelism = perf.SimWorkers
+
+	sys, err := earthplus.NewSystem(*system, env, earthplus.SystemSpec{GammaBPP: *gamma})
+	if err != nil {
+		cli.Fail("earthplus-sim", "%v", err)
 	}
 
-	res, err := sim.Run(env, sys, *start-30, *start, *start+*days)
+	res, err := earthplus.Run(env, sys, *start-30, *start, *start+*days)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
-		os.Exit(1)
+		cli.Fail("earthplus-sim", "%v", err)
 	}
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
-			os.Exit(1)
+			cli.Fail("earthplus-sim", "%v", err)
 		}
-		if err := sim.WriteTrace(f, res); err != nil {
-			fmt.Fprintf(os.Stderr, "earthplus-sim: writing trace: %v\n", err)
-			os.Exit(1)
+		if err := earthplus.WriteTrace(f, res); err != nil {
+			cli.Fail("earthplus-sim", "writing trace: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "earthplus-sim: %v\n", err)
-			os.Exit(1)
+			cli.Fail("earthplus-sim", "%v", err)
 		}
 		fmt.Printf("trace written to %s\n", *dump)
 	}
@@ -122,10 +78,10 @@ func main() {
 				fmt.Sprintf("%d", r.RefAge),
 			})
 		}
-		metrics.Table(os.Stdout, rows)
+		earthplus.Table(os.Stdout, rows)
 		fmt.Println()
 	}
-	s := sim.Summarize(res, env.Downlink)
+	s := earthplus.Summarize(res, env.Downlink)
 	fmt.Printf("system              %s\n", sys.Name())
 	fmt.Printf("captures            %d (%d dropped)\n", s.Captures, s.Dropped)
 	fmt.Printf("mean PSNR           %.1f dB\n", s.MeanPSNR)

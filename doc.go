@@ -1,11 +1,20 @@
 // Package earthplus is a from-scratch Go reproduction of "Earth+: On-Board
 // Satellite Imagery Compression Leveraging Historical Earth Observations"
-// (ASPLOS 2025). The root package only anchors the module; the system lives
-// under internal/ and is exercised by the executables in cmd/ and the
-// runnable examples in examples/.
+// (ASPLOS 2025). The root package only anchors the module; the supported
+// entry point is the public, versioned API in pkg/earthplus (plus the
+// HTTP serving layer in pkg/earthplus/serve), which every executable in
+// cmd/ and every runnable example in examples/ goes through. The system
+// itself lives under internal/.
 //
 // # Layout
 //
+//   - pkg/earthplus — the public API: the system registry (Earth+ and the
+//     baselines constructed by name from one SystemSpec), the framed
+//     multi-band container codestream with streaming Encoder/Decoder, and
+//     the typed error taxonomy. pkg/earthplus/serve exposes the codec
+//     over HTTP (/v1/encode, /v1/decode, /v1/info).
+//   - internal/container, internal/registry, internal/eperr — the frame
+//     format, the registry and the error taxonomy underneath the API.
 //   - internal/codec — the layered wavelet codec every encode funnels
 //     through: CDF 9/7 transform, dead-zone quantisation, embedded
 //     bit-plane coding with an adaptive binary arithmetic coder, quality
@@ -18,6 +27,7 @@
 //   - internal/sim, internal/scene, internal/orbit, internal/experiments —
 //     the constellation simulator, synthetic Earth scenes and every
 //     regenerated table/figure of the paper's evaluation.
+//   - internal/cli — the flag plumbing shared by all cmds.
 //
 // # Simulation engine
 //
@@ -48,5 +58,7 @@
 // snapshot.
 package earthplus
 
-// Version identifies this reproduction's release line.
-const Version = "1.2.0"
+// Version identifies this reproduction's release line. This is the one
+// place it is bumped; pkg/earthplus.Version re-exports it for API
+// consumers.
+const Version = "1.3.0"

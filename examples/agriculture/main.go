@@ -2,10 +2,10 @@
 // the vegetation-sensitive bands (red edge B5-B7, NIR B8/B8a) over farm
 // parcels.
 //
-// This example runs Earth+ over an agricultural location for a season and
-// shows the band heterogeneity the paper's Fig 14 reports: vegetation
-// bands change (and therefore cost) more than atmosphere-observing bands,
-// and Earth+ tracks each band independently.
+// This example runs Earth+ (from the public registry) over an agricultural
+// location for a season and shows the band heterogeneity the paper's
+// Fig 14 reports: vegetation bands change (and therefore cost) more than
+// atmosphere-observing bands, and Earth+ tracks each band independently.
 //
 // Run with: go run ./examples/agriculture
 package main
@@ -14,30 +14,24 @@ import (
 	"fmt"
 	"log"
 
-	"earthplus/internal/core"
-	"earthplus/internal/link"
-	"earthplus/internal/metrics"
-	"earthplus/internal/orbit"
-	"earthplus/internal/raster"
-	"earthplus/internal/scene"
-	"earthplus/internal/sim"
+	"earthplus/pkg/earthplus"
 )
 
 func main() {
-	cfg := scene.RichContent(scene.Quick)
-	cfg.Locations = []scene.Location{cfg.Locations[5]} // F: agriculture
+	cfg := earthplus.RichContent(earthplus.SizeQuick)
+	cfg.Locations = []earthplus.Location{cfg.Locations[5]} // F: agriculture
 
-	env := &sim.Env{
-		Scene:    scene.New(cfg),
-		Orbit:    orbit.Constellation{Satellites: 4, RevisitDays: 8},
-		Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	env := &earthplus.Env{
+		Scene:    earthplus.NewScene(cfg),
+		Orbit:    earthplus.Constellation{Satellites: 4, RevisitDays: 8},
+		Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
 	}
-	sys, err := core.New(env, core.DefaultConfig())
+	sys, err := earthplus.NewSystem(earthplus.SystemEarthPlus, env, earthplus.SystemSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// A 90-day growing season.
-	res, err := sim.Run(env, sys, 0, 40, 130)
+	res, err := earthplus.Run(env, sys, 0, 40, 130)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,27 +58,27 @@ func main() {
 		labels[b] = info.Name
 		values[b] = byBand[b] / float64(n)
 		switch info.Kind {
-		case raster.KindVegetation:
+		case earthplus.KindVegetation:
 			veg += values[b]
 			vegN++
-		case raster.KindAtmosphere:
+		case earthplus.KindAtmosphere:
 			atmos += values[b]
 			atmosN++
 		}
 	}
 
 	fmt.Println("season over an agricultural parcel (90 days, Earth+):")
-	metrics.Bar(new(printer), "mean downlink bytes per capture, by band:", labels, values, "B", 40)
+	earthplus.Bar(new(printer), "mean downlink bytes per capture, by band:", labels, values, "B", 40)
 	fmt.Printf("\nvegetation bands (B5-B8a) average %.0f B/capture — volatile chlorophyll, but\n", veg/vegN)
 	fmt.Printf("reference-based encoding still helps; atmosphere bands (B1, B9, B10) average\n")
 	fmt.Printf("%.0f B/capture — the air changes between every pair of captures, so nearly\n", atmos/atmosN)
 	fmt.Println("everything must be downloaded (the paper's Fig 14 finds the least savings there).")
-	s := sim.Summarize(res, env.Downlink)
+	s := earthplus.Summarize(res, env.Downlink)
 	fmt.Printf("season totals: %.0f%% of tiles per capture, PSNR %.1f dB, reference age %.1f days\n",
 		s.MeanTileFrac*100, s.MeanPSNR, s.MeanRefAge)
 }
 
-// printer adapts fmt printing for metrics.Bar.
+// printer adapts fmt printing for earthplus.Bar.
 type printer struct{}
 
 func (printer) Write(p []byte) (int, error) { fmt.Print(string(p)); return len(p), nil }

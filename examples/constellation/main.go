@@ -3,8 +3,8 @@
 // references and the fewer tiles anyone has to download.
 //
 // This example grows a fleet from 1 to 16 satellites over the same
-// location and prints how the reference age and the compression ratio
-// respond.
+// location (through the public pkg/earthplus API) and prints how the
+// reference age and the compression ratio respond.
 //
 // Run with: go run ./examples/constellation
 package main
@@ -13,31 +13,27 @@ import (
 	"fmt"
 	"log"
 
-	"earthplus/internal/core"
-	"earthplus/internal/link"
-	"earthplus/internal/orbit"
-	"earthplus/internal/scene"
-	"earthplus/internal/sim"
+	"earthplus/pkg/earthplus"
 )
 
 func main() {
-	cfg := scene.LargeConstellationSampled(scene.Quick)
+	cfg := earthplus.LargeConstellationSampled(earthplus.SizeQuick)
 	fmt.Println("fleet  captures  ref age (d)  tiles/capture  compression")
 	for _, n := range []int{1, 2, 4, 8, 16} {
-		env := &sim.Env{
-			Scene:    scene.New(cfg),
-			Orbit:    orbit.Constellation{Satellites: n, RevisitDays: 12},
-			Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+		env := &earthplus.Env{
+			Scene:    earthplus.NewScene(cfg),
+			Orbit:    earthplus.Constellation{Satellites: n, RevisitDays: 12},
+			Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
 		}
-		sys, err := core.New(env, core.DefaultConfig())
+		sys, err := earthplus.NewSystem(earthplus.SystemEarthPlus, env, earthplus.SystemSpec{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(env, sys, 0, 40, 120)
+		res, err := earthplus.Run(env, sys, 0, 40, 120)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := sim.Summarize(res, env.Downlink)
+		s := earthplus.Summarize(res, env.Downlink)
 		ratio := 0.0
 		if s.MeanTileFrac > 0 {
 			ratio = 1 / s.MeanTileFrac

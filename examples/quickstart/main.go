@@ -1,10 +1,12 @@
 // Quickstart: one location, one week, one satellite pair — Earth+ against
-// naively re-downloading everything.
+// naively re-downloading everything, written entirely against the public
+// pkg/earthplus API.
 //
-// It builds a tiny synthetic scene, runs Earth+ end to end (capture ->
-// cheap cloud removal -> illumination alignment -> downsampled change
-// detection -> ROI encoding -> ground archive -> reference upload), and
-// prints the per-capture downlink bill next to the full-image bill.
+// It builds a tiny synthetic scene, constructs Earth+ by name from the
+// system registry, runs it end to end (capture -> cheap cloud removal ->
+// illumination alignment -> downsampled change detection -> ROI encoding
+// -> ground archive -> reference upload), and prints the per-capture
+// downlink bill next to the full-image bill.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,29 +15,24 @@ import (
 	"fmt"
 	"log"
 
-	"earthplus/internal/core"
-	"earthplus/internal/link"
-	"earthplus/internal/orbit"
-	"earthplus/internal/scene"
-	"earthplus/internal/sim"
+	"earthplus/pkg/earthplus"
 )
 
 func main() {
 	// A sunny coastal location observed by a small 4-satellite fleet.
-	cfg := scene.LargeConstellationSampled(scene.Quick)
-	env := &sim.Env{
-		Scene:    scene.New(cfg),
-		Orbit:    orbit.Constellation{Satellites: 4, RevisitDays: 4},
-		Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	env := &earthplus.Env{
+		Scene:    earthplus.NewScene(earthplus.LargeConstellationSampled(earthplus.SizeQuick)),
+		Orbit:    earthplus.Constellation{Satellites: 4, RevisitDays: 4},
+		Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
 	}
 
-	sys, err := core.New(env, core.DefaultConfig())
+	sys, err := earthplus.NewSystem(earthplus.SystemEarthPlus, env, earthplus.SystemSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Bootstrap on days 0-20, then evaluate a two-week window.
-	res, err := sim.Run(env, sys, 0, 20, 34)
+	res, err := earthplus.Run(env, sys, 0, 20, 34)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +53,7 @@ func main() {
 	}
 	fmt.Printf("\ntwo-week downlink: Earth+ %d bytes vs %d raw (%.0fx less)\n",
 		earthTotal, fullTotal, float64(fullTotal)/float64(earthTotal))
-	s := sim.Summarize(res, env.Downlink)
+	s := earthplus.Summarize(res, env.Downlink)
 	fmt.Printf("mean reference age %.1f days; uplink spent %.0f bytes/day on reference updates\n",
 		s.MeanRefAge, s.MeanUpBytesPerDay)
 }

@@ -8,7 +8,7 @@
 // unmonitored location is seen correspondingly sooner. This example
 // measures both systems' per-capture bills on a forest scene, injects a
 // burn scar, and reports when each system's download actually carries the
-// changed tiles.
+// changed tiles. Both systems come from the public registry.
 //
 // Run with: go run ./examples/wildfire
 package main
@@ -17,47 +17,37 @@ import (
 	"fmt"
 	"log"
 
-	"earthplus/internal/baseline"
-	"earthplus/internal/codec"
-	"earthplus/internal/core"
-	"earthplus/internal/link"
-	"earthplus/internal/orbit"
-	"earthplus/internal/scene"
-	"earthplus/internal/sim"
+	"earthplus/pkg/earthplus"
 )
 
 func main() {
 	// A forest-heavy rich-content slice: locations B and G are forests.
-	cfg := scene.RichContent(scene.Quick)
+	cfg := earthplus.RichContent(earthplus.SizeQuick)
 	cfg.Locations = cfg.Locations[1:3] // B (forest), C (mountain)
 
-	mkEnv := func() *sim.Env {
-		return &sim.Env{
-			Scene:    scene.New(cfg),
-			Orbit:    orbit.Constellation{Satellites: 4, RevisitDays: 8},
-			Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	mkEnv := func() *earthplus.Env {
+		return &earthplus.Env{
+			Scene:    earthplus.NewScene(cfg),
+			Orbit:    earthplus.Constellation{Satellites: 4, RevisitDays: 8},
+			Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
 		}
 	}
 
-	run := func(name string, mk func(env *sim.Env) (sim.System, error)) sim.Summary {
+	run := func(system string) earthplus.Summary {
 		env := mkEnv()
-		sys, err := mk(env)
+		sys, err := earthplus.NewSystem(system, env, earthplus.SystemSpec{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(env, sys, 0, 40, 100)
+		res, err := earthplus.Run(env, sys, 0, 40, 100)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return sim.Summarize(res, env.Downlink)
+		return earthplus.Summarize(res, env.Downlink)
 	}
 
-	earth := run("Earth+", func(env *sim.Env) (sim.System, error) {
-		return core.New(env, core.DefaultConfig())
-	})
-	kodan := run("Kodan", func(env *sim.Env) (sim.System, error) {
-		return baseline.NewKodan(env, core.DefaultConfig().GammaBPP, codec.DefaultOptions())
-	})
+	earth := run(earthplus.SystemEarthPlus)
+	kodan := run(earthplus.SystemKodan)
 
 	fmt.Println("forest watch, 60 days, two locations:")
 	fmt.Printf("  Earth+ mean bytes/capture: %8.0f (PSNR %.1f dB)\n", earth.MeanDownBytes, earth.MeanPSNR)
@@ -85,17 +75,16 @@ func main() {
 // "burn scar" is an abrupt darkening of several tiles, which the change
 // detector flags and the ground archive then reflects.
 func demoBurnScarDelivery() {
-	cfg := scene.LargeConstellationSampled(scene.Quick)
-	env := &sim.Env{
-		Scene:    scene.New(cfg),
-		Orbit:    orbit.Constellation{Satellites: 4, RevisitDays: 4},
-		Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	env := &earthplus.Env{
+		Scene:    earthplus.NewScene(earthplus.LargeConstellationSampled(earthplus.SizeQuick)),
+		Orbit:    earthplus.Constellation{Satellites: 4, RevisitDays: 4},
+		Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
 	}
-	sys, err := core.New(env, core.DefaultConfig())
+	sys, err := earthplus.NewSystem(earthplus.SystemEarthPlus, env, earthplus.SystemSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sim.Run(env, sys, 0, 20, 40); err != nil {
+	if _, err := earthplus.Run(env, sys, 0, 20, 40); err != nil {
 		log.Fatal(err)
 	}
 	// Find a clear day just after the warm-up (references for the next
@@ -132,6 +121,4 @@ func demoBurnScarDelivery() {
 	fmt.Printf("\nburn-scar capture: %.0f%% of tiles downloaded (%d bytes);"+
 		" scar tiles were flagged and the ground archive now shows the darkened forest\n",
 		out.DownTilesPerBand/float64(out.TotalTiles)*100, out.DownBytes)
-	scar := out.Recon.At(0, 10+grid.Tile*(40%grid.Cols), 10) // rough scar probe
-	_ = scar
 }

@@ -94,19 +94,23 @@ func (k *Kodan) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 		roi[b] = clearTiles
 	}
 	tEnc := time.Now()
-	streams, err := sat.EncodeROI(cap.Image, roi, k.gamma, k.opts)
+	frame, err := sat.EncodeROI(cap.Image, roi, k.gamma, k.opts)
 	if err != nil {
 		return sim.Outcome{}, err
 	}
 	out.EncodeSec = time.Since(tEnc).Seconds()
-	out.PerBandBytes = make([]int64, len(streams))
-	for b := range streams {
-		out.PerBandBytes[b] = int64(len(streams[b]))
-		out.DownBytes += out.PerBandBytes[b]
+	lens, err := frame.PerBandLens()
+	if err != nil {
+		return sim.Outcome{}, err
+	}
+	out.PerBandBytes = make([]int64, len(lens))
+	for b, n := range lens {
+		out.PerBandBytes[b] = int64(n)
+		out.DownBytes += int64(n)
 	}
 	out.DownTilesPerBand = float64(clearTiles.Count())
 
-	if err := k.ground.ApplyDownload(cap.Loc, cap.Day, streams, roi, nil); err != nil {
+	if err := k.ground.ApplyDownload(cap.Loc, cap.Day, frame, roi, nil); err != nil {
 		return sim.Outcome{}, err
 	}
 	out.Recon = k.ground.Recon(cap.Loc)

@@ -1,0 +1,30 @@
+package baseline
+
+import (
+	"earthplus/internal/registry"
+	"earthplus/internal/sim"
+)
+
+// Registry names of the two comparison systems.
+const (
+	KodanName  = "kodan"
+	SatRoIName = "satroi"
+)
+
+// The baselines self-register so they are constructed by name through the
+// same code path as Earth+. Neither understands system-specific params;
+// the registry rejects any that are passed.
+func init() {
+	registry.Register(KodanName, func(env *sim.Env, spec registry.Spec) (sim.System, error) {
+		if err := registry.CheckParams(spec, KodanName); err != nil {
+			return nil, err
+		}
+		return NewKodan(env, spec.GammaBPP, spec.Codec)
+	})
+	registry.Register(SatRoIName, func(env *sim.Env, spec registry.Spec) (sim.System, error) {
+		if err := registry.CheckParams(spec, SatRoIName); err != nil {
+			return nil, err
+		}
+		return NewSatRoI(env, spec.GammaBPP, spec.Codec)
+	})
+}

@@ -145,23 +145,27 @@ func (s *SatRoI) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 	out.ChangeSec = time.Since(tChange).Seconds()
 
 	tEnc := time.Now()
-	streams, err := sat.EncodeROI(work, roi, s.gamma, s.opts)
+	frame, err := sat.EncodeROI(work, roi, s.gamma, s.opts)
 	if err != nil {
 		return sim.Outcome{}, err
 	}
 	out.EncodeSec = time.Since(tEnc).Seconds()
+	lens, err := frame.PerBandLens()
+	if err != nil {
+		return sim.Outcome{}, err
+	}
 	var tileSum int
-	out.PerBandBytes = make([]int64, len(streams))
-	for b := range streams {
-		out.PerBandBytes[b] = int64(len(streams[b]))
-		out.DownBytes += out.PerBandBytes[b]
+	out.PerBandBytes = make([]int64, len(lens))
+	for b, n := range lens {
+		out.PerBandBytes[b] = int64(n)
+		out.DownBytes += int64(n)
 		if roi[b] != nil {
 			tileSum += roi[b].Count()
 		}
 	}
 	out.DownTilesPerBand = float64(tileSum) / float64(len(roi))
 
-	if err := s.ground.ApplyDownload(cap.Loc, cap.Day, streams, roi, nil); err != nil {
+	if err := s.ground.ApplyDownload(cap.Loc, cap.Day, frame, roi, nil); err != nil {
 		return sim.Outcome{}, err
 	}
 	out.Recon = s.ground.Recon(cap.Loc)

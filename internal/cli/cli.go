@@ -1,0 +1,113 @@
+// Package cli holds the flag plumbing shared by every executable under
+// cmd/: the performance knobs (-parallel, -simworkers), the dataset
+// selection flags (-dataset, -sats, -fullsize) with their environment
+// construction, and uniform fatal-error reporting. The cmds themselves
+// speak only the public pkg/earthplus API; this package exists so five
+// main functions do not each re-implement the same plumbing.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earthplus/pkg/earthplus"
+)
+
+// Perf bundles the performance flags every workload-running cmd exposes.
+type Perf struct {
+	// Parallel bounds the bands encoded/decoded concurrently per image.
+	Parallel int
+	// SimWorkers bounds the locations simulated concurrently per day.
+	SimWorkers int
+}
+
+// Register installs both performance flags on fs.
+func (p *Perf) Register(fs *flag.FlagSet) {
+	p.RegisterCodec(fs)
+	fs.IntVar(&p.SimWorkers, "simworkers", 0,
+		"locations simulated concurrently per day (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
+}
+
+// RegisterCodec installs only the codec flag (for cmds that never run
+// the simulation engine).
+func (p *Perf) RegisterCodec(fs *flag.FlagSet) {
+	fs.IntVar(&p.Parallel, "parallel", 0,
+		"bands encoded/decoded concurrently per image (0 = GOMAXPROCS)")
+}
+
+// Apply pushes the parsed values into the package-wide defaults.
+func (p *Perf) Apply() {
+	earthplus.SetCodecParallelism(p.Parallel)
+	earthplus.SetSimWorkers(p.SimWorkers)
+}
+
+// Dataset bundles the dataset-selection flags and the environment
+// construction every simulation cmd repeats.
+type Dataset struct {
+	// Name picks the dataset: rich | planet | planet-natural.
+	Name string
+	// Sats is the constellation size for the planet datasets.
+	Sats int
+	// FullSize selects the larger scene scale.
+	FullSize bool
+}
+
+// Register installs the dataset flags on fs with the given defaults.
+func (d *Dataset) Register(fs *flag.FlagSet, defaultName string, defaultSats int) {
+	fs.StringVar(&d.Name, "dataset", defaultName,
+		"dataset: rich | planet (cloud-sampled) | planet-natural")
+	fs.IntVar(&d.Sats, "sats", defaultSats, "number of satellites in the constellation (planet datasets)")
+	fs.BoolVar(&d.FullSize, "fullsize", false, "use the larger scene size")
+}
+
+// size resolves the scene scale.
+func (d *Dataset) size() earthplus.SceneSize {
+	if d.FullSize {
+		return earthplus.SizeFull
+	}
+	return earthplus.SizeQuick
+}
+
+// SceneConfig resolves the dataset name to a scene configuration.
+func (d *Dataset) SceneConfig() (earthplus.SceneConfig, error) {
+	switch d.Name {
+	case "rich":
+		return earthplus.RichContent(d.size()), nil
+	case "planet", "planet-sampled":
+		return earthplus.LargeConstellationSampled(d.size()), nil
+	case "planet-natural":
+		return earthplus.LargeConstellation(d.size()), nil
+	default:
+		return earthplus.SceneConfig{}, fmt.Errorf("unknown dataset %q (rich | planet | planet-natural)", d.Name)
+	}
+}
+
+// Constellation returns the dataset's fleet: the Sentinel-2-like pair for
+// rich content, a Doves-like fleet of Sats satellites otherwise.
+func (d *Dataset) Constellation() earthplus.Constellation {
+	if d.Name == "rich" {
+		return earthplus.Constellation{Satellites: 2, RevisitDays: 10}
+	}
+	return earthplus.Constellation{Satellites: d.Sats, RevisitDays: 12}
+}
+
+// Env assembles the simulation environment for the selected dataset with
+// the standard Doves downlink contact model.
+func (d *Dataset) Env() (*earthplus.Env, error) {
+	cfg, err := d.SceneConfig()
+	if err != nil {
+		return nil, err
+	}
+	return &earthplus.Env{
+		Scene:    earthplus.NewScene(cfg),
+		Orbit:    d.Constellation(),
+		Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	}, nil
+}
+
+// Fail reports a fatal cmd error and exits.
+func Fail(cmd, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"earthplus/pkg/earthplus"
+)
+
+func TestPerfFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var p Perf
+	p.Register(fs)
+	if err := fs.Parse([]string{"-parallel", "3", "-simworkers", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Parallel != 3 || p.SimWorkers != 5 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p.Apply()
+	defer func() {
+		earthplus.SetCodecParallelism(0)
+		earthplus.SetSimWorkers(0)
+	}()
+}
+
+func TestPerfCodecOnly(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var p Perf
+	p.RegisterCodec(fs)
+	if err := fs.Parse([]string{"-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Lookup("simworkers") != nil {
+		t.Fatal("RegisterCodec must not install -simworkers")
+	}
+}
+
+func TestDatasetResolution(t *testing.T) {
+	cases := []struct {
+		name      string
+		locations int
+		sats      int
+	}{
+		{"rich", 11, 2},
+		{"planet", 1, 7},
+		{"planet-sampled", 1, 7},
+		{"planet-natural", 1, 7},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var d Dataset
+		d.Register(fs, "planet", 8)
+		if err := fs.Parse([]string{"-dataset", c.name, "-sats", "7"}); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := d.SceneConfig()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(cfg.Locations) != c.locations {
+			t.Fatalf("%s: %d locations, want %d", c.name, len(cfg.Locations), c.locations)
+		}
+		if got := d.Constellation().Satellites; got != c.sats {
+			t.Fatalf("%s: %d satellites, want %d", c.name, got, c.sats)
+		}
+	}
+}
+
+func TestDatasetUnknownName(t *testing.T) {
+	d := Dataset{Name: "mars"}
+	if _, err := d.SceneConfig(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := d.Env(); err == nil {
+		t.Fatal("Env accepted an unknown dataset")
+	}
+}
+
+func TestDatasetEnv(t *testing.T) {
+	d := Dataset{Name: "planet", Sats: 4}
+	env, err := d.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Scene == nil || env.Orbit.Satellites != 4 || env.Downlink.Bps != 200e6 {
+		t.Fatalf("env = %+v", env)
+	}
+	if d.FullSize {
+		t.Fatal("FullSize default should be false")
+	}
+	full := Dataset{Name: "rich", FullSize: true}
+	cfg, err := full.SceneConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick := Dataset{Name: "rich"}
+	quickCfg, _ := quick.SceneConfig()
+	if cfg.Width <= quickCfg.Width {
+		t.Fatalf("fullsize width %d not larger than quick %d", cfg.Width, quickCfg.Width)
+	}
+}

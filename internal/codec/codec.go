@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"earthplus/internal/eperr"
 	"earthplus/internal/raster"
 	"earthplus/internal/wavelet"
 )
@@ -196,13 +197,13 @@ func effectiveLevels(w, h, requested int) int {
 // codestream. Values are expected in roughly [0,1]; anything finite works.
 func EncodePlane(plane []float32, w, h int, opt Options) ([]byte, error) {
 	if len(plane) != w*h {
-		return nil, fmt.Errorf("codec: plane length %d != %dx%d", len(plane), w, h)
+		return nil, eperr.New(eperr.BadImage, "codec", "plane length %d != %dx%d", len(plane), w, h)
 	}
 	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
-		return nil, fmt.Errorf("codec: unsupported dimensions %dx%d", w, h)
+		return nil, eperr.New(eperr.BadImage, "codec", "unsupported dimensions %dx%d", w, h)
 	}
 	if opt.BaseStep <= 0 {
-		return nil, fmt.Errorf("codec: BaseStep %v must be positive", opt.BaseStep)
+		return nil, eperr.New(eperr.BadConfig, "codec", "BaseStep %v must be positive", opt.BaseStep)
 	}
 	levels := effectiveLevels(w, h, opt.Levels)
 	g := geometryFor(w, h, levels)
@@ -279,6 +280,10 @@ func EncodePlane(plane []float32, w, h int, opt Options) ([]byte, error) {
 	s.layers = s.layers[:0]
 	s.payload = s.payload[:0]
 	fixed := len(hdr) + 1 // +1 for the layer-count byte
+	if opt.BudgetBytes > 0 && opt.BudgetBytes < fixed {
+		return nil, eperr.New(eperr.BudgetTooSmall, "codec",
+			"budget %d bytes cannot hold the %d-byte codestream header", opt.BudgetBytes, fixed)
+	}
 	enc := &s.enc
 	truncated := false
 	for p := maxPlane - 1; p >= 0 && !truncated; p-- {
@@ -357,7 +362,7 @@ func Parse(data []byte) (Info, error) {
 // parsed can serve many decodes without allocating.
 func parseInto(p *parsed, data []byte) error {
 	if len(data) < 18 || string(data[:4]) != codecMagic {
-		return fmt.Errorf("codec: bad magic or truncated header")
+		return eperr.New(eperr.BadCodestream, "codec", "bad magic or truncated header")
 	}
 	p.W = int(binary.LittleEndian.Uint16(data[4:]))
 	p.H = int(binary.LittleEndian.Uint16(data[6:]))
@@ -366,25 +371,25 @@ func parseInto(p *parsed, data []byte) error {
 	p.MaxPlane = int(data[13])
 	nSb := int(data[14])
 	if p.W <= 0 || p.H <= 0 || p.W > 1<<15 || p.H > 1<<15 || p.BaseStep <= 0 {
-		return fmt.Errorf("codec: implausible header %dx%d step %v", p.W, p.H, p.BaseStep)
+		return eperr.New(eperr.BadCodestream, "codec", "implausible header %dx%d step %v", p.W, p.H, p.BaseStep)
 	}
 	// The encoder always clamps the level count to the geometry and the
 	// plane count to the quantiser width; enforce both so corrupt headers
 	// cannot demand absurd decode work.
 	if p.Levels != effectiveLevels(p.W, p.H, p.Levels) {
-		return fmt.Errorf("codec: implausible level count %d for %dx%d", p.Levels, p.W, p.H)
+		return eperr.New(eperr.BadCodestream, "codec", "implausible level count %d for %dx%d", p.Levels, p.W, p.H)
 	}
 	if p.MaxPlane > maxQBits+1 {
-		return fmt.Errorf("codec: implausible plane count %d", p.MaxPlane)
+		return eperr.New(eperr.BadCodestream, "codec", "implausible plane count %d", p.MaxPlane)
 	}
 	off := 15
 	if len(data) < off+nSb+1 {
-		return fmt.Errorf("codec: truncated subband table")
+		return eperr.New(eperr.BadCodestream, "codec", "truncated subband table")
 	}
 	p.sbPlanes = append(p.sbPlanes[:0], data[off:off+nSb]...)
 	for _, sp := range p.sbPlanes {
 		if int(sp) > p.MaxPlane {
-			return fmt.Errorf("codec: subband plane count %d exceeds stream maximum %d", sp, p.MaxPlane)
+			return eperr.New(eperr.BadCodestream, "codec", "subband plane count %d exceeds stream maximum %d", sp, p.MaxPlane)
 		}
 	}
 	off += nSb
@@ -394,10 +399,10 @@ func parseInto(p *parsed, data []byte) error {
 	// symbols than the plane has samples — anything else is corruption,
 	// and rejecting it here bounds the decoder's work on hostile input.
 	if p.NLayers > p.MaxPlane {
-		return fmt.Errorf("codec: %d layers for %d bit planes", p.NLayers, p.MaxPlane)
+		return eperr.New(eperr.BadCodestream, "codec", "%d layers for %d bit planes", p.NLayers, p.MaxPlane)
 	}
 	if len(data) < off+8*p.NLayers {
-		return fmt.Errorf("codec: truncated layer table")
+		return eperr.New(eperr.BadCodestream, "codec", "truncated layer table")
 	}
 	p.LayerBytes = grow(p.LayerBytes, p.NLayers)
 	p.symbols = grow(p.symbols, p.NLayers)
@@ -406,13 +411,13 @@ func parseInto(p *parsed, data []byte) error {
 		p.LayerBytes[i] = int(binary.LittleEndian.Uint32(data[off:]))
 		p.symbols[i] = binary.LittleEndian.Uint32(data[off+4:])
 		if int64(p.symbols[i]) > int64(p.W)*int64(p.H) {
-			return fmt.Errorf("codec: layer %d claims %d symbols for %dx%d", i, p.symbols[i], p.W, p.H)
+			return eperr.New(eperr.BadCodestream, "codec", "layer %d claims %d symbols for %dx%d", i, p.symbols[i], p.W, p.H)
 		}
 		off += 8
 	}
 	for i := 0; i < p.NLayers; i++ {
 		if len(data) < off+p.LayerBytes[i] {
-			return fmt.Errorf("codec: truncated layer %d payload", i)
+			return eperr.New(eperr.BadCodestream, "codec", "truncated layer %d payload", i)
 		}
 		p.payloads[i] = data[off : off+p.LayerBytes[i]]
 		off += p.LayerBytes[i]
@@ -420,7 +425,7 @@ func parseInto(p *parsed, data []byte) error {
 	// The geometry is cached, so this count check costs nothing after the
 	// first stream of a given shape.
 	if len(geometryFor(p.W, p.H, p.Levels).sbs) != nSb {
-		return fmt.Errorf("codec: subband count %d does not match geometry", nSb)
+		return eperr.New(eperr.BadCodestream, "codec", "subband count %d does not match geometry", nSb)
 	}
 	return nil
 }
@@ -445,7 +450,7 @@ func decodePlane(data []byte, maxLayers int, buf []float32) ([]float32, int, int
 	w, h := p.W, p.H
 	n := w * h
 	if MaxDecodePixels > 0 && n > MaxDecodePixels {
-		return nil, 0, 0, fmt.Errorf("codec: %dx%d plane exceeds MaxDecodePixels %d", w, h, MaxDecodePixels)
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "%dx%d plane exceeds MaxDecodePixels %d", w, h, MaxDecodePixels)
 	}
 	g := geometryFor(w, h, p.Levels)
 	norms := g.subbandNorms(w, h, p.Levels)
@@ -554,10 +559,10 @@ func EncodeImage(im *raster.Image, opt Options) ([][]byte, error) {
 // default, each directly into its destination plane.
 func DecodeImage(enc [][]byte, bands []raster.BandInfo, maxLayers int) (*raster.Image, error) {
 	if len(enc) != len(bands) {
-		return nil, fmt.Errorf("codec: %d streams for %d bands", len(enc), len(bands))
+		return nil, eperr.New(eperr.BadCodestream, "codec", "%d streams for %d bands", len(enc), len(bands))
 	}
 	if len(enc) == 0 {
-		return nil, fmt.Errorf("codec: no bands to decode")
+		return nil, eperr.New(eperr.BadCodestream, "codec", "no bands to decode")
 	}
 	info, err := Parse(enc[0])
 	if err != nil {
@@ -572,7 +577,7 @@ func DecodeImage(enc [][]byte, bands []raster.BandInfo, maxLayers int) (*raster.
 			return
 		}
 		if w != im.Width || h != im.Height {
-			errs[b] = fmt.Errorf("codec: band %d geometry %dx%d differs", b, w, h)
+			errs[b] = eperr.New(eperr.BadCodestream, "codec", "band %d geometry %dx%d differs", b, w, h)
 			return
 		}
 		if &plane[0] != &im.Plane(b)[0] {
@@ -586,15 +591,6 @@ func DecodeImage(enc [][]byte, bands []raster.BandInfo, maxLayers int) (*raster.
 	}
 	im.Clamp()
 	return im, nil
-}
-
-// TotalLen sums the byte lengths of a per-band codestream set.
-func TotalLen(enc [][]byte) int {
-	n := 0
-	for _, e := range enc {
-		n += len(e)
-	}
-	return n
 }
 
 // ZeroOutsideROI clears every tile not marked in roi, in every band. The

@@ -248,7 +248,11 @@ func TestEncodeImageDecodeImageRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if TotalLen(enc) <= 0 {
+	total := 0
+	for _, e := range enc {
+		total += len(e)
+	}
+	if total <= 0 {
 		t.Fatal("empty encoding")
 	}
 	dec, err := DecodeImage(enc, im.Bands, 0)
@@ -276,7 +280,11 @@ func TestEncodeImageSplitsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := TotalLen(enc); got > 4096 {
+	got := 0
+	for _, e := range enc {
+		got += len(e)
+	}
+	if got > 4096 {
 		t.Fatalf("image budget 4096 produced %d bytes", got)
 	}
 }

@@ -2,9 +2,9 @@ package codec
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math"
 
+	"earthplus/internal/eperr"
 	"earthplus/internal/wavelet"
 )
 
@@ -26,10 +26,10 @@ const losslessScale = 65535
 // content demands.
 func EncodePlaneLossless(plane []float32, w, h int, levels int) ([]byte, error) {
 	if len(plane) != w*h {
-		return nil, fmt.Errorf("codec: plane length %d != %dx%d", len(plane), w, h)
+		return nil, eperr.New(eperr.BadImage, "codec", "plane length %d != %dx%d", len(plane), w, h)
 	}
 	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
-		return nil, fmt.Errorf("codec: unsupported dimensions %dx%d", w, h)
+		return nil, eperr.New(eperr.BadImage, "codec", "unsupported dimensions %dx%d", w, h)
 	}
 	levels = effectiveLevels(w, h, levels)
 	g := geometryFor(w, h, levels)
@@ -112,7 +112,7 @@ func EncodePlaneLossless(plane []float32, w, h int, levels int) ([]byte, error) 
 // sample precision).
 func DecodePlaneLossless(data []byte) ([]float32, int, int, error) {
 	if len(data) < 11 || string(data[:4]) != losslessMagic {
-		return nil, 0, 0, fmt.Errorf("codec: bad lossless magic or truncated header")
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "bad lossless magic or truncated header")
 	}
 	w := int(binary.LittleEndian.Uint16(data[4:]))
 	h := int(binary.LittleEndian.Uint16(data[6:]))
@@ -120,20 +120,20 @@ func DecodePlaneLossless(data []byte) ([]float32, int, int, error) {
 	maxPlane := int(data[9])
 	nSb := int(data[10])
 	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
-		return nil, 0, 0, fmt.Errorf("codec: implausible lossless geometry %dx%d", w, h)
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "implausible lossless geometry %dx%d", w, h)
 	}
 	if levels != effectiveLevels(w, h, levels) {
-		return nil, 0, 0, fmt.Errorf("codec: implausible lossless level count %d for %dx%d", levels, w, h)
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "implausible lossless level count %d for %dx%d", levels, w, h)
 	}
 	if maxPlane > 32 {
-		return nil, 0, 0, fmt.Errorf("codec: implausible lossless plane count %d", maxPlane)
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "implausible lossless plane count %d", maxPlane)
 	}
 	if MaxDecodePixels > 0 && w*h > MaxDecodePixels {
-		return nil, 0, 0, fmt.Errorf("codec: %dx%d plane exceeds MaxDecodePixels %d", w, h, MaxDecodePixels)
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "%dx%d plane exceeds MaxDecodePixels %d", w, h, MaxDecodePixels)
 	}
 	g := geometryFor(w, h, levels)
 	if len(g.sbs) != nSb || len(data) < 11+nSb {
-		return nil, 0, 0, fmt.Errorf("codec: lossless subband table mismatch")
+		return nil, 0, 0, eperr.New(eperr.BadCodestream, "codec", "lossless subband table mismatch")
 	}
 	n := w * h
 	payload := data[11+nSb:]

@@ -1,9 +1,9 @@
 package codec
 
 import (
-	"fmt"
 	"math"
 
+	"earthplus/internal/eperr"
 	"earthplus/internal/raster"
 )
 
@@ -31,7 +31,7 @@ func mosaicDims(n int) (cols, rows int) {
 func EncodeROIPlane(plane []float32, roi *raster.TileMask, opt Options) ([]byte, error) {
 	g := roi.Grid
 	if len(plane) != g.ImageW*g.ImageH {
-		return nil, fmt.Errorf("codec: plane length %d does not match grid %dx%d",
+		return nil, eperr.New(eperr.BadImage, "codec", "plane length %d does not match grid %dx%d",
 			len(plane), g.ImageW, g.ImageH)
 	}
 	n := roi.Count()
@@ -71,7 +71,7 @@ func DecodeROIPlaneInto(dst []float32, roi *raster.TileMask, data []byte, maxLay
 	}
 	g := roi.Grid
 	if len(dst) != g.ImageW*g.ImageH {
-		return fmt.Errorf("codec: dst length %d does not match grid %dx%d",
+		return eperr.New(eperr.BadImage, "codec", "dst length %d does not match grid %dx%d",
 			len(dst), g.ImageW, g.ImageH)
 	}
 	n := roi.Count()
@@ -83,7 +83,7 @@ func DecodeROIPlaneInto(dst []float32, roi *raster.TileMask, data []byte, maxLay
 		return err
 	}
 	if mw != cols*g.Tile || mh != rows*g.Tile {
-		return fmt.Errorf("codec: mosaic %dx%d does not match ROI of %d tiles", mw, mh, n)
+		return eperr.New(eperr.BadCodestream, "codec", "mosaic %dx%d does not match ROI of %d tiles", mw, mh, n)
 	}
 	slot := 0
 	for t, keep := range roi.Set {

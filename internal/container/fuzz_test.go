@@ -1,0 +1,40 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"earthplus/internal/eperr"
+)
+
+// FuzzParseContainer hammers the frame parser (header parse, CRC check and
+// zero-copy split) with arbitrary bytes: it must never panic, every
+// rejection must carry the BadCodestream code, and every accepted frame
+// must round-trip Pack(Split(c)) back to identical bytes.
+func FuzzParseContainer(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(Magic))
+	f.Add([]byte(Pack(nil)))
+	f.Add([]byte(Pack([][]byte{[]byte("seed-band"), nil, {1, 2, 3}})))
+	long := Pack([][]byte{bytes.Repeat([]byte{0xAB}, 300)})
+	f.Add([]byte(long))
+	corrupt := append([]byte(nil), long...)
+	corrupt[len(corrupt)/2] ^= 0x80
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := Codestream(data)
+		bands, err := c.Split()
+		if err != nil {
+			if !errors.Is(err, eperr.ErrBadCodestream) {
+				t.Fatalf("rejection is not ErrBadCodestream: %v", err)
+			}
+			return
+		}
+		again := Pack(bands)
+		if !bytes.Equal(again, c) {
+			t.Fatalf("accepted frame does not re-pack identically (%d vs %d bytes)", len(again), len(c))
+		}
+	})
+}

@@ -95,6 +95,12 @@ type System struct {
 	caches   map[int]*sat.RefCache // per satellite; prefilled in New
 	ground   *station.Ground
 	lastGuar []int // per location: day of last guaranteed download
+	// planned[sat][day%RevisitDays] lists the locations sat visits within
+	// the lookahead window after such a day, soonest first. The orbit
+	// schedule is periodic in RevisitDays, so these sets are precomputed
+	// once in New; OnDayEnd used to rebuild them every day with a linear
+	// membership scan per visit.
+	planned [][][]int
 }
 
 var _ sim.System = (*System)(nil)
@@ -129,8 +135,9 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 		caches[id] = sat.NewRefCache()
 	}
 	return &System{
-		cfg: cfg,
-		env: env,
+		cfg:     cfg,
+		env:     env,
+		planned: planVisits(env, cfg.LookaheadDays),
 		pipeline: &sat.Pipeline{
 			Bands:         bands,
 			Grid:          grid,
@@ -254,16 +261,20 @@ func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 		}
 	}
 	tEnc := time.Now()
-	streams, err := sat.EncodeROI(work, roi, s.cfg.GammaBPP, s.cfg.CodecOpts)
+	frame, err := sat.EncodeROI(work, roi, s.cfg.GammaBPP, s.cfg.CodecOpts)
 	if err != nil {
 		return sim.Outcome{}, err
 	}
 	out.EncodeSec = time.Since(tEnc).Seconds()
+	lens, err := frame.PerBandLens()
+	if err != nil {
+		return sim.Outcome{}, err
+	}
 	var tileSum int
-	out.PerBandBytes = make([]int64, len(streams))
-	for b := range streams {
-		out.PerBandBytes[b] = int64(len(streams[b]))
-		out.DownBytes += out.PerBandBytes[b]
+	out.PerBandBytes = make([]int64, len(lens))
+	for b, n := range lens {
+		out.PerBandBytes[b] = int64(n)
+		out.DownBytes += int64(n)
 		if roi[b] != nil {
 			tileSum += roi[b].Count()
 		}
@@ -280,7 +291,7 @@ func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 		preMask := s.ground.AccurateMask(cap.Image, cap.Loc)
 		reject = preMask.TileMask(grid, s.cfg.RejectCloudFrac)
 	}
-	if err := s.ground.ApplyDownload(cap.Loc, cap.Day, streams, roi, reject); err != nil {
+	if err := s.ground.ApplyDownload(cap.Loc, cap.Day, frame, roi, reject); err != nil {
 		return sim.Outcome{}, err
 	}
 	// Promotion coverage must be assessed against the REFRESHED archive:
@@ -317,28 +328,47 @@ func (s *System) OnDayEnd(day int) (int64, error) {
 	return total, nil
 }
 
-// plannedLocs predicts which locations satID will visit within the
-// lookahead window, soonest first (the paper predicts passes from TLE
-// data, §4.2).
-func (s *System) plannedLocs(satID, day int) []int {
-	var locs []int
-	for d := day + 1; d <= day+s.cfg.LookaheadDays; d++ {
-		for loc := 0; loc < s.env.Scene.NumLocations(); loc++ {
-			if s.env.Orbit.Visits(satID, loc, d) && !contains(locs, loc) {
-				locs = append(locs, loc)
+// planVisits precomputes, for every (satellite, day phase) pair, the
+// deduplicated locations the satellite visits within lookahead days after
+// a day with that phase, soonest first (the paper predicts passes from
+// TLE data, §4.2). The visit schedule only depends on day modulo the
+// revisit period, so one table covers the whole mission.
+func planVisits(env *sim.Env, lookahead int) [][][]int {
+	period := env.Orbit.RevisitDays
+	nLoc := env.Scene.NumLocations()
+	if period <= 0 || env.Orbit.Satellites <= 0 {
+		return nil // invalid orbit; the simulator rejects it before any run
+	}
+	planned := make([][][]int, env.Orbit.Satellites)
+	seen := make([]bool, nLoc)
+	for satID := range planned {
+		planned[satID] = make([][]int, period)
+		for p := 0; p < period; p++ {
+			clear(seen)
+			var locs []int
+			for d := 1; d <= lookahead; d++ {
+				// p+d is a representative day ≥ 0 with the right phase.
+				for loc := 0; loc < nLoc; loc++ {
+					if !seen[loc] && env.Orbit.Visits(satID, loc, p+d) {
+						seen[loc] = true
+						locs = append(locs, loc)
+					}
+				}
 			}
+			planned[satID][p] = locs
 		}
 	}
-	return locs
+	return planned
 }
 
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
+// plannedLocs returns the precomputed lookahead visit list for satID after
+// day. Callers must not mutate the returned slice.
+func (s *System) plannedLocs(satID, day int) []int {
+	period := s.env.Orbit.RevisitDays
+	if period <= 0 || satID < 0 || satID >= len(s.planned) {
+		return nil
 	}
-	return false
+	return s.planned[satID][((day%period)+period)%period]
 }
 
 // Ground exposes the ground segment for experiments (storage and uplink

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"earthplus/internal/registry"
+	"earthplus/internal/sim"
+)
+
+// SystemName is Earth+'s name in the system registry.
+const SystemName = "earthplus"
+
+// Earth+ self-registers so experiments, cmds and the public pkg/earthplus
+// API construct it by name through one code path. The Params knobs mirror
+// the Config fields the ablation studies sweep; presence is meaningful
+// (an explicit zero overrides the default), and unknown keys error.
+func init() {
+	registry.Register(SystemName, func(env *sim.Env, spec registry.Spec) (sim.System, error) {
+		if err := registry.CheckParams(spec, SystemName,
+			"guarantee_days", "guarantee_max_cloud", "reject_cloud_frac",
+			"ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp"); err != nil {
+			return nil, err
+		}
+		cfg := DefaultConfig()
+		cfg.GammaBPP = spec.GammaBPP
+		cfg.CodecOpts = spec.Codec
+		if spec.Theta > 0 {
+			cfg.Theta = spec.Theta
+		}
+		if v, ok := spec.Param("guarantee_days"); ok {
+			cfg.GuaranteePeriodDays = int(v)
+		}
+		if v, ok := spec.Param("guarantee_max_cloud"); ok {
+			cfg.GuaranteeMaxCloud = v
+		}
+		if v, ok := spec.Param("reject_cloud_frac"); ok {
+			cfg.RejectCloudFrac = v
+		}
+		if v, ok := spec.Param("ref_downsample"); ok {
+			cfg.RefDownsample = int(v)
+		}
+		if v, ok := spec.Param("lookahead_days"); ok {
+			cfg.LookaheadDays = int(v)
+		}
+		if v, ok := spec.Param("drop_coverage"); ok {
+			cfg.DropCoverage = v
+		}
+		if v, ok := spec.Param("ref_bpp"); ok {
+			cfg.RefBPP = v
+		}
+		return New(env, cfg)
+	})
+}

@@ -1,0 +1,109 @@
+// Package eperr defines the typed error taxonomy shared by the whole
+// reproduction and surfaced publicly as earthplus.Error. It is a leaf
+// package — anything from the codec up to the HTTP serving layer may wrap
+// its failures in an *Error so callers branch on stable codes
+// (errors.Is against the exported sentinels, or CodeOf) instead of
+// matching formatted strings.
+package eperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code classifies a failure. Codes are part of the public API surface
+// (the serving layer maps them onto HTTP statuses and returns them in
+// error bodies), so their string values are stable.
+type Code string
+
+const (
+	// BadCodestream marks a malformed, truncated or corrupt codestream or
+	// container frame.
+	BadCodestream Code = "bad_codestream"
+	// BudgetTooSmall marks a byte budget too small to hold even the
+	// codestream framing.
+	BudgetTooSmall Code = "budget_too_small"
+	// UnknownSystem marks a system name absent from the registry.
+	UnknownSystem Code = "unknown_system"
+	// BadConfig marks an invalid system or codec configuration.
+	BadConfig Code = "bad_config"
+	// BadImage marks image payloads whose geometry or size is invalid.
+	BadImage Code = "bad_image"
+	// Overloaded marks a serving layer that refused work at capacity.
+	Overloaded Code = "overloaded"
+	// Canceled marks work abandoned because the caller's context ended.
+	Canceled Code = "canceled"
+)
+
+// Error is a classified failure. The zero Op is allowed; Err may be nil.
+type Error struct {
+	// Code is the stable classification.
+	Code Code
+	// Op names the failing operation ("codec", "container", "registry").
+	Op string
+	// Msg is the human-readable detail.
+	Msg string
+	// Err is the wrapped cause, if any.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := string(e.Code)
+	if e.Op != "" {
+		s = e.Op + ": " + s
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches any *Error carrying the same Code, so
+// errors.Is(err, eperr.ErrBadCodestream) works however deeply the error
+// was wrapped and however much detail it carries.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Sentinels for errors.Is checks. They carry only a Code; real failures
+// are built with New/Wrap and compare equal to these by code.
+var (
+	ErrBadCodestream  = &Error{Code: BadCodestream}
+	ErrBudgetTooSmall = &Error{Code: BudgetTooSmall}
+	ErrUnknownSystem  = &Error{Code: UnknownSystem}
+	ErrBadConfig      = &Error{Code: BadConfig}
+	ErrBadImage       = &Error{Code: BadImage}
+	ErrOverloaded     = &Error{Code: Overloaded}
+	ErrCanceled       = &Error{Code: Canceled}
+)
+
+// New builds a classified error with a formatted detail message.
+func New(code Code, op, format string, args ...any) error {
+	return &Error{Code: code, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies an existing error. A nil err returns nil.
+func Wrap(code Code, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Op: op, Err: err}
+}
+
+// CodeOf extracts the classification of err, reporting false for errors
+// outside the taxonomy.
+func CodeOf(err error) (Code, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code, true
+	}
+	return "", false
+}

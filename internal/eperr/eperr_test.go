@@ -1,0 +1,52 @@
+package eperr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	err := New(BadCodestream, "container", "truncated at byte %d", 7)
+	if !errors.Is(err, ErrBadCodestream) {
+		t.Fatalf("New(BadCodestream) does not match ErrBadCodestream: %v", err)
+	}
+	if errors.Is(err, ErrBudgetTooSmall) {
+		t.Fatalf("BadCodestream error matched ErrBudgetTooSmall")
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.Is(wrapped, ErrBadCodestream) {
+		t.Fatalf("wrapping broke the code match")
+	}
+}
+
+func TestWrapKeepsCause(t *testing.T) {
+	err := Wrap(BadCodestream, "container", io.ErrUnexpectedEOF)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	if !errors.Is(err, ErrBadCodestream) {
+		t.Fatalf("code lost: %v", err)
+	}
+	if Wrap(BadConfig, "x", nil) != nil {
+		t.Fatalf("Wrap(nil) must be nil")
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	if c, ok := CodeOf(New(UnknownSystem, "registry", "no such system")); !ok || c != UnknownSystem {
+		t.Fatalf("CodeOf = %q, %v", c, ok)
+	}
+	if _, ok := CodeOf(io.EOF); ok {
+		t.Fatalf("CodeOf(io.EOF) claimed a taxonomy code")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	err := &Error{Code: BadImage, Op: "serve", Msg: "short body", Err: io.ErrUnexpectedEOF}
+	want := "serve: bad_image: short body: unexpected EOF"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}

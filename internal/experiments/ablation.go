@@ -6,6 +6,7 @@ import (
 
 	"earthplus/internal/core"
 	"earthplus/internal/metrics"
+	"earthplus/internal/registry"
 	"earthplus/internal/scene"
 	"earthplus/internal/sim"
 )
@@ -52,15 +53,17 @@ func (r *AblationResult) Render(w io.Writer) error {
 	return nil
 }
 
-// ablationRun executes Earth+ with the given config mutation and collects
-// the knob outcome.
-func ablationRun(sc Scale, label string, mutate func(*core.Config)) (AblationPoint, error) {
+// ablationRun executes Earth+ under the given registry spec and collects
+// the knob outcome. A zero spec.Theta uses the profiled θ, matching every
+// non-ablated run; system-specific knobs travel as spec.Params so every
+// variant flows through the same registry code path.
+func ablationRun(sc Scale, label string, spec registry.Spec) (AblationPoint, error) {
 	cfg := scene.LargeConstellationSampled(sc.Size)
 	env := envFor(cfg, planetOrbit(8), defaultUplinkDivisor)
-	cc := core.DefaultConfig()
-	cc.Theta = profiledTheta(sc, cfg, cc.RefDownsample)
-	mutate(&cc)
-	sys, err := core.New(env, cc)
+	if spec.Theta == 0 {
+		spec.Theta = profiledTheta(sc, cfg, core.DefaultConfig().RefDownsample)
+	}
+	sys, err := registry.New(core.SystemName, env, spec)
 	if err != nil {
 		return AblationPoint{}, err
 	}
@@ -104,7 +107,7 @@ func AblationTheta(sc Scale) (*AblationResult, error) {
 		{"4θ (under-sensitive)", profiled * 4},
 	} {
 		theta := v.theta
-		p, err := ablationRun(sc, v.label, func(c *core.Config) { c.Theta = theta })
+		p, err := ablationRun(sc, v.label, registry.Spec{Theta: theta})
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +130,7 @@ func AblationGuarantee(sc Scale) (*AblationResult, error) {
 		{"disabled", 1 << 20},
 	} {
 		days := v.days
-		p, err := ablationRun(sc, v.label, func(c *core.Config) { c.GuaranteePeriodDays = days })
+		p, err := ablationRun(sc, v.label, registry.Spec{Params: map[string]float64{"guarantee_days": float64(days)}})
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +152,7 @@ func AblationReject(sc Scale) (*AblationResult, error) {
 		{"reject tiles >25% detected cloud", 0.25},
 	} {
 		frac := v.frac
-		p, err := ablationRun(sc, v.label, func(c *core.Config) { c.RejectCloudFrac = frac })
+		p, err := ablationRun(sc, v.label, registry.Spec{Params: map[string]float64{"reject_cloud_frac": frac}})
 		if err != nil {
 			return nil, err
 		}

@@ -10,10 +10,10 @@ import (
 	"sync"
 
 	"earthplus/internal/baseline"
-	"earthplus/internal/codec"
 	"earthplus/internal/core"
 	"earthplus/internal/link"
 	"earthplus/internal/orbit"
+	"earthplus/internal/registry"
 	"earthplus/internal/scene"
 	"earthplus/internal/sim"
 )
@@ -163,12 +163,10 @@ func profiledTheta(sc Scale, cfg scene.Config, downsample int) float64 {
 	return ProfileThetaOnScene(scene.New(cfg), 0, sc.ProfileStart, sc.ProfileStart+sc.ProfileDays, downsample, 0.02, core.DefaultConfig().Theta)
 }
 
-// earthPlus builds an Earth+ system with the profiled θ and a γ.
-func earthPlus(env *sim.Env, theta, gamma float64) (*core.System, error) {
-	cfg := core.DefaultConfig()
-	cfg.Theta = theta
-	cfg.GammaBPP = gamma
-	return core.New(env, cfg)
+// earthPlus builds an Earth+ system through the system registry with the
+// profiled θ and a γ.
+func earthPlus(env *sim.Env, theta, gamma float64) (sim.System, error) {
+	return registry.New(core.SystemName, env, registry.Spec{GammaBPP: gamma, Theta: theta})
 }
 
 // runSystemStream runs one system over the scale's evaluation window,
@@ -204,8 +202,12 @@ func threeSystemsStream(sc Scale, mkEnv func() *sim.Env, theta, gamma float64, m
 		mk   func(env *sim.Env) (sim.System, error)
 	}{
 		{"Earth+", func(env *sim.Env) (sim.System, error) { return earthPlus(env, theta, gamma) }},
-		{"Kodan", func(env *sim.Env) (sim.System, error) { return baseline.NewKodan(env, gamma, codec.DefaultOptions()) }},
-		{"SatRoI", func(env *sim.Env) (sim.System, error) { return baseline.NewSatRoI(env, gamma, codec.DefaultOptions()) }},
+		{"Kodan", func(env *sim.Env) (sim.System, error) {
+			return registry.New(baseline.KodanName, env, registry.Spec{GammaBPP: gamma})
+		}},
+		{"SatRoI", func(env *sim.Env) (sim.System, error) {
+			return registry.New(baseline.SatRoIName, env, registry.Spec{GammaBPP: gamma})
+		}},
 	}
 	results := make([]*sim.Result, len(builders))
 	errs := make([]error, len(builders))

@@ -8,8 +8,10 @@ import (
 	"runtime"
 	"time"
 
+	"earthplus/internal/codec"
 	"earthplus/internal/core"
 	"earthplus/internal/orbit"
+	"earthplus/internal/registry"
 	"earthplus/internal/sim"
 )
 
@@ -90,11 +92,10 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 	mkRun := func(workers int) (*sim.Env, sim.System, error) {
 		env := envFor(cfg, simBenchOrbit(satellites), defaultUplinkDivisor)
 		env.Parallelism = workers
-		cc := core.DefaultConfig()
 		// Pin the codec to one thread so the measurement isolates the
 		// engine's location sharding from band-level parallelism.
-		cc.CodecOpts.Parallelism = 1
-		sys, err := core.New(env, cc)
+		spec := registry.Spec{Codec: codec.Options{Parallelism: 1}}
+		sys, err := registry.New(core.SystemName, env, spec)
 		return env, sys, err
 	}
 

@@ -1,0 +1,120 @@
+// Package registry is the single construction path for every compression
+// system in the reproduction. Earth+, the baselines and any future
+// ablation variants register a Factory under a stable lower-case name
+// (core and baseline self-register in their init functions), and
+// everything above — experiments, cmds, the HTTP serving layer and the
+// public pkg/earthplus API — resolves systems by name through one unified
+// Spec instead of calling divergent constructors.
+package registry
+
+import (
+	"sort"
+	"sync"
+
+	"earthplus/internal/codec"
+	"earthplus/internal/eperr"
+	"earthplus/internal/sim"
+)
+
+// Spec is the unified system configuration. The zero value means "the
+// system's defaults"; systems read only the fields they understand.
+type Spec struct {
+	// GammaBPP is the paper's γ: bits per pixel spent on each downloaded
+	// tile. Zero means the default 1.0.
+	GammaBPP float64
+	// Theta overrides the change-detection threshold where the system has
+	// one (Earth+). Zero keeps the system default (or a profiled value).
+	Theta float64
+	// Codec configures the wavelet codec. A zero BaseStep means
+	// codec.DefaultOptions with Codec.Parallelism carried over.
+	Codec codec.Options
+	// Params carries system-specific knobs by name ("guarantee_days",
+	// "reject_cloud_frac", …). Presence is meaningful — an explicit zero
+	// overrides the system default — and unknown keys are a BadConfig
+	// error so typos cannot silently run the default configuration.
+	Params map[string]float64
+}
+
+// Normalize fills the Spec's zero values with the shared defaults.
+func (s Spec) Normalize() Spec {
+	if s.GammaBPP == 0 {
+		s.GammaBPP = 1.0
+	}
+	if s.Codec.BaseStep == 0 {
+		p := s.Codec.Parallelism
+		s.Codec = codec.DefaultOptions()
+		s.Codec.Parallelism = p
+	}
+	return s
+}
+
+// Param returns the named knob and whether it was set.
+func (s Spec) Param(name string) (float64, bool) {
+	v, ok := s.Params[name]
+	return v, ok
+}
+
+// Factory builds a configured system for an environment.
+type Factory func(env *sim.Env, spec Spec) (sim.System, error)
+
+var (
+	mu        sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register installs a factory under name. Registering an empty name, a
+// nil factory, or a taken name panics: registration happens in package
+// init functions, where a conflict is a programming error.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("registry: Register needs a name and a factory")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic("registry: duplicate system " + name)
+	}
+	factories[name] = f
+}
+
+// New builds the named system, normalising the spec first. Unknown names
+// return an UnknownSystem error listing what is registered.
+func New(name string, env *sim.Env, spec Spec) (sim.System, error) {
+	mu.RLock()
+	f := factories[name]
+	mu.RUnlock()
+	if f == nil {
+		return nil, eperr.New(eperr.UnknownSystem, "registry", "no system %q (registered: %v)", name, Names())
+	}
+	return f(env, spec.Normalize())
+}
+
+// Names lists the registered systems, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckParams verifies that every Params key is among the allowed names,
+// so factories reject typo'd knobs uniformly.
+func CheckParams(spec Spec, system string, allowed ...string) error {
+	for k := range spec.Params {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return eperr.New(eperr.BadConfig, "registry", "system %q does not understand param %q (allowed: %v)", system, k, allowed)
+		}
+	}
+	return nil
+}

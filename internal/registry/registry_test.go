@@ -1,0 +1,77 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"earthplus/internal/codec"
+	"earthplus/internal/eperr"
+	"earthplus/internal/sim"
+)
+
+func TestUnknownSystemTypedError(t *testing.T) {
+	_, err := New("no-such-system", &sim.Env{}, Spec{})
+	if err == nil {
+		t.Fatal("expected an error for an unregistered name")
+	}
+	if !errors.Is(err, eperr.ErrUnknownSystem) {
+		t.Fatalf("error %v is not ErrUnknownSystem", err)
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	f := func(*sim.Env, Spec) (sim.System, error) { return nil, nil }
+	Register("registry-test-dup", f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("registry-test-dup", f)
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := Spec{}.Normalize()
+	if s.GammaBPP != 1.0 {
+		t.Fatalf("GammaBPP default = %v, want 1.0", s.GammaBPP)
+	}
+	if s.Codec.BaseStep != codec.DefaultOptions().BaseStep || s.Codec.Levels != codec.DefaultOptions().Levels {
+		t.Fatalf("Codec default not applied: %+v", s.Codec)
+	}
+	// Parallelism survives a zero-BaseStep spec.
+	s = Spec{Codec: codec.Options{Parallelism: 3}}.Normalize()
+	if s.Codec.Parallelism != 3 || s.Codec.BaseStep == 0 {
+		t.Fatalf("Parallelism lost in normalisation: %+v", s.Codec)
+	}
+	// A fully-specified codec is kept as is.
+	custom := codec.Options{Levels: 2, BaseStep: 0.5}
+	if got := (Spec{Codec: custom}).Normalize().Codec; got != custom {
+		t.Fatalf("custom codec rewritten: %+v", got)
+	}
+}
+
+func TestCheckParams(t *testing.T) {
+	spec := Spec{Params: map[string]float64{"guarantee_days": 10}}
+	if err := CheckParams(spec, "earthplus", "guarantee_days", "reject_cloud_frac"); err != nil {
+		t.Fatalf("allowed param rejected: %v", err)
+	}
+	spec = Spec{Params: map[string]float64{"guarantee_dayz": 10}}
+	err := CheckParams(spec, "earthplus", "guarantee_days")
+	if !errors.Is(err, eperr.ErrBadConfig) {
+		t.Fatalf("typo'd param error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestNewNormalizesSpec(t *testing.T) {
+	var got Spec
+	Register("registry-test-capture", func(env *sim.Env, spec Spec) (sim.System, error) {
+		got = spec
+		return nil, nil
+	})
+	if _, err := New("registry-test-capture", &sim.Env{}, Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	if got.GammaBPP != 1.0 || got.Codec.BaseStep == 0 {
+		t.Fatalf("factory received un-normalised spec: %+v", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"earthplus/internal/change"
 	"earthplus/internal/cloud"
 	"earthplus/internal/codec"
+	"earthplus/internal/container"
 	"earthplus/internal/illum"
 	"earthplus/internal/raster"
 )
@@ -234,13 +235,18 @@ func clearPixelsLow(m *cloud.Mask, factor, lw, lh int) []bool {
 // paper's constant per-tile bit budget γ (§5). Downloaded tiles carry
 // their original pixel values (§3): cloud zero-filling is a detection-side
 // device only, and mostly-cloudy tiles are excluded from the ROI by the
-// caller. Bands whose ROI is empty yield nil streams.
+// caller. Bands whose ROI is empty travel as absent container bands.
+//
+// The per-band codec streams are framed into one container.Codestream —
+// the wire unit every downlink consumer (ground station, HTTP serving
+// layer) speaks — with the per-band bytes inside exactly what
+// codec.EncodeROIPlane produced.
 //
 // Bands are encoded concurrently by a worker pool of
 // codec.Workers(opts.Parallelism, bands) goroutines, so whole-constellation
 // simulations scale with the host's cores.
 func EncodeROI(capImg *raster.Image, perBandROI []*raster.TileMask,
-	gammaBPP float64, opts codec.Options) ([][]byte, error) {
+	gammaBPP float64, opts codec.Options) (container.Codestream, error) {
 	streams := make([][]byte, len(perBandROI))
 	errs := make([]error, len(perBandROI))
 	codec.ParallelBands(opts.Parallelism, len(perBandROI), func(b int) {
@@ -266,7 +272,7 @@ func EncodeROI(capImg *raster.Image, perBandROI []*raster.TileMask,
 			return nil, err
 		}
 	}
-	return streams, nil
+	return container.Pack(streams), nil
 }
 
 // MaskOverheadBytes is the downlink metadata cost of the per-band ROI

@@ -219,9 +219,16 @@ func TestEncodeROIBudgetAndNilBands(t *testing.T) {
 		mask.Set[i*2] = true
 	}
 	roi[0] = mask // only band 0 downloads
-	streams, err := EncodeROI(cap.Image, roi, 1.0, codec.DefaultOptions())
+	frame, err := EncodeROI(cap.Image, roi, 1.0, codec.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
+	}
+	streams, err := frame.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != len(roi) {
+		t.Fatalf("frame carries %d bands, want %d", len(streams), len(roi))
 	}
 	if streams[1] != nil || streams[2] != nil {
 		t.Fatal("empty-ROI bands produced streams")
@@ -242,7 +249,11 @@ func TestEncodeROIDecodableByStationPath(t *testing.T) {
 	mask := raster.NewTileMask(g)
 	mask.Set[0], mask.Set[7] = true, true
 	roi := []*raster.TileMask{mask, nil, nil, nil}
-	streams, err := EncodeROI(cap.Image, roi, 4.0, codec.DefaultOptions())
+	frame, err := EncodeROI(cap.Image, roi, 4.0, codec.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := frame.Split()
 	if err != nil {
 		t.Fatal(err)
 	}

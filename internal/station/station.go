@@ -12,6 +12,8 @@ import (
 
 	"earthplus/internal/cloud"
 	"earthplus/internal/codec"
+	"earthplus/internal/container"
+	"earthplus/internal/eperr"
 	"earthplus/internal/link"
 	"earthplus/internal/raster"
 )
@@ -118,13 +120,22 @@ func (g *Ground) BestRefDay(loc int) int {
 	return g.bestRef[loc].day
 }
 
-// ApplyDownload integrates one capture's downloaded tiles: per-band streams
-// (nil = band not downloaded) are decoded and their ROI tiles copied into
-// the archive. Tiles marked in reject — those the ground's accurate
-// detector found cloud-contaminated — are decoded but NOT applied, keeping
-// the archive (and hence every future reference) haze-free. This is the
-// operational payoff of re-detecting clouds on the ground (§4.3).
-func (g *Ground) ApplyDownload(loc, day int, streams [][]byte, perBandROI []*raster.TileMask, reject *raster.TileMask) error {
+// ApplyDownload integrates one capture's downloaded container frame: the
+// per-band codec streams inside (absent band = not downloaded) are decoded
+// and their ROI tiles copied into the archive. Tiles marked in reject —
+// those the ground's accurate detector found cloud-contaminated — are
+// decoded but NOT applied, keeping the archive (and hence every future
+// reference) haze-free. This is the operational payoff of re-detecting
+// clouds on the ground (§4.3).
+func (g *Ground) ApplyDownload(loc, day int, cs container.Codestream, perBandROI []*raster.TileMask, reject *raster.TileMask) error {
+	streams, err := cs.Split()
+	if err != nil {
+		return fmt.Errorf("station: loc %d download frame: %w", loc, err)
+	}
+	if len(streams) != len(perBandROI) {
+		return eperr.New(eperr.BadCodestream, "station",
+			"download frame carries %d bands for %d ROI masks", len(streams), len(perBandROI))
+	}
 	g.locMu[loc].Lock()
 	defer g.locMu[loc].Unlock()
 	if g.archive[loc] == nil {
@@ -366,8 +377,11 @@ func (g *Ground) trimUpdateToBudget(best, mirror *refState, perBand []*raster.Ti
 	return out
 }
 
-// encodeRefUpdate ROI-encodes the changed tiles of the low-res reference.
-func (g *Ground) encodeRefUpdate(ref *raster.Image, perBand []*raster.TileMask) ([][]byte, []*raster.TileMask, int64, error) {
+// encodeRefUpdate ROI-encodes the changed tiles of the low-res reference
+// into one container frame. The returned byte count is the uplink charge:
+// the per-band codec payloads plus the shipped tile-mask metadata
+// (framing overhead is a transport concern and not billed to the link).
+func (g *Ground) encodeRefUpdate(ref *raster.Image, perBand []*raster.TileMask) (container.Codestream, []*raster.TileMask, int64, error) {
 	streams := make([][]byte, len(g.bands))
 	var total int64
 	for b, mask := range perBand {
@@ -387,12 +401,16 @@ func (g *Ground) encodeRefUpdate(ref *raster.Image, perBand []*raster.TileMask) 
 		streams[b] = data
 		total += int64(len(data)) + codec.ROIMaskBytes(mask.Grid)
 	}
-	return streams, perBand, total, nil
+	return container.Pack(streams), perBand, total, nil
 }
 
 // decodeRefUpdate reconstructs the reference image a satellite ends up with
 // after applying the update on top of its current mirror.
-func (g *Ground) decodeRefUpdate(streams [][]byte, masks []*raster.TileMask, current *refState, best *refState) (*raster.Image, error) {
+func (g *Ground) decodeRefUpdate(cs container.Codestream, masks []*raster.TileMask, current *refState, best *refState) (*raster.Image, error) {
+	streams, err := cs.Split()
+	if err != nil {
+		return nil, fmt.Errorf("station: reference frame: %w", err)
+	}
 	var base *raster.Image
 	if current != nil {
 		base = current.img.Clone()

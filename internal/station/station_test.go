@@ -5,6 +5,7 @@ import (
 
 	"earthplus/internal/cloud"
 	"earthplus/internal/codec"
+	"earthplus/internal/container"
 	"earthplus/internal/link"
 	"earthplus/internal/noise"
 	"earthplus/internal/raster"
@@ -105,9 +106,9 @@ func TestApplyDownloadUpdatesArchiveTiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	streams := [][]byte{stream, nil, nil, nil}
+	frame := container.Pack([][]byte{stream, nil, nil, nil})
 	rois := []*raster.TileMask{mask, nil, nil, nil}
-	if err := g.ApplyDownload(0, 5, streams, rois, nil); err != nil {
+	if err := g.ApplyDownload(0, 5, frame, rois, nil); err != nil {
 		t.Fatal(err)
 	}
 	got := g.Archive(0).At(0, x0+8, y0+8)
@@ -145,7 +146,7 @@ func TestApplyDownloadRejectsTiles(t *testing.T) {
 	}
 	reject := raster.NewTileMask(grid)
 	reject.Set[5] = true // pretend tile 5 is cloud-contaminated
-	err = g.ApplyDownload(0, 5, [][]byte{stream, nil, nil, nil},
+	err = g.ApplyDownload(0, 5, container.Pack([][]byte{stream, nil, nil, nil}),
 		[]*raster.TileMask{mask, nil, nil, nil}, reject)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"earthplus/internal/codec"
+	"earthplus/internal/container"
 	"earthplus/internal/link"
 	"earthplus/internal/noise"
 	"earthplus/internal/raster"
@@ -56,7 +57,7 @@ func applyFull(t *testing.T, g *Ground, loc, day int, im *raster.Image) {
 		}
 		streams[b], rois[b] = data, all
 	}
-	if err := g.ApplyDownload(loc, day, streams, rois, nil); err != nil {
+	if err := g.ApplyDownload(loc, day, container.Pack(streams), rois, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := g.MaybePromote(loc, day, 0); err != nil {

@@ -1,0 +1,267 @@
+package earthplus
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"earthplus/internal/codec"
+	"earthplus/internal/container"
+	"earthplus/internal/eperr"
+)
+
+// Codestream is one framed multi-band codestream — the wire unit of the
+// API. See the package documentation for the frame layout.
+type Codestream = container.Codestream
+
+// Container frame identity, exposed for protocol negotiation (the
+// serving layer reports both from /v1/info).
+const (
+	ContainerMagic   = container.Magic
+	ContainerVersion = container.Version
+)
+
+// PackCodestream frames a per-band codestream set (nil = absent band)
+// into one Codestream. The inverse is Codestream.Split.
+func PackCodestream(bands [][]byte) Codestream { return container.Pack(bands) }
+
+// ReadCodestream assembles one frame from a stream, validating its CRC.
+// It returns io.EOF unwrapped when the stream ends cleanly before a frame
+// starts.
+func ReadCodestream(r io.Reader) (Codestream, error) { return container.ReadFrom(r) }
+
+// minBandBudget is the smallest per-band byte budget Encode accepts: the
+// codec's fixed header floor with a little room for payload.
+const minBandBudget = 64
+
+// EncodeOptions configures an Encoder.
+type EncodeOptions struct {
+	// BPP is the bits-per-pixel budget per band (the paper's γ applied
+	// image-wide). Zero encodes every bit plane (highest lossy quality).
+	BPP float64
+	// Lossless switches to the reversible integer 5/3 path: decoding
+	// reproduces the image exactly at 16-bit sample precision. BPP is
+	// ignored (lossless has no rate control).
+	Lossless bool
+	// Levels is the DWT decomposition depth (0 = the default 5).
+	Levels int
+	// Parallelism bounds the bands coded concurrently per image (0 =
+	// the codec package default).
+	Parallelism int
+}
+
+// codecOptions lowers EncodeOptions onto codec plane options for a
+// w x h plane, validating the budget floor.
+func (o EncodeOptions) codecOptions(w, h int) (codec.Options, error) {
+	opt := codec.DefaultOptions()
+	if o.Levels > 0 {
+		opt.Levels = o.Levels
+	}
+	opt.Parallelism = o.Parallelism
+	if o.BPP < 0 {
+		return opt, eperr.New(eperr.BadConfig, "earthplus", "negative BPP %v", o.BPP)
+	}
+	if o.BPP > 0 && !o.Lossless {
+		opt.BudgetBytes = codec.BudgetForBPP(o.BPP, w, h)
+		if opt.BudgetBytes < minBandBudget {
+			return opt, eperr.New(eperr.BudgetTooSmall, "earthplus",
+				"%.4f bpp on a %dx%d plane is a %d-byte band budget; the floor is %d",
+				o.BPP, w, h, opt.BudgetBytes, minBandBudget)
+		}
+	}
+	return opt, nil
+}
+
+// Encoder writes container frames — one per image — to an io.Writer.
+type Encoder struct {
+	w    io.Writer
+	opts EncodeOptions
+}
+
+// NewEncoder returns an Encoder writing frames with the given options.
+func NewEncoder(w io.Writer, opts EncodeOptions) *Encoder {
+	return &Encoder{w: w, opts: opts}
+}
+
+// Encode compresses img into one container frame and writes it. Bands
+// are coded concurrently; ctx cancellation is observed between bands and
+// reported as a CodeCanceled error without writing a partial frame.
+func (e *Encoder) Encode(ctx context.Context, img *Image) error {
+	frame, err := EncodeFrame(ctx, img, e.opts)
+	if err != nil {
+		return err
+	}
+	if _, err := frame.WriteTo(e.w); err != nil {
+		return fmt.Errorf("earthplus: writing frame: %w", err)
+	}
+	return nil
+}
+
+// EncodeFrame compresses img into one container frame in memory — the
+// Encoder without the writer, for callers that transport frames
+// themselves.
+func EncodeFrame(ctx context.Context, img *Image, opts EncodeOptions) (Codestream, error) {
+	if img == nil || img.NumBands() == 0 || img.Width <= 0 || img.Height <= 0 {
+		return nil, eperr.New(eperr.BadImage, "earthplus", "nil or empty image")
+	}
+	if img.NumBands() > container.MaxBands {
+		return nil, eperr.New(eperr.BadImage, "earthplus",
+			"%d bands exceeds the %d-band frame bound", img.NumBands(), container.MaxBands)
+	}
+	opt, err := opts.codecOptions(img.Width, img.Height)
+	if err != nil {
+		return nil, err
+	}
+	nb := img.NumBands()
+	bands := make([][]byte, nb)
+	errs := make([]error, nb)
+	codec.ParallelBands(opts.Parallelism, nb, func(b int) {
+		if ctx.Err() != nil {
+			errs[b] = eperr.Wrap(eperr.Canceled, "earthplus", ctx.Err())
+			return
+		}
+		var data []byte
+		var err error
+		if opts.Lossless {
+			data, err = codec.EncodePlaneLossless(img.Plane(b), img.Width, img.Height, opt.Levels)
+		} else {
+			data, err = codec.EncodePlane(img.Plane(b), img.Width, img.Height, opt)
+		}
+		if err != nil {
+			errs[b] = fmt.Errorf("earthplus: band %d: %w", b, err)
+			return
+		}
+		bands[b] = data
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return container.Pack(bands), nil
+}
+
+// Decoder reads container frames from an io.Reader and decodes them back
+// to images.
+type Decoder struct {
+	r io.Reader
+	// Bands optionally names the decoded bands; when nil or mismatched in
+	// count, generic metadata is synthesised (frames do not carry band
+	// descriptions).
+	Bands []BandInfo
+	// MaxLayers truncates lossy decodes to the first quality layers
+	// (<= 0 = all) — the layered codec's degraded-downlink mode.
+	MaxLayers int
+}
+
+// NewDecoder returns a Decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads and decodes the stream's next frame. It returns io.EOF
+// unwrapped at the clean end of the stream, and a CodeBadCodestream
+// error for malformed frames. ctx cancellation is observed between bands.
+func (d *Decoder) Decode(ctx context.Context) (*Image, error) {
+	frame, err := container.ReadFrom(d.r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFrame(ctx, frame, d.Bands, d.MaxLayers)
+}
+
+// DecodeFrame decodes one in-memory container frame — the Decoder
+// without the reader. Every band must be present: an image frame with
+// holes is malformed (ROI'd simulation downloads are applied by the
+// ground segment, not decoded standalone).
+func DecodeFrame(ctx context.Context, frame Codestream, bandInfo []BandInfo, maxLayers int) (*Image, error) {
+	streams, err := frame.Split()
+	if err != nil {
+		return nil, err
+	}
+	if len(streams) == 0 {
+		return nil, eperr.New(eperr.BadCodestream, "earthplus", "frame carries no bands")
+	}
+	for b, s := range streams {
+		if s == nil {
+			return nil, eperr.New(eperr.BadCodestream, "earthplus", "image frame is missing band %d", b)
+		}
+		if len(s) < 4 {
+			return nil, eperr.New(eperr.BadCodestream, "earthplus", "band %d payload is %d bytes", b, len(s))
+		}
+		if b > 0 && !bytes.Equal(s[:4], streams[0][:4]) {
+			return nil, eperr.New(eperr.BadCodestream, "earthplus", "band %d mixes codec modes within one frame", b)
+		}
+	}
+	if len(bandInfo) != len(streams) {
+		bandInfo = make([]BandInfo, len(streams))
+		for b := range bandInfo {
+			bandInfo[b].Name = fmt.Sprintf("band%d", b)
+		}
+	}
+	// Probe band 0 for the geometry, then decode the rest concurrently.
+	plane0, w, h, err := decodeBand(streams[0], maxLayers)
+	if err != nil {
+		return nil, fmt.Errorf("earthplus: band 0: %w", err)
+	}
+	img := NewImage(w, h, bandInfo)
+	copy(img.Plane(0), plane0)
+	nb := len(streams)
+	errs := make([]error, nb)
+	codec.ParallelBands(0, nb-1, func(i int) {
+		b := i + 1
+		if ctx.Err() != nil {
+			errs[b] = eperr.Wrap(eperr.Canceled, "earthplus", ctx.Err())
+			return
+		}
+		plane, bw, bh, err := decodeBand(streams[b], maxLayers)
+		if err != nil {
+			errs[b] = fmt.Errorf("earthplus: band %d: %w", b, err)
+			return
+		}
+		if bw != w || bh != h {
+			errs[b] = eperr.New(eperr.BadCodestream, "earthplus",
+				"band %d geometry %dx%d differs from band 0's %dx%d", b, bw, bh, w, h)
+			return
+		}
+		copy(img.Plane(b), plane)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	img.Clamp()
+	return img, nil
+}
+
+// FrameDims validates a frame (including its CRC) and reports the plane
+// geometry and band count without decoding any payload — the cheap
+// pre-flight for resource limits before committing to a full DecodeFrame.
+func FrameDims(frame Codestream) (width, height, bands int, err error) {
+	streams, err := frame.Split()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, s := range streams {
+		if s == nil {
+			continue
+		}
+		// Both payload layouts (lossy "EPC1", lossless "EPL1") carry
+		// uint16 width at offset 4 and height at offset 6.
+		if len(s) < 8 {
+			return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus", "band payload of %d bytes has no header", len(s))
+		}
+		return int(binary.LittleEndian.Uint16(s[4:])), int(binary.LittleEndian.Uint16(s[6:])), len(streams), nil
+	}
+	return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus", "frame carries no band payloads")
+}
+
+// decodeBand dispatches on the per-band payload magic: lossless streams
+// open with "EPL1", lossy with "EPC1".
+func decodeBand(data []byte, maxLayers int) ([]float32, int, int, error) {
+	if len(data) >= 4 && string(data[:4]) == "EPL1" {
+		return codec.DecodePlaneLossless(data)
+	}
+	return codec.DecodePlane(data, maxLayers)
+}

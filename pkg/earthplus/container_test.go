@@ -1,0 +1,228 @@
+package earthplus_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"earthplus/pkg/earthplus"
+)
+
+// goldenDir is the committed PR-2 wire-format corpus: per-band
+// codestreams and their bit-exact reconstructions.
+const goldenDir = "../../internal/codec/testdata"
+
+// TestContainerPreservesGoldenWireBytes frames every committed golden
+// codestream into a container and decodes it back through the public API:
+// the payload must survive framing byte-identically, and decoding it must
+// reproduce the committed reconstruction bit for bit — the container adds
+// transport structure without touching the PR-2 wire format.
+func TestContainerPreservesGoldenWireBytes(t *testing.T) {
+	bins, err := filepath.Glob(filepath.Join(goldenDir, "golden_*.bin"))
+	if err != nil || len(bins) == 0 {
+		t.Fatalf("no golden vectors found: %v", err)
+	}
+	for _, bin := range bins {
+		name := strings.TrimSuffix(filepath.Base(bin), ".bin")
+		t.Run(name, func(t *testing.T) {
+			payload, err := os.ReadFile(bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDec, err := os.ReadFile(strings.TrimSuffix(bin, ".bin") + ".dec")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			frame := earthplus.PackCodestream([][]byte{payload})
+			bands, err := frame.Split()
+			if err != nil {
+				t.Fatalf("Split: %v", err)
+			}
+			if !bytes.Equal(bands[0], payload) {
+				t.Fatal("framing altered the golden payload bytes")
+			}
+
+			var plane []float32
+			if strings.Contains(name, "lossless") {
+				plane, _, _, err = earthplus.DecodePlaneLossless(bands[0])
+			} else {
+				plane, _, _, err = earthplus.DecodePlane(bands[0], 0)
+			}
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			got := make([]byte, 0, 4*len(plane))
+			for _, v := range plane {
+				got = binary.LittleEndian.AppendUint32(got, math.Float32bits(v))
+			}
+			if !bytes.Equal(got, wantDec) {
+				t.Fatal("container-framed decode diverged from the golden reconstruction")
+			}
+		})
+	}
+}
+
+// losslessTestImage builds an image whose samples sit exactly on the
+// 16-bit lossless lattice, so a lossless round trip must be bit-exact.
+func losslessTestImage(w, h, bands int) *earthplus.Image {
+	info := make([]earthplus.BandInfo, bands)
+	for b := range info {
+		info[b].Name = "t" + string(rune('0'+b))
+	}
+	img := earthplus.NewImage(w, h, info)
+	for b := 0; b < bands; b++ {
+		plane := img.Plane(b)
+		for i := range plane {
+			k := (i*2654435761 + b*97) % 65536
+			plane[i] = float32(k) / 65535
+		}
+	}
+	return img
+}
+
+func TestEncoderDecoderStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := earthplus.NewEncoder(&buf, earthplus.EncodeOptions{Lossless: true})
+	imgs := []*earthplus.Image{
+		losslessTestImage(48, 32, 3),
+		losslessTestImage(32, 32, 2),
+	}
+	ctx := context.Background()
+	for _, img := range imgs {
+		if err := enc.Encode(ctx, img); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+	}
+
+	dec := earthplus.NewDecoder(&buf)
+	for i, want := range imgs {
+		got, err := dec.Decode(ctx)
+		if err != nil {
+			t.Fatalf("Decode frame %d: %v", i, err)
+		}
+		if got.Width != want.Width || got.Height != want.Height || got.NumBands() != want.NumBands() {
+			t.Fatalf("frame %d geometry %dx%dx%d", i, got.Width, got.Height, got.NumBands())
+		}
+		for b := 0; b < want.NumBands(); b++ {
+			gp, wp := got.Plane(b), want.Plane(b)
+			for j := range wp {
+				if gp[j] != wp[j] {
+					t.Fatalf("frame %d band %d sample %d: %v != %v (lossless round trip not exact)", i, b, j, gp[j], wp[j])
+				}
+			}
+		}
+	}
+	if _, err := dec.Decode(ctx); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestEncoderLossyQuality(t *testing.T) {
+	var buf bytes.Buffer
+	img := losslessTestImage(64, 64, 2)
+	// Smooth content so 2 bpp is plenty.
+	for b := 0; b < 2; b++ {
+		plane := img.Plane(b)
+		for i := range plane {
+			x, y := i%64, i/64
+			plane[i] = 0.5 + 0.4*float32(math.Sin(float64(x)/9))*float32(math.Cos(float64(y)/7))
+		}
+	}
+	enc := earthplus.NewEncoder(&buf, earthplus.EncodeOptions{BPP: 2.0})
+	if err := enc.Encode(context.Background(), img); err != nil {
+		t.Fatal(err)
+	}
+	budget := earthplus.BudgetForBPP(2.0, 64, 64)*2 + 64 // per-band budgets + framing
+	if buf.Len() > budget {
+		t.Fatalf("frame is %d bytes for a %d-byte budget", buf.Len(), budget)
+	}
+	got, err := earthplus.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if psnr := earthplus.PSNRBand(img, got, b); psnr < 40 {
+			t.Fatalf("band %d PSNR %.1f dB at 2 bpp", b, psnr)
+		}
+	}
+}
+
+func TestEncodeBudgetTooSmallTypedError(t *testing.T) {
+	img := losslessTestImage(32, 32, 1)
+	_, err := earthplus.EncodeFrame(context.Background(), img, earthplus.EncodeOptions{BPP: 0.01})
+	if !errors.Is(err, earthplus.ErrBudgetTooSmall) {
+		t.Fatalf("tiny-budget error %v is not ErrBudgetTooSmall", err)
+	}
+}
+
+func TestDecodeCorruptFrameTypedErrors(t *testing.T) {
+	frame, err := earthplus.EncodeFrame(context.Background(), losslessTestImage(32, 32, 2), earthplus.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for name, mangle := range map[string]func() earthplus.Codestream{
+		"truncated frame": func() earthplus.Codestream { return frame[:len(frame)/2] },
+		"bad magic":       func() earthplus.Codestream { c := append(earthplus.Codestream(nil), frame...); c[0] = 'Z'; return c },
+		"payload bit flip": func() earthplus.Codestream {
+			c := append(earthplus.Codestream(nil), frame...)
+			c[len(c)/2] ^= 1
+			return c
+		},
+		"empty frame": func() earthplus.Codestream { return earthplus.PackCodestream(nil) },
+		"absent band": func() earthplus.Codestream { return earthplus.PackCodestream([][]byte{nil, []byte("EPC1xxxx")}) },
+	} {
+		if _, err := earthplus.DecodeFrame(ctx, mangle(), nil, 0); !errors.Is(err, earthplus.ErrBadCodestream) {
+			t.Fatalf("%s: error %v is not ErrBadCodestream", name, err)
+		}
+	}
+
+	// A decoder reading a mid-frame-truncated stream reports corruption,
+	// not clean EOF.
+	if _, err := earthplus.NewDecoder(bytes.NewReader(frame[:len(frame)-2])).Decode(ctx); !errors.Is(err, earthplus.ErrBadCodestream) {
+		t.Fatalf("truncated stream error %v is not ErrBadCodestream", err)
+	}
+}
+
+func TestFrameDims(t *testing.T) {
+	frame, err := earthplus.EncodeFrame(context.Background(), losslessTestImage(48, 32, 3), earthplus.EncodeOptions{Lossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h, bands, err := earthplus.FrameDims(frame)
+	if err != nil || w != 48 || h != 32 || bands != 3 {
+		t.Fatalf("FrameDims = %d %d %d, %v", w, h, bands, err)
+	}
+	if _, _, _, err := earthplus.FrameDims(earthplus.PackCodestream(nil)); !errors.Is(err, earthplus.ErrBadCodestream) {
+		t.Fatalf("bandless frame error %v", err)
+	}
+	if _, _, _, err := earthplus.FrameDims(frame[:len(frame)-1]); !errors.Is(err, earthplus.ErrBadCodestream) {
+		t.Fatalf("truncated frame error %v", err)
+	}
+}
+
+func TestEncodeTooManyBandsTypedError(t *testing.T) {
+	img := losslessTestImage(1, 1, 5000)
+	_, err := earthplus.EncodeFrame(context.Background(), img, earthplus.EncodeOptions{Lossless: true})
+	if !errors.Is(err, earthplus.ErrBadImage) {
+		t.Fatalf("band-bomb error %v is not ErrBadImage", err)
+	}
+}
+
+func TestEncodeCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := earthplus.EncodeFrame(ctx, losslessTestImage(32, 32, 2), earthplus.EncodeOptions{})
+	if !errors.Is(err, earthplus.ErrCanceled) {
+		t.Fatalf("canceled-context error %v is not ErrCanceled", err)
+	}
+}

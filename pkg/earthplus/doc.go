@@ -1,0 +1,84 @@
+// Package earthplus is the public, versioned API of the Earth+
+// reproduction — the only supported entry point for building the paper's
+// compression systems, framing their codestreams for transport, and
+// running constellation-scale simulations. Everything under internal/ is
+// an implementation detail; cmds, examples and external consumers import
+// this package (the HTTP serving layer lives in the pkg/earthplus/serve
+// subpackage).
+//
+// # Systems
+//
+// Compression systems are constructed by name through a registry:
+//
+//	env := &earthplus.Env{
+//		Scene:    earthplus.NewScene(earthplus.LargeConstellationSampled(earthplus.SizeQuick)),
+//		Orbit:    earthplus.Constellation{Satellites: 4, RevisitDays: 4},
+//		Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+//	}
+//	sys, err := earthplus.NewSystem(earthplus.SystemEarthPlus, env, earthplus.SystemSpec{GammaBPP: 1.0})
+//	res, err := earthplus.Run(env, sys, 0, 20, 34)
+//	sum := earthplus.Summarize(res, env.Downlink)
+//
+// Earth+ itself ("earthplus") and the paper's two baselines ("kodan",
+// "satroi") self-register; ablation variants configure through
+// SystemSpec.Params. Register installs additional systems under new
+// names.
+//
+// # Container format
+//
+// A Codestream is one framed multi-band codestream — the wire unit the
+// Encoder/Decoder pair and the serving layer speak. The frame layout
+// (little-endian) is:
+//
+//	offset  size  field
+//	0       4     magic "EP+C"
+//	4       1     version (currently 1)
+//	5       1     flags (reserved, 0)
+//	6       2     band count N (uint16)
+//	8       4*N   band table: per-band payload length (uint32, 0 = band absent)
+//	8+4N    …     per-band codec payloads, concatenated in band order
+//	end-4   4     CRC-32C (Castagnoli) of everything before it
+//
+// The payloads inside are exactly the per-band wavelet codestreams the
+// codec produces (magic "EPC1" lossy, "EPL1" lossless) — framing adds
+// transport structure without altering one payload byte, so archived
+// per-band streams remain decodable forever.
+//
+// Encoder and Decoder stream frames over io.Writer/io.Reader with
+// context-aware cancellation:
+//
+//	enc := earthplus.NewEncoder(w, earthplus.EncodeOptions{BPP: 1.0})
+//	err := enc.Encode(ctx, img)          // one frame per image
+//	dec := earthplus.NewDecoder(r)
+//	img, err := dec.Decode(ctx)          // io.EOF at clean end of stream
+//
+// # Errors
+//
+// Failures across the API carry stable codes via *Error; branch with
+// errors.Is against the exported sentinels:
+//
+//	ErrBadCodestream  — malformed, truncated or corrupt frame/codestream
+//	ErrBudgetTooSmall — byte budget below the codestream framing floor
+//	ErrUnknownSystem  — name not in the system registry
+//	ErrBadConfig      — invalid system or codec configuration
+//	ErrBadImage       — image geometry/size invalid
+//	ErrOverloaded     — serving layer at capacity
+//	ErrCanceled       — caller's context ended mid-operation
+//
+// # Versioning
+//
+// APIVersion ("v1") names this surface; the serving layer mounts its
+// endpoints under the same version prefix. CI snapshots `go doc` output
+// of this package, so any drift of the exported surface is an explicit,
+// reviewed change.
+package earthplus
+
+import root "earthplus"
+
+// Version identifies the reproduction's release line (re-exported from
+// the module root, the single place it is bumped).
+const Version = root.Version
+
+// APIVersion names the public API surface and the serving layer's URL
+// prefix (/v1/...).
+const APIVersion = "v1"

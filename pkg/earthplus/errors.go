@@ -1,0 +1,38 @@
+package earthplus
+
+import "earthplus/internal/eperr"
+
+// Error is the typed error every layer of the API reports: a stable Code,
+// the failing operation, and the wrapped cause. Match with errors.Is
+// against the Err* sentinels, or extract the code with ErrorCodeOf.
+type Error = eperr.Error
+
+// ErrorCode classifies an Error; its string values are stable and are
+// what the serving layer returns in HTTP error bodies.
+type ErrorCode = eperr.Code
+
+// The error codes.
+const (
+	CodeBadCodestream  = eperr.BadCodestream
+	CodeBudgetTooSmall = eperr.BudgetTooSmall
+	CodeUnknownSystem  = eperr.UnknownSystem
+	CodeBadConfig      = eperr.BadConfig
+	CodeBadImage       = eperr.BadImage
+	CodeOverloaded     = eperr.Overloaded
+	CodeCanceled       = eperr.Canceled
+)
+
+// Sentinels for errors.Is checks.
+var (
+	ErrBadCodestream  = eperr.ErrBadCodestream
+	ErrBudgetTooSmall = eperr.ErrBudgetTooSmall
+	ErrUnknownSystem  = eperr.ErrUnknownSystem
+	ErrBadConfig      = eperr.ErrBadConfig
+	ErrBadImage       = eperr.ErrBadImage
+	ErrOverloaded     = eperr.ErrOverloaded
+	ErrCanceled       = eperr.ErrCanceled
+)
+
+// ErrorCodeOf extracts err's classification, reporting false for errors
+// outside the taxonomy.
+func ErrorCodeOf(err error) (ErrorCode, bool) { return eperr.CodeOf(err) }

@@ -1,0 +1,15 @@
+package earthplus
+
+import (
+	"io"
+
+	"earthplus/internal/metrics"
+)
+
+// Table renders rows as an aligned text table (first row = header).
+func Table(w io.Writer, rows [][]string) { metrics.Table(w, rows) }
+
+// Bar renders a labelled horizontal text bar chart.
+func Bar(w io.Writer, title string, labels []string, values []float64, unit string, maxWidth int) {
+	metrics.Bar(w, title, labels, values, unit, maxWidth)
+}

@@ -1,0 +1,61 @@
+package earthplus
+
+import (
+	"io"
+
+	"earthplus/internal/cloud"
+	"earthplus/internal/raster"
+)
+
+// Image is a multi-band float32 raster in [0,1].
+type Image = raster.Image
+
+// BandInfo describes one spectral band.
+type BandInfo = raster.BandInfo
+
+// BandKind classifies what a spectral band chiefly observes.
+type BandKind = raster.BandKind
+
+// The band kinds.
+const (
+	KindGround     = raster.KindGround
+	KindVegetation = raster.KindVegetation
+	KindAtmosphere = raster.KindAtmosphere
+	KindInfrared   = raster.KindInfrared
+)
+
+// TileGrid is the tiling geometry of an image.
+type TileGrid = raster.TileGrid
+
+// TileMask marks a subset of a grid's tiles (ROIs, cloudy tiles).
+type TileMask = raster.TileMask
+
+// CloudMask is a per-pixel cloud detection result.
+type CloudMask = cloud.Mask
+
+// NewImage allocates a zeroed width x height image with the given bands.
+func NewImage(width, height int, bands []BandInfo) *Image {
+	return raster.New(width, height, bands)
+}
+
+// NewTileGrid builds the tiling geometry of a w x h image with square
+// tiles of the given side.
+func NewTileGrid(w, h, tile int) (TileGrid, error) { return raster.NewTileGrid(w, h, tile) }
+
+// NewTileMask returns an empty mask over a grid.
+func NewTileMask(g TileGrid) *TileMask { return raster.NewTileMask(g) }
+
+// ReadPGM parses an 8- or 16-bit binary PGM into a single-band image.
+func ReadPGM(r io.Reader) (*Image, error) { return raster.ReadPGM(r) }
+
+// PSNRBand returns the peak signal-to-noise ratio of band b of x against
+// reference a, in dB.
+func PSNRBand(a, x *Image, b int) float64 { return raster.PSNRBand(a, x, b) }
+
+// Sentinel2Bands returns the 13-band Sentinel-2 layout used by the
+// rich-content dataset.
+func Sentinel2Bands() []BandInfo { return raster.Sentinel2Bands() }
+
+// PlanetBands returns the 4-band Doves layout used by the
+// large-constellation dataset.
+func PlanetBands() []BandInfo { return raster.PlanetBands() }

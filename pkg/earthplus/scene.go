@@ -1,0 +1,47 @@
+package earthplus
+
+import "earthplus/internal/scene"
+
+// Scene synthesises the deterministic Earth-observation datasets: ground
+// truth, clouds, seasonal and abrupt change, illumination and sensor
+// noise per (location, day, satellite).
+type Scene = scene.Scene
+
+// SceneConfig parameterises a synthetic dataset.
+type SceneConfig = scene.Config
+
+// Location is one modeled ground location.
+type Location = scene.Location
+
+// Capture is one sensed (location, day, satellite) image with its ground
+// truth and true cloud mask.
+type Capture = scene.Capture
+
+// SceneSize selects the dataset scale.
+type SceneSize = scene.Size
+
+const (
+	// SizeQuick is the fast default scale used by tests and examples.
+	SizeQuick = scene.Quick
+	// SizeFull runs closer to paper scale.
+	SizeFull = scene.Full
+)
+
+// NewScene builds a scene from a config (see RichContent,
+// LargeConstellation and LargeConstellationSampled for the paper's
+// datasets).
+func NewScene(cfg SceneConfig) *Scene { return scene.New(cfg) }
+
+// RichContent is the paper's Sentinel-2 Washington State dataset
+// (Table 2): 11 locations across terrain types, 13 bands.
+func RichContent(size SceneSize) SceneConfig { return scene.RichContent(size) }
+
+// LargeConstellation is the paper's Planet dataset (Table 2): one coastal
+// location observed by many Doves satellites in 4 bands, natural clouds.
+func LargeConstellation(size SceneSize) SceneConfig { return scene.LargeConstellation(size) }
+
+// LargeConstellationSampled is the Planet dataset as the paper evaluated
+// it: captures sampled below 5% cloud coverage.
+func LargeConstellationSampled(size SceneSize) SceneConfig {
+	return scene.LargeConstellationSampled(size)
+}

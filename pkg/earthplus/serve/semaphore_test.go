@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"earthplus/pkg/earthplus"
+)
+
+// TestAcquireOverloadAndCancel pins the worker-semaphore contract: a full
+// server refuses with CodeOverloaded after QueueWait, and a caller whose
+// context dies while queued gets CodeCanceled.
+func TestAcquireOverloadAndCancel(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueWait: 20 * time.Millisecond})
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	err := s.acquire(context.Background())
+	if !errors.Is(err, earthplus.ErrOverloaded) {
+		t.Fatalf("saturated acquire error %v is not ErrOverloaded", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err = s.acquire(ctx)
+	if !errors.Is(err, earthplus.ErrCanceled) {
+		t.Fatalf("canceled acquire error %v is not ErrCanceled", err)
+	}
+
+	s.release()
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	s.release()
+}
+
+func TestStatusFor(t *testing.T) {
+	cases := map[error]int{
+		earthplus.ErrBadCodestream:  400,
+		earthplus.ErrBadImage:       400,
+		earthplus.ErrBadConfig:      400,
+		earthplus.ErrBudgetTooSmall: 400,
+		earthplus.ErrUnknownSystem:  404,
+		earthplus.ErrOverloaded:     503,
+		earthplus.ErrCanceled:       499,
+		errors.New("plain"):         500,
+	}
+	for err, want := range cases {
+		if got := statusFor(err); got != want {
+			t.Fatalf("statusFor(%v) = %d, want %d", err, got, want)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package serve is the network-facing layer of the public API: an HTTP
+// server exposing the container codec under the /v1 prefix, built for
+// ground-segment deployments that compress or unpack imagery as a
+// service.
+//
+// Endpoints:
+//
+//	POST /v1/encode?width=&height=&bands=[&bpp=][&lossless=1][&levels=]
+//	    Body: raw little-endian uint16 samples, band-major
+//	    (width*height*bands*2 bytes). Responds with one container frame.
+//	POST /v1/decode[?layers=N]
+//	    Body: one container frame. Responds with raw little-endian uint16
+//	    samples plus X-Earthplus-Width/-Height/-Bands headers.
+//	GET  /v1/info
+//	    JSON description: versions, registered systems, limits.
+//
+// Work runs behind a bounded semaphore (Config.MaxConcurrent): requests
+// queue up to Config.QueueWait and are then refused with 503 and a
+// Retry-After header, so overload degrades predictably instead of
+// stacking unbounded goroutines. Request and response payloads move
+// through pooled buffers, and the codec underneath runs on its own
+// pooled scratch arenas, so a steady request load allocates little.
+//
+// Failures map the earthplus.Error taxonomy onto statuses: bad payloads
+// and corrupt frames are 400, unknown systems 404, overload 503; every
+// error body is JSON {"error":{"code","message"}} with the stable code
+// string.
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"earthplus/pkg/earthplus"
+)
+
+// Config parameterises the server. The zero value serves with sensible
+// defaults.
+type Config struct {
+	// MaxConcurrent bounds the encode/decode requests running at once
+	// (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// QueueWait is how long a request may wait for a worker slot before
+	// 503 (0 = 10s).
+	QueueWait time.Duration
+	// MaxBodyBytes caps request bodies (0 = 256 MiB).
+	MaxBodyBytes int64
+	// DefaultBPP is the encode budget when the request passes none
+	// (0 = 1.0, the paper's default γ).
+	DefaultBPP float64
+	// MaxPixels caps width*height per request (0 = 2^26, matching the
+	// codec's hostile-stream decode bound).
+	MaxPixels int
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.DefaultBPP == 0 {
+		c.DefaultBPP = 1.0
+	}
+	if c.MaxPixels <= 0 {
+		c.MaxPixels = 1 << 26
+	}
+	return c
+}
+
+// maxRequestBands bounds the bands parameter of encode requests: far
+// above any modeled sensor (Sentinel-2 has 13) yet far below the
+// container's 16-bit band-table ceiling.
+const maxRequestBands = 256
+
+// Server serves the container codec over HTTP. Build with New, mount
+// with Handler.
+type Server struct {
+	cfg  Config
+	sem  chan struct{}
+	bufs sync.Pool // *[]byte payload scratch, recycled across requests
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults()}
+	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.bufs.New = func() any { b := make([]byte, 0, 1<<20); return &b }
+	return s
+}
+
+// Handler returns the server's routing handler, mounted under /v1.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/encode", s.handleEncode)
+	mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	return mux
+}
+
+// acquire claims a worker slot, waiting up to QueueWait.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return &earthplus.Error{Code: earthplus.CodeOverloaded, Op: "serve",
+			Msg: fmt.Sprintf("no worker slot within %v", s.cfg.QueueWait)}
+	case <-ctx.Done():
+		return &earthplus.Error{Code: earthplus.CodeCanceled, Op: "serve", Err: ctx.Err()}
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// statusFor maps the error taxonomy onto HTTP statuses.
+func statusFor(err error) int {
+	code, ok := earthplus.ErrorCodeOf(err)
+	if !ok {
+		return http.StatusInternalServerError
+	}
+	switch code {
+	case earthplus.CodeUnknownSystem:
+		return http.StatusNotFound
+	case earthplus.CodeOverloaded:
+		return http.StatusServiceUnavailable
+	case earthplus.CodeCanceled:
+		return 499 // client closed request
+	case earthplus.CodeBadCodestream, earthplus.CodeBadImage,
+		earthplus.CodeBadConfig, earthplus.CodeBudgetTooSmall:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError responds with the taxonomy code and message as JSON.
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	code, ok := earthplus.ErrorCodeOf(err)
+	if !ok {
+		code = "internal"
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]map[string]string{
+		"error": {"code": string(code), "message": err.Error()},
+	})
+}
+
+// badReq builds a CodeBadImage request error.
+func badReq(format string, args ...any) error {
+	return &earthplus.Error{Code: earthplus.CodeBadImage, Op: "serve", Msg: fmt.Sprintf(format, args...)}
+}
+
+// intParam parses an integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badReq("parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// readBody drains the request body into a pooled buffer. The returned
+// release func recycles it; the slice is dead after release.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(), error) {
+	bp := s.bufs.Get().(*[]byte)
+	release := func() { *bp = (*bp)[:0]; s.bufs.Put(bp) }
+	lr := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bp = buf
+			return buf, release, nil
+		}
+		if err != nil {
+			release()
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return nil, nil, badReq("body exceeds the %d-byte limit", s.cfg.MaxBodyBytes)
+			}
+			return nil, nil, badReq("reading body: %v", err)
+		}
+	}
+}
+
+// handleEncode turns raw band-major uint16 samples into one container
+// frame.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	dims := [4]int{0, 0, 1, 0} // width, height, bands, levels
+	for i, p := range []struct {
+		name     string
+		positive bool
+	}{{"width", true}, {"height", true}, {"bands", true}, {"levels", false}} {
+		v, err := intParam(r, p.name, dims[i])
+		if err == nil && p.positive && v <= 0 {
+			err = badReq("missing or non-positive %s", p.name)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		dims[i] = v
+	}
+	width, height, bands, levels := dims[0], dims[1], dims[2], dims[3]
+	if width*height > s.cfg.MaxPixels {
+		writeError(w, badReq("%dx%d exceeds the %d-pixel limit", width, height, s.cfg.MaxPixels))
+		return
+	}
+	if bands > maxRequestBands {
+		writeError(w, badReq("%d bands exceeds the %d-band limit", bands, maxRequestBands))
+		return
+	}
+	opts := earthplus.EncodeOptions{BPP: s.cfg.DefaultBPP, Levels: levels}
+	if v := r.URL.Query().Get("bpp"); v != "" {
+		bpp, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, badReq("parameter bpp=%q is not a number", v))
+			return
+		}
+		opts.BPP = bpp
+	}
+	if v := r.URL.Query().Get("lossless"); v == "1" || v == "true" {
+		opts.Lossless = true
+	}
+
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	want := width * height * bands * 2
+	if len(body) != want {
+		writeError(w, badReq("body is %d bytes; %dx%dx%d uint16 samples need %d", len(body), width, height, bands, want))
+		return
+	}
+
+	img := samplesToImage(body, width, height, bands)
+	frame, err := earthplus.EncodeFrame(ctx, img, opts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = frame.WriteTo(w)
+}
+
+// handleDecode turns one container frame back into raw band-major uint16
+// samples.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	layers, err := intParam(r, "layers", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+
+	// Pre-flight the claimed geometry so the configured pixel cap bounds
+	// the decode work itself, not just the response.
+	frame := earthplus.Codestream(body)
+	fw, fh, fbands, err := earthplus.FrameDims(frame)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if fw*fh > s.cfg.MaxPixels {
+		writeError(w, badReq("%dx%d exceeds the %d-pixel limit", fw, fh, s.cfg.MaxPixels))
+		return
+	}
+	if fbands > maxRequestBands {
+		writeError(w, badReq("%d bands exceeds the %d-band limit", fbands, maxRequestBands))
+		return
+	}
+	img, err := earthplus.DecodeFrame(ctx, frame, nil, layers)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := s.bufs.Get().(*[]byte)
+	defer func() { *out = (*out)[:0]; s.bufs.Put(out) }()
+	samples := imageToSamples((*out)[:0], img)
+	*out = samples
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(samples)))
+	w.Header().Set("X-Earthplus-Width", strconv.Itoa(img.Width))
+	w.Header().Set("X-Earthplus-Height", strconv.Itoa(img.Height))
+	w.Header().Set("X-Earthplus-Bands", strconv.Itoa(img.NumBands()))
+	_, _ = w.Write(samples)
+}
+
+// handleInfo describes the deployment.
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"version": earthplus.Version,
+		"api":     earthplus.APIVersion,
+		"systems": earthplus.Systems(),
+		"container": map[string]any{
+			"magic":   earthplus.ContainerMagic,
+			"version": earthplus.ContainerVersion,
+		},
+		"limits": map[string]any{
+			"max_concurrent": s.cfg.MaxConcurrent,
+			"max_body_bytes": s.cfg.MaxBodyBytes,
+			"max_pixels":     s.cfg.MaxPixels,
+		},
+		"defaults": map[string]any{"bpp": s.cfg.DefaultBPP},
+	})
+}
+
+// samplesToImage unpacks little-endian uint16 band-major samples.
+func samplesToImage(body []byte, width, height, bands int) *earthplus.Image {
+	info := make([]earthplus.BandInfo, bands)
+	for b := range info {
+		info[b].Name = "band" + strconv.Itoa(b)
+	}
+	img := earthplus.NewImage(width, height, info)
+	n := width * height
+	for b := 0; b < bands; b++ {
+		plane := img.Plane(b)
+		off := b * n * 2
+		for i := 0; i < n; i++ {
+			plane[i] = float32(binary.LittleEndian.Uint16(body[off+2*i:])) / 65535
+		}
+	}
+	return img
+}
+
+// imageToSamples packs an image into little-endian uint16 band-major
+// samples, appending to dst.
+func imageToSamples(dst []byte, img *earthplus.Image) []byte {
+	for b := 0; b < img.NumBands(); b++ {
+		for _, v := range img.Plane(b) {
+			dst = binary.LittleEndian.AppendUint16(dst, earthplus.Quantize16(v))
+		}
+	}
+	return dst
+}

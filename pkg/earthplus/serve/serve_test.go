@@ -1,0 +1,278 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"earthplus/pkg/earthplus"
+	"earthplus/pkg/earthplus/serve"
+)
+
+// randomSamples builds a deterministic band-major uint16 payload.
+func randomSamples(seed int64, w, h, bands int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, w*h*bands*2)
+	for i := 0; i < w*h*bands; i++ {
+		out = binary.LittleEndian.AppendUint16(out, uint16(rng.Intn(65536)))
+	}
+	return out
+}
+
+func postBytes(t *testing.T, client *http.Client, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, data
+}
+
+// errorCode extracts the taxonomy code from a JSON error body.
+func errorCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var payload struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("error body %q is not JSON: %v", body, err)
+	}
+	return payload.Error.Code
+}
+
+// TestServeSmokeConcurrentLosslessRoundTrip is the CI smoke contract: a
+// lossless encode→decode round trip over HTTP must be byte-exact at 8+
+// concurrent requests (run under -race in CI).
+func TestServeSmokeConcurrentLosslessRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{MaxConcurrent: 4}).Handler())
+	defer ts.Close()
+
+	const (
+		workers = 8
+		w, h    = 48, 32
+		bands   = 3
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples := randomSamples(int64(1000+i), w, h, bands)
+			encURL := fmt.Sprintf("%s/v1/encode?width=%d&height=%d&bands=%d&lossless=1", ts.URL, w, h, bands)
+			resp, frame := postBytes(t, ts.Client(), encURL, samples)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("encode status %d: %s", resp.StatusCode, frame)
+				return
+			}
+			resp, decoded := postBytes(t, ts.Client(), ts.URL+"/v1/decode", frame)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("decode status %d: %s", resp.StatusCode, decoded)
+				return
+			}
+			if got := resp.Header.Get("X-Earthplus-Bands"); got != fmt.Sprint(bands) {
+				errs[i] = fmt.Errorf("X-Earthplus-Bands = %q", got)
+				return
+			}
+			if !bytes.Equal(decoded, samples) {
+				errs[i] = fmt.Errorf("round trip is not byte-exact (%d vs %d bytes)", len(decoded), len(samples))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+func TestServeLossyRoundTripQuality(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	const w, h = 64, 64
+	// Smooth samples compress well at the default 1 bpp.
+	samples := make([]byte, 0, w*h*2)
+	for i := 0; i < w*h; i++ {
+		x, y := i%w, i/w
+		samples = binary.LittleEndian.AppendUint16(samples, uint16(30000+20000*(x+y)/(w+h)))
+	}
+	resp, frame := postBytes(t, ts.Client(), fmt.Sprintf("%s/v1/encode?width=%d&height=%d&bpp=2.0", ts.URL, w, h), samples)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d: %s", resp.StatusCode, frame)
+	}
+	if len(frame) > earthplus.BudgetForBPP(2.0, w, h)+64 {
+		t.Fatalf("frame %d bytes blows the 2 bpp budget", len(frame))
+	}
+	resp, decoded := postBytes(t, ts.Client(), ts.URL+"/v1/decode", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode status %d: %s", resp.StatusCode, decoded)
+	}
+	if len(decoded) != len(samples) {
+		t.Fatalf("decoded %d bytes, want %d", len(decoded), len(samples))
+	}
+	var sumSq float64
+	for i := 0; i < w*h; i++ {
+		a := float64(binary.LittleEndian.Uint16(samples[2*i:]))
+		b := float64(binary.LittleEndian.Uint16(decoded[2*i:]))
+		sumSq += (a - b) * (a - b)
+	}
+	rmse := sumSq / float64(w*h)
+	if rmse > 100*100 { // ~0.15% of full scale
+		t.Fatalf("lossy round trip RMSE^2 = %.0f", rmse)
+	}
+}
+
+func TestServeErrorCodes(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{MaxBodyBytes: 1 << 20}).Handler())
+	defer ts.Close()
+
+	// Body size mismatch → 400 bad_image.
+	resp, body := postBytes(t, ts.Client(), ts.URL+"/v1/encode?width=32&height=32", []byte("short"))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_image" {
+		t.Fatalf("size mismatch: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+
+	// Missing geometry → 400 bad_image.
+	resp, body = postBytes(t, ts.Client(), ts.URL+"/v1/encode", nil)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_image" {
+		t.Fatalf("missing width: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+
+	// Unparsable bpp → 400.
+	resp, body = postBytes(t, ts.Client(), ts.URL+"/v1/encode?width=32&height=32&bpp=zero", randomSamples(1, 32, 32, 1))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad bpp: status %d %s", resp.StatusCode, body)
+	}
+
+	// Budget below the floor → 400 budget_too_small.
+	resp, body = postBytes(t, ts.Client(), ts.URL+"/v1/encode?width=32&height=32&bpp=0.01", randomSamples(2, 32, 32, 1))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "budget_too_small" {
+		t.Fatalf("tiny budget: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+
+	// Corrupt container → 400 bad_codestream.
+	resp, body = postBytes(t, ts.Client(), ts.URL+"/v1/decode", []byte("this is not a frame"))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_codestream" {
+		t.Fatalf("corrupt frame: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+
+	// Truncated container (valid prefix) → 400 bad_codestream.
+	good := earthplus.PackCodestream([][]byte{[]byte("EPC1-not-really-but-framed")})
+	resp, body = postBytes(t, ts.Client(), ts.URL+"/v1/decode", good[:len(good)-2])
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_codestream" {
+		t.Fatalf("truncated frame: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+
+	// Absurd band count on encode → 400 before any codec work runs, so
+	// the server can never emit a frame its own decoder would reject.
+	resp, body = postBytes(t, ts.Client(),
+		ts.URL+"/v1/encode?width=1&height=1&bands=5000", randomSamples(3, 1, 1, 5000))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_image" {
+		t.Fatalf("band bomb: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+}
+
+// TestServeDecodePixelCapPreDecode pins that MaxPixels bounds the decode
+// work itself: a frame whose header claims a plane over the cap is
+// refused from the header alone, before any payload decoding.
+func TestServeDecodePixelCapPreDecode(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{MaxPixels: 16 * 16}).Handler())
+	defer ts.Close()
+	frame := encodeLosslessFrame(t, 32, 32, 1)
+	resp, body := postBytes(t, ts.Client(), ts.URL+"/v1/decode", frame)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_image" {
+		t.Fatalf("oversize decode: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+	// Under the cap it decodes fine.
+	small := encodeLosslessFrame(t, 16, 16, 1)
+	resp, _ = postBytes(t, ts.Client(), ts.URL+"/v1/decode", small)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-cap decode: status %d", resp.StatusCode)
+	}
+}
+
+// encodeLosslessFrame builds one container frame through a throwaway
+// server with default limits.
+func encodeLosslessFrame(t *testing.T, w, h, bands int) []byte {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	url := fmt.Sprintf("%s/v1/encode?width=%d&height=%d&bands=%d&lossless=1", ts.URL, w, h, bands)
+	resp, frame := postBytes(t, ts.Client(), url, randomSamples(9, w, h, bands))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d: %s", resp.StatusCode, frame)
+	}
+	return frame
+}
+
+func TestServeInfo(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{MaxConcurrent: 3}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Version   string   `json:"version"`
+		API       string   `json:"api"`
+		Systems   []string `json:"systems"`
+		Container struct {
+			Magic   string `json:"magic"`
+			Version int    `json:"version"`
+		} `json:"container"`
+		Limits struct {
+			MaxConcurrent int `json:"max_concurrent"`
+		} `json:"limits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.API != earthplus.APIVersion || info.Version != earthplus.Version {
+		t.Fatalf("info versions = %+v", info)
+	}
+	if info.Container.Magic != earthplus.ContainerMagic {
+		t.Fatalf("container magic %q", info.Container.Magic)
+	}
+	if info.Limits.MaxConcurrent != 3 {
+		t.Fatalf("max_concurrent = %d", info.Limits.MaxConcurrent)
+	}
+	found := false
+	for _, s := range info.Systems {
+		if s == earthplus.SystemEarthPlus {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("systems %v missing %q", info.Systems, earthplus.SystemEarthPlus)
+	}
+}
+
+func TestServeMethodRouting(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/encode status %d", resp.StatusCode)
+	}
+}
