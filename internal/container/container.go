@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"earthplus/internal/eperr"
 )
@@ -60,13 +61,18 @@ func Overhead(n int) int { return headerFixed + 4*n + crcLen }
 
 // Pack frames a per-band codestream set. Nil or empty band payloads are
 // recorded as absent. The payload bytes are copied, so callers may reuse
-// their slices. Band counts beyond MaxBands panic: the band table could
-// not be decoded by any reader (the count field is 16-bit), so emitting
-// such a frame would silently produce permanently-corrupt wire bytes —
-// input-facing layers validate the count before packing.
+// their slices. Band counts beyond MaxBands — or beyond the 16-bit count
+// field, whatever a caller sets MaxBands to — panic: the band table could
+// not be decoded by any reader, so emitting such a frame would silently
+// produce permanently-corrupt wire bytes — input-facing layers validate
+// the count before packing.
 func Pack(bands [][]byte) Codestream {
-	if len(bands) > MaxBands {
-		panic(fmt.Sprintf("container: %d bands exceeds the %d-band frame bound", len(bands), MaxBands))
+	limit := MaxBands
+	if limit > math.MaxUint16 {
+		limit = math.MaxUint16 // the count field is 16-bit regardless of MaxBands
+	}
+	if len(bands) > limit {
+		panic(fmt.Sprintf("container: %d bands exceeds the %d-band frame bound", len(bands), limit))
 	}
 	total := Overhead(len(bands))
 	for _, b := range bands {
@@ -180,11 +186,20 @@ func (c Codestream) Validate() error {
 // payloads as zero-copy views into the frame. Absent bands are nil.
 // Callers must not mutate the returned slices.
 func (c Codestream) Split() ([][]byte, error) {
-	lens, off, err := c.parseHeader()
-	if err != nil {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	if err := c.Validate(); err != nil {
+	return c.SplitNoCRC()
+}
+
+// SplitNoCRC returns the per-band payload views after checking only the
+// frame structure, skipping the CRC pass over the payload bytes — the
+// cheap path for pre-flight header inspection when a fully validated
+// Split (or decode) follows anyway. Absent bands are nil. Callers must
+// not mutate the returned slices.
+func (c Codestream) SplitNoCRC() ([][]byte, error) {
+	lens, off, err := c.parseHeader()
+	if err != nil {
 		return nil, err
 	}
 	bands := make([][]byte, len(lens))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
 	"testing"
 
 	"earthplus/internal/eperr"
@@ -181,4 +182,20 @@ func TestReadFromRejectsHostileHeader(t *testing.T) {
 	hdr = append(hdr, Version, 0, 0xff, 0xff)
 	_, err := ReadFrom(bytes.NewReader(hdr))
 	mustBadCodestream(t, err, "hostile band count")
+}
+
+// TestPackUint16BandCountGuard pins that Pack refuses band counts the
+// 16-bit count field cannot represent even when a caller raises MaxBands
+// past it — the uint16 cast would otherwise silently truncate and emit a
+// permanently-corrupt frame.
+func TestPackUint16BandCountGuard(t *testing.T) {
+	old := MaxBands
+	MaxBands = 1 << 17
+	defer func() { MaxBands = old }()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pack accepted a band count beyond the 16-bit count field")
+		}
+	}()
+	Pack(make([][]byte, math.MaxUint16+1))
 }

@@ -25,8 +25,9 @@ type Spec struct {
 	// Theta overrides the change-detection threshold where the system has
 	// one (Earth+). Zero keeps the system default (or a profiled value).
 	Theta float64
-	// Codec configures the wavelet codec. A zero BaseStep means
-	// codec.DefaultOptions with Codec.Parallelism carried over.
+	// Codec configures the wavelet codec. Zero fields default
+	// individually to codec.DefaultOptions' values, so an explicit
+	// Levels or BudgetBytes survives an unset BaseStep and vice versa.
 	Codec codec.Options
 	// Params carries system-specific knobs by name ("guarantee_days",
 	// "reject_cloud_frac", …). Presence is meaningful — an explicit zero
@@ -40,11 +41,15 @@ func (s Spec) Normalize() Spec {
 	if s.GammaBPP == 0 {
 		s.GammaBPP = 1.0
 	}
-	if s.Codec.BaseStep == 0 {
-		p := s.Codec.Parallelism
-		s.Codec = codec.DefaultOptions()
-		s.Codec.Parallelism = p
+	def := codec.DefaultOptions()
+	if s.Codec.Levels == 0 {
+		s.Codec.Levels = def.Levels
 	}
+	if s.Codec.BaseStep == 0 {
+		s.Codec.BaseStep = def.BaseStep
+	}
+	// BudgetBytes and Parallelism default to zero, which the codec
+	// already treats as "unbudgeted" / "package default".
 	return s
 }
 

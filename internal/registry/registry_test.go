@@ -48,6 +48,12 @@ func TestNormalizeDefaults(t *testing.T) {
 	if got := (Spec{Codec: custom}).Normalize().Codec; got != custom {
 		t.Fatalf("custom codec rewritten: %+v", got)
 	}
+	// Explicit Levels and BudgetBytes survive a zero BaseStep: fields
+	// default individually, never by replacing the whole struct.
+	s = Spec{Codec: codec.Options{Levels: 3, BudgetBytes: 1 << 16}}.Normalize()
+	if s.Codec.Levels != 3 || s.Codec.BudgetBytes != 1<<16 || s.Codec.BaseStep != codec.DefaultOptions().BaseStep {
+		t.Fatalf("explicit codec fields lost with zero BaseStep: %+v", s.Codec)
+	}
 }
 
 func TestCheckParams(t *testing.T) {

@@ -235,26 +235,39 @@ func DecodeFrame(ctx context.Context, frame Codestream, bandInfo []BandInfo, max
 	return img, nil
 }
 
-// FrameDims validates a frame (including its CRC) and reports the plane
-// geometry and band count without decoding any payload — the cheap
-// pre-flight for resource limits before committing to a full DecodeFrame.
+// FrameDims parses a frame's structure and every band's codec header and
+// reports the plane geometry and band count without CRC-validating or
+// decoding any payload — the cheap pre-flight for resource limits before
+// committing to a full DecodeFrame. Every present band must claim the
+// same geometry, so the reported width and height bound the decode work
+// of the whole frame, not just its first band.
 func FrameDims(frame Codestream) (width, height, bands int, err error) {
-	streams, err := frame.Split()
+	streams, err := frame.SplitNoCRC()
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	for _, s := range streams {
+	seen := false
+	for b, s := range streams {
 		if s == nil {
 			continue
 		}
 		// Both payload layouts (lossy "EPC1", lossless "EPL1") carry
 		// uint16 width at offset 4 and height at offset 6.
 		if len(s) < 8 {
-			return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus", "band payload of %d bytes has no header", len(s))
+			return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus", "band %d payload of %d bytes has no header", b, len(s))
 		}
-		return int(binary.LittleEndian.Uint16(s[4:])), int(binary.LittleEndian.Uint16(s[6:])), len(streams), nil
+		w, h := int(binary.LittleEndian.Uint16(s[4:])), int(binary.LittleEndian.Uint16(s[6:]))
+		if !seen {
+			width, height, seen = w, h, true
+		} else if w != width || h != height {
+			return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus",
+				"band %d claims %dx%d; earlier bands claim %dx%d", b, w, h, width, height)
+		}
 	}
-	return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus", "frame carries no band payloads")
+	if !seen {
+		return 0, 0, 0, eperr.New(eperr.BadCodestream, "earthplus", "frame carries no band payloads")
+	}
+	return width, height, len(streams), nil
 }
 
 // decodeBand dispatches on the per-band payload magic: lossless streams

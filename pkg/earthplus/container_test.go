@@ -208,6 +208,16 @@ func TestFrameDims(t *testing.T) {
 	if _, _, _, err := earthplus.FrameDims(frame[:len(frame)-1]); !errors.Is(err, earthplus.ErrBadCodestream) {
 		t.Fatalf("truncated frame error %v", err)
 	}
+	// Bands claiming different geometries are refused: FrameDims reports
+	// the geometry of the whole frame, so a later band cannot hide decode
+	// work behind an innocuous band 0.
+	mixed := [][]byte{
+		{'E', 'P', 'C', '1', 8, 0, 8, 0},
+		{'E', 'P', 'C', '1', 0, 32, 0, 32}, // claims 8192x8192
+	}
+	if _, _, _, err := earthplus.FrameDims(earthplus.PackCodestream(mixed)); !errors.Is(err, earthplus.ErrBadCodestream) {
+		t.Fatalf("mismatched band geometry error %v", err)
+	}
 }
 
 func TestEncodeTooManyBandsTypedError(t *testing.T) {

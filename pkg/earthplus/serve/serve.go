@@ -52,7 +52,9 @@ type Config struct {
 	// QueueWait is how long a request may wait for a worker slot before
 	// 503 (0 = 10s).
 	QueueWait time.Duration
-	// MaxBodyBytes caps request bodies (0 = 256 MiB).
+	// MaxBodyBytes caps request bodies (0 = 256 MiB). It symmetrically
+	// caps decode output: a frame may claim at most MaxBodyBytes/2 total
+	// samples, the most an encode body under the same cap could carry.
 	MaxBodyBytes int64
 	// DefaultBPP is the encode budget when the request passes none
 	// (0 = 1.0, the paper's default γ).
@@ -244,7 +246,9 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		dims[i] = v
 	}
 	width, height, bands, levels := dims[0], dims[1], dims[2], dims[3]
-	if width*height > s.cfg.MaxPixels {
+	// Divide rather than multiply: width*height on hostile query ints can
+	// overflow to a negative product and slip past the cap.
+	if height > s.cfg.MaxPixels/width {
 		writeError(w, badReq("%dx%d exceeds the %d-pixel limit", width, height, s.cfg.MaxPixels))
 		return
 	}
@@ -324,6 +328,15 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	}
 	if fbands > maxRequestBands {
 		writeError(w, badReq("%d bands exceeds the %d-band limit", fbands, maxRequestBands))
+		return
+	}
+	// Pixels and bands pass their individual caps, but their product is
+	// what DecodeFrame allocates (one float32 plane per band): a tiny
+	// frame claiming max pixels times max bands would demand tens of GiB.
+	// Bound total samples the way MaxBodyBytes already bounds the encode
+	// side, where the 2-bytes-per-sample body carries them.
+	if maxSamples := s.cfg.MaxBodyBytes / 2; int64(fw)*int64(fh)*int64(fbands) > maxSamples {
+		writeError(w, badReq("%dx%dx%d samples exceed the %d-sample limit", fw, fh, fbands, maxSamples))
 		return
 	}
 	img, err := earthplus.DecodeFrame(ctx, frame, nil, layers)

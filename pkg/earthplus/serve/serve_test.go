@@ -207,6 +207,60 @@ func TestServeDecodePixelCapPreDecode(t *testing.T) {
 	}
 }
 
+// TestServeEncodeGeometryOverflow pins that hostile width/height query
+// ints whose product overflows int cannot slip past the pixel cap and
+// reach a negative-length raster allocation.
+func TestServeEncodeGeometryOverflow(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	url := fmt.Sprintf("%s/v1/encode?width=%d&height=%d", ts.URL, int64(1)<<33, int64(1)<<30)
+	resp, body := postBytes(t, ts.Client(), url, nil)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_image" {
+		t.Fatalf("overflowing geometry: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+}
+
+// TestServeDecodeSampleBombPreDecode pins that the decode pre-flight
+// bounds width*height*bands jointly: a ~100-byte frame whose tiny band
+// payloads each claim a large-but-individually-legal geometry must be
+// refused from the headers alone, before DecodeFrame allocates one plane
+// per band.
+func TestServeDecodeSampleBombPreDecode(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{MaxBodyBytes: 1 << 22}).Handler())
+	defer ts.Close()
+	// 8 bands claiming 1024x1024 each: the pixels (2^20) and the band
+	// count both pass their individual caps, but the 2^23 total samples
+	// exceed the 2^21 the 4 MiB body cap implies.
+	payload := []byte("EPC1")
+	payload = binary.LittleEndian.AppendUint16(payload, 1024)
+	payload = binary.LittleEndian.AppendUint16(payload, 1024)
+	bands := make([][]byte, 8)
+	for i := range bands {
+		bands[i] = payload
+	}
+	resp, body := postBytes(t, ts.Client(), ts.URL+"/v1/decode", earthplus.PackCodestream(bands))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_image" {
+		t.Fatalf("sample bomb: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+}
+
+// TestServeDecodeMismatchedBandGeometryPreDecode pins that an innocuous
+// band 0 cannot smuggle oversized later bands past the pre-flight: the
+// geometry checks cover every band's claimed header, so the frame is
+// refused before any band decodes.
+func TestServeDecodeMismatchedBandGeometryPreDecode(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{MaxPixels: 64}).Handler())
+	defer ts.Close()
+	bands := [][]byte{
+		{'E', 'P', 'C', '1', 8, 0, 8, 0}, // 8x8, within the cap
+		{'E', 'P', 'C', '1', 0, 1, 0, 1}, // claims 256x256
+	}
+	resp, body := postBytes(t, ts.Client(), ts.URL+"/v1/decode", earthplus.PackCodestream(bands))
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_codestream" {
+		t.Fatalf("mismatched band geometry: status %d code %q", resp.StatusCode, errorCode(t, body))
+	}
+}
+
 // encodeLosslessFrame builds one container frame through a throwaway
 // server with default limits.
 func encodeLosslessFrame(t *testing.T, w, h, bands int) []byte {
