@@ -29,7 +29,9 @@ import (
 
 func main() {
 	var perf cli.Perf
+	var store cli.Storage
 	perf.Register(flag.CommandLine)
+	store.Register(flag.CommandLine)
 	full := flag.Bool("full", false, "run at full (paper-ish) scale instead of quick")
 	only := flag.String("only", "", "run a single experiment (see -list)")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
@@ -39,6 +41,7 @@ func main() {
 		"where simbench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
 	perf.Apply()
+	store.Apply()
 
 	sc := earthplus.QuickScale()
 	if *full {

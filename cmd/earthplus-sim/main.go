@@ -9,6 +9,7 @@
 //	earthplus-sim -system earthplus -dataset planet -sats 8 -days 60
 //	earthplus-sim -system kodan -dataset rich -gamma 0.5 -trace
 //	earthplus-sim -dataset rich -simworkers 8   # shard days across 8 workers
+//	earthplus-sim -storage 2000000 -evictpolicy schedule   # bound the on-board store
 package main
 
 import (
@@ -23,8 +24,10 @@ import (
 func main() {
 	var perf cli.Perf
 	var ds cli.Dataset
+	var store cli.Storage
 	perf.Register(flag.CommandLine)
 	ds.Register(flag.CommandLine, "planet", 8)
+	store.Register(flag.CommandLine)
 	system := flag.String("system", earthplus.SystemEarthPlus,
 		fmt.Sprintf("system to run (%v)", earthplus.Systems()))
 	days := flag.Int("days", 60, "evaluation days")
@@ -41,7 +44,9 @@ func main() {
 	}
 	env.Parallelism = perf.SimWorkers
 
-	sys, err := earthplus.NewSystem(*system, env, earthplus.SystemSpec{GammaBPP: *gamma})
+	spec := earthplus.SystemSpec{GammaBPP: *gamma}
+	store.ApplyToSpec(&spec)
+	sys, err := earthplus.NewSystem(*system, env, spec)
 	if err != nil {
 		cli.Fail("earthplus-sim", "%v", err)
 	}
@@ -64,7 +69,7 @@ func main() {
 		fmt.Printf("trace written to %s\n", *dump)
 	}
 	if *trace {
-		rows := [][]string{{"day", "loc", "sat", "cloud", "dropped", "tiles", "bytes", "PSNR", "refAge"}}
+		rows := [][]string{{"day", "loc", "sat", "cloud", "dropped", "tiles", "bytes", "PSNR", "refAge", "miss"}}
 		for _, r := range res.Records {
 			rows = append(rows, []string{
 				fmt.Sprintf("%d", r.Day),
@@ -76,6 +81,7 @@ func main() {
 				fmt.Sprintf("%d", r.DownBytes),
 				fmt.Sprintf("%.1f", r.PSNR),
 				fmt.Sprintf("%d", r.RefAge),
+				fmt.Sprintf("%v", r.RefMiss),
 			})
 		}
 		earthplus.Table(os.Stdout, rows)

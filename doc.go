@@ -44,6 +44,24 @@
 // sim.RunStream plus sim.Accumulator aggregate records without retaining
 // them.
 //
+// # Storage model
+//
+// On-board reference caches are capacity-bounded (sat.RefCache): each
+// satellite's store honours a byte budget (core.Config.StorageBytes,
+// registry param "storage_bytes", flag -storage; zero = Table 1's 360 GB
+// default, negative = unlimited) with pluggable eviction policies
+// ("lru" = least-recently-visited, "schedule" = farthest next planned
+// visit; StrParams key "evict_policy", flag -evictpolicy). A capture
+// whose reference was evicted is a first-class miss (Record.RefMiss) and
+// falls back to reference-free encoding; every eviction invalidates the
+// ground's mirror (station.Ground.InvalidateMirror) so the next uplink
+// cycle re-seeds the reference in full. Eviction decisions are pure
+// functions of the visit schedule and run only on the engine's serial
+// phases, so storage-bounded runs remain byte-identical at any worker
+// count. The storage sweep (earthplus-bench -only storagesweep; also
+// embedded in the BENCH_sim.json snapshot) measures compression ratio
+// and uplink use against the budget for all three systems.
+//
 // # Performance
 //
 // The codec hot path is engineered for the paper's on-board compute
@@ -61,4 +79,4 @@ package earthplus
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.3.0"
+const Version = "1.4.0"

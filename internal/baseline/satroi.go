@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"time"
 
 	"earthplus/internal/change"
@@ -21,10 +22,17 @@ import (
 // which is exactly the failure mode Earth+'s constellation-wide refresh
 // removes.
 //
+// The reference store is capacity-bounded like Earth+'s (the storage-sweep
+// experiment compares both under the same budget): full-resolution
+// references cost 16 bits per sample, and because SatRoI has no uplink
+// path, an evicted reference is gone for good — every later capture of
+// that location falls back to a reference-free full download.
+//
 // OnCapture is safe for concurrent calls on distinct locations (the
-// sharded engine's contract): refs, refDay and lastGuar are per-location
-// slots touched only by their own location's ordered visit sequence, and
-// the ground segment locks per location.
+// sharded engine's contract): the reference store locks internally and is
+// only mutated at bootstrap, lastGuar is a per-location slot touched only
+// by its own location's ordered visit sequence, and the ground segment
+// locks per location.
 type SatRoI struct {
 	env      *sim.Env
 	gamma    float64
@@ -36,15 +44,34 @@ type SatRoI struct {
 	// reference-based systems share the same quality floor mechanism.
 	guaranteeDays int
 	ground        *station.Ground
-	refs          []*raster.Image // fixed full-res reference per location
-	refDay        []int
-	lastGuar      []int
+	// refs holds the fixed full-res reference per location, bounded by the
+	// configured storage budget (the model shares one store fleet-wide).
+	refs     *sat.RefCache
+	lastGuar []int
 }
 
 var _ sim.System = (*SatRoI)(nil)
 
-// NewSatRoI builds the SatRoI baseline.
+// SatRoIConfig parameterises the baseline beyond γ and the codec.
+type SatRoIConfig struct {
+	// StorageBytes caps the on-board reference store (0 = the Table 1
+	// default 360 GB, negative = unlimited), accounted at 16 bits per
+	// full-resolution sample.
+	StorageBytes int64
+	// EvictPolicy is the store's eviction order ("lru" | "schedule";
+	// empty = lru). The schedule policy predicts fleet-wide revisits.
+	EvictPolicy string
+}
+
+// NewSatRoI builds the SatRoI baseline with the default (Table 1) storage
+// model.
 func NewSatRoI(env *sim.Env, gammaBPP float64, opts codec.Options) (*SatRoI, error) {
+	return NewSatRoIWithConfig(env, gammaBPP, opts, SatRoIConfig{})
+}
+
+// NewSatRoIWithConfig builds the SatRoI baseline with an explicit storage
+// model.
+func NewSatRoIWithConfig(env *sim.Env, gammaBPP float64, opts codec.Options, sc SatRoIConfig) (*SatRoI, error) {
 	bands := env.Scene.Bands()
 	n := env.Scene.NumLocations()
 	ground, err := station.NewGround(station.Config{
@@ -58,10 +85,17 @@ func NewSatRoI(env *sim.Env, gammaBPP float64, opts codec.Options) (*SatRoI, err
 	if err != nil {
 		return nil, err
 	}
-	refDay := make([]int, n)
+	refs, err := sat.NewBoundedRefCache(sat.CacheConfig{
+		BudgetBytes:   sat.ResolveBudget(sc.StorageBytes),
+		BitsPerSample: 16,
+		Policy:        sat.Policy(sc.EvictPolicy),
+		NextVisit:     env.Orbit.NextVisitAny,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
 	lastGuar := make([]int, n)
-	for i := range refDay {
-		refDay[i] = -1
+	for i := range lastGuar {
 		lastGuar[i] = -1 << 30
 	}
 	return &SatRoI{
@@ -73,23 +107,26 @@ func NewSatRoI(env *sim.Env, gammaBPP float64, opts codec.Options) (*SatRoI, err
 		tileFrac:      0.5,
 		guaranteeDays: 30,
 		ground:        ground,
-		refs:          make([]*raster.Image, n),
-		refDay:        refDay,
+		refs:          refs,
 		lastGuar:      lastGuar,
 	}, nil
 }
+
+// StorageStats reports the reference store's capacity evictions and
+// lookup misses.
+func (s *SatRoI) StorageStats() (evictions, misses int64) { return s.refs.Stats() }
 
 // Name implements sim.System.
 func (s *SatRoI) Name() string { return "SatRoI" }
 
 // Bootstrap implements sim.System: the bootstrap capture becomes the fixed
-// on-board reference.
+// on-board reference. With a bound store the install may evict other
+// references — there is no uplink to re-seed them, so they stay gone.
 func (s *SatRoI) Bootstrap(cap *scene.Capture) error {
 	if err := s.ground.SeedBootstrap(cap.Loc, cap.Day, cap.Truth, nil); err != nil {
 		return err
 	}
-	s.refs[cap.Loc] = cap.Truth.Clone()
-	s.refDay[cap.Loc] = cap.Day
+	s.refs.Put(cap.Loc, cap.Truth.Clone(), cap.Day)
 	s.lastGuar[cap.Loc] = cap.Day
 	return nil
 }
@@ -100,9 +137,12 @@ func (s *SatRoI) Bootstrap(cap *scene.Capture) error {
 func (s *SatRoI) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 	grid := s.env.Scene.Grid()
 	out := sim.Outcome{TotalTiles: grid.NumTiles(), RefAge: -1}
-	ref := s.refs[cap.Loc]
-	if ref != nil {
-		out.RefAge = cap.Day - s.refDay[cap.Loc]
+	var ref *raster.Image
+	if lr := s.refs.Visit(cap.Loc, cap.Day); lr != nil {
+		ref = lr.Image
+		out.RefAge = cap.Day - lr.Day
+	} else {
+		out.RefMiss = true
 	}
 
 	tCloud := time.Now()

@@ -42,6 +42,46 @@ func (p *Perf) Apply() {
 	earthplus.SetSimWorkers(p.SimWorkers)
 }
 
+// Storage bundles the on-board reference-store flags shared by the
+// simulation cmds: the byte budget of the satellite store and the
+// eviction policy that decides which reference goes first when it fills.
+type Storage struct {
+	// Bytes is the store budget: 0 = the paper's Table 1 default
+	// (360 GB), negative = explicitly unlimited.
+	Bytes int64
+	// Policy is the eviction policy ("lru" | "schedule"; empty = lru).
+	Policy string
+}
+
+// Register installs the storage flags on fs.
+func (s *Storage) Register(fs *flag.FlagSet) {
+	fs.Int64Var(&s.Bytes, "storage", 0,
+		"on-board reference-store budget in bytes (0 = paper default 360 GB, negative = unlimited)")
+	fs.StringVar(&s.Policy, "evictpolicy", "",
+		"reference-store eviction policy: lru | schedule (empty = lru)")
+}
+
+// Apply pushes the parsed values into the experiment-sweep defaults.
+func (s *Storage) Apply() { earthplus.SetStorageModel(s.Bytes, s.Policy) }
+
+// ApplyToSpec sets the parsed values as explicit system params on spec —
+// only when the flags were actually set, so the system defaults survive
+// (and systems without a reference store reject them loudly).
+func (s *Storage) ApplyToSpec(spec *earthplus.SystemSpec) {
+	if s.Bytes != 0 {
+		if spec.Params == nil {
+			spec.Params = map[string]float64{}
+		}
+		spec.Params["storage_bytes"] = float64(s.Bytes)
+	}
+	if s.Policy != "" {
+		if spec.StrParams == nil {
+			spec.StrParams = map[string]string{}
+		}
+		spec.StrParams["evict_policy"] = s.Policy
+	}
+}
+
 // Dataset bundles the dataset-selection flags and the environment
 // construction every simulation cmd repeats.
 type Dataset struct {

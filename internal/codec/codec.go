@@ -66,6 +66,14 @@ func BudgetForBPP(bpp float64, w, h int) int {
 	return int(bpp * float64(w) * float64(h) / 8)
 }
 
+// MinBudgetBytes is the smallest per-band byte budget any call site may
+// request: enough for the fixed codestream header plus at least one coded
+// layer at every geometry the encoder accepts. Rate-control floors across
+// the stack (ROI downlink encodes, reference uplink encodes, the public
+// API's per-band validation) all clamp to this one constant instead of
+// re-inventing the codec's minimum-budget notion locally.
+const MinBudgetBytes = 64
+
 const (
 	codecMagic  = "EPC1"
 	maxQBits    = 30

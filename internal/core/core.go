@@ -56,9 +56,28 @@ type Config struct {
 	// even though the cheap on-board detector lets haze through. Zero
 	// disables rejection (the ablation bench sweeps this).
 	RejectCloudFrac float64
+	// StorageBytes caps each satellite's on-board reference store. Zero
+	// means the paper's Table 1 default (orbit.DovesSpec().StorageBytes,
+	// 360 GB — never binding at modeled scene scale, so results match the
+	// unbounded pre-storage-model behavior byte for byte); negative means
+	// explicitly unlimited. References are accounted at the detection
+	// resolution, RefStoreBitsPerSample bits per stored sample.
+	StorageBytes int64
+	// EvictPolicy picks which reference goes first when the store is full
+	// ("lru" | "schedule"; empty = lru). See sat.Policies.
+	EvictPolicy string
 	// CodecOpts configures the wavelet codec.
 	CodecOpts codec.Options
 }
+
+// RefStoreBitsPerSample is the storage cost of one cached reference sample
+// at detection resolution: raw 16-bit quantisation, matching the ground
+// mirror's content so delta uplinks stay bit-coherent.
+const RefStoreBitsPerSample = 16
+
+// DefaultStorageBudget is the derived default reference-store budget: the
+// Doves Table 1 on-board storage (360 GB).
+func DefaultStorageBudget() int64 { return sat.ResolveBudget(0) }
 
 // DefaultConfig returns the configuration used across the experiments.
 func DefaultConfig() Config {
@@ -74,6 +93,8 @@ func DefaultConfig() Config {
 		MaxRefCloud:         0.05,
 		LookaheadDays:       3,
 		RejectCloudFrac:     0, // self-heal via re-download beats rejection (see ablation bench)
+		StorageBytes:        0, // Table 1 default (360 GB)
+		EvictPolicy:         string(sat.PolicyLRU),
 		CodecOpts:           codec.DefaultOptions(),
 	}
 }
@@ -129,10 +150,26 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 		lastGuar[i] = -1 << 30
 	}
 	// Prefill the per-satellite caches so the capture hot path only ever
-	// reads the map (concurrent lazy insertion would race).
+	// reads the map (concurrent lazy insertion would race). Each cache is
+	// bounded by the satellite's storage budget; the schedule policy
+	// predicts revisits from the same orbit schedule the uplink planner's
+	// per-phase visit sets are built from.
+	budget := sat.ResolveBudget(cfg.StorageBytes)
 	caches := make(map[int]*sat.RefCache, env.Orbit.Satellites)
 	for id := 0; id < env.Orbit.Satellites; id++ {
-		caches[id] = sat.NewRefCache()
+		satID := id
+		cache, err := sat.NewBoundedRefCache(sat.CacheConfig{
+			BudgetBytes:   budget,
+			BitsPerSample: RefStoreBitsPerSample,
+			Policy:        sat.Policy(cfg.EvictPolicy),
+			NextVisit: func(loc, afterDay int) int {
+				return env.Orbit.NextVisit(satID, loc, afterDay)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		caches[id] = cache
 	}
 	return &System{
 		cfg:     cfg,
@@ -191,7 +228,11 @@ func (s *System) Bootstrap(cap *scene.Capture) error {
 		return err
 	}
 	for _, id := range sats {
-		s.cacheFor(id).Put(cap.Loc, low.Clone(), cap.Day)
+		for _, loc := range s.cacheFor(id).Put(cap.Loc, low.Clone(), cap.Day) {
+			// A bootstrap store already over budget sheds references; the
+			// ground must not believe the satellite still holds them.
+			s.ground.InvalidateMirror(id, loc)
+		}
 	}
 	s.lastGuar[cap.Loc] = cap.Day
 	return nil
@@ -210,7 +251,12 @@ func fullAlias(m *raster.TileMask, full raster.TileGrid) *raster.TileMask {
 // ground-side application of the downloaded tiles.
 func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 	grid := s.env.Scene.Grid()
-	ref := s.cacheFor(cap.Sat).Get(cap.Loc)
+	// Visit (not Get): the lookup records recency for eviction and counts
+	// misses. A miss — the reference was evicted under the storage budget —
+	// leaves ref nil, and the ROI selection below falls back to
+	// reference-free encoding of every non-cloudy tile; the ground re-seeds
+	// the reference on the next uplink cycle.
+	ref := s.cacheFor(cap.Sat).Visit(cap.Loc, cap.Day)
 	res, err := s.pipeline.Process(cap.Image, ref)
 	if err != nil {
 		return sim.Outcome{}, err
@@ -220,6 +266,7 @@ func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 		CloudSec:   res.CloudSec,
 		ChangeSec:  res.ChangeSec,
 		RefAge:     -1,
+		RefMiss:    ref == nil,
 	}
 	if ref != nil {
 		out.RefAge = cap.Day - ref.Day
@@ -321,7 +368,14 @@ func (s *System) OnDayEnd(day int) (int64, error) {
 		}
 		cache := s.cacheFor(satID)
 		for _, u := range updates {
-			cache.Put(u.Loc, u.Decoded, u.Day)
+			// Installing an update can push the store over budget; every
+			// eviction invalidates the ground's mirror so the next cycle
+			// re-sends the full reference instead of a stale delta. This
+			// runs on the engine's sequential day-end barrier, so eviction
+			// order is identical at any worker count.
+			for _, loc := range cache.Put(u.Loc, u.Decoded, u.Day) {
+				s.ground.InvalidateMirror(satID, loc)
+			}
 			total += u.Bytes
 		}
 	}
@@ -376,7 +430,19 @@ func (s *System) plannedLocs(satID, day int) []int {
 func (s *System) Ground() *station.Ground { return s.ground }
 
 // RefCacheBytes reports the on-board reference cache footprint of one
-// satellite, assuming 2 bytes per stored sample.
+// satellite at the store's RefStoreBitsPerSample accounting.
 func (s *System) RefCacheBytes(satID int) int64 {
-	return s.cacheFor(satID).StorageBytes(2)
+	return s.cacheFor(satID).StorageBytes(RefStoreBitsPerSample)
+}
+
+// StorageStats sums capacity evictions and reference-lookup misses across
+// the fleet's on-board stores — the observable signal that a storage
+// budget is binding (the storage-sweep experiment reports it).
+func (s *System) StorageStats() (evictions, misses int64) {
+	for id := 0; id < s.env.Orbit.Satellites; id++ {
+		e, m := s.cacheFor(id).Stats()
+		evictions += e
+		misses += m
+	}
+	return evictions, misses
 }

@@ -245,3 +245,99 @@ func TestRunDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestUnlimitedStorageMatchesDefault pins the compatibility contract of
+// the storage model: the default budget (Table 1's 360 GB, never binding
+// at modeled scene scale) and an explicitly unlimited store produce
+// byte-identical record streams — bounding the cache changes nothing
+// until the budget actually binds.
+func TestUnlimitedStorageMatchesDefault(t *testing.T) {
+	run := func(cfg Config) []sim.Record {
+		t.Helper()
+		env := planetEnv()
+		sys, err := New(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(env, sys, 0, 40, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Records
+	}
+	def := run(DefaultConfig())
+	unlimited := DefaultConfig()
+	unlimited.StorageBytes = -1
+	if !sim.RecordsEqualIgnoringTimings(def, run(unlimited)) {
+		t.Fatal("explicit unlimited storage diverged from the default budget")
+	}
+	for _, r := range def {
+		if r.RefMiss {
+			t.Fatalf("unbounded run missed a reference at day %d loc %d", r.Day, r.Loc)
+		}
+	}
+}
+
+// TestBoundedStorageMissFallback drives a budget that holds only part of
+// the reference working set and checks the whole miss path: evictions
+// happen, the footprint respects the budget, missed captures fall back to
+// reference-free encoding (downloading more than the changed-tile norm),
+// and the ground's re-seeding keeps the run alive end to end.
+func TestBoundedStorageMissFallback(t *testing.T) {
+	// Six rich-content locations visited every 4 days by 2 satellites: one
+	// detection-resolution reference is (192/4)^2 * 13 bands * 2 bytes =
+	// 59904 bytes, so a 3-reference budget holds half the working set and
+	// the ~4-location lookahead re-seeding overflows it every cycle —
+	// hits and misses interleave.
+	sceneCfg := scene.RichContent(scene.Quick)
+	sceneCfg.Locations = sceneCfg.Locations[:6]
+	env := &sim.Env{
+		Scene:    scene.New(sceneCfg),
+		Orbit:    orbit.Constellation{Satellites: 2, RevisitDays: 4},
+		Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	}
+	cfg := DefaultConfig()
+	cfg.StorageBytes = 3 * 59904
+	sys, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(env, sys, 0, 40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, misses := sys.StorageStats()
+	if ev == 0 || misses == 0 {
+		t.Fatalf("budget not binding: %d evictions, %d misses", ev, misses)
+	}
+	for id := 0; id < env.Orbit.Satellites; id++ {
+		if got := sys.RefCacheBytes(id); got > cfg.StorageBytes {
+			t.Fatalf("satellite %d cache footprint %d exceeds budget %d", id, got, cfg.StorageBytes)
+		}
+	}
+	missRecs, hitBytes, missBytes, hits := 0, 0.0, 0.0, 0
+	for _, r := range res.Records {
+		if r.Dropped {
+			continue
+		}
+		if r.RefMiss {
+			missRecs++
+			missBytes += float64(r.DownBytes)
+			if r.RefAge != -1 {
+				t.Fatalf("miss record day %d loc %d carries reference age %d", r.Day, r.Loc, r.RefAge)
+			}
+		} else {
+			hits++
+			hitBytes += float64(r.DownBytes)
+		}
+	}
+	if missRecs == 0 || hits == 0 {
+		t.Fatalf("want a mix of hits and misses, got %d hits / %d misses", hits, missRecs)
+	}
+	// Reference-free fallbacks download every non-cloudy tile, so the
+	// mean missed-capture payload must exceed the mean hit payload.
+	if missBytes/float64(missRecs) <= hitBytes/float64(hits) {
+		t.Fatalf("miss fallback mean bytes %.0f not above hit mean %.0f",
+			missBytes/float64(missRecs), hitBytes/float64(hits))
+	}
+}

@@ -16,7 +16,11 @@ func init() {
 	registry.Register(SystemName, func(env *sim.Env, spec registry.Spec) (sim.System, error) {
 		if err := registry.CheckParams(spec, SystemName,
 			"guarantee_days", "guarantee_max_cloud", "reject_cloud_frac",
-			"ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp"); err != nil {
+			"ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp",
+			"storage_bytes"); err != nil {
+			return nil, err
+		}
+		if err := registry.CheckStrParams(spec, SystemName, "evict_policy"); err != nil {
 			return nil, err
 		}
 		cfg := DefaultConfig()
@@ -45,6 +49,12 @@ func init() {
 		}
 		if v, ok := spec.Param("ref_bpp"); ok {
 			cfg.RefBPP = v
+		}
+		if v, ok := spec.StorageBytesParam(); ok {
+			cfg.StorageBytes = v
+		}
+		if v, ok := spec.StrParam("evict_policy"); ok {
+			cfg.EvictPolicy = v
 		}
 		return New(env, cfg)
 	})

@@ -29,6 +29,7 @@ func Catalog(sc Scale, benchJSON, simBenchJSON string) []Job {
 		{"fig17", func() (Result, error) { return Fig17(sc) }},
 		{"fig18", func() (Result, error) { return Fig18(sc) }},
 		{"fig19", func() (Result, error) { return Fig19(sc) }},
+		{"storagesweep", func() (Result, error) { return StorageSweep(sc) }},
 		{"ablation-theta", func() (Result, error) { return AblationTheta(sc) }},
 		{"ablation-guarantee", func() (Result, error) { return AblationGuarantee(sc) }},
 		{"ablation-reject", func() (Result, error) { return AblationReject(sc) }},

@@ -143,6 +143,37 @@ const defaultUplinkDivisor = 50
 // setting; cmd/earthplus-bench exposes it as -simworkers.
 var SimWorkers int
 
+// StorageBytes and EvictPolicy are the package defaults for the bounded
+// on-board reference store in every Earth+ experiment run: 0 bytes /
+// empty string keep the system defaults (Table 1's 360 GB, lru), a
+// positive byte count bounds the store, a negative one makes it
+// explicitly unlimited. cmd/earthplus-bench exposes them as -storage and
+// -evictpolicy; the storage sweep sets its own budgets and only honours
+// EvictPolicy.
+var (
+	StorageBytes int64
+	EvictPolicy  string
+)
+
+// applyStorageDefaults pushes the package storage knobs onto a spec
+// (leaving it untouched when both are unset, so default runs stay
+// byte-identical to the unbounded behavior).
+func applyStorageDefaults(spec registry.Spec) registry.Spec {
+	if StorageBytes != 0 {
+		if spec.Params == nil {
+			spec.Params = map[string]float64{}
+		}
+		spec.Params["storage_bytes"] = float64(StorageBytes)
+	}
+	if EvictPolicy != "" {
+		if spec.StrParams == nil {
+			spec.StrParams = map[string]string{}
+		}
+		spec.StrParams["evict_policy"] = EvictPolicy
+	}
+	return spec
+}
+
 // envFor assembles a simulation environment.
 func envFor(cfg scene.Config, cons orbit.Constellation, uplinkDivisor float64) *sim.Env {
 	env := &sim.Env{
@@ -166,7 +197,7 @@ func profiledTheta(sc Scale, cfg scene.Config, downsample int) float64 {
 // earthPlus builds an Earth+ system through the system registry with the
 // profiled θ and a γ.
 func earthPlus(env *sim.Env, theta, gamma float64) (sim.System, error) {
-	return registry.New(core.SystemName, env, registry.Spec{GammaBPP: gamma, Theta: theta})
+	return registry.New(core.SystemName, env, applyStorageDefaults(registry.Spec{GammaBPP: gamma, Theta: theta}))
 }
 
 // runSystemStream runs one system over the scale's evaluation window,

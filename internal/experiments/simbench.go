@@ -12,6 +12,7 @@ import (
 	"earthplus/internal/core"
 	"earthplus/internal/orbit"
 	"earthplus/internal/registry"
+	"earthplus/internal/scene"
 	"earthplus/internal/sim"
 )
 
@@ -49,7 +50,18 @@ type SimBenchResult struct {
 	// Deterministic reports whether every run produced records identical
 	// to the serial run (timing fields excluded).
 	Deterministic bool `json:"deterministic"`
-	path          string
+	// Storage is the storage sweep recorded alongside the perf runs:
+	// budget points and per-system compression ratios, uplink use and
+	// eviction/miss counts (run at a compact scale).
+	Storage *StorageSweepResult `json:"storage_sweep,omitempty"`
+	// StorageDeterministic reports whether a tightly storage-bounded
+	// Earth+ run — evictions and miss-fallbacks active — stayed
+	// record-identical across worker counts.
+	StorageDeterministic bool `json:"storage_deterministic"`
+	// StorageEvictionsExercised reports whether that bounded run actually
+	// evicted (a vacuously-deterministic run would prove nothing).
+	StorageEvictionsExercised bool `json:"storage_evictions_exercised"`
+	path                      string
 }
 
 // ID implements Result.
@@ -65,6 +77,13 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 		fmt.Fprintf(w, "%-10d %10.2f %9.2fx\n", run.Workers, run.Seconds, run.SpeedupVsSerial)
 	}
 	fmt.Fprintf(w, "records identical across worker counts: %v\n", r.Deterministic)
+	fmt.Fprintf(w, "storage-bounded run identical across worker counts: %v (evictions exercised: %v)\n",
+		r.StorageDeterministic, r.StorageEvictionsExercised)
+	if r.Storage != nil {
+		if err := r.Storage.Render(w); err != nil {
+			return err
+		}
+	}
 	if r.path != "" {
 		fmt.Fprintf(w, "snapshot written to %s\n", r.path)
 	}
@@ -161,6 +180,22 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 		res.Runs = append(res.Runs, SimBenchRun{Workers: wkr, Seconds: sec, SpeedupVsSerial: serialSec / sec})
 	}
 
+	// Storage snapshot: the budget sweep plus a determinism check of the
+	// eviction paths across worker counts, both at a compact scale so the
+	// snapshot stays cheap to regenerate.
+	storageSc := storageSnapshotScale()
+	sweep, err := StorageSweep(storageSc)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: storage sweep: %w", err)
+	}
+	res.Storage = sweep
+	det, evicted, err := storageDeterminismCheck(storageSc, []int{4})
+	if err != nil {
+		return nil, fmt.Errorf("simbench: storage determinism: %w", err)
+	}
+	res.StorageDeterministic = det
+	res.StorageEvictionsExercised = evicted
+
 	if outPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -178,4 +213,19 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 // schedule.
 func simBenchOrbit(satellites int) orbit.Constellation {
 	return orbit.Constellation{Satellites: satellites, RevisitDays: 4}
+}
+
+// storageSnapshotScale sizes the storage sweep recorded in BENCH_sim.json:
+// a few locations and a short evaluation window — enough churn for
+// evictions and miss-fallbacks at the small budget points, cheap enough to
+// regenerate with every snapshot.
+func storageSnapshotScale() Scale {
+	return Scale{
+		Size:         scene.Quick,
+		ProfileStart: 0,
+		ProfileDays:  25,
+		EvalStart:    40,
+		EvalDays:     20,
+		MaxLocations: 3,
+	}
 }

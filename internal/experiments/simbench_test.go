@@ -33,6 +33,15 @@ func TestSimBenchSmoke(t *testing.T) {
 	if res.ID() == "" {
 		t.Fatal("empty ID")
 	}
+	if res.Storage == nil || len(res.Storage.Systems) != 3 {
+		t.Fatalf("snapshot missing the storage sweep: %+v", res.Storage)
+	}
+	if !res.StorageDeterministic {
+		t.Fatal("storage-bounded run diverged across worker counts")
+	}
+	if !res.StorageEvictionsExercised {
+		t.Fatal("storage determinism check ran without evictions")
+	}
 	var sb strings.Builder
 	if err := res.Render(&sb); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"earthplus/internal/baseline"
+	"earthplus/internal/core"
+	"earthplus/internal/metrics"
+	"earthplus/internal/registry"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+)
+
+// The storage sweep is the missing half of Fig 15: the paper's storage
+// figure orders the systems' footprints, but only a sweep of the on-board
+// budget shows how compression degrades when the 360 GB store (Table 1)
+// stops fitting the reference working set. Each system runs at ~5 budget
+// points expressed as fractions of its own unlimited working-set
+// footprint; a shrinking budget forces evictions, evictions force
+// reference-miss fallbacks to full downloads, and the compression ratio
+// decays monotonically. Kodan keeps no on-board reference state, so its
+// line is flat by construction and it runs once.
+
+// storageBudgetFracs are the sweep points: fractions of the system's
+// unlimited reference working set (0 = unlimited).
+var storageBudgetFracs = []float64{0, 1.0, 0.5, 0.25, 0.1}
+
+// StorageSystemSeries is one system's storage-sensitivity curve.
+type StorageSystemSeries struct {
+	System string `json:"system"`
+	// BudgetBytes[i] is the absolute store budget at sweep point i
+	// (0 = unlimited).
+	BudgetBytes []int64 `json:"budget_bytes"`
+	// Ratio[i] is raw captured bytes over downlinked bytes — the
+	// compression ratio the downlink experiences.
+	Ratio []float64 `json:"compression_ratio"`
+	// UpBytesPerDay[i] is the uplink actually consumed (reference
+	// re-seeding after evictions shows up here).
+	UpBytesPerDay []float64 `json:"uplink_bytes_per_day"`
+	MeanPSNR      []float64 `json:"mean_psnr"`
+	Evictions     []int64   `json:"evictions"`
+	Misses        []int64   `json:"misses"`
+}
+
+// StorageSweepResult is the compression-vs-storage-budget sweep.
+type StorageSweepResult struct {
+	// Fracs are the budget points as working-set fractions (0 = unlimited).
+	Fracs []float64 `json:"budget_fracs"`
+	// Policy is the eviction policy the bounded runs used.
+	Policy  string                `json:"evict_policy"`
+	Systems []StorageSystemSeries `json:"systems"`
+}
+
+// storageStatser is implemented by systems with a bounded on-board
+// reference store (Earth+, SatRoI).
+type storageStatser interface {
+	StorageStats() (evictions, misses int64)
+}
+
+// earthRefWorkingSet is the unlimited footprint of Earth+'s reference
+// cache for a scene: one detection-resolution reference per location,
+// accounted exactly as sat.RefCache does (core's downsample and bits per
+// sample — ONE derivation for the sweep and the determinism check).
+func earthRefWorkingSet(cfg scene.Config) int64 {
+	ds := int64(core.DefaultConfig().RefDownsample)
+	samples := (int64(cfg.Width) / ds) * (int64(cfg.Height) / ds) * int64(len(cfg.Bands))
+	perLoc := (samples*int64(core.RefStoreBitsPerSample) + 7) / 8
+	return int64(len(cfg.Locations)) * perLoc
+}
+
+// satroiRefWorkingSet is SatRoI's unlimited footprint: full-resolution
+// references at the 16 bits per sample its store accounts.
+func satroiRefWorkingSet(cfg scene.Config) int64 {
+	samples := int64(cfg.Width) * int64(cfg.Height) * int64(len(cfg.Bands))
+	return int64(len(cfg.Locations)) * (samples * 16 / 8)
+}
+
+// StorageSweep measures compression ratio and uplink consumption against
+// the on-board storage budget for every registered system on the
+// rich-content dataset.
+func StorageSweep(sc Scale) (*StorageSweepResult, error) {
+	mkEnv, theta := datasetEnv(sc, RichContent)
+	cfg := richConfig(sc)
+	earthSet := earthRefWorkingSet(cfg)
+	satroiSet := satroiRefWorkingSet(cfg)
+	rawCaptureBytes := int64(cfg.Width) * int64(cfg.Height) * int64(len(cfg.Bands)) * 2
+
+	policy := EvictPolicy
+	if policy == "" {
+		policy = "lru"
+	}
+
+	runOne := func(system string, budget int64) (sim.Summary, int64, int64, error) {
+		env := mkEnv()
+		spec := registry.Spec{GammaBPP: fig12Gamma}
+		if system == core.SystemName {
+			spec.Theta = theta
+		}
+		if system != baseline.KodanName {
+			// Presence is meaningful: 0 is an explicit "unlimited".
+			spec.Params = map[string]float64{"storage_bytes": float64(budget)}
+			spec.StrParams = map[string]string{"evict_policy": policy}
+		}
+		sys, err := registry.New(system, env, spec)
+		if err != nil {
+			return sim.Summary{}, 0, 0, fmt.Errorf("storage sweep: %s: %w", system, err)
+		}
+		sum, err := summarizeSystem(sc, env, sys)
+		if err != nil {
+			return sim.Summary{}, 0, 0, fmt.Errorf("storage sweep: %s: %w", system, err)
+		}
+		var ev, miss int64
+		if ss, ok := sys.(storageStatser); ok {
+			ev, miss = ss.StorageStats()
+		}
+		return sum, ev, miss, nil
+	}
+
+	res := &StorageSweepResult{Fracs: storageBudgetFracs, Policy: policy}
+	systems := []struct {
+		name       string
+		workingSet int64
+	}{
+		{core.SystemName, earthSet},
+		{baseline.SatRoIName, satroiSet},
+		{baseline.KodanName, 0},
+	}
+	for _, s := range systems {
+		series := StorageSystemSeries{System: s.name}
+		for i, frac := range storageBudgetFracs {
+			budget := int64(0)
+			if frac > 0 {
+				budget = int64(frac * float64(s.workingSet))
+			}
+			if s.name == baseline.KodanName && i > 0 {
+				// Storage-insensitive: replicate the unlimited point
+				// instead of re-running an identical simulation.
+				series.BudgetBytes = append(series.BudgetBytes, 0)
+				series.Ratio = append(series.Ratio, series.Ratio[0])
+				series.UpBytesPerDay = append(series.UpBytesPerDay, series.UpBytesPerDay[0])
+				series.MeanPSNR = append(series.MeanPSNR, series.MeanPSNR[0])
+				series.Evictions = append(series.Evictions, 0)
+				series.Misses = append(series.Misses, 0)
+				continue
+			}
+			sum, ev, miss, err := runOne(s.name, budget)
+			if err != nil {
+				return nil, err
+			}
+			ratio := 0.0
+			if sum.TotalDownBytes > 0 {
+				ratio = float64(int64(sum.Captures-sum.Dropped)*rawCaptureBytes) / float64(sum.TotalDownBytes)
+			}
+			series.BudgetBytes = append(series.BudgetBytes, budget)
+			series.Ratio = append(series.Ratio, ratio)
+			series.UpBytesPerDay = append(series.UpBytesPerDay, sum.MeanUpBytesPerDay)
+			series.MeanPSNR = append(series.MeanPSNR, sum.MeanPSNR)
+			series.Evictions = append(series.Evictions, ev)
+			series.Misses = append(series.Misses, miss)
+		}
+		res.Systems = append(res.Systems, series)
+	}
+	return res, nil
+}
+
+// storageDeterminismCheck runs a tightly storage-bounded Earth+
+// configuration (a tenth of the reference working set, so evictions and
+// miss-fallbacks dominate) at each worker count and reports whether every
+// run's records are identical to the serial one and whether evictions
+// actually occurred. The sim-engine snapshot records both: eviction
+// decisions are the newest state the determinism contract has to cover.
+func storageDeterminismCheck(sc Scale, workers []int) (deterministic, evicted bool, err error) {
+	cfg := richConfig(sc)
+	budget := earthRefWorkingSet(cfg) / 10
+	run := func(w int) ([]sim.Record, bool, error) {
+		env := envFor(cfg, richOrbit(), defaultUplinkDivisor)
+		env.Parallelism = w
+		spec := registry.Spec{
+			GammaBPP:  fig12Gamma,
+			Params:    map[string]float64{"storage_bytes": float64(budget)},
+			StrParams: map[string]string{"evict_policy": "lru"},
+		}
+		sys, err := registry.New(core.SystemName, env, spec)
+		if err != nil {
+			return nil, false, err
+		}
+		var recs []sim.Record
+		if _, err := runSystemStream(sc, env, sys, func(r *sim.Record) { recs = append(recs, *r) }); err != nil {
+			return nil, false, err
+		}
+		ev, _ := sys.(storageStatser).StorageStats()
+		return recs, ev > 0, nil
+	}
+	serial, serialEvicted, err := run(1)
+	if err != nil {
+		return false, false, err
+	}
+	deterministic, evicted = true, serialEvicted
+	for _, w := range workers {
+		if w <= 1 {
+			continue
+		}
+		recs, ev, err := run(w)
+		if err != nil {
+			return false, false, err
+		}
+		if !sim.RecordsEqualIgnoringTimings(serial, recs) {
+			deterministic = false
+		}
+		evicted = evicted && ev
+	}
+	return deterministic, evicted, nil
+}
+
+// ID implements Result.
+func (r *StorageSweepResult) ID() string { return "Storage sweep (Fig 15 companion)" }
+
+// Render implements Result.
+func (r *StorageSweepResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "on-board store budget sweep (eviction policy: %s; frac 0 = unlimited)\n", r.Policy)
+	for _, s := range r.Systems {
+		rows := [][]string{{"budget frac", "budget", "ratio", "uplink B/day", "PSNR", "evictions", "misses"}}
+		for i, frac := range r.Fracs {
+			budget := "unlimited"
+			if s.BudgetBytes[i] > 0 {
+				budget = fmt.Sprintf("%d", s.BudgetBytes[i])
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f", frac),
+				budget,
+				fmt.Sprintf("%.1fx", s.Ratio[i]),
+				fmt.Sprintf("%.0f", s.UpBytesPerDay[i]),
+				fmt.Sprintf("%.1f", s.MeanPSNR[i]),
+				fmt.Sprintf("%d", s.Evictions[i]),
+				fmt.Sprintf("%d", s.Misses[i]),
+			})
+		}
+		fmt.Fprintf(w, "%s:\n", s.System)
+		metrics.Table(w, rows)
+	}
+	fmt.Fprintln(w, "(compression ratio decays as the budget shrinks below the reference working")
+	fmt.Fprintln(w, " set: evictions force reference-miss fallbacks to full non-cloudy downloads;")
+	fmt.Fprintln(w, " Kodan keeps no reference state, so its line is flat by construction)")
+	return nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"earthplus/internal/baseline"
+	"earthplus/internal/core"
+)
+
+// TestStorageSweepMonotoneAndExercised pins the sweep's contract: as the
+// on-board budget shrinks, each reference-based system's compression
+// ratio never increases, the smallest budget point actually evicts and
+// misses (the fallback path runs), the unlimited point never misses, and
+// Kodan's line is flat because it keeps no reference state.
+func TestStorageSweepMonotoneAndExercised(t *testing.T) {
+	res, err := StorageSweep(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 3 || len(res.Fracs) != len(storageBudgetFracs) {
+		t.Fatalf("sweep shape: %d systems, %d fracs", len(res.Systems), len(res.Fracs))
+	}
+	series := map[string]StorageSystemSeries{}
+	for _, s := range res.Systems {
+		series[s.System] = s
+	}
+	for _, name := range []string{core.SystemName, baseline.SatRoIName} {
+		s, ok := series[name]
+		if !ok {
+			t.Fatalf("sweep missing system %q", name)
+		}
+		for i := 1; i < len(s.Ratio); i++ {
+			if s.Ratio[i] > s.Ratio[i-1]+1e-9 {
+				t.Fatalf("%s: ratio increased as the budget shrank: %v", name, s.Ratio)
+			}
+		}
+		if s.Misses[0] != 0 {
+			t.Fatalf("%s: unlimited budget still missed %d lookups", name, s.Misses[0])
+		}
+		last := len(s.Ratio) - 1
+		if s.Evictions[last] == 0 || s.Misses[last] == 0 {
+			t.Fatalf("%s: smallest budget did not exercise eviction/miss: %d/%d",
+				name, s.Evictions[last], s.Misses[last])
+		}
+		if s.Ratio[last] >= s.Ratio[0] {
+			t.Fatalf("%s: ratio %v did not degrade under the smallest budget", name, s.Ratio)
+		}
+	}
+	k := series[baseline.KodanName]
+	for i := 1; i < len(k.Ratio); i++ {
+		if k.Ratio[i] != k.Ratio[0] {
+			t.Fatalf("Kodan line not flat: %v", k.Ratio)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "evictions") || res.ID() == "" {
+		t.Fatalf("render missing eviction column:\n%s", sb.String())
+	}
+}

@@ -62,6 +62,20 @@ func (c Constellation) NextVisit(sat, loc, afterDay int) int {
 	return d + delta
 }
 
+// NextVisitAny returns the first day strictly after afterDay on which any
+// satellite of the fleet visits loc — the fleet-wide revisit horizon
+// schedule-aware eviction uses for reference stores shared across the
+// constellation model.
+func (c Constellation) NextVisitAny(loc, afterDay int) int {
+	best := -1
+	for s := 0; s < c.Satellites; s++ {
+		if d := c.NextVisit(s, loc, afterDay); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 // MeanVisitGapDays returns the average gap between consecutive visits of a
 // location by any satellite in the fleet.
 func (c Constellation) MeanVisitGapDays() float64 {

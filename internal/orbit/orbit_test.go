@@ -87,6 +87,28 @@ func TestNextVisitConsistentWithVisits(t *testing.T) {
 	}
 }
 
+func TestNextVisitAnyIsEarliestFleetVisit(t *testing.T) {
+	c := Constellation{Satellites: 3, RevisitDays: 7}
+	for loc := 0; loc < 5; loc++ {
+		for after := 0; after < 14; after++ {
+			got := c.NextVisitAny(loc, after)
+			if got <= after {
+				t.Fatalf("NextVisitAny(%d, %d) = %d, not strictly after", loc, after, got)
+			}
+			want := -1
+			for d := after + 1; d <= after+c.RevisitDays; d++ {
+				if len(c.VisitsOn(loc, d)) > 0 {
+					want = d
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("NextVisitAny(%d, %d) = %d, want %d", loc, after, got, want)
+			}
+		}
+	}
+}
+
 func TestMeanVisitGap(t *testing.T) {
 	if g := (Constellation{Satellites: 1, RevisitDays: 10}).MeanVisitGapDays(); g != 10 {
 		t.Fatalf("1-sat gap = %v, want 10", g)

@@ -30,10 +30,15 @@ type Spec struct {
 	// Levels or BudgetBytes survives an unset BaseStep and vice versa.
 	Codec codec.Options
 	// Params carries system-specific knobs by name ("guarantee_days",
-	// "reject_cloud_frac", …). Presence is meaningful — an explicit zero
-	// overrides the system default — and unknown keys are a BadConfig
-	// error so typos cannot silently run the default configuration.
+	// "reject_cloud_frac", "storage_bytes", …). Presence is meaningful —
+	// an explicit zero overrides the system default — and unknown keys
+	// are a BadConfig error so typos cannot silently run the default
+	// configuration.
 	Params map[string]float64
+	// StrParams carries system-specific string-valued knobs by name
+	// ("evict_policy", …) with the same contract as Params: presence is
+	// meaningful and unknown keys are a BadConfig error.
+	StrParams map[string]string
 }
 
 // Normalize fills the Spec's zero values with the shared defaults.
@@ -57,6 +62,28 @@ func (s Spec) Normalize() Spec {
 func (s Spec) Param(name string) (float64, bool) {
 	v, ok := s.Params[name]
 	return v, ok
+}
+
+// StrParam returns the named string knob and whether it was set.
+func (s Spec) StrParam(name string) (string, bool) {
+	v, ok := s.StrParams[name]
+	return v, ok
+}
+
+// StorageBytesParam decodes the shared "storage_bytes" knob with its
+// presence-is-meaningful convention: absent returns (0, false); an
+// explicit non-positive value means "unlimited" and returns -1; a
+// positive value is the budget in bytes. Every system with a bounded
+// reference store decodes the knob through this one helper.
+func (s Spec) StorageBytesParam() (int64, bool) {
+	v, ok := s.Param("storage_bytes")
+	if !ok {
+		return 0, false
+	}
+	if v <= 0 {
+		return -1, true
+	}
+	return int64(v), true
 }
 
 // Factory builds a configured system for an environment.
@@ -110,16 +137,28 @@ func Names() []string {
 // so factories reject typo'd knobs uniformly.
 func CheckParams(spec Spec, system string, allowed ...string) error {
 	for k := range spec.Params {
-		ok := false
-		for _, a := range allowed {
-			if k == a {
-				ok = true
-				break
-			}
-		}
-		if !ok {
+		if !nameAllowed(k, allowed) {
 			return eperr.New(eperr.BadConfig, "registry", "system %q does not understand param %q (allowed: %v)", system, k, allowed)
 		}
 	}
 	return nil
+}
+
+// CheckStrParams is CheckParams for the string-valued knobs.
+func CheckStrParams(spec Spec, system string, allowed ...string) error {
+	for k := range spec.StrParams {
+		if !nameAllowed(k, allowed) {
+			return eperr.New(eperr.BadConfig, "registry", "system %q does not understand string param %q (allowed: %v)", system, k, allowed)
+		}
+	}
+	return nil
+}
+
+func nameAllowed(k string, allowed []string) bool {
+	for _, a := range allowed {
+		if k == a {
+			return true
+		}
+	}
+	return false
 }

@@ -68,6 +68,24 @@ func TestCheckParams(t *testing.T) {
 	}
 }
 
+func TestCheckStrParams(t *testing.T) {
+	spec := Spec{StrParams: map[string]string{"evict_policy": "schedule"}}
+	if err := CheckStrParams(spec, "earthplus", "evict_policy"); err != nil {
+		t.Fatalf("allowed string param rejected: %v", err)
+	}
+	if v, ok := spec.StrParam("evict_policy"); !ok || v != "schedule" {
+		t.Fatalf("StrParam = %q, %v", v, ok)
+	}
+	if _, ok := spec.StrParam("absent"); ok {
+		t.Fatal("absent string param reported present")
+	}
+	spec = Spec{StrParams: map[string]string{"evict_polcy": "lru"}}
+	err := CheckStrParams(spec, "earthplus", "evict_policy")
+	if !errors.Is(err, eperr.ErrBadConfig) {
+		t.Fatalf("typo'd string param error = %v, want ErrBadConfig", err)
+	}
+}
+
 func TestNewNormalizesSpec(t *testing.T) {
 	var got Spec
 	Register("registry-test-capture", func(env *sim.Env, spec Spec) (sim.System, error) {

@@ -15,6 +15,7 @@ import (
 	"earthplus/internal/codec"
 	"earthplus/internal/container"
 	"earthplus/internal/illum"
+	"earthplus/internal/orbit"
 	"earthplus/internal/raster"
 )
 
@@ -27,9 +28,103 @@ type LowResRef struct {
 	Day int
 }
 
+// Policy names a reference-store eviction policy.
+type Policy string
+
+const (
+	// PolicyLRU evicts the least-recently-visited location first (ties
+	// break toward the smaller location id, so eviction is deterministic).
+	PolicyLRU Policy = "lru"
+	// PolicySchedule evicts the location whose next planned visit is
+	// farthest in the future — the reference the satellite can best afford
+	// to lose, since the ground has the most days to re-seed it. Requires
+	// CacheConfig.NextVisit (the orbit schedule core precomputes its visit
+	// plans from).
+	PolicySchedule Policy = "schedule"
+)
+
+// Policies lists the known eviction policy names.
+func Policies() []string { return []string{string(PolicyLRU), string(PolicySchedule)} }
+
+// CacheConfig bounds a reference cache to a satellite's finite on-board
+// store. The zero value means unbounded (the pre-storage-model behavior).
+type CacheConfig struct {
+	// BudgetBytes caps the cache footprint; <= 0 means unlimited.
+	BudgetBytes int64
+	// BitsPerSample is the storage cost of one band sample at detection
+	// resolution (0 = 16, the raw quantisation the ground mirror assumes).
+	BitsPerSample int
+	// Policy selects the eviction order ("" = lru).
+	Policy Policy
+	// NextVisit predicts the first day strictly after afterDay on which
+	// the satellite revisits loc. Required by PolicySchedule.
+	NextVisit func(loc, afterDay int) int
+}
+
+// ResolveBudget maps the stack's three-valued storage knob onto a cache
+// budget, in ONE place for every constructor and registry shim: zero
+// means the paper's Table 1 default (orbit.DovesSpec().StorageBytes,
+// 360 GB), negative means explicitly unlimited (a zero CacheConfig
+// budget), positive passes through.
+func ResolveBudget(storageBytes int64) int64 {
+	switch {
+	case storageBytes == 0:
+		return orbit.DovesSpec().StorageBytes
+	case storageBytes < 0:
+		return 0
+	default:
+		return storageBytes
+	}
+}
+
+// withDefaults resolves the zero values.
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.BitsPerSample <= 0 {
+		c.BitsPerSample = 16
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyLRU
+	}
+	return c
+}
+
+// validate reports configuration errors.
+func (c CacheConfig) validate() error {
+	switch c.Policy {
+	case PolicyLRU:
+	case PolicySchedule:
+		if c.NextVisit == nil {
+			return fmt.Errorf("sat: eviction policy %q needs a NextVisit schedule", c.Policy)
+		}
+	default:
+		return fmt.Errorf("sat: unknown eviction policy %q (known: %v)", c.Policy, Policies())
+	}
+	return nil
+}
+
+// refMeta is the per-entry bookkeeping eviction decisions read.
+type refMeta struct {
+	// lastVisit is the day of the entry's most recent visit (or install).
+	lastVisit int
+	// bytes is the entry's accounted footprint.
+	bytes int64
+}
+
 // RefCache holds a satellite's on-board reference images, keyed by
-// location. Earth+ caches references on board so that uplink updates only
-// need to carry changed reference tiles (§4.3).
+// location, bounded by the satellite's storage budget. Earth+ caches
+// references on board so that uplink updates only need to carry changed
+// reference tiles (§4.3); because the store is finite, an insert may evict
+// other locations, and a later Visit of an evicted location MISSES — the
+// pipeline then falls back to reference-free encoding until the ground
+// re-seeds the reference over the uplink.
+//
+// Determinism contract: eviction decisions depend only on the visit
+// schedule (day numbers), never on wall-clock or goroutine order. Visit
+// records recency per location as the capture day — concurrent visits to
+// distinct locations write distinct entries, so the sharded engine reaches
+// the same cache state at any worker count — and every mutation that can
+// evict (Put, ApplyTileUpdate) happens on the engine's serial phases
+// (bootstrap, day-end barrier).
 //
 // The cache is safe for concurrent use on DISTINCT locations: the sharded
 // simulation engine looks up references for many locations at once while a
@@ -38,38 +133,102 @@ type LowResRef struct {
 // location's visit sequence).
 type RefCache struct {
 	mu   sync.RWMutex
+	cfg  CacheConfig
 	refs map[int]*LowResRef
+	meta map[int]*refMeta
+	// used is the accounted footprint of every entry, in bytes.
+	used int64
+	// lastDay is the latest day observed via Visit/Put/ApplyTileUpdate;
+	// PolicySchedule predicts next visits relative to it.
+	lastDay int
+	// evictions and misses count capacity evictions and Visit misses.
+	evictions, misses int64
 }
 
-// NewRefCache returns an empty cache.
+// NewRefCache returns an empty, unbounded cache.
 func NewRefCache() *RefCache {
-	return &RefCache{refs: make(map[int]*LowResRef)}
+	c, _ := NewBoundedRefCache(CacheConfig{}) // zero config always validates
+	return c
 }
 
-// Get returns the cached reference for loc, or nil.
+// NewBoundedRefCache returns an empty cache honouring cfg's storage budget
+// and eviction policy.
+func NewBoundedRefCache(cfg CacheConfig) (*RefCache, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &RefCache{
+		cfg:  cfg,
+		refs: make(map[int]*LowResRef),
+		meta: make(map[int]*refMeta),
+	}, nil
+}
+
+// entryBytes is the accounted footprint of one reference image: exact
+// integer arithmetic in bits per sample, rounded up to whole bytes per
+// entry (float accumulation used to truncate fractional bytes-per-pixel
+// footprints on large caches).
+func (c *RefCache) entryBytes(im *raster.Image) int64 {
+	samples := int64(im.Width) * int64(im.Height) * int64(im.NumBands())
+	return (samples*int64(c.cfg.BitsPerSample) + 7) / 8
+}
+
+// Get returns the cached reference for loc, or nil. It does not count as a
+// visit; capture processing uses Visit so eviction recency tracks the
+// schedule.
 func (c *RefCache) Get(loc int) *LowResRef {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.refs[loc]
 }
 
-// Put replaces the reference for loc (the image is not copied).
-func (c *RefCache) Put(loc int, im *raster.Image, day int) {
+// Visit returns the cached reference for loc, recording the visit day for
+// eviction recency. A nil return is a cache MISS: the reference was
+// evicted (or never seeded) and the caller must fall back to
+// reference-free encoding. Recency is keyed by day, so concurrent visits
+// to distinct locations leave the same state in any order.
+func (c *RefCache) Visit(loc, day int) *LowResRef {
 	c.mu.Lock()
-	c.refs[loc] = &LowResRef{Image: im, Day: day}
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if day > c.lastDay {
+		c.lastDay = day
+	}
+	ref := c.refs[loc]
+	if ref == nil {
+		c.misses++
+		return nil
+	}
+	if m := c.meta[loc]; day > m.lastVisit {
+		m.lastVisit = day
+	}
+	return ref
 }
 
-// ApplyTileUpdate copies the marked low-resolution tiles of update into the
-// cached reference for loc and advances its day. A missing cache entry is
-// created from the update itself.
-func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*raster.TileMask, day int) {
+// Put replaces the reference for loc (the image is not copied) and returns
+// the locations evicted to fit it under the storage budget (nil when
+// nothing was evicted). The caller owns ground-mirror bookkeeping for the
+// returned locations; a new reference larger than the whole budget evicts
+// itself and the cache stays without the entry.
+func (c *RefCache) Put(loc int, im *raster.Image, day int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.installLocked(loc, &LowResRef{Image: im, Day: day}, day)
+	return c.evictLocked(loc)
+}
+
+// ApplyTileUpdate copies the marked low-resolution tiles of update into
+// the cached reference for loc and advances its day. A missing cache entry
+// is created from the update itself (the ground ships whole-image updates
+// to re-seed evicted references). Like Put, it returns any locations
+// evicted to keep the footprint under budget.
+func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*raster.TileMask, day int) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ref := c.refs[loc]
 	if ref == nil {
-		c.refs[loc] = &LowResRef{Image: update.Clone(), Day: day}
-		return
+		c.installLocked(loc, &LowResRef{Image: update.Clone(), Day: day}, day)
+		return c.evictLocked(loc)
 	}
 	for b, mask := range perBand {
 		if mask == nil {
@@ -82,18 +241,125 @@ func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*ras
 		}
 	}
 	ref.Day = day
+	if day > c.lastDay {
+		c.lastDay = day
+	}
+	// A spliced update is an install for recency purposes too: the uplink
+	// just spent bytes refreshing this reference, so it must not linger as
+	// the LRU victim stamped with its last pre-update visit.
+	if m := c.meta[loc]; c.lastDay > m.lastVisit {
+		m.lastVisit = c.lastDay
+	}
+	return nil // splicing in place never grows the footprint
 }
 
-// StorageBytes returns the cache's footprint assuming bytesPerPixel of
-// storage per band sample.
-func (c *RefCache) StorageBytes(bytesPerPixel float64) int64 {
+// installLocked inserts or replaces loc's entry and its accounting. LRU
+// recency is stamped with the cache's current day (lastDay), NOT the
+// reference's content day: uplink updates install content captured days
+// ago, and stamping them with the content day would make every freshly
+// re-seeded entry the least-recently-visited one — it would be evicted
+// again on the very next install, thrashing the store into permanent
+// misses. lastDay is the maximum day any visit or install has reached,
+// which at the engine's serial install phases equals the current
+// simulation day at every worker count.
+func (c *RefCache) installLocked(loc int, ref *LowResRef, day int) {
+	if day > c.lastDay {
+		c.lastDay = day
+	}
+	bytes := c.entryBytes(ref.Image)
+	if m := c.meta[loc]; m != nil {
+		c.used += bytes - m.bytes
+		m.bytes = bytes
+		if c.lastDay > m.lastVisit {
+			m.lastVisit = c.lastDay
+		}
+	} else {
+		c.used += bytes
+		c.meta[loc] = &refMeta{lastVisit: c.lastDay, bytes: bytes}
+	}
+	c.refs[loc] = ref
+}
+
+// evictLocked removes entries until the footprint fits the budget and
+// returns the evicted locations; installed is the entry whose insert
+// triggered the check. An installed entry that can NEVER fit — larger by
+// itself than the whole budget — is evicted first, so one oversize insert
+// costs only itself instead of flushing every other cached reference on
+// its way out. Victim selection is a pure function of (policy, entry
+// metadata, lastDay), so a run is deterministic at any engine worker
+// count.
+func (c *RefCache) evictLocked(installed int) []int {
+	if c.cfg.BudgetBytes <= 0 {
+		return nil
+	}
+	var evicted []int
+	if m := c.meta[installed]; m != nil && m.bytes > c.cfg.BudgetBytes {
+		evicted = append(evicted, c.removeLocked(installed))
+	}
+	for c.used > c.cfg.BudgetBytes && len(c.refs) > 0 {
+		evicted = append(evicted, c.removeLocked(c.victimLocked()))
+	}
+	return evicted
+}
+
+// removeLocked drops one entry and its accounting, counting the eviction.
+func (c *RefCache) removeLocked(victim int) int {
+	c.used -= c.meta[victim].bytes
+	delete(c.refs, victim)
+	delete(c.meta, victim)
+	c.evictions++
+	return victim
+}
+
+// victimLocked picks the next location to evict under the configured
+// policy. Ties always break toward the smaller location id, so the choice
+// is unique regardless of map iteration order.
+func (c *RefCache) victimLocked() int {
+	victim, best := -1, 0
+	for loc, m := range c.meta {
+		var key int
+		switch c.cfg.Policy {
+		case PolicySchedule:
+			// Farthest next planned visit goes first; negated so that the
+			// shared "smaller key wins" comparison below applies.
+			key = -c.cfg.NextVisit(loc, c.lastDay)
+		default: // PolicyLRU
+			key = m.lastVisit
+		}
+		if victim < 0 || key < best || (key == best && loc < victim) {
+			victim, best = loc, key
+		}
+	}
+	return victim
+}
+
+// FootprintBytes returns the cache's accounted storage footprint.
+func (c *RefCache) FootprintBytes() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var total float64
+	return c.used
+}
+
+// StorageBytes returns the cache's footprint at bitsPerSample of storage
+// per band sample, in exact integer arithmetic (each entry rounds up to
+// whole bytes).
+func (c *RefCache) StorageBytes(bitsPerSample int) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
 	for _, r := range c.refs {
-		total += float64(r.Image.Width*r.Image.Height*r.Image.NumBands()) * bytesPerPixel
+		samples := int64(r.Image.Width) * int64(r.Image.Height) * int64(r.Image.NumBands())
+		total += (samples*int64(bitsPerSample) + 7) / 8
 	}
-	return int64(total)
+	return total
+}
+
+// Stats reports how many capacity evictions and Visit misses the cache has
+// seen — the observable signal that a storage budget is binding.
+func (c *RefCache) Stats() (evictions, misses int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.evictions, c.misses
 }
 
 // Len returns the number of cached references.
@@ -257,8 +523,8 @@ func EncodeROI(capImg *raster.Image, perBandROI []*raster.TileMask,
 		bandOpts := opts
 		roiPixels := roi.Count() * roi.Grid.Tile * roi.Grid.Tile
 		bandOpts.BudgetBytes = int(gammaBPP * float64(roiPixels) / 8)
-		if bandOpts.BudgetBytes < 64 {
-			bandOpts.BudgetBytes = 64
+		if bandOpts.BudgetBytes < codec.MinBudgetBytes {
+			bandOpts.BudgetBytes = codec.MinBudgetBytes
 		}
 		data, err := codec.EncodeROIPlane(capImg.Plane(b), roi, bandOpts)
 		if err != nil {

@@ -58,11 +58,161 @@ func TestRefCacheBasics(t *testing.T) {
 	if ref == nil || ref.Day != 17 {
 		t.Fatalf("Get = %+v", ref)
 	}
-	if c.StorageBytes(2) != 8*8*4*2 {
-		t.Fatalf("StorageBytes = %d", c.StorageBytes(2))
+	if c.StorageBytes(16) != 8*8*4*2 {
+		t.Fatalf("StorageBytes = %d", c.StorageBytes(16))
 	}
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// TestStorageBytesIntegerAccounting is the regression test for the float64
+// footprint accounting: at a drift-provoking size — many references whose
+// per-entry byte cost is fractional — the old float accumulation followed
+// by int64 truncation dropped half a byte per entry (512 bytes over this
+// cache), while bit-granular integer accounting rounds each entry up
+// exactly.
+func TestStorageBytesIntegerAccounting(t *testing.T) {
+	c := NewRefCache()
+	bands := raster.PlanetBands()[:3]
+	const n = 1024
+	for loc := 0; loc < n; loc++ {
+		// 9x9x3 = 243 samples; at 12 bits/sample that is 364.5 bytes.
+		c.Put(loc, raster.New(9, 9, bands), 0)
+	}
+	const perEntry = (243*12 + 7) / 8 // 365: fractional bytes round UP per entry
+	if got := c.StorageBytes(12); got != int64(perEntry*n) {
+		t.Fatalf("StorageBytes(12) = %d, want %d (exact per-entry ceil)", got, perEntry*n)
+	}
+	// 16-bit accounting matches the historical 2-bytes-per-sample figures.
+	if got := c.StorageBytes(16); got != int64(243*2*n) {
+		t.Fatalf("StorageBytes(16) = %d, want %d", got, 243*2*n)
+	}
+}
+
+// boundedCache builds a cache with the given budget over 8x8x4 refs
+// (512 bytes each at 16 bits/sample).
+func boundedCache(t *testing.T, budget int64, policy Policy, next func(loc, after int) int) *RefCache {
+	t.Helper()
+	c, err := NewBoundedRefCache(CacheConfig{BudgetBytes: budget, Policy: policy, NextVisit: next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func ref8(t *testing.T) *raster.Image {
+	t.Helper()
+	return raster.New(8, 8, raster.PlanetBands())
+}
+
+func TestBoundedCacheEvictsLRU(t *testing.T) {
+	// Budget fits exactly two 512-byte references.
+	c := boundedCache(t, 1024, PolicyLRU, nil)
+	if ev := c.Put(0, ref8(t), 1); ev != nil {
+		t.Fatalf("first insert evicted %v", ev)
+	}
+	if ev := c.Put(1, ref8(t), 2); ev != nil {
+		t.Fatalf("second insert evicted %v", ev)
+	}
+	// Visiting loc 0 makes loc 1 the least-recently-visited.
+	if c.Visit(0, 3) == nil {
+		t.Fatal("visit of cached loc missed")
+	}
+	if ev := c.Put(2, ref8(t), 4); len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", ev)
+	}
+	if c.Get(1) != nil {
+		t.Fatal("evicted entry still cached")
+	}
+	if c.Get(0) == nil || c.Get(2) == nil {
+		t.Fatal("survivors missing")
+	}
+	if got := c.FootprintBytes(); got != 1024 {
+		t.Fatalf("footprint %d after eviction, want 1024", got)
+	}
+	// The miss is observable and counted.
+	if c.Visit(1, 5) != nil {
+		t.Fatal("evicted entry served a visit")
+	}
+	ev, miss := c.Stats()
+	if ev != 1 || miss != 1 {
+		t.Fatalf("Stats = (%d evictions, %d misses), want (1, 1)", ev, miss)
+	}
+}
+
+func TestBoundedCacheSchedulePolicy(t *testing.T) {
+	// Next visit: loc 0 tomorrow, loc 1 in 3 days, loc 2 in 9 days.
+	gaps := map[int]int{0: 1, 1: 3, 2: 9}
+	next := func(loc, after int) int { return after + gaps[loc] }
+	c := boundedCache(t, 1024, PolicySchedule, next)
+	c.Put(0, ref8(t), 1)
+	c.Put(1, ref8(t), 1)
+	// Inserting loc 2 overflows; its own next visit is farthest, so the
+	// schedule policy sheds the newcomer and keeps the soon-revisited refs.
+	if ev := c.Put(2, ref8(t), 2); len(ev) != 1 || ev[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (farthest next visit)", ev)
+	}
+	// Flip the horizon: now loc 1 is the farthest of the cached pair.
+	gaps[2] = 2
+	if ev := c.Put(2, ref8(t), 3); len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", ev)
+	}
+}
+
+func TestBoundedCacheOversizeEntryEvictsItself(t *testing.T) {
+	c := boundedCache(t, 100, PolicyLRU, nil) // smaller than one 512-byte ref
+	ev := c.Put(5, ref8(t), 1)
+	if len(ev) != 1 || ev[0] != 5 {
+		t.Fatalf("evicted %v, want the oversize entry [5]", ev)
+	}
+	if c.Len() != 0 || c.FootprintBytes() != 0 {
+		t.Fatalf("cache holds %d entries / %d bytes after oversize insert", c.Len(), c.FootprintBytes())
+	}
+}
+
+// TestBoundedCacheOversizeInsertKeepsOthers pins the heterogeneous-size
+// regression: an insert that can never fit must cost only itself, not
+// flush the older (and under LRU, lower-recency) entries on its way out.
+func TestBoundedCacheOversizeInsertKeepsOthers(t *testing.T) {
+	c := boundedCache(t, 1024, PolicyLRU, nil) // two 512-byte refs fit
+	c.Put(0, ref8(t), 1)
+	c.Put(1, ref8(t), 2)
+	// 16x16x4 at 16 bits = 2048 bytes: larger than the whole budget.
+	ev := c.Put(9, raster.New(16, 16, raster.PlanetBands()), 3)
+	if len(ev) != 1 || ev[0] != 9 {
+		t.Fatalf("evicted %v, want only the oversize entry [9]", ev)
+	}
+	if c.Get(0) == nil || c.Get(1) == nil || c.Len() != 2 {
+		t.Fatal("oversize insert flushed resident entries")
+	}
+	if got := c.FootprintBytes(); got != 1024 {
+		t.Fatalf("footprint %d, want 1024", got)
+	}
+}
+
+// TestApplyTileUpdateRefreshesRecency pins that an uplink splice counts as
+// a visit for LRU purposes: the freshly refreshed entry must not stay the
+// eviction victim.
+func TestApplyTileUpdateRefreshesRecency(t *testing.T) {
+	c := boundedCache(t, 1024, PolicyLRU, nil)
+	c.Put(0, ref8(t), 1)
+	c.Put(1, ref8(t), 2)
+	c.Visit(1, 3)
+	// Splice an update into loc 0 on day 10: it is now the most recently
+	// refreshed entry, so the next overflow must evict loc 1 instead.
+	c.ApplyTileUpdate(0, ref8(t), make([]*raster.TileMask, 4), 10)
+	if ev := c.Put(2, ref8(t), 11); len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1] (loc 0 was refreshed on day 10)", ev)
+	}
+}
+
+func TestBoundedCacheRejectsUnknownPolicy(t *testing.T) {
+	if _, err := NewBoundedRefCache(CacheConfig{Policy: "mru"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewBoundedRefCache(CacheConfig{Policy: PolicySchedule}); err == nil {
+		t.Fatal("schedule policy without NextVisit accepted")
 	}
 }
 

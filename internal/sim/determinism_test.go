@@ -108,6 +108,50 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestStorageBoundedRunDeterministicAcrossWorkerCounts pins the eviction
+// paths to the engine's determinism contract: with a reference-store
+// budget tight enough that evictions, reference-miss fallbacks and uplink
+// re-seeding all trigger, records must still be byte-identical at any
+// worker count, for both eviction policies. Runs under -race in CI, so it
+// also proves the bounded cache's concurrent Visit path is race-free.
+func TestStorageBoundedRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	// One 64x64 scene location's detection-resolution reference is
+	// (64/4)^2 * 4 bands * 2 bytes = 2048 bytes; 5 locations make a
+	// 10240-byte working set. A 5000-byte budget holds ~2 of 5.
+	const budget = 5000
+	for _, policy := range []string{"lru", "schedule"} {
+		t.Run(policy, func(t *testing.T) {
+			mk := func(env *sim.Env) (sim.System, error) {
+				cfg := core.DefaultConfig()
+				cfg.StorageBytes = budget
+				cfg.EvictPolicy = policy
+				return core.New(env, cfg)
+			}
+			serial := runDet(t, 1, mk)
+			misses := 0
+			for _, r := range serial.Records {
+				if r.RefMiss {
+					misses++
+				}
+			}
+			if misses == 0 {
+				t.Fatal("bounded run never missed; budget not binding, determinism not exercised")
+			}
+			for _, workers := range []int{4, 8} {
+				got := runDet(t, workers, mk)
+				if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
+					t.Fatalf("storage-bounded records at Parallelism=%d differ from serial run", workers)
+				}
+				for day, up := range serial.UpBytesByDay {
+					if got.UpBytesByDay[day] != up {
+						t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestRunStreamMatchesRun pins the streaming emitter to the retained-record
 // path: same records, same order, and a streamed Accumulator must summarise
 // exactly like Summarize over the retained set.

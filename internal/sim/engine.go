@@ -161,6 +161,7 @@ func processVisit(env *Env, sys System, grid raster.TileGrid, day, loc, satID in
 		DownBytes:    out.DownBytes,
 		PerBandBytes: out.PerBandBytes,
 		RefAge:       out.RefAge,
+		RefMiss:      out.RefMiss,
 		Guaranteed:   out.Guaranteed,
 		EncodeSec:    out.EncodeSec,
 		CloudSec:     out.CloudSec,

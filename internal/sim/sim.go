@@ -51,6 +51,11 @@ type Outcome struct {
 	Recon *raster.Image
 	// RefAge is the age in days of the reference used, -1 if none.
 	RefAge int
+	// RefMiss marks captures whose on-board reference lookup MISSED in a
+	// reference-based system (the entry was evicted under the storage
+	// budget, or never seeded): the satellite fell back to reference-free
+	// encoding of every non-cloudy tile.
+	RefMiss bool
 	// Guaranteed marks the periodic full downloads (§5).
 	Guaranteed bool
 	// Component timings in seconds (measured on this machine, Fig 16).
@@ -83,6 +88,7 @@ type Record struct {
 	DownTileFrac  float64
 	PSNR          float64 // NaN when not evaluable
 	RefAge        int
+	RefMiss       bool
 	Guaranteed    bool
 	EncodeSec     float64
 	CloudSec      float64
@@ -98,7 +104,7 @@ func (r Record) EqualIgnoringTimings(o Record) bool {
 	if r.Day != o.Day || r.Loc != o.Loc || r.Sat != o.Sat ||
 		r.Dropped != o.Dropped || r.TrueCoverage != o.TrueCoverage ||
 		r.DownBytes != o.DownBytes || r.DownTileFrac != o.DownTileFrac ||
-		r.RefAge != o.RefAge || r.Guaranteed != o.Guaranteed {
+		r.RefAge != o.RefAge || r.RefMiss != o.RefMiss || r.Guaranteed != o.Guaranteed {
 		return false
 	}
 	if !(r.PSNR == o.PSNR || (math.IsNaN(r.PSNR) && math.IsNaN(o.PSNR))) {

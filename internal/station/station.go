@@ -391,8 +391,8 @@ func (g *Ground) encodeRefUpdate(ref *raster.Image, perBand []*raster.TileMask) 
 		opts := g.codecOpts
 		roiPixels := mask.Count() * mask.Grid.Tile * mask.Grid.Tile
 		opts.BudgetBytes = int(g.refBPP * float64(roiPixels) / 8)
-		if opts.BudgetBytes < 48 {
-			opts.BudgetBytes = 48
+		if opts.BudgetBytes < codec.MinBudgetBytes {
+			opts.BudgetBytes = codec.MinBudgetBytes
 		}
 		data, err := codec.EncodeROIPlane(ref.Plane(b), mask, opts)
 		if err != nil {
@@ -452,6 +452,20 @@ func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) err
 		mirror[loc] = &refState{img: low.Clone(), day: day}
 	}
 	return nil
+}
+
+// InvalidateMirror drops the ground's belief that satellite sat still
+// holds a reference for loc. Callers MUST invoke it whenever the on-board
+// cache evicts loc — otherwise the next PackUplink would delta-encode tile
+// updates against a reference the satellite no longer has. With the mirror
+// slot nil, the next uplink cycle covering loc ships the full reference
+// (re-seeding the evicted entry) instead of a delta.
+func (g *Ground) InvalidateMirror(sat, loc int) {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	if m := g.mirrors[sat]; m != nil && loc >= 0 && loc < len(m) {
+		m[loc] = nil
+	}
 }
 
 // MirrorRefDay returns the day of the reference satellite sat holds for

@@ -140,6 +140,118 @@ func TestPackUplinkBudgetAndMirrorReproduction(t *testing.T) {
 	}
 }
 
+// Property: a capacity-bounded on-board cache stays coherent with the
+// ground's mirror bookkeeping through any interleaving of visits,
+// evictions and uplink cycles. The invariant is directional: whenever the
+// ground holds a mirror for (sat, loc), the satellite's reference exists
+// and is byte-equal to it — deltas are only ever encoded against state the
+// satellite verifiably holds. The satellite MAY hold a reference the
+// ground no longer mirrors (an update applied right after an intra-cycle
+// eviction invalidated its slot); that is conservative — the next cycle
+// re-sends in full — never incoherent, because RefUpdate.Decoded is always
+// the complete post-update reference, so applying it to a missing entry
+// installs correct content. Locations whose mirror was already nil at
+// PACK time must be re-seeded with full (every-tile) updates. With 3
+// locations and a 2-reference budget the store thrashes continuously, so
+// all paths run many times over.
+func TestEvictionKeepsGroundMirrorCoherent(t *testing.T) {
+	const numLocs, satID = 3, 0
+	g := testGround(t, numLocs)
+	grid := raster.MustTileGrid(testW, testH, testTile)
+	src := noise.New(90210)
+
+	// One low-res reference is (64/4)*(64/4)*4 samples at 16 bits = 2048
+	// bytes; the budget fits two of the three locations.
+	lowRefBytes := int64(testW/testDown) * int64(testH/testDown) * 4 * 2
+	cache, err := sat.NewBoundedRefCache(sat.CacheConfig{BudgetBytes: 2 * lowRefBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalidate := func(evicted []int) {
+		for _, loc := range evicted {
+			g.InvalidateMirror(satID, loc)
+		}
+	}
+
+	state := make([]*raster.Image, numLocs)
+	for loc := 0; loc < numLocs; loc++ {
+		full := testImage(uint64(300 + loc))
+		if err := g.SeedBootstrap(loc, 0, full, []int{satID}); err != nil {
+			t.Fatal(err)
+		}
+		state[loc] = full
+		invalidate(cache.Put(loc, g.MirrorImage(satID, loc), 0))
+	}
+
+	locs := []int{0, 1, 2}
+	evictionsSeen, reseedsSeen := 0, 0
+	for day := 1; day <= 14; day++ {
+		// Ground-side churn plus on-board visits for a pseudo-random
+		// subset of locations.
+		for loc := 0; loc < numLocs; loc++ {
+			state[loc] = mutateTiles(src, day*numLocs+loc, state[loc], grid, 2)
+			applyFull(t, g, loc, day, state[loc])
+			if src.Uniform(int64(day), int64(loc)) < 0.6 {
+				cache.Visit(loc, day)
+			}
+		}
+		// Snapshot which locations the ground believed the satellite held
+		// BEFORE packing: those are delta candidates, the rest must ship
+		// as full re-seeds.
+		heldAtPack := make([]bool, numLocs)
+		for loc := 0; loc < numLocs; loc++ {
+			heldAtPack[loc] = g.MirrorRefDay(satID, loc) != -1
+		}
+		updates, err := g.PackUplink(satID, day, locs, link.NewMeter(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			if !heldAtPack[u.Loc] {
+				// Re-seed of an evicted reference: the ground must ship
+				// every tile, not a delta against state the satellite no
+				// longer holds.
+				reseedsSeen++
+				for b, m := range u.PerBand {
+					if m.Count() != m.Grid.NumTiles() {
+						t.Fatalf("day %d loc %d: re-seed band %d carries %d/%d tiles; want a full update",
+							day, u.Loc, b, m.Count(), m.Grid.NumTiles())
+					}
+				}
+			}
+			evicted := cache.ApplyTileUpdate(u.Loc, u.Decoded, u.PerBand, u.Day)
+			invalidate(evicted)
+			evictionsSeen += len(evicted)
+			for _, ev := range evicted {
+				if d := g.MirrorRefDay(satID, ev); d != -1 {
+					t.Fatalf("day %d: evicted loc %d still mirrored at day %d", day, ev, d)
+				}
+			}
+		}
+		// Replay invariant: wherever the ground holds a mirror, the
+		// on-board reference exists and reproduces it exactly.
+		for loc := 0; loc < numLocs; loc++ {
+			mirror := g.MirrorImage(satID, loc)
+			if mirror == nil {
+				continue
+			}
+			ref := cache.Get(loc)
+			if ref == nil {
+				t.Fatalf("day %d loc %d: ground mirrors a reference the satellite does not hold", day, loc)
+			}
+			if !ref.Image.Equal(mirror) {
+				t.Fatalf("day %d loc %d: on-board reference diverged from ground mirror", day, loc)
+			}
+			if ref.Day != g.MirrorRefDay(satID, loc) {
+				t.Fatalf("day %d loc %d: reference day %d, mirror day %d", day, loc, ref.Day, g.MirrorRefDay(satID, loc))
+			}
+		}
+	}
+	if evictionsSeen == 0 || reseedsSeen == 0 {
+		t.Fatalf("property not exercised: %d evictions, %d re-seeds", evictionsSeen, reseedsSeen)
+	}
+}
+
 func TestAccurateMaskAndReassess(t *testing.T) {
 	g := testGround(t, 1)
 	full := testImage(9)

@@ -32,9 +32,9 @@ func PackCodestream(bands [][]byte) Codestream { return container.Pack(bands) }
 // starts.
 func ReadCodestream(r io.Reader) (Codestream, error) { return container.ReadFrom(r) }
 
-// minBandBudget is the smallest per-band byte budget Encode accepts: the
-// codec's fixed header floor with a little room for payload.
-const minBandBudget = 64
+// minBandBudget is the smallest per-band byte budget Encode accepts — the
+// codec's own rate-control floor, shared with every internal encode site.
+const minBandBudget = codec.MinBudgetBytes
 
 // EncodeOptions configures an Encoder.
 type EncodeOptions struct {

@@ -29,3 +29,9 @@ func Experiments(sc Scale, benchJSON, simBenchJSON string) []ExperimentJob {
 // experimentsSimWorkers backs SetSimWorkers (declared next to the other
 // simulation knobs in sim.go).
 func experimentsSimWorkers(n int) { experiments.SimWorkers = n }
+
+// experimentsStorageModel backs SetStorageModel.
+func experimentsStorageModel(budgetBytes int64, policy string) {
+	experiments.StorageBytes = budgetBytes
+	experiments.EvictPolicy = policy
+}

@@ -26,9 +26,14 @@ const (
 // downloaded tile), an optional change threshold θ, codec options, and
 // system-specific knobs by name under Params (for Earth+:
 // "guarantee_days", "guarantee_max_cloud", "reject_cloud_frac",
-// "ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp").
-// The zero value means the system's defaults; unknown Params keys are a
-// CodeBadConfig error.
+// "ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp",
+// "storage_bytes") and StrParams (for Earth+ and SatRoI:
+// "evict_policy" = "lru" | "schedule"). "storage_bytes" bounds the
+// on-board reference store (explicit non-positive = unlimited; absent =
+// the Table 1 default of 360 GB); SatRoI shares both storage knobs so
+// the storage sweep bounds its full-resolution store the same way.
+// The zero value means the system's defaults; unknown Params or
+// StrParams keys are a CodeBadConfig error.
 type SystemSpec = registry.Spec
 
 // SystemFactory builds a configured system for an environment.

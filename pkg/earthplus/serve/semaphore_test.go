@@ -3,6 +3,10 @@ package serve
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -35,6 +39,56 @@ func TestAcquireOverloadAndCancel(t *testing.T) {
 		t.Fatalf("acquire after release: %v", err)
 	}
 	s.release()
+}
+
+// TestRetryAfterDerivation pins the overload hint to the configured queue
+// timeout: rounded up to whole seconds, never below 1.
+func TestRetryAfterDerivation(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 10},                      // default QueueWait = 10s
+		{300 * time.Millisecond, 1},  // sub-second rounds up to the 1s floor
+		{1 * time.Second, 1},         // exact seconds stay exact
+		{1200 * time.Millisecond, 2}, // fractional seconds round up
+		{30 * time.Second, 30},
+	}
+	for _, c := range cases {
+		s := New(Config{QueueWait: c.wait})
+		if got := s.retryAfterSeconds(); got != c.want {
+			t.Fatalf("retryAfterSeconds(QueueWait=%v) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+}
+
+// TestOverloadResponseCarriesRetryAfter saturates the worker semaphore and
+// asserts the 503 response derives Retry-After from the queue timeout
+// instead of a hard-coded constant.
+func TestOverloadResponseCarriesRetryAfter(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, QueueWait: 1200 * time.Millisecond})
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatalf("priming acquire: %v", err)
+	}
+	defer s.release()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/decode", "application/octet-stream", strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("POST /v1/decode: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated decode status %d, want 503 (body %q)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q (ceil of the 1.2s queue timeout)", got, "2")
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("overload body %q does not carry the overloaded code", body)
+	}
 }
 
 func TestStatusFor(t *testing.T) {

@@ -157,15 +157,27 @@ func statusFor(err error) int {
 	}
 }
 
+// retryAfterSeconds derives the overload Retry-After hint from the
+// configured queue timeout: a client that waits out the full queue window
+// before retrying sees a fresh queueing opportunity instead of hammering a
+// still-saturated semaphore. Rounded up to whole seconds, minimum 1.
+func (s *Server) retryAfterSeconds() int {
+	sec := int((s.cfg.QueueWait + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
 // writeError responds with the taxonomy code and message as JSON.
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	code, ok := earthplus.ErrorCodeOf(err)
 	if !ok {
 		code = "internal"
 	}
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -225,7 +237,7 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(
 func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	if err := s.acquire(ctx); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	defer s.release()
@@ -240,7 +252,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 			err = badReq("missing or non-positive %s", p.name)
 		}
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		dims[i] = v
@@ -249,18 +261,18 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	// Divide rather than multiply: width*height on hostile query ints can
 	// overflow to a negative product and slip past the cap.
 	if height > s.cfg.MaxPixels/width {
-		writeError(w, badReq("%dx%d exceeds the %d-pixel limit", width, height, s.cfg.MaxPixels))
+		s.writeError(w, badReq("%dx%d exceeds the %d-pixel limit", width, height, s.cfg.MaxPixels))
 		return
 	}
 	if bands > maxRequestBands {
-		writeError(w, badReq("%d bands exceeds the %d-band limit", bands, maxRequestBands))
+		s.writeError(w, badReq("%d bands exceeds the %d-band limit", bands, maxRequestBands))
 		return
 	}
 	opts := earthplus.EncodeOptions{BPP: s.cfg.DefaultBPP, Levels: levels}
 	if v := r.URL.Query().Get("bpp"); v != "" {
 		bpp, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			writeError(w, badReq("parameter bpp=%q is not a number", v))
+			s.writeError(w, badReq("parameter bpp=%q is not a number", v))
 			return
 		}
 		opts.BPP = bpp
@@ -271,20 +283,20 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 
 	body, release, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	defer release()
 	want := width * height * bands * 2
 	if len(body) != want {
-		writeError(w, badReq("body is %d bytes; %dx%dx%d uint16 samples need %d", len(body), width, height, bands, want))
+		s.writeError(w, badReq("body is %d bytes; %dx%dx%d uint16 samples need %d", len(body), width, height, bands, want))
 		return
 	}
 
 	img := samplesToImage(body, width, height, bands)
 	frame, err := earthplus.EncodeFrame(ctx, img, opts)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -297,19 +309,19 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	if err := s.acquire(ctx); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	defer s.release()
 
 	layers, err := intParam(r, "layers", 0)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	defer release()
@@ -319,15 +331,15 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	frame := earthplus.Codestream(body)
 	fw, fh, fbands, err := earthplus.FrameDims(frame)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if fw*fh > s.cfg.MaxPixels {
-		writeError(w, badReq("%dx%d exceeds the %d-pixel limit", fw, fh, s.cfg.MaxPixels))
+		s.writeError(w, badReq("%dx%d exceeds the %d-pixel limit", fw, fh, s.cfg.MaxPixels))
 		return
 	}
 	if fbands > maxRequestBands {
-		writeError(w, badReq("%d bands exceeds the %d-band limit", fbands, maxRequestBands))
+		s.writeError(w, badReq("%d bands exceeds the %d-band limit", fbands, maxRequestBands))
 		return
 	}
 	// Pixels and bands pass their individual caps, but their product is
@@ -336,12 +348,12 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	// Bound total samples the way MaxBodyBytes already bounds the encode
 	// side, where the 2-bytes-per-sample body carries them.
 	if maxSamples := s.cfg.MaxBodyBytes / 2; int64(fw)*int64(fh)*int64(fbands) > maxSamples {
-		writeError(w, badReq("%dx%dx%d samples exceed the %d-sample limit", fw, fh, fbands, maxSamples))
+		s.writeError(w, badReq("%dx%dx%d samples exceed the %d-sample limit", fw, fh, fbands, maxSamples))
 		return
 	}
 	img, err := earthplus.DecodeFrame(ctx, frame, nil, layers)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	out := s.bufs.Get().(*[]byte)

@@ -76,3 +76,13 @@ func ReadTrace(r io.Reader) (*Result, error) { return sim.ReadTrace(r) }
 // 1 forces the serial path; results are identical at any setting).
 // Per-run control is Env.Parallelism.
 func SetSimWorkers(n int) { experimentsSimWorkers(n) }
+
+// SetStorageModel sets the default on-board reference-store model for the
+// experiment sweeps: budgetBytes bounds each satellite's store (0 = the
+// paper's Table 1 default of 360 GB, negative = unlimited) and policy
+// picks the eviction order ("lru" | "schedule"; empty = lru). Per-run
+// control is SystemSpec.Params["storage_bytes"] and
+// SystemSpec.StrParams["evict_policy"].
+func SetStorageModel(budgetBytes int64, policy string) {
+	experimentsStorageModel(budgetBytes, policy)
+}
