@@ -10,6 +10,7 @@
 //	earthplus-sim -system kodan -dataset rich -gamma 0.5 -trace
 //	earthplus-sim -dataset rich -simworkers 8   # shard days across 8 workers
 //	earthplus-sim -storage 2000000 -evictpolicy schedule   # bound the on-board store
+//	earthplus-sim -storage 2000000 -refcompress   # hold references compressed (decode-on-visit)
 package main
 
 import (

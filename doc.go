@@ -55,12 +55,26 @@
 // whose reference was evicted is a first-class miss (Record.RefMiss) and
 // falls back to reference-free encoding; every eviction invalidates the
 // ground's mirror (station.Ground.InvalidateMirror) so the next uplink
-// cycle re-seeds the reference in full. Eviction decisions are pure
-// functions of the visit schedule and run only on the engine's serial
-// phases, so storage-bounded runs remain byte-identical at any worker
-// count. The storage sweep (earthplus-bench -only storagesweep; also
-// embedded in the BENCH_sim.json snapshot) measures compression ratio
-// and uplink use against the budget for all three systems.
+// cycle re-seeds the reference in full — and PackUplink drains those
+// re-seeds FIRST, before routine delta freshness updates, so a scarce
+// uplink cannot starve the locations that just went to miss. Eviction
+// decisions are pure functions of the visit schedule and run only on the
+// engine's serial phases, so storage-bounded runs remain byte-identical
+// at any worker count.
+//
+// With ref_compression=on (flag -refcompress, default off) the store
+// holds each reference as its encoded codestream at the uplink's
+// reference rate instead of raw 16-bit planes: footprints are the actual
+// encoded bytes (~2-5x more locations per budget), Visit decodes lazily
+// through a small decoded-plane LRU (the decode-on-visit cost model),
+// uplink updates route their storage frame straight into the store
+// (sat.RefCache.PutFrame), and the ground simulates the same storage
+// codec on its mirrors (station.Config.CompressRefs) so delta uplinks
+// stay byte-coherent. The storage sweep (earthplus-bench -only
+// storagesweep; also embedded in the BENCH_sim.json snapshot) measures
+// compression ratio, uplink use and reference residency against the
+// budget for the raw and compressed Earth+ stores at equal budgets,
+// both baselines, and both eviction policies at a fixed budget.
 //
 // # Performance
 //
@@ -79,4 +93,4 @@ package earthplus
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.4.0"
+const Version = "1.5.0"

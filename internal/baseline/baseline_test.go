@@ -7,6 +7,7 @@ import (
 	"earthplus/internal/core"
 	"earthplus/internal/link"
 	"earthplus/internal/orbit"
+	"earthplus/internal/sat"
 	"earthplus/internal/scene"
 	"earthplus/internal/sim"
 )
@@ -139,5 +140,35 @@ func TestHeadlineComparison(t *testing.T) {
 	}
 	if earth.MeanTileFrac > 0.5 {
 		t.Fatalf("Earth+ downloads %.2f of tiles", earth.MeanTileFrac)
+	}
+}
+
+// TestSatRoIStoreRateTiedToSharedConstant pins the drift hazard the
+// storage model fixed: SatRoI's full-resolution store must account at the
+// SAME raw rate as Earth+'s detection-resolution store — one shared
+// constant, not an inlined 16. A one-location bootstrap's footprint is
+// exactly samples * sat.RawBitsPerSample / 8, and the constant is the one
+// core re-exports.
+func TestSatRoIStoreRateTiedToSharedConstant(t *testing.T) {
+	if core.RefStoreBitsPerSample != sat.RawBitsPerSample {
+		t.Fatalf("core rate %d drifted from sat.RawBitsPerSample %d",
+			core.RefStoreBitsPerSample, sat.RawBitsPerSample)
+	}
+	env := sampledEnv()
+	s, err := NewSatRoI(env, 1.0, codec.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := env.Scene.CaptureImage(0, 0, 0)
+	defer env.Scene.ReleaseCapture(cap)
+	if err := s.Bootstrap(cap); err != nil {
+		t.Fatal(err)
+	}
+	_, got := s.ResidentRefs()
+	samples := int64(cap.Truth.Width) * int64(cap.Truth.Height) * int64(cap.Truth.NumBands())
+	want := (samples*sat.RawBitsPerSample + 7) / 8
+	if got != want {
+		t.Fatalf("one-reference footprint %d, want %d (raw rate %d bits/sample)",
+			got, want, sat.RawBitsPerSample)
 	}
 }

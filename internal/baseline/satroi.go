@@ -24,9 +24,17 @@ import (
 //
 // The reference store is capacity-bounded like Earth+'s (the storage-sweep
 // experiment compares both under the same budget): full-resolution
-// references cost 16 bits per sample, and because SatRoI has no uplink
-// path, an evicted reference is gone for good — every later capture of
-// that location falls back to a reference-free full download.
+// references cost sat.RawBitsPerSample bits per sample, and because SatRoI
+// has no uplink path, an evicted reference is gone for good — every later
+// capture of that location falls back to a reference-free full download.
+//
+// SatRoI deliberately stays RAW — it takes no ref_compression knob (the
+// registry rejects it). The asymmetry is the point of the comparison:
+// Earth+'s compressed on-board store leans on its ground loop — lossless
+// re-encode on install, 16-bit-coherent mirrors, re-seeding over the
+// uplink when the budget still overflows — and SatRoI has none of that
+// machinery, so granting its fixed store the same compressed accounting
+// would credit it with infrastructure the baseline [61] does not have.
 //
 // OnCapture is safe for concurrent calls on distinct locations (the
 // sharded engine's contract): the reference store locks internally and is
@@ -87,7 +95,7 @@ func NewSatRoIWithConfig(env *sim.Env, gammaBPP float64, opts codec.Options, sc 
 	}
 	refs, err := sat.NewBoundedRefCache(sat.CacheConfig{
 		BudgetBytes:   sat.ResolveBudget(sc.StorageBytes),
-		BitsPerSample: 16,
+		BitsPerSample: sat.RawBitsPerSample,
 		Policy:        sat.Policy(sc.EvictPolicy),
 		NextVisit:     env.Orbit.NextVisitAny,
 	})
@@ -115,6 +123,12 @@ func NewSatRoIWithConfig(env *sim.Env, gammaBPP float64, opts codec.Options, sc 
 // StorageStats reports the reference store's capacity evictions and
 // lookup misses.
 func (s *SatRoI) StorageStats() (evictions, misses int64) { return s.refs.Stats() }
+
+// ResidentRefs reports the store's resident reference count and accounted
+// footprint, for the storage sweep's residency series.
+func (s *SatRoI) ResidentRefs() (locations int, bytes int64) {
+	return s.refs.Len(), s.refs.FootprintBytes()
+}
 
 // Name implements sim.System.
 func (s *SatRoI) Name() string { return "SatRoI" }

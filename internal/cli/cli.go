@@ -51,6 +51,10 @@ type Storage struct {
 	Bytes int64
 	// Policy is the eviction policy ("lru" | "schedule"; empty = lru).
 	Policy string
+	// RefCompress stores on-board references compressed (encoded at the
+	// uplink's lossy reference rate; decode-on-visit) instead of as raw
+	// planes.
+	RefCompress bool
 }
 
 // Register installs the storage flags on fs.
@@ -59,10 +63,15 @@ func (s *Storage) Register(fs *flag.FlagSet) {
 		"on-board reference-store budget in bytes (0 = paper default 360 GB, negative = unlimited)")
 	fs.StringVar(&s.Policy, "evictpolicy", "",
 		"reference-store eviction policy: lru | schedule (empty = lru)")
+	fs.BoolVar(&s.RefCompress, "refcompress", false,
+		"store on-board references compressed (~2-5x more locations per storage budget, paid in decode-on-visit work; default off)")
 }
 
 // Apply pushes the parsed values into the experiment-sweep defaults.
-func (s *Storage) Apply() { earthplus.SetStorageModel(s.Bytes, s.Policy) }
+func (s *Storage) Apply() {
+	earthplus.SetStorageModel(s.Bytes, s.Policy)
+	earthplus.SetRefCompression(s.RefCompress)
+}
 
 // ApplyToSpec sets the parsed values as explicit system params on spec —
 // only when the flags were actually set, so the system defaults survive
@@ -79,6 +88,12 @@ func (s *Storage) ApplyToSpec(spec *earthplus.SystemSpec) {
 			spec.StrParams = map[string]string{}
 		}
 		spec.StrParams["evict_policy"] = s.Policy
+	}
+	if s.RefCompress {
+		if spec.StrParams == nil {
+			spec.StrParams = map[string]string{}
+		}
+		spec.StrParams["ref_compression"] = "on"
 	}
 }
 

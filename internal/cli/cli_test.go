@@ -24,6 +24,32 @@ func TestPerfFlags(t *testing.T) {
 	}()
 }
 
+func TestStorageFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s Storage
+	s.Register(fs)
+	if err := fs.Parse([]string{"-storage", "12345", "-evictpolicy", "schedule", "-refcompress"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes != 12345 || s.Policy != "schedule" || !s.RefCompress {
+		t.Fatalf("parsed %+v", s)
+	}
+	var spec earthplus.SystemSpec
+	s.ApplyToSpec(&spec)
+	if spec.Params["storage_bytes"] != 12345 ||
+		spec.StrParams["evict_policy"] != "schedule" ||
+		spec.StrParams["ref_compression"] != "on" {
+		t.Fatalf("spec %+v", spec)
+	}
+	// Unset flags leave the spec untouched so system defaults survive.
+	var zero Storage
+	var clean earthplus.SystemSpec
+	zero.ApplyToSpec(&clean)
+	if clean.Params != nil || clean.StrParams != nil {
+		t.Fatalf("zero storage flags touched the spec: %+v", clean)
+	}
+}
+
 func TestPerfCodecOnly(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	var p Perf

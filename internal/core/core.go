@@ -15,6 +15,7 @@ import (
 
 	"earthplus/internal/cloud"
 	"earthplus/internal/codec"
+	"earthplus/internal/container"
 	"earthplus/internal/link"
 	"earthplus/internal/raster"
 	"earthplus/internal/sat"
@@ -66,18 +67,51 @@ type Config struct {
 	// EvictPolicy picks which reference goes first when the store is full
 	// ("lru" | "schedule"; empty = lru). See sat.Policies.
 	EvictPolicy string
+	// RefCompression stores each on-board reference as its encoded
+	// codestream at the uplink's reference rate (RefBPP, lossy) instead
+	// of raw planes: the store charges real encoded bytes against
+	// StorageBytes (typically 2-5x below the raw RefStoreBitsPerSample
+	// rate, so the same budget holds more locations), captures decode the
+	// reference on visit, and the ground simulates the same storage codec
+	// on its mirrors so delta uplinks stay bit-coherent with what the
+	// satellite's store decodes. Off (the default) keeps the raw store
+	// and is byte-identical to the pre-compression behavior.
+	RefCompression bool
 	// CodecOpts configures the wavelet codec.
 	CodecOpts codec.Options
 }
 
-// RefStoreBitsPerSample is the storage cost of one cached reference sample
-// at detection resolution: raw 16-bit quantisation, matching the ground
-// mirror's content so delta uplinks stay bit-coherent.
-const RefStoreBitsPerSample = 16
+// RefStoreBitsPerSample is the a-priori storage cost of one cached
+// reference sample at detection resolution: raw 16-bit quantisation,
+// matching the ground mirror's content so delta uplinks stay
+// bit-coherent. It aliases sat.RawBitsPerSample — ONE constant across
+// layers — and with RefCompression on it is only the estimate rate
+// (working sets, sweep budget fractions); real footprints are the
+// measured encoded bytes.
+const RefStoreBitsPerSample = sat.RawBitsPerSample
 
 // DefaultStorageBudget is the derived default reference-store budget: the
 // Doves Table 1 on-board storage (360 GB).
 func DefaultStorageBudget() int64 { return sat.ResolveBudget(0) }
+
+// CacheConfig resolves the on-board reference-store configuration this
+// Config produces, minus the per-satellite NextVisit schedule core.New
+// fills in. It is the ONE derivation shared by New and by everything
+// estimating reference working sets outside core (the storage sweep),
+// so budget math cannot drift from what the caches actually charge.
+func (c Config) CacheConfig() sat.CacheConfig {
+	return sat.CacheConfig{
+		BudgetBytes:   sat.ResolveBudget(c.StorageBytes),
+		BitsPerSample: RefStoreBitsPerSample,
+		Policy:        sat.Policy(c.EvictPolicy),
+		Compress:      c.RefCompression,
+		// One representation for uplink and storage: references live on
+		// board at the rate they arrived at, with the ground's update
+		// codec options, so mirror simulation and store agree bit-exact.
+		StoreBPP: c.RefBPP,
+		Codec:    c.CodecOpts,
+	}
+}
 
 // DefaultConfig returns the configuration used across the experiments.
 func DefaultConfig() Config {
@@ -141,6 +175,10 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 		CodecOpts:   cfg.CodecOpts,
 		RefBPP:      cfg.RefBPP,
 		MaxRefCloud: cfg.MaxRefCloud,
+		// A compressed on-board store holds storage-codec content; the
+		// ground must model exactly that, or delta uplinks would be
+		// encoded against references the satellite never quite held.
+		CompressRefs: cfg.RefCompression,
 	}, env.Scene.NumLocations())
 	if err != nil {
 		return nil, err
@@ -154,18 +192,14 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 	// bounded by the satellite's storage budget; the schedule policy
 	// predicts revisits from the same orbit schedule the uplink planner's
 	// per-phase visit sets are built from.
-	budget := sat.ResolveBudget(cfg.StorageBytes)
 	caches := make(map[int]*sat.RefCache, env.Orbit.Satellites)
 	for id := 0; id < env.Orbit.Satellites; id++ {
 		satID := id
-		cache, err := sat.NewBoundedRefCache(sat.CacheConfig{
-			BudgetBytes:   budget,
-			BitsPerSample: RefStoreBitsPerSample,
-			Policy:        sat.Policy(cfg.EvictPolicy),
-			NextVisit: func(loc, afterDay int) int {
-				return env.Orbit.NextVisit(satID, loc, afterDay)
-			},
-		})
+		cc := cfg.CacheConfig()
+		cc.NextVisit = func(loc, afterDay int) int {
+			return env.Orbit.NextVisit(satID, loc, afterDay)
+		}
+		cache, err := sat.NewBoundedRefCache(cc)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -227,8 +261,23 @@ func (s *System) Bootstrap(cap *scene.Capture) error {
 	if err != nil {
 		return err
 	}
+	// With RefCompression every satellite stores the identical seed frame:
+	// encode once and route it into each store (the frames are immutable),
+	// instead of paying the deterministic storage encode per satellite.
+	var frame container.Codestream
+	if s.cfg.RefCompression {
+		if frame, err = sat.EncodeStoredRef(low, s.cfg.RefBPP, s.cfg.CodecOpts); err != nil {
+			return fmt.Errorf("core: bootstrap: %w", err)
+		}
+	}
 	for _, id := range sats {
-		for _, loc := range s.cacheFor(id).Put(cap.Loc, low.Clone(), cap.Day) {
+		var evicted []int
+		if frame != nil {
+			evicted = s.cacheFor(id).PutFrame(cap.Loc, frame, low, cap.Day)
+		} else {
+			evicted = s.cacheFor(id).Put(cap.Loc, low.Clone(), cap.Day)
+		}
+		for _, loc := range evicted {
 			// A bootstrap store already over budget sheds references; the
 			// ground must not believe the satellite still holds them.
 			s.ground.InvalidateMirror(id, loc)
@@ -372,8 +421,16 @@ func (s *System) OnDayEnd(day int) (int64, error) {
 			// eviction invalidates the ground's mirror so the next cycle
 			// re-sends the full reference instead of a stale delta. This
 			// runs on the engine's sequential day-end barrier, so eviction
-			// order is identical at any worker count.
-			for _, loc := range cache.Put(u.Loc, u.Decoded, u.Day) {
+			// order is identical at any worker count. With RefCompression
+			// the ground already produced the storage frame — it routes
+			// into the store as-is, no raw expansion, no re-encode.
+			var evicted []int
+			if u.StoreFrame != nil {
+				evicted = cache.PutFrame(u.Loc, u.StoreFrame, u.Decoded, u.Day)
+			} else {
+				evicted = cache.Put(u.Loc, u.Decoded, u.Day)
+			}
+			for _, loc := range evicted {
 				s.ground.InvalidateMirror(satID, loc)
 			}
 			total += u.Bytes
@@ -445,4 +502,28 @@ func (s *System) StorageStats() (evictions, misses int64) {
 		misses += m
 	}
 	return evictions, misses
+}
+
+// ResidentRefs sums the fleet's resident reference count and its REAL
+// accounted footprint (encoded bytes under RefCompression, raw-rate bytes
+// otherwise) — what the storage sweep reads to show how many locations a
+// budget actually holds.
+func (s *System) ResidentRefs() (locations int, bytes int64) {
+	for id := 0; id < s.env.Orbit.Satellites; id++ {
+		c := s.cacheFor(id)
+		locations += c.Len()
+		bytes += c.FootprintBytes()
+	}
+	return locations, bytes
+}
+
+// DecodeStats sums the fleet's decode-on-visit counters (zero without
+// RefCompression). Advisory: see sat.RefCache.DecodeStats.
+func (s *System) DecodeStats() (decodes, lruHits int64) {
+	for id := 0; id < s.env.Orbit.Satellites; id++ {
+		d, h := s.cacheFor(id).DecodeStats()
+		decodes += d
+		lruHits += h
+	}
+	return decodes, lruHits
 }

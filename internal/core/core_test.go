@@ -6,6 +6,7 @@ import (
 
 	"earthplus/internal/link"
 	"earthplus/internal/orbit"
+	"earthplus/internal/registry"
 	"earthplus/internal/scene"
 	"earthplus/internal/sim"
 )
@@ -339,5 +340,106 @@ func TestBoundedStorageMissFallback(t *testing.T) {
 	if missBytes/float64(missRecs) <= hitBytes/float64(hits) {
 		t.Fatalf("miss fallback mean bytes %.0f not above hit mean %.0f",
 			missBytes/float64(missRecs), hitBytes/float64(hits))
+	}
+}
+
+// TestCompressedStorageHoldsMoreAndStaysCoherent runs the bounded
+// miss-fallback scenario with ref_compression on at the SAME budget that
+// thrashes the raw store: the compressed store (entries at the uplink's
+// encoded rate instead of raw 16 bits/sample) must fit strictly more of
+// the working set — fewer misses — while the decode-on-visit path serves
+// every hit.
+func TestCompressedStorageHoldsMoreAndStaysCoherent(t *testing.T) {
+	run := func(compress bool) (*sim.Result, *System) {
+		sceneCfg := scene.RichContent(scene.Quick)
+		sceneCfg.Locations = sceneCfg.Locations[:6]
+		env := &sim.Env{
+			Scene:    scene.New(sceneCfg),
+			Orbit:    orbit.Constellation{Satellites: 2, RevisitDays: 4},
+			Downlink: link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+		}
+		cfg := DefaultConfig()
+		cfg.StorageBytes = 3 * 59904 // holds 3/6 raw references per satellite
+		cfg.RefCompression = compress
+		sys, err := New(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(env, sys, 0, 40, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sys
+	}
+	resRaw, sysRaw := run(false)
+	resComp, sysComp := run(true)
+	_, rawMisses := sysRaw.StorageStats()
+	_, compMisses := sysComp.StorageStats()
+	if rawMisses == 0 {
+		t.Fatal("budget not binding for the raw store; the comparison proves nothing")
+	}
+	if compMisses >= rawMisses {
+		t.Fatalf("compressed store missed %d >= raw %d at the same budget", compMisses, rawMisses)
+	}
+	rawLocs, rawBytes := sysRaw.ResidentRefs()
+	compLocs, compBytes := sysComp.ResidentRefs()
+	if compLocs <= rawLocs {
+		t.Fatalf("compressed store resident %d <= raw %d at the same budget", compLocs, rawLocs)
+	}
+	// Real encoded footprints sit well under the raw-rate accounting.
+	if rawLocs > 0 && compLocs > 0 {
+		rawPerLoc := float64(rawBytes) / float64(rawLocs)
+		compPerLoc := float64(compBytes) / float64(compLocs)
+		if compPerLoc*2 > rawPerLoc {
+			t.Fatalf("compressed entry %.0f B not well below raw %.0f B", compPerLoc, rawPerLoc)
+		}
+	}
+	decodes, _ := sysComp.DecodeStats()
+	if decodes == 0 {
+		t.Fatal("compressed run never decoded a reference")
+	}
+	// The decode-on-visit path must actually serve hits: records that are
+	// not misses carry a reference age like the raw run's.
+	hits := 0
+	for _, r := range resComp.Records {
+		if !r.Dropped && !r.RefMiss {
+			hits++
+			if r.RefAge < 0 {
+				t.Fatalf("hit record day %d loc %d has no reference age", r.Day, r.Loc)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("compressed run never hit a reference")
+	}
+	_ = resRaw
+}
+
+// TestRefCompressionKnobContract pins the registry surface: "off" (and
+// absence) is byte-identical to the default raw store, and anything but
+// on/off is rejected loudly.
+func TestRefCompressionKnobContract(t *testing.T) {
+	run := func(params map[string]string) []sim.Record {
+		t.Helper()
+		env := planetEnv()
+		sys, err := registry.New(SystemName, env, registry.Spec{StrParams: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(env, sys, 0, 40, 55)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Records
+	}
+	def := run(nil)
+	off := run(map[string]string{"ref_compression": "off"})
+	if !sim.RecordsEqualIgnoringTimings(def, off) {
+		t.Fatal("explicit ref_compression=off diverged from the default")
+	}
+	if _, err := registry.New(SystemName, planetEnv(), registry.Spec{
+		StrParams: map[string]string{"ref_compression": "maybe"},
+	}); err == nil {
+		t.Fatal("ref_compression=maybe accepted")
 	}
 }

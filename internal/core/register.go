@@ -1,6 +1,7 @@
 package core
 
 import (
+	"earthplus/internal/eperr"
 	"earthplus/internal/registry"
 	"earthplus/internal/sim"
 )
@@ -20,7 +21,7 @@ func init() {
 			"storage_bytes"); err != nil {
 			return nil, err
 		}
-		if err := registry.CheckStrParams(spec, SystemName, "evict_policy"); err != nil {
+		if err := registry.CheckStrParams(spec, SystemName, "evict_policy", "ref_compression"); err != nil {
 			return nil, err
 		}
 		cfg := DefaultConfig()
@@ -55,6 +56,17 @@ func init() {
 		}
 		if v, ok := spec.StrParam("evict_policy"); ok {
 			cfg.EvictPolicy = v
+		}
+		if v, ok := spec.StrParam("ref_compression"); ok {
+			switch v {
+			case "on":
+				cfg.RefCompression = true
+			case "off":
+				cfg.RefCompression = false
+			default:
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"ref_compression must be \"on\" or \"off\", got %q", v)
+			}
 		}
 		return New(env, cfg)
 	})

@@ -155,6 +155,16 @@ var (
 	EvictPolicy  string
 )
 
+// RefCompression is the package default for the on-board reference
+// representation in every Earth+ experiment run: true stores references
+// as codestreams encoded at the uplink's reference rate (real encoded
+// bytes charged against the storage budget, decode-on-visit), false
+// keeps raw planes.
+// cmd/earthplus-bench and cmd/earthplus-sim expose it as -refcompress;
+// the storage sweep always runs BOTH representations side by side and
+// ignores this default.
+var RefCompression bool
+
 // applyStorageDefaults pushes the package storage knobs onto a spec
 // (leaving it untouched when both are unset, so default runs stay
 // byte-identical to the unbounded behavior).
@@ -170,6 +180,12 @@ func applyStorageDefaults(spec registry.Spec) registry.Spec {
 			spec.StrParams = map[string]string{}
 		}
 		spec.StrParams["evict_policy"] = EvictPolicy
+	}
+	if RefCompression {
+		if spec.StrParams == nil {
+			spec.StrParams = map[string]string{}
+		}
+		spec.StrParams["ref_compression"] = "on"
 	}
 	return spec
 }

@@ -61,7 +61,12 @@ type SimBenchResult struct {
 	// StorageEvictionsExercised reports whether that bounded run actually
 	// evicted (a vacuously-deterministic run would prove nothing).
 	StorageEvictionsExercised bool `json:"storage_evictions_exercised"`
-	path                      string
+	// RefCompressionDeterministic and RefCompressionEvictionsExercised
+	// are the same check with ref_compression=on: decode-on-visit and
+	// encoded-byte eviction accounting under the same worker sweep.
+	RefCompressionDeterministic      bool `json:"ref_compression_deterministic"`
+	RefCompressionEvictionsExercised bool `json:"ref_compression_evictions_exercised"`
+	path                             string
 }
 
 // ID implements Result.
@@ -79,6 +84,8 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 	fmt.Fprintf(w, "records identical across worker counts: %v\n", r.Deterministic)
 	fmt.Fprintf(w, "storage-bounded run identical across worker counts: %v (evictions exercised: %v)\n",
 		r.StorageDeterministic, r.StorageEvictionsExercised)
+	fmt.Fprintf(w, "compressed-refs bounded run identical across worker counts: %v (evictions exercised: %v)\n",
+		r.RefCompressionDeterministic, r.RefCompressionEvictionsExercised)
 	if r.Storage != nil {
 		if err := r.Storage.Render(w); err != nil {
 			return err
@@ -189,12 +196,18 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 		return nil, fmt.Errorf("simbench: storage sweep: %w", err)
 	}
 	res.Storage = sweep
-	det, evicted, err := storageDeterminismCheck(storageSc, []int{4})
+	det, evicted, err := storageDeterminismCheck(storageSc, []int{4}, false)
 	if err != nil {
 		return nil, fmt.Errorf("simbench: storage determinism: %w", err)
 	}
 	res.StorageDeterministic = det
 	res.StorageEvictionsExercised = evicted
+	cdet, cevicted, err := storageDeterminismCheck(storageSc, []int{4}, true)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: compressed-refs determinism: %w", err)
+	}
+	res.RefCompressionDeterministic = cdet
+	res.RefCompressionEvictionsExercised = cevicted
 
 	if outPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")

@@ -33,14 +33,23 @@ func TestSimBenchSmoke(t *testing.T) {
 	if res.ID() == "" {
 		t.Fatal("empty ID")
 	}
-	if res.Storage == nil || len(res.Storage.Systems) != 3 {
-		t.Fatalf("snapshot missing the storage sweep: %+v", res.Storage)
+	if res.Storage == nil || len(res.Storage.Systems) != 4 {
+		t.Fatalf("snapshot missing the storage sweep (raw + compressed Earth+, SatRoI, Kodan): %+v", res.Storage)
+	}
+	if len(res.Storage.PolicySweep) != 4 {
+		t.Fatalf("snapshot missing the eviction-policy sweep: %+v", res.Storage.PolicySweep)
 	}
 	if !res.StorageDeterministic {
 		t.Fatal("storage-bounded run diverged across worker counts")
 	}
 	if !res.StorageEvictionsExercised {
 		t.Fatal("storage determinism check ran without evictions")
+	}
+	if !res.RefCompressionDeterministic {
+		t.Fatal("compressed-refs bounded run diverged across worker counts")
+	}
+	if !res.RefCompressionEvictionsExercised {
+		t.Fatal("compressed-refs determinism check ran without evictions")
 	}
 	var sb strings.Builder
 	if err := res.Render(&sb); err != nil {

@@ -46,20 +46,71 @@ const (
 // Policies lists the known eviction policy names.
 func Policies() []string { return []string{string(PolicyLRU), string(PolicySchedule)} }
 
+// RawBitsPerSample is the raw on-board storage cost of one reference band
+// sample: the 16-bit quantisation the codec's lossless mode (and hence the
+// ground mirror) assumes. core.RefStoreBitsPerSample and the SatRoI
+// baseline's full-resolution store both alias this one constant, so the
+// accounting rate cannot drift between layers.
+const RawBitsPerSample = 16
+
+// defaultDecodedCap is the default size of the decode-on-visit LRU in a
+// compressed cache: enough decoded references for one contact's worth of
+// repeat visits without holding a raw copy of the whole store.
+const defaultDecodedCap = 8
+
 // CacheConfig bounds a reference cache to a satellite's finite on-board
 // store. The zero value means unbounded (the pre-storage-model behavior).
 type CacheConfig struct {
 	// BudgetBytes caps the cache footprint; <= 0 means unlimited.
 	BudgetBytes int64
-	// BitsPerSample is the storage cost of one band sample at detection
-	// resolution (0 = 16, the raw quantisation the ground mirror assumes).
+	// BitsPerSample is the a-priori storage cost of one band sample at
+	// detection resolution (0 = RawBitsPerSample). With Compress off it is
+	// the exact accounting rate; with Compress on, entries are charged
+	// their real encoded byte count instead and BitsPerSample only feeds
+	// estimates made before any entry exists (working-set math, sweep
+	// budget fractions) — see EffectiveBitsPerSample.
 	BitsPerSample int
 	// Policy selects the eviction order ("" = lru).
 	Policy Policy
 	// NextVisit predicts the first day strictly after afterDay on which
 	// the satellite revisits loc. Required by PolicySchedule.
 	NextVisit func(loc, afterDay int) int
+	// Compress stores each reference as its encoded container frame at
+	// StoreBPP bits per pixel — the uplink's reference rate, the
+	// representation the updates arrive in — instead of raw planes: the
+	// footprint charged against BudgetBytes is the actual encoded byte
+	// count (RawBitsPerSample/StoreBPP smaller, so the same budget holds
+	// ~2-5x more locations), and Visit decodes lazily, with a small
+	// decoded-plane LRU so repeat visits within a contact don't re-pay
+	// the decode. Put/ApplyTileUpdate take the PRE-storage-codec image
+	// and apply the codec themselves (EncodeStoredRef); the ground's
+	// mirror must model the same transform (station.Config.CompressRefs)
+	// or delta uplinks would be encoded against content the satellite
+	// never held.
+	Compress bool
+	// StoreBPP is the storage codec rate of a compressed cache, in bits
+	// per pixel per band. Required (> 0) when Compress is set; Earth+
+	// wires its uplink RefBPP here so on-board storage and uplink share
+	// one representation.
+	StoreBPP float64
+	// Codec configures the storage codec of a compressed cache. It must
+	// match the ground's reference-update codec options so both sides
+	// produce byte-identical frames.
+	Codec codec.Options
+	// DecodedCap bounds the decode-on-visit LRU of a compressed cache
+	// (0 = defaultDecodedCap). It trades decode work for scratch memory
+	// and never affects simulation results: decoding is pure, so a cold
+	// decode returns the same bytes a cached plane would.
+	DecodedCap int
 }
+
+// EffectiveBitsPerSample resolves the per-sample rate a-priori estimates
+// (reference working sets, sweep budget fractions) should assume for this
+// configuration. It is the resolved BitsPerSample: with Compress on the
+// real footprint is measured per entry at install time and is usually
+// several times smaller, so callers needing the true compressed rate must
+// measure it (FootprintBytes / stored samples) rather than predict it.
+func (c CacheConfig) EffectiveBitsPerSample() int { return c.withDefaults().BitsPerSample }
 
 // ResolveBudget maps the stack's three-valued storage knob onto a cache
 // budget, in ONE place for every constructor and registry shim: zero
@@ -80,10 +131,13 @@ func ResolveBudget(storageBytes int64) int64 {
 // withDefaults resolves the zero values.
 func (c CacheConfig) withDefaults() CacheConfig {
 	if c.BitsPerSample <= 0 {
-		c.BitsPerSample = 16
+		c.BitsPerSample = RawBitsPerSample
 	}
 	if c.Policy == "" {
 		c.Policy = PolicyLRU
+	}
+	if c.DecodedCap <= 0 {
+		c.DecodedCap = defaultDecodedCap
 	}
 	return c
 }
@@ -99,7 +153,65 @@ func (c CacheConfig) validate() error {
 	default:
 		return fmt.Errorf("sat: unknown eviction policy %q (known: %v)", c.Policy, Policies())
 	}
+	if c.Compress && c.StoreBPP <= 0 {
+		return fmt.Errorf("sat: compressed reference store needs a positive StoreBPP rate")
+	}
 	return nil
+}
+
+// EncodeStoredRef encodes every band of a reference image at bpp bits per
+// pixel into one container frame: the representation a compressed
+// on-board store holds. It is ONE function shared by sat.RefCache and the
+// ground's mirror simulation (station.Config.CompressRefs), so both sides
+// produce byte-identical frames from the same input — the coherence delta
+// uplinks depend on.
+func EncodeStoredRef(im *raster.Image, bpp float64, opts codec.Options) (container.Codestream, error) {
+	streams := make([][]byte, im.NumBands())
+	errs := make([]error, im.NumBands())
+	codec.ParallelBands(opts.Parallelism, im.NumBands(), func(b int) {
+		bandOpts := opts
+		bandOpts.BudgetBytes = int(bpp * float64(im.Width*im.Height) / 8)
+		if bandOpts.BudgetBytes < codec.MinBudgetBytes {
+			bandOpts.BudgetBytes = codec.MinBudgetBytes
+		}
+		data, err := codec.EncodePlane(im.Plane(b), im.Width, im.Height, bandOpts)
+		if err != nil {
+			errs[b] = fmt.Errorf("sat: encoding stored reference band %d: %w", b, err)
+			return
+		}
+		streams[b] = data
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return container.Pack(streams), nil
+}
+
+// DecodeStoredRef reverses EncodeStoredRef into a fresh image of the
+// given geometry.
+func DecodeStoredRef(cs container.Codestream, w, h int, bands []raster.BandInfo) (*raster.Image, error) {
+	streams, err := cs.Split()
+	if err != nil {
+		return nil, fmt.Errorf("sat: stored reference frame: %w", err)
+	}
+	if len(streams) != len(bands) {
+		return nil, fmt.Errorf("sat: stored reference frame carries %d bands, want %d", len(streams), len(bands))
+	}
+	im := raster.New(w, h, bands)
+	for b, data := range streams {
+		plane, pw, ph, err := codec.DecodePlane(data, 0)
+		if err != nil {
+			return nil, fmt.Errorf("sat: decoding stored reference band %d: %w", b, err)
+		}
+		if pw != w || ph != h {
+			return nil, fmt.Errorf("sat: stored reference band %d decodes to %dx%d, want %dx%d", b, pw, ph, w, h)
+		}
+		copy(im.Plane(b), plane)
+	}
+	im.Clamp()
+	return im, nil
 }
 
 // refMeta is the per-entry bookkeeping eviction decisions read.
@@ -110,6 +222,16 @@ type refMeta struct {
 	bytes int64
 }
 
+// compRef is one compressed cache entry: the reference held as its
+// losslessly encoded container frame plus the geometry needed to decode
+// it back into a raster image.
+type compRef struct {
+	frame container.Codestream
+	w, h  int
+	bands []raster.BandInfo
+	day   int
+}
+
 // RefCache holds a satellite's on-board reference images, keyed by
 // location, bounded by the satellite's storage budget. Earth+ caches
 // references on board so that uplink updates only need to carry changed
@@ -117,6 +239,17 @@ type refMeta struct {
 // other locations, and a later Visit of an evicted location MISSES — the
 // pipeline then falls back to reference-free encoding until the ground
 // re-seeds the reference over the uplink.
+//
+// With CacheConfig.Compress the store holds each reference as its encoded
+// container frame at the uplink's reference rate (StoreBPP) — the
+// footprint charged against the budget is the actual encoded byte count,
+// so the same budget holds roughly RawBitsPerSample/StoreBPP more
+// locations — and Visit decodes lazily through a small decoded-plane LRU.
+// An entry's content is ALWAYS decode(frame): installs run the storage
+// codec (or accept a pre-encoded frame via PutFrame), and the ground
+// simulates the same transform on its mirror, so what the satellite
+// detects changes against is byte-equal to what the ground believes it
+// holds.
 //
 // Determinism contract: eviction decisions depend only on the visit
 // schedule (day numbers), never on wall-clock or goroutine order. Visit
@@ -132,10 +265,13 @@ type refMeta struct {
 // ordering is the caller's responsibility (the engine serialises each
 // location's visit sequence).
 type RefCache struct {
-	mu   sync.RWMutex
-	cfg  CacheConfig
-	refs map[int]*LowResRef
-	meta map[int]*refMeta
+	mu  sync.RWMutex
+	cfg CacheConfig
+	// refs holds raw-mode entries; frames holds compressed-mode entries.
+	// Exactly one of the two is populated, per cfg.Compress.
+	refs   map[int]*LowResRef
+	frames map[int]*compRef
+	meta   map[int]*refMeta
 	// used is the accounted footprint of every entry, in bytes.
 	used int64
 	// lastDay is the latest day observed via Visit/Put/ApplyTileUpdate;
@@ -143,6 +279,17 @@ type RefCache struct {
 	lastDay int
 	// evictions and misses count capacity evictions and Visit misses.
 	evictions, misses int64
+	// dec is the decode-on-visit LRU of a compressed cache: up to
+	// cfg.DecodedCap decoded references, decOrder oldest-first. It is a
+	// pure performance device — decode is deterministic, so its state
+	// never changes what Visit returns — which is exactly why the decode
+	// counters below are advisory: under the sharded engine, visit
+	// interleaving across locations (and hence LRU churn) varies with the
+	// worker count.
+	dec      map[int]*LowResRef
+	decOrder []int
+	// decodes and decodeHits count frame decodes and LRU-served lookups.
+	decodes, decodeHits int64
 }
 
 // NewRefCache returns an empty, unbounded cache.
@@ -158,11 +305,94 @@ func NewBoundedRefCache(cfg CacheConfig) (*RefCache, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &RefCache{
+	c := &RefCache{
 		cfg:  cfg,
-		refs: make(map[int]*LowResRef),
 		meta: make(map[int]*refMeta),
-	}, nil
+	}
+	if cfg.Compress {
+		c.frames = make(map[int]*compRef)
+		c.dec = make(map[int]*LowResRef)
+	} else {
+		c.refs = make(map[int]*LowResRef)
+	}
+	return c, nil
+}
+
+// Compressed reports whether entries are stored as encoded frames.
+func (c *RefCache) Compressed() bool { return c.cfg.Compress }
+
+// encodeFrame runs the storage codec over a reference image. The cache
+// produced the image itself, so an encode failure is a programming error,
+// not a runtime condition.
+func (c *RefCache) encodeFrame(im *raster.Image) container.Codestream {
+	frame, err := EncodeStoredRef(im, c.cfg.StoreBPP, c.cfg.Codec)
+	if err != nil {
+		panic(fmt.Sprintf("sat: %v", err))
+	}
+	return frame
+}
+
+// decodeEntryLocked returns loc's decoded reference, serving repeat visits
+// from the decode-on-visit LRU and decoding the stored frame on a cold
+// lookup. The returned LowResRef aliases the LRU entry, mirroring raw
+// mode's shared-image semantics. The LRU never changes WHAT a visit sees
+// — only whether the decode work is re-paid — because entries enter it
+// exclusively through this decode path.
+func (c *RefCache) decodeEntryLocked(loc int) *LowResRef {
+	if lr := c.dec[loc]; lr != nil {
+		c.decodeHits++
+		c.touchDecodedLocked(loc)
+		return lr
+	}
+	e := c.frames[loc]
+	im, err := DecodeStoredRef(e.frame, e.w, e.h, e.bands)
+	if err != nil {
+		panic(fmt.Sprintf("sat: loc %d: %v", loc, err))
+	}
+	c.decodes++
+	lr := &LowResRef{Image: im, Day: e.day}
+	c.insertDecodedLocked(loc, lr)
+	return lr
+}
+
+// insertDecodedLocked installs a decoded reference into the LRU, evicting
+// the oldest decoded plane beyond the cap.
+func (c *RefCache) insertDecodedLocked(loc int, lr *LowResRef) {
+	if _, ok := c.dec[loc]; ok {
+		c.touchDecodedLocked(loc)
+	} else {
+		c.decOrder = append(c.decOrder, loc)
+	}
+	c.dec[loc] = lr
+	for len(c.decOrder) > c.cfg.DecodedCap {
+		oldest := c.decOrder[0]
+		c.decOrder = c.decOrder[1:]
+		delete(c.dec, oldest)
+	}
+}
+
+// touchDecodedLocked moves loc to the most-recent end of the LRU order.
+func (c *RefCache) touchDecodedLocked(loc int) {
+	for i, l := range c.decOrder {
+		if l == loc {
+			c.decOrder = append(append(c.decOrder[:i:i], c.decOrder[i+1:]...), loc)
+			return
+		}
+	}
+}
+
+// dropDecodedLocked removes loc's decoded plane, if cached.
+func (c *RefCache) dropDecodedLocked(loc int) {
+	if _, ok := c.dec[loc]; !ok {
+		return
+	}
+	delete(c.dec, loc)
+	for i, l := range c.decOrder {
+		if l == loc {
+			c.decOrder = append(c.decOrder[:i], c.decOrder[i+1:]...)
+			return
+		}
+	}
 }
 
 // entryBytes is the accounted footprint of one reference image: exact
@@ -176,23 +406,45 @@ func (c *RefCache) entryBytes(im *raster.Image) int64 {
 
 // Get returns the cached reference for loc, or nil. It does not count as a
 // visit; capture processing uses Visit so eviction recency tracks the
-// schedule.
+// schedule. In compressed mode the entry is decoded (through the LRU) like
+// a visit would, without touching eviction recency.
 func (c *RefCache) Get(loc int) *LowResRef {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.refs[loc]
+	if !c.cfg.Compress {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.refs[loc]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frames[loc] == nil {
+		return nil
+	}
+	return c.decodeEntryLocked(loc)
 }
 
 // Visit returns the cached reference for loc, recording the visit day for
 // eviction recency. A nil return is a cache MISS: the reference was
 // evicted (or never seeded) and the caller must fall back to
 // reference-free encoding. Recency is keyed by day, so concurrent visits
-// to distinct locations leave the same state in any order.
+// to distinct locations leave the same state in any order. A compressed
+// cache decodes the stored frame here — decode-on-visit is the cost the
+// compressed footprint trades for — with repeat visits served from the
+// decoded-plane LRU.
 func (c *RefCache) Visit(loc, day int) *LowResRef {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if day > c.lastDay {
 		c.lastDay = day
+	}
+	if c.cfg.Compress {
+		if c.frames[loc] == nil {
+			c.misses++
+			return nil
+		}
+		if m := c.meta[loc]; day > m.lastVisit {
+			m.lastVisit = day
+		}
+		return c.decodeEntryLocked(loc)
 	}
 	ref := c.refs[loc]
 	if ref == nil {
@@ -210,6 +462,13 @@ func (c *RefCache) Visit(loc, day int) *LowResRef {
 // nothing was evicted). The caller owns ground-mirror bookkeeping for the
 // returned locations; a new reference larger than the whole budget evicts
 // itself and the cache stays without the entry.
+//
+// A compressed cache expects the PRE-storage-codec image (e.g. the
+// bootstrap seed, or a decoded uplink update before mirror simulation)
+// and stores its encoded frame; the image itself is not retained, and the
+// next Visit decodes the frame — NOT the bytes passed here. Installing an
+// image that already went through the storage codec would apply the codec
+// twice and diverge from the ground's mirror.
 func (c *RefCache) Put(loc int, im *raster.Image, day int) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -217,14 +476,46 @@ func (c *RefCache) Put(loc int, im *raster.Image, day int) []int {
 	return c.evictLocked(loc)
 }
 
+// PutFrame installs a pre-encoded storage frame for loc — the uplink's
+// reference codestream routed straight into the store, with no raw
+// expansion and no re-encode. decoded supplies the frame's geometry (its
+// pixels are not retained); day stamps the entry's content freshness.
+// Only valid on a compressed cache. Like Put, it returns the locations
+// evicted to fit the entry.
+func (c *RefCache) PutFrame(loc int, frame container.Codestream, decoded *raster.Image, day int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.cfg.Compress {
+		panic("sat: PutFrame on a raw reference cache")
+	}
+	if day > c.lastDay {
+		c.lastDay = day
+	}
+	c.frames[loc] = &compRef{
+		frame: frame,
+		w:     decoded.Width, h: decoded.Height,
+		bands: decoded.Bands,
+		day:   day,
+	}
+	c.dropDecodedLocked(loc) // any cached decode of the old frame is stale
+	c.accountLocked(loc, int64(len(frame)))
+	return c.evictLocked(loc)
+}
+
 // ApplyTileUpdate copies the marked low-resolution tiles of update into
 // the cached reference for loc and advances its day. A missing cache entry
 // is created from the update itself (the ground ships whole-image updates
 // to re-seed evicted references). Like Put, it returns any locations
-// evicted to keep the footprint under budget.
+// evicted to keep the footprint under budget: splicing raw planes in place
+// never changes the footprint, but a compressed entry is re-encoded after
+// the splice and its new frame may be larger. A compressed cache quantises
+// update in place, like Put.
 func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*raster.TileMask, day int) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cfg.Compress {
+		return c.applyTileUpdateCompressedLocked(loc, update, perBand, day)
+	}
 	ref := c.refs[loc]
 	if ref == nil {
 		c.installLocked(loc, &LowResRef{Image: update.Clone(), Day: day}, day)
@@ -250,7 +541,43 @@ func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*ras
 	if m := c.meta[loc]; c.lastDay > m.lastVisit {
 		m.lastVisit = c.lastDay
 	}
-	return nil // splicing in place never grows the footprint
+	return nil // splicing raw planes in place never grows the footprint
+}
+
+// applyTileUpdateCompressedLocked is ApplyTileUpdate for a compressed
+// store: decode the current frame, splice the update tiles, re-encode
+// through the storage codec, and re-account the entry at its new encoded
+// size — which can shrink or grow, so the eviction check runs like an
+// install's. The spliced raw plane is dropped from the decode LRU: the
+// entry's content is decode(frame), one storage-codec generation past the
+// splice input, exactly as the ground's mirror simulation models it.
+func (c *RefCache) applyTileUpdateCompressedLocked(loc int, update *raster.Image, perBand []*raster.TileMask, day int) []int {
+	e := c.frames[loc]
+	if e == nil {
+		c.installLocked(loc, &LowResRef{Image: update, Day: day}, day)
+		return c.evictLocked(loc)
+	}
+	base := c.decodeEntryLocked(loc).Image
+	for b, mask := range perBand {
+		if mask == nil {
+			continue
+		}
+		for t, set := range mask.Set {
+			if set {
+				raster.CopyTile(base, update, b, mask.Grid, t)
+			}
+		}
+	}
+	e.frame = c.encodeFrame(base)
+	e.day = day
+	if day > c.lastDay {
+		c.lastDay = day
+	}
+	// base (now spliced, pre-codec) must not serve future visits: the
+	// entry's content is the re-encoded frame's decode.
+	c.dropDecodedLocked(loc)
+	c.accountLocked(loc, int64(len(e.frame)))
+	return c.evictLocked(loc)
 }
 
 // installLocked inserts or replaces loc's entry and its accounting. LRU
@@ -266,7 +593,31 @@ func (c *RefCache) installLocked(loc int, ref *LowResRef, day int) {
 	if day > c.lastDay {
 		c.lastDay = day
 	}
-	bytes := c.entryBytes(ref.Image)
+	var bytes int64
+	if c.cfg.Compress {
+		// The storage codec runs here: what the store keeps (and what
+		// every future Visit decodes) is the frame, not the caller's
+		// image — a stale decode of the previous frame must go too.
+		frame := c.encodeFrame(ref.Image)
+		bytes = int64(len(frame))
+		c.frames[loc] = &compRef{
+			frame: frame,
+			w:     ref.Image.Width, h: ref.Image.Height,
+			bands: ref.Image.Bands,
+			day:   ref.Day,
+		}
+		c.dropDecodedLocked(loc)
+	} else {
+		bytes = c.entryBytes(ref.Image)
+		c.refs[loc] = ref
+	}
+	c.accountLocked(loc, bytes)
+}
+
+// accountLocked books loc's entry at bytes, stamping install recency with
+// the cache's current day (see installLocked's doc for why lastDay, not
+// the content day).
+func (c *RefCache) accountLocked(loc int, bytes int64) {
 	if m := c.meta[loc]; m != nil {
 		c.used += bytes - m.bytes
 		m.bytes = bytes
@@ -277,7 +628,6 @@ func (c *RefCache) installLocked(loc int, ref *LowResRef, day int) {
 		c.used += bytes
 		c.meta[loc] = &refMeta{lastVisit: c.lastDay, bytes: bytes}
 	}
-	c.refs[loc] = ref
 }
 
 // evictLocked removes entries until the footprint fits the budget and
@@ -296,7 +646,7 @@ func (c *RefCache) evictLocked(installed int) []int {
 	if m := c.meta[installed]; m != nil && m.bytes > c.cfg.BudgetBytes {
 		evicted = append(evicted, c.removeLocked(installed))
 	}
-	for c.used > c.cfg.BudgetBytes && len(c.refs) > 0 {
+	for c.used > c.cfg.BudgetBytes && len(c.meta) > 0 {
 		evicted = append(evicted, c.removeLocked(c.victimLocked()))
 	}
 	return evicted
@@ -305,7 +655,12 @@ func (c *RefCache) evictLocked(installed int) []int {
 // removeLocked drops one entry and its accounting, counting the eviction.
 func (c *RefCache) removeLocked(victim int) int {
 	c.used -= c.meta[victim].bytes
-	delete(c.refs, victim)
+	if c.cfg.Compress {
+		delete(c.frames, victim)
+		c.dropDecodedLocked(victim)
+	} else {
+		delete(c.refs, victim)
+	}
 	delete(c.meta, victim)
 	c.evictions++
 	return victim
@@ -340,16 +695,24 @@ func (c *RefCache) FootprintBytes() int64 {
 	return c.used
 }
 
-// StorageBytes returns the cache's footprint at bitsPerSample of storage
-// per band sample, in exact integer arithmetic (each entry rounds up to
-// whole bytes).
+// StorageBytes returns the cache's hypothetical footprint at bitsPerSample
+// of storage per band sample, in exact integer arithmetic (each entry
+// rounds up to whole bytes). For a compressed cache this is the raw-rate
+// equivalent of the resident set — compare it against FootprintBytes (the
+// real encoded bytes) to read off the achieved storage compression.
 func (c *RefCache) StorageBytes(bitsPerSample int) int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var total int64
-	for _, r := range c.refs {
-		samples := int64(r.Image.Width) * int64(r.Image.Height) * int64(r.Image.NumBands())
+	add := func(w, h, bands int) {
+		samples := int64(w) * int64(h) * int64(bands)
 		total += (samples*int64(bitsPerSample) + 7) / 8
+	}
+	for _, r := range c.refs {
+		add(r.Image.Width, r.Image.Height, r.Image.NumBands())
+	}
+	for _, e := range c.frames {
+		add(e.w, e.h, len(e.bands))
 	}
 	return total
 }
@@ -362,10 +725,25 @@ func (c *RefCache) Stats() (evictions, misses int64) {
 	return c.evictions, c.misses
 }
 
+// DecodeStats reports how many frame decodes a compressed cache performed
+// and how many lookups the decoded-plane LRU absorbed instead. The
+// counters are advisory (zero in raw mode): visit interleaving across
+// locations — and hence LRU churn — varies with the engine's worker
+// count, so they are deliberately excluded from the determinism-checked
+// record stream.
+func (c *RefCache) DecodeStats() (decodes, lruHits int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.decodes, c.decodeHits
+}
+
 // Len returns the number of cached references.
 func (c *RefCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.cfg.Compress {
+		return len(c.frames)
+	}
 	return len(c.refs)
 }
 

@@ -117,14 +117,29 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestStorageBoundedRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	// One 64x64 scene location's detection-resolution reference is
 	// (64/4)^2 * 4 bands * 2 bytes = 2048 bytes; 5 locations make a
-	// 10240-byte working set. A 5000-byte budget holds ~2 of 5.
-	const budget = 5000
-	for _, policy := range []string{"lru", "schedule"} {
-		t.Run(policy, func(t *testing.T) {
+	// 10240-byte working set. A 5000-byte budget holds ~2 of 5. A
+	// COMPRESSED reference is ~RefBPP/16 of that (~850 bytes with
+	// framing), so the compressed case gets a proportionally tighter
+	// budget that still evicts — it exercises decode-on-visit, frame
+	// routing and encoded-byte eviction accounting under the same
+	// record-identity contract.
+	cases := []struct {
+		name     string
+		policy   string
+		compress bool
+		budget   int64
+	}{
+		{"lru", "lru", false, 5000},
+		{"schedule", "schedule", false, 5000},
+		{"lru-refcompress", "lru", true, 2000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
 			mk := func(env *sim.Env) (sim.System, error) {
 				cfg := core.DefaultConfig()
-				cfg.StorageBytes = budget
-				cfg.EvictPolicy = policy
+				cfg.StorageBytes = tc.budget
+				cfg.EvictPolicy = tc.policy
+				cfg.RefCompression = tc.compress
 				return core.New(env, cfg)
 			}
 			serial := runDet(t, 1, mk)

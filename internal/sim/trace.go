@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // Trace is the serialisable form of a simulation run: the header describes
@@ -40,8 +41,15 @@ func WriteTrace(w io.Writer, res *Result) error {
 		UpDay   int   `json:"upDay"`
 		UpBytes int64 `json:"upBytes"`
 	}
-	for day, b := range res.UpBytesByDay {
-		if err := enc.Encode(upLine{UpDay: day, UpBytes: b}); err != nil {
+	// Sorted, not map order: two identical runs must dump byte-identical
+	// trace FILES, and Go randomises map iteration.
+	days := make([]int, 0, len(res.UpBytesByDay))
+	for day := range res.UpBytesByDay {
+		days = append(days, day)
+	}
+	sort.Ints(days)
+	for _, day := range days {
+		if err := enc.Encode(upLine{UpDay: day, UpBytes: res.UpBytesByDay[day]}); err != nil {
 			return fmt.Errorf("sim: writing uplink line: %w", err)
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"earthplus/internal/eperr"
 	"earthplus/internal/link"
 	"earthplus/internal/raster"
+	"earthplus/internal/sat"
 )
 
 // refState is a downsampled reference candidate or mirror.
@@ -44,6 +45,10 @@ type Ground struct {
 	refBPP float64
 	// maxRefCloud is the coverage bound for reference candidacy (<1%).
 	maxRefCloud float64
+	// compressRefs makes every mirror model a compressed on-board store:
+	// reference content passes the storage codec before it is mirrored
+	// (see Config.CompressRefs).
+	compressRefs bool
 
 	locMu   []sync.Mutex    // per location: guards archive[loc] and bestRef[loc]
 	archive []*raster.Image // per location: latest known full-res content
@@ -65,6 +70,17 @@ type Config struct {
 	// MaxRefCloud is the maximum accurate-detected coverage for an image
 	// to become a reference (the paper uses <1%).
 	MaxRefCloud float64
+	// CompressRefs makes the ground model satellites that hold their
+	// references COMPRESSED (sat.CacheConfig.Compress): every reference
+	// entering a mirror — the bootstrap seed, each delta-applied update —
+	// first passes the storage codec (sat.EncodeStoredRef at RefBPP with
+	// these codec options, the exact transform the on-board store
+	// applies), and PackUplink ships the resulting frame alongside the
+	// update so the store installs it without a raw-expand or re-encode.
+	// The mirror then stays byte-equal to what the satellite's store
+	// decodes, which is the invariant delta uplinks are encoded against.
+	// Off (the default) preserves the raw-store behavior bit for bit.
+	CompressRefs bool
 }
 
 // NewGround builds the ground segment for numLocations locations.
@@ -76,17 +92,18 @@ func NewGround(cfg Config, numLocations int) (*Ground, error) {
 		return nil, fmt.Errorf("station: RefBPP must be positive")
 	}
 	return &Ground{
-		bands:       cfg.Bands,
-		grid:        cfg.Grid,
-		downsample:  cfg.Downsample,
-		accurate:    cfg.Accurate,
-		codecOpts:   cfg.CodecOpts,
-		refBPP:      cfg.RefBPP,
-		maxRefCloud: cfg.MaxRefCloud,
-		locMu:       make([]sync.Mutex, numLocations),
-		archive:     make([]*raster.Image, numLocations),
-		bestRef:     make([]*refState, numLocations),
-		mirrors:     make(map[int][]*refState),
+		bands:        cfg.Bands,
+		grid:         cfg.Grid,
+		downsample:   cfg.Downsample,
+		accurate:     cfg.Accurate,
+		codecOpts:    cfg.CodecOpts,
+		refBPP:       cfg.RefBPP,
+		maxRefCloud:  cfg.MaxRefCloud,
+		compressRefs: cfg.CompressRefs,
+		locMu:        make([]sync.Mutex, numLocations),
+		archive:      make([]*raster.Image, numLocations),
+		bestRef:      make([]*refState, numLocations),
+		mirrors:      make(map[int][]*refState),
 	}, nil
 }
 
@@ -227,8 +244,16 @@ type RefUpdate struct {
 	Day int
 	// Decoded is the post-codec reference image the satellite should
 	// splice into its cache (the satellite sees exactly what survived
-	// the uplink encoding, not the pristine ground copy).
+	// the uplink encoding, not the pristine ground copy). With
+	// CompressRefs it is the PRE-storage-codec content: the store's
+	// entry is StoreFrame, whose decode the mirror tracks.
 	Decoded *raster.Image
+	// StoreFrame is the storage-codec frame of the full updated
+	// reference, set only under CompressRefs: a compressed on-board
+	// store installs it directly (sat.RefCache.PutFrame) — no raw
+	// expansion, no on-board re-encode, and byte-exact agreement with
+	// the ground's mirror.
+	StoreFrame container.Codestream
 	// PerBand marks which low-res tiles each band carries.
 	PerBand []*raster.TileMask
 	// Bytes is the uplink cost actually consumed.
@@ -240,10 +265,22 @@ type RefUpdate struct {
 const refDiffEps = 2e-3
 
 // PackUplink prepares reference updates for satellite sat covering the
-// given locations (in priority order: soonest-visited first), consuming
-// from budget. Locations that no longer fit are skipped, matching the
-// paper's random skipping under uplink shortage — priority order is the
-// visit schedule, so what is dropped varies day to day.
+// given locations, consuming from budget. Locations that no longer fit
+// are skipped, matching the paper's random skipping under uplink
+// shortage.
+//
+// The schedule is two-class: pending RE-SEEDS — locations whose mirror
+// slot is nil because the on-board store evicted (or never held) the
+// reference, so the satellite is flying blind there — drain FIRST, in
+// visit-schedule order, and only then do delta freshness updates for
+// references the satellite still holds compete for what remains. Without
+// the split, a scarce uplink spent in plain schedule order on routine
+// freshness deltas could starve exactly the locations that just went to
+// MISS, pinning them in reference-free fallback for days. Both classes
+// preserve the caller's (soonest-visited-first) order internally, and
+// class membership is decided solely by serial-phase state (bootstrap
+// seeding, day-end evictions), so packing stays deterministic and
+// byte-identical at any engine worker count.
 func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]RefUpdate, error) {
 	g.mirrorMu.Lock()
 	defer g.mirrorMu.Unlock()
@@ -256,8 +293,18 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 	if err != nil {
 		return nil, fmt.Errorf("station: %w", err)
 	}
-	var updates []RefUpdate
+	ordered := make([]int, 0, len(locs))
+	var deltas []int
 	for _, loc := range locs {
+		if mirror[loc] == nil {
+			ordered = append(ordered, loc) // re-seed class: drains first
+		} else {
+			deltas = append(deltas, loc)
+		}
+	}
+	ordered = append(ordered, deltas...)
+	var updates []RefUpdate
+	for _, loc := range ordered {
 		g.locMu[loc].Lock()
 		best := g.bestRef[loc]
 		g.locMu[loc].Unlock()
@@ -317,12 +364,40 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 		if err != nil {
 			return nil, err
 		}
-		mirror[loc] = &refState{img: decoded.Clone(), day: best.day}
-		updates = append(updates, RefUpdate{
-			Loc: loc, Day: best.day, Decoded: decoded, PerBand: masks, Bytes: n,
-		})
+		u := RefUpdate{Loc: loc, Day: best.day, Decoded: decoded, PerBand: masks, Bytes: n}
+		if g.compressRefs {
+			// The satellite stores the updated reference COMPRESSED: run
+			// the storage codec over the full delta-applied content and
+			// mirror its decode — that, not `decoded`, is what the store
+			// will reproduce on the next visit. The frame rides along so
+			// the store installs it without re-encoding.
+			frame, stored, err := g.storeRef(decoded)
+			if err != nil {
+				return nil, err
+			}
+			u.StoreFrame = frame
+			mirror[loc] = &refState{img: stored, day: best.day}
+		} else {
+			mirror[loc] = &refState{img: decoded.Clone(), day: best.day}
+		}
+		updates = append(updates, u)
 	}
 	return updates, nil
+}
+
+// storeRef runs the on-board storage codec over a reference — the exact
+// transform a compressed sat.RefCache applies — returning the frame and
+// its decode (the content the satellite will actually hold).
+func (g *Ground) storeRef(im *raster.Image) (container.Codestream, *raster.Image, error) {
+	frame, err := sat.EncodeStoredRef(im, g.refBPP, g.codecOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("station: %w", err)
+	}
+	stored, err := sat.DecodeStoredRef(frame, im.Width, im.Height, im.Bands)
+	if err != nil {
+		return nil, nil, fmt.Errorf("station: %w", err)
+	}
+	return frame, stored, nil
 }
 
 // trimUpdateToBudget reduces per-band update masks to the most-changed
@@ -437,6 +512,17 @@ func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) err
 	if err != nil {
 		return fmt.Errorf("station: bootstrap downsample: %w", err)
 	}
+	// The ground's own reference stays pristine; what each MIRROR holds
+	// is what the satellite's store will reproduce — for a compressed
+	// store, the seed after one pass through the storage codec (the
+	// on-board cache applies the identical transform when the system
+	// bootstraps it with the same pre-codec seed).
+	mirrorImg := low
+	if g.compressRefs {
+		if _, mirrorImg, err = g.storeRef(low); err != nil {
+			return fmt.Errorf("station: bootstrap: %w", err)
+		}
+	}
 	g.locMu[loc].Lock()
 	g.archive[loc] = full.Clone()
 	g.bestRef[loc] = &refState{img: low, day: day}
@@ -449,7 +535,7 @@ func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) err
 			mirror = make([]*refState, len(g.archive))
 			g.mirrors[s] = mirror
 		}
-		mirror[loc] = &refState{img: low.Clone(), day: day}
+		mirror[loc] = &refState{img: mirrorImg.Clone(), day: day}
 	}
 	return nil
 }

@@ -35,3 +35,6 @@ func experimentsStorageModel(budgetBytes int64, policy string) {
 	experiments.StorageBytes = budgetBytes
 	experiments.EvictPolicy = policy
 }
+
+// experimentsRefCompression backs SetRefCompression.
+func experimentsRefCompression(on bool) { experiments.RefCompression = on }

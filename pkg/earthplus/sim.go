@@ -86,3 +86,16 @@ func SetSimWorkers(n int) { experimentsSimWorkers(n) }
 func SetStorageModel(budgetBytes int64, policy string) {
 	experimentsStorageModel(budgetBytes, policy)
 }
+
+// SetRefCompression sets the default on-board reference representation
+// for the experiment sweeps: on stores each satellite's references as
+// encoded codestreams at the uplink's reference rate (the lossy wavelet
+// codec at RefBPP — the representation updates already arrive in) — real
+// encoded bytes charged against the storage budget (typically 2-5x below
+// the raw 16-bit rate, so the same budget holds more locations) at the
+// price of decoding the reference on each visit. The ground mirrors the
+// same codec transform, so delta uplinks stay byte-coherent. Off (the
+// default) keeps the raw planes and is byte-identical to the
+// pre-compression behavior. Per-run control is
+// SystemSpec.StrParams["ref_compression"] = "on" | "off".
+func SetRefCompression(on bool) { experimentsRefCompression(on) }
