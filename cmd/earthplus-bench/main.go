@@ -30,8 +30,10 @@ import (
 func main() {
 	var perf cli.Perf
 	var store cli.Storage
+	var lnk cli.Link
 	perf.Register(flag.CommandLine)
 	store.Register(flag.CommandLine)
+	lnk.Register(flag.CommandLine)
 	full := flag.Bool("full", false, "run at full (paper-ish) scale instead of quick")
 	only := flag.String("only", "", "run a single experiment (see -list)")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
@@ -40,8 +42,10 @@ func main() {
 	simBenchJSON := flag.String("simbenchjson", "BENCH_sim.json",
 		"where simbench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
+	cli.MustValidate("earthplus-bench", &store, &lnk)
 	perf.Apply()
 	store.Apply()
+	lnk.Apply()
 
 	sc := earthplus.QuickScale()
 	if *full {

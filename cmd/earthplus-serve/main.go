@@ -40,14 +40,17 @@ func main() {
 	maxBody := flag.Int64("maxbody", 256<<20, "request body size limit in bytes")
 	bpp := flag.Float64("bpp", 1.0, "default encode budget in bits per pixel per band")
 	shutdownWait := flag.Duration("shutdownwait", 10*time.Second, "graceful shutdown drain window")
+	reqTimeout := flag.Duration("reqtimeout", 30*time.Second,
+		"per-request processing deadline; overruns get 503 with Retry-After (negative = no deadline)")
 	flag.Parse()
 	perf.Apply()
 
 	srv := serve.New(serve.Config{
-		MaxConcurrent: *concurrency,
-		QueueWait:     *queueWait,
-		MaxBodyBytes:  *maxBody,
-		DefaultBPP:    *bpp,
+		MaxConcurrent:  *concurrency,
+		QueueWait:      *queueWait,
+		MaxBodyBytes:   *maxBody,
+		DefaultBPP:     *bpp,
+		RequestTimeout: *reqTimeout,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

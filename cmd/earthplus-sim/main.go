@@ -11,6 +11,7 @@
 //	earthplus-sim -dataset rich -simworkers 8   # shard days across 8 workers
 //	earthplus-sim -storage 2000000 -evictpolicy schedule   # bound the on-board store
 //	earthplus-sim -storage 2000000 -refcompress   # hold references compressed (decode-on-visit)
+//	earthplus-sim -linkloss 0.01 -linkseed 7   # deterministic 1% link fault injection
 package main
 
 import (
@@ -26,9 +27,11 @@ func main() {
 	var perf cli.Perf
 	var ds cli.Dataset
 	var store cli.Storage
+	var lnk cli.Link
 	perf.Register(flag.CommandLine)
 	ds.Register(flag.CommandLine, "planet", 8)
 	store.Register(flag.CommandLine)
+	lnk.Register(flag.CommandLine)
 	system := flag.String("system", earthplus.SystemEarthPlus,
 		fmt.Sprintf("system to run (%v)", earthplus.Systems()))
 	days := flag.Int("days", 60, "evaluation days")
@@ -37,6 +40,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-capture trace")
 	dump := flag.String("dump", "", "write the run as a JSON-lines trace to this file")
 	flag.Parse()
+	cli.MustValidate("earthplus-sim", &store, &lnk)
 	perf.Apply()
 
 	env, err := ds.Env()
@@ -47,6 +51,7 @@ func main() {
 
 	spec := earthplus.SystemSpec{GammaBPP: *gamma}
 	store.ApplyToSpec(&spec)
+	lnk.ApplyToSpec(&spec)
 	sys, err := earthplus.NewSystem(*system, env, spec)
 	if err != nil {
 		cli.Fail("earthplus-sim", "%v", err)

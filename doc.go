@@ -93,4 +93,4 @@ package earthplus
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.5.0"
+const Version = "1.6.0"

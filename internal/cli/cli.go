@@ -73,6 +73,18 @@ func (s *Storage) Apply() {
 	earthplus.SetRefCompression(s.RefCompress)
 }
 
+// Validate rejects flag values no run could honour, so a typo fails with
+// one line on stderr before any simulation starts instead of erroring
+// mid-run.
+func (s *Storage) Validate() error {
+	switch s.Policy {
+	case "", "lru", "schedule":
+		return nil
+	default:
+		return fmt.Errorf("-evictpolicy must be lru or schedule, got %q", s.Policy)
+	}
+}
+
 // ApplyToSpec sets the parsed values as explicit system params on spec —
 // only when the flags were actually set, so the system defaults survive
 // (and systems without a reference store reject them loudly).
@@ -94,6 +106,54 @@ func (s *Storage) ApplyToSpec(spec *earthplus.SystemSpec) {
 			spec.StrParams = map[string]string{}
 		}
 		spec.StrParams["ref_compression"] = "on"
+	}
+}
+
+// Link bundles the fault-injected ground↔satellite channel flags shared
+// by the simulation cmds: an aggregate loss rate spread over frame drops,
+// corruptions, truncations and contact cancellations, and the seed that
+// picks the deterministic fault pattern.
+type Link struct {
+	// Loss is the aggregate fault rate in [0,1]; 0 keeps the perfect
+	// channel and is byte-identical to not having the flag at all.
+	Loss float64
+	// Seed picks the fault pattern; runs are byte-identical at any worker
+	// count for a fixed seed.
+	Seed uint64
+}
+
+// Register installs the link flags on fs.
+func (l *Link) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&l.Loss, "linkloss", 0,
+		"aggregate link fault rate in [0,1], spread over frame drops, corruptions, truncations and contact cancellations (0 = perfect channel)")
+	fs.Uint64Var(&l.Seed, "linkseed", 1,
+		"seed of the deterministic link fault pattern (meaningful only with -linkloss > 0)")
+}
+
+// Validate rejects an out-of-range loss rate up front.
+func (l *Link) Validate() error {
+	if l.Loss != l.Loss || l.Loss < 0 || l.Loss > 1 {
+		return fmt.Errorf("-linkloss must be in [0,1], got %v", l.Loss)
+	}
+	return nil
+}
+
+// Apply pushes the parsed values into the experiment-sweep defaults.
+func (l *Link) Apply() {
+	earthplus.SetLinkFaults(l.Loss, l.Seed)
+}
+
+// ApplyToSpec sets the parsed values as explicit system params on spec —
+// only when a loss rate was actually set, so default runs stay
+// byte-identical to the perfect channel (and systems without a link
+// model reject the params loudly).
+func (l *Link) ApplyToSpec(spec *earthplus.SystemSpec) {
+	if l.Loss != 0 {
+		if spec.Params == nil {
+			spec.Params = map[string]float64{}
+		}
+		spec.Params["link_loss"] = l.Loss
+		spec.Params["link_seed"] = float64(l.Seed)
 	}
 }
 
@@ -159,6 +219,31 @@ func (d *Dataset) Env() (*earthplus.Env, error) {
 		Orbit:    d.Constellation(),
 		Downlink: earthplus.LinkBudget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
 	}, nil
+}
+
+// Validator is a flag group that can reject its parsed values.
+type Validator interface {
+	Validate() error
+}
+
+// FirstError returns the first validation failure among the parsed flag
+// groups, or nil.
+func FirstError(groups ...Validator) error {
+	for _, g := range groups {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustValidate routes every flag group's validation through the one
+// fatal-error path: the first bad value prints a single line on stderr
+// and exits nonzero, before any simulation work starts.
+func MustValidate(cmd string, groups ...Validator) {
+	if err := FirstError(groups...); err != nil {
+		Fail(cmd, "%v", err)
+	}
 }
 
 // Fail reports a fatal cmd error and exits.

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"flag"
+	"math"
 	"testing"
 
 	"earthplus/pkg/earthplus"
@@ -47,6 +48,64 @@ func TestStorageFlags(t *testing.T) {
 	zero.ApplyToSpec(&clean)
 	if clean.Params != nil || clean.StrParams != nil {
 		t.Fatalf("zero storage flags touched the spec: %+v", clean)
+	}
+}
+
+func TestLinkFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var l Link
+	l.Register(fs)
+	if err := fs.Parse([]string{"-linkloss", "0.05", "-linkseed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Loss != 0.05 || l.Seed != 9 {
+		t.Fatalf("parsed %+v", l)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var spec earthplus.SystemSpec
+	l.ApplyToSpec(&spec)
+	if spec.Params["link_loss"] != 0.05 || spec.Params["link_seed"] != 9 {
+		t.Fatalf("spec %+v", spec)
+	}
+	// Loss 0 leaves the spec untouched: presence of link_loss is
+	// meaningful, and default runs must stay byte-identical to the
+	// perfect channel.
+	var zero Link
+	var clean earthplus.SystemSpec
+	zero.ApplyToSpec(&clean)
+	if clean.Params != nil {
+		t.Fatalf("zero link flags touched the spec: %+v", clean)
+	}
+}
+
+// TestFlagValidationPath pins the satellite bugfix: every bad flag value
+// — -linkloss out of range, an unknown -evictpolicy — surfaces through
+// ONE error path (FirstError, which MustValidate routes to the uniform
+// one-line fatal report) instead of erroring mid-run or panicking.
+func TestFlagValidationPath(t *testing.T) {
+	bad := []struct {
+		name   string
+		groups []Validator
+	}{
+		{"linkloss negative", []Validator{&Link{Loss: -0.5}}},
+		{"linkloss above one", []Validator{&Link{Loss: 1.5}}},
+		{"linkloss NaN", []Validator{&Link{Loss: math.NaN()}}},
+		{"evictpolicy unknown", []Validator{&Storage{Policy: "random"}}},
+		{"second group bad", []Validator{&Storage{}, &Link{Loss: 2}}},
+	}
+	for _, tc := range bad {
+		if err := FirstError(tc.groups...); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	ok := []Validator{
+		&Storage{}, &Storage{Policy: "lru"}, &Storage{Policy: "schedule"},
+		&Link{}, &Link{Loss: 1}, &Link{Loss: 0.01, Seed: 7},
+	}
+	if err := FirstError(ok...); err != nil {
+		t.Fatalf("valid flag groups rejected: %v", err)
 	}
 }
 

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"earthplus/internal/cloud"
@@ -67,6 +68,16 @@ type Config struct {
 	// EvictPolicy picks which reference goes first when the store is full
 	// ("lru" | "schedule"; empty = lru). See sat.Policies.
 	EvictPolicy string
+	// LinkFaults configures the deterministic fault injector on the
+	// ground<->satellite channel (per-frame drop / corrupt / truncate,
+	// whole-contact cancel; see link.FaultConfig). The zero value is the
+	// perfect channel and keeps every code path — and therefore every
+	// Record and trace byte — identical to the pre-injector behavior.
+	// With faults on, uplinked reference updates are CRC-gated on board
+	// and NACKed back to the ground (which re-sends them with bounded
+	// retry priority), and lost downlink frames leave the ground archive
+	// stale for that capture.
+	LinkFaults link.FaultConfig
 	// RefCompression stores each on-board reference as its encoded
 	// codestream at the uplink's reference rate (RefBPP, lossy) instead
 	// of raw planes: the store charges real encoded bytes against
@@ -149,7 +160,14 @@ type System struct {
 	cacheMu  sync.RWMutex
 	caches   map[int]*sat.RefCache // per satellite; prefilled in New
 	ground   *station.Ground
-	lastGuar []int // per location: day of last guaranteed download
+	// channel is the fault-injected link (nil = perfect channel, which
+	// bypasses the injector entirely). Transmit outcomes are pure
+	// functions of (seed, direction, sat, day, loc), so concurrent
+	// downlink draws from sharded workers stay deterministic; linkStats
+	// counters are atomic for the same reason.
+	channel   *link.Channel
+	linkStats linkCounters
+	lastGuar  []int // per location: day of last guaranteed download
 	// planned[sat][day%RevisitDays] lists the locations sat visits within
 	// the lookahead window after such a day, soonest first. The orbit
 	// schedule is periodic in RevisitDays, so these sets are precomputed
@@ -166,6 +184,16 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 	grid := env.Scene.Grid()
 	if cfg.RefDownsample <= 0 || grid.Tile%cfg.RefDownsample != 0 {
 		return nil, fmt.Errorf("core: RefDownsample %d incompatible with tile %d", cfg.RefDownsample, grid.Tile)
+	}
+	var channel *link.Channel
+	if cfg.LinkFaults.Enabled() {
+		var err error
+		if channel, err = link.NewChannel(cfg.LinkFaults); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	} else if err := cfg.LinkFaults.Validate(); err != nil {
+		// Negative rates never fire but must still be rejected loudly.
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	ground, err := station.NewGround(station.Config{
 		Bands:       bands,
@@ -220,6 +248,7 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 		},
 		caches:   caches,
 		ground:   ground,
+		channel:  channel,
 		lastGuar: lastGuar,
 	}, nil
 }
@@ -377,6 +406,31 @@ func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 	}
 	out.DownTilesPerBand = float64(tileSum) / float64(len(roi))
 
+	// Downlink fault injection: the frame was transmitted (DownBytes is
+	// spent either way), but only what survives the channel reaches the
+	// ground, and the ground's CRC gate rejects damaged frames whole
+	// rather than splicing garbage into the archive. A lost frame leaves
+	// the archive (and this capture's Recon) stale; there is no downlink
+	// retransmit — the next visit re-captures fresher content anyway. The
+	// guaranteed-download bookkeeping above stands: the satellite cannot
+	// observe the loss at capture time.
+	if s.channel.Enabled() {
+		s.linkStats.downFrames.Add(1)
+		rx, txo := s.channel.Transmit(link.Downlink, cap.Sat, cap.Day, cap.Loc, frame)
+		if !txo.Arrived() {
+			s.linkStats.downDropped.Add(1)
+			out.DownDropped = true
+			out.Recon = s.ground.Recon(cap.Loc)
+			return out, nil
+		}
+		if err := sat.ValidateFrame(rx); err != nil {
+			s.linkStats.downCorrupted.Add(1)
+			out.DownCorrupted = true
+			out.Recon = s.ground.Recon(cap.Loc)
+			return out, nil
+		}
+	}
+
 	// Ground side: re-detect clouds accurately against the archive, apply
 	// the download while rejecting haze-contaminated tiles, then refresh
 	// the reference candidacy.
@@ -416,27 +470,79 @@ func (s *System) OnDayEnd(day int) (int64, error) {
 			return total, err
 		}
 		cache := s.cacheFor(satID)
+		if s.channel.Enabled() && len(updates) > 0 && s.channel.ContactCanceled(link.Uplink, satID, day) {
+			s.linkStats.upContactsLost.Add(1)
+		}
 		for _, u := range updates {
-			// Installing an update can push the store over budget; every
-			// eviction invalidates the ground's mirror so the next cycle
-			// re-sends the full reference instead of a stale delta. This
-			// runs on the engine's sequential day-end barrier, so eviction
-			// order is identical at any worker count. With RefCompression
-			// the ground already produced the storage frame — it routes
-			// into the store as-is, no raw expansion, no re-encode.
-			var evicted []int
-			if u.StoreFrame != nil {
-				evicted = cache.PutFrame(u.Loc, u.StoreFrame, u.Decoded, u.Day)
-			} else {
-				evicted = cache.Put(u.Loc, u.Decoded, u.Day)
-			}
-			for _, loc := range evicted {
-				s.ground.InvalidateMirror(satID, loc)
-			}
+			// The bytes were transmitted (and PackUplink already consumed
+			// them from the day's meter) whether or not delivery succeeds:
+			// retransmissions therefore compete INSIDE the same budget,
+			// never on top of it.
 			total += u.Bytes
+			if !s.channel.Enabled() {
+				s.install(cache, satID, u)
+				continue
+			}
+			s.linkStats.upUpdates.Add(1)
+			if u.Retransmit {
+				s.linkStats.retransmits.Add(1)
+				s.linkStats.retransmitBytes.Add(u.Bytes)
+			}
+			rx, txo := s.channel.Transmit(link.Uplink, satID, day, u.Loc, u.Frame)
+			if !txo.Arrived() {
+				// Nothing reached the satellite; the missing per-update ACK
+				// tells the ground, which rolls its optimistic mirror commit
+				// back so the next contact re-sends the full reference.
+				s.linkStats.upDropped.Add(1)
+				s.ground.NackDelivery(satID, u.Loc)
+				continue
+			}
+			// CRC gate: a damaged frame (single-byte corruption is always
+			// CRC-32C detectable, truncation breaks the parse) is rejected
+			// whole and NACKed; the on-board cache keeps its stale but
+			// coherent reference. Once the received bytes validate they
+			// equal the sent bytes, so installing the ground-computed
+			// Decoded/StoreFrame content is exactly what decoding rx would
+			// produce.
+			if err := sat.ValidateFrame(rx); err != nil {
+				s.linkStats.upCorrupted.Add(1)
+				s.ground.NackDelivery(satID, u.Loc)
+				continue
+			}
+			if u.StoreFrame != nil {
+				// Defense in depth for the compressed install path: the
+				// storage frame goes into the store verbatim, so it passes
+				// the same gate before PutFrame may keep it.
+				if err := sat.ValidateFrame(u.StoreFrame); err != nil {
+					s.linkStats.upCorrupted.Add(1)
+					s.ground.NackDelivery(satID, u.Loc)
+					continue
+				}
+			}
+			s.install(cache, satID, u)
+			s.ground.AckDelivery(satID, u.Loc)
 		}
 	}
 	return total, nil
+}
+
+// install applies one delivered update to a satellite's store. Installing
+// can push the store over budget; every eviction invalidates the ground's
+// mirror so the next cycle re-sends the full reference instead of a stale
+// delta. This runs on the engine's sequential day-end barrier, so
+// eviction order is identical at any worker count. With RefCompression
+// the ground already produced the storage frame — it routes into the
+// store as-is, no raw expansion, no re-encode.
+func (s *System) install(cache *sat.RefCache, satID int, u station.RefUpdate) {
+	var evicted []int
+	if u.StoreFrame != nil {
+		evicted = cache.PutFrame(u.Loc, u.StoreFrame, u.Decoded, u.Day)
+	} else {
+		evicted = cache.Put(u.Loc, u.Decoded, u.Day)
+	}
+	for _, loc := range evicted {
+		s.ground.InvalidateMirror(satID, loc)
+	}
 }
 
 // planVisits precomputes, for every (satellite, day phase) pair, the
@@ -515,6 +621,49 @@ func (s *System) ResidentRefs() (locations int, bytes int64) {
 		bytes += c.FootprintBytes()
 	}
 	return locations, bytes
+}
+
+// linkCounters tallies channel fault events. Downlink counters are
+// bumped from concurrent capture workers, hence atomics; the totals are
+// order-independent so they stay deterministic at any worker count.
+type linkCounters struct {
+	upUpdates, upDropped, upCorrupted, upContactsLost atomic.Int64
+	retransmits, retransmitBytes                      atomic.Int64
+	downFrames, downDropped, downCorrupted            atomic.Int64
+}
+
+// LinkStats is a snapshot of the fault-injected channel's observable
+// effects over a run. All fields are zero on the perfect channel.
+type LinkStats struct {
+	// UplinkUpdates counts reference updates offered to the channel;
+	// UplinkDropped those that vanished (frame drop or canceled
+	// contact), UplinkCorrupted those that arrived damaged and were
+	// rejected by the satellite's CRC gate, and UplinkContactsLost the
+	// canceled (satellite, day) contact windows.
+	UplinkUpdates, UplinkDropped, UplinkCorrupted, UplinkContactsLost int64
+	// Retransmits counts updates re-sending previously failed content;
+	// RetransmitBytes is their uplink cost, consumed from the same daily
+	// budget as first transmissions.
+	Retransmits, RetransmitBytes int64
+	// DownlinkFrames counts capture downloads offered to the channel;
+	// DownlinkDropped/DownlinkCorrupted the ones the ground never
+	// applied.
+	DownlinkFrames, DownlinkDropped, DownlinkCorrupted int64
+}
+
+// LinkStats snapshots the channel fault counters for this run.
+func (s *System) LinkStats() LinkStats {
+	return LinkStats{
+		UplinkUpdates:      s.linkStats.upUpdates.Load(),
+		UplinkDropped:      s.linkStats.upDropped.Load(),
+		UplinkCorrupted:    s.linkStats.upCorrupted.Load(),
+		UplinkContactsLost: s.linkStats.upContactsLost.Load(),
+		Retransmits:        s.linkStats.retransmits.Load(),
+		RetransmitBytes:    s.linkStats.retransmitBytes.Load(),
+		DownlinkFrames:     s.linkStats.downFrames.Load(),
+		DownlinkDropped:    s.linkStats.downDropped.Load(),
+		DownlinkCorrupted:  s.linkStats.downCorrupted.Load(),
+	}
 }
 
 // DecodeStats sums the fleet's decode-on-visit counters (zero without

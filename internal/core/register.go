@@ -2,6 +2,7 @@ package core
 
 import (
 	"earthplus/internal/eperr"
+	"earthplus/internal/link"
 	"earthplus/internal/registry"
 	"earthplus/internal/sim"
 )
@@ -18,7 +19,7 @@ func init() {
 		if err := registry.CheckParams(spec, SystemName,
 			"guarantee_days", "guarantee_max_cloud", "reject_cloud_frac",
 			"ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp",
-			"storage_bytes"); err != nil {
+			"storage_bytes", "link_loss", "link_seed"); err != nil {
 			return nil, err
 		}
 		if err := registry.CheckStrParams(spec, SystemName, "evict_policy", "ref_compression"); err != nil {
@@ -53,6 +54,20 @@ func init() {
 		}
 		if v, ok := spec.StorageBytesParam(); ok {
 			cfg.StorageBytes = v
+		}
+		if v, ok := spec.Param("link_loss"); ok {
+			// One aggregate knob spread over the fault taxonomy; link_seed
+			// (default 1) picks the deterministic fault pattern and is
+			// meaningful only alongside link_loss.
+			if v < 0 || v > 1 {
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"link_loss must be in [0,1], got %v", v)
+			}
+			seed := uint64(1)
+			if sv, ok := spec.Param("link_seed"); ok {
+				seed = uint64(sv)
+			}
+			cfg.LinkFaults = link.UniformFaults(v, seed)
 		}
 		if v, ok := spec.StrParam("evict_policy"); ok {
 			cfg.EvictPolicy = v

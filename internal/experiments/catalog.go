@@ -30,6 +30,7 @@ func Catalog(sc Scale, benchJSON, simBenchJSON string) []Job {
 		{"fig18", func() (Result, error) { return Fig18(sc) }},
 		{"fig19", func() (Result, error) { return Fig19(sc) }},
 		{"storagesweep", func() (Result, error) { return StorageSweep(sc) }},
+		{"losssweep", func() (Result, error) { return LossSweep(sc) }},
 		{"ablation-theta", func() (Result, error) { return AblationTheta(sc) }},
 		{"ablation-guarantee", func() (Result, error) { return AblationGuarantee(sc) }},
 		{"ablation-reject", func() (Result, error) { return AblationReject(sc) }},

@@ -165,6 +165,32 @@ var (
 // ignores this default.
 var RefCompression bool
 
+// LinkLoss and LinkSeed are the package defaults for the fault-injected
+// ground↔satellite link in every Earth+ experiment run: LinkLoss 0 keeps
+// the perfect channel (the default runs stay byte-identical to it),
+// a rate in (0,1] spreads that aggregate loss over frame drops,
+// corruptions, truncations and contact cancellations, and LinkSeed picks
+// the deterministic fault pattern. cmd/earthplus-bench and
+// cmd/earthplus-sim expose them as -linkloss and -linkseed; the loss
+// sweep sets its own rates and ignores these defaults.
+var (
+	LinkLoss float64
+	LinkSeed uint64 = 1
+)
+
+// applyLinkDefaults pushes the package link-fault knobs onto a spec
+// (untouched at LinkLoss 0: presence of link_loss is meaningful).
+func applyLinkDefaults(spec registry.Spec) registry.Spec {
+	if LinkLoss != 0 {
+		if spec.Params == nil {
+			spec.Params = map[string]float64{}
+		}
+		spec.Params["link_loss"] = LinkLoss
+		spec.Params["link_seed"] = float64(LinkSeed)
+	}
+	return spec
+}
+
 // applyStorageDefaults pushes the package storage knobs onto a spec
 // (leaving it untouched when both are unset, so default runs stay
 // byte-identical to the unbounded behavior).
@@ -213,7 +239,7 @@ func profiledTheta(sc Scale, cfg scene.Config, downsample int) float64 {
 // earthPlus builds an Earth+ system through the system registry with the
 // profiled θ and a γ.
 func earthPlus(env *sim.Env, theta, gamma float64) (sim.System, error) {
-	return registry.New(core.SystemName, env, applyStorageDefaults(registry.Spec{GammaBPP: gamma, Theta: theta}))
+	return registry.New(core.SystemName, env, applyLinkDefaults(applyStorageDefaults(registry.Spec{GammaBPP: gamma, Theta: theta})))
 }
 
 // runSystemStream runs one system over the scale's evaluation window,

@@ -66,7 +66,16 @@ type SimBenchResult struct {
 	// encoded-byte eviction accounting under the same worker sweep.
 	RefCompressionDeterministic      bool `json:"ref_compression_deterministic"`
 	RefCompressionEvictionsExercised bool `json:"ref_compression_evictions_exercised"`
-	path                             string
+	// Loss is the link-loss robustness sweep recorded alongside the perf
+	// runs (run at the same compact scale as the storage sweep).
+	Loss *LossSweepResult `json:"loss_sweep,omitempty"`
+	// LossDeterministic reports whether a lossy-link Earth+ run — drops,
+	// corruptions, retransmits active — stayed record-identical across
+	// worker counts, and LossFaultsExercised whether faults actually
+	// fired in it (a fault-free run would prove nothing).
+	LossDeterministic   bool `json:"loss_deterministic"`
+	LossFaultsExercised bool `json:"loss_faults_exercised"`
+	path                string
 }
 
 // ID implements Result.
@@ -86,8 +95,15 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 		r.StorageDeterministic, r.StorageEvictionsExercised)
 	fmt.Fprintf(w, "compressed-refs bounded run identical across worker counts: %v (evictions exercised: %v)\n",
 		r.RefCompressionDeterministic, r.RefCompressionEvictionsExercised)
+	fmt.Fprintf(w, "lossy-link run identical across worker counts: %v (faults exercised: %v)\n",
+		r.LossDeterministic, r.LossFaultsExercised)
 	if r.Storage != nil {
 		if err := r.Storage.Render(w); err != nil {
+			return err
+		}
+	}
+	if r.Loss != nil {
+		if err := r.Loss.Render(w); err != nil {
 			return err
 		}
 	}
@@ -208,6 +224,21 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 	}
 	res.RefCompressionDeterministic = cdet
 	res.RefCompressionEvictionsExercised = cevicted
+
+	// Link-loss snapshot: the loss sweep plus a determinism check of the
+	// fault-injection and retransmit paths across worker counts, at the
+	// same compact scale.
+	lossSweep, err := LossSweep(storageSc)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: loss sweep: %w", err)
+	}
+	res.Loss = lossSweep
+	ldet, lfaulted, err := lossDeterminismCheck(storageSc, []int{4}, 0.05)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: loss determinism: %w", err)
+	}
+	res.LossDeterministic = ldet
+	res.LossFaultsExercised = lfaulted
 
 	if outPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")

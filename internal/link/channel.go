@@ -1,0 +1,226 @@
+package link
+
+import (
+	"fmt"
+
+	"earthplus/internal/noise"
+)
+
+// FaultConfig parameterises the deterministic fault injector on one
+// ground<->satellite channel. All rates are probabilities in [0,1]; the
+// zero value is the perfect channel.
+type FaultConfig struct {
+	// DropRate is the per-frame probability the frame vanishes in
+	// transit (nothing arrives).
+	DropRate float64
+	// CorruptRate is the per-frame probability exactly one payload byte
+	// is flipped in transit. A single-byte error is always caught by the
+	// container's CRC-32C, so corruption manifests as a rejected frame,
+	// never as silently spliced garbage.
+	CorruptRate float64
+	// TruncateRate is the per-frame probability the frame's tail is cut
+	// at a deterministic position (a contact window closing mid-frame).
+	TruncateRate float64
+	// ContactCancelRate is the per-(satellite, day, direction)
+	// probability the whole contact window is lost: every frame of that
+	// contact vanishes.
+	ContactCancelRate float64
+	// Seed seeds the injector. Fault decisions are pure functions of
+	// (Seed, direction, satellite, day, location), so runs are
+	// byte-identical at any engine worker count.
+	Seed uint64
+}
+
+// Validate rejects rates outside [0,1].
+func (c FaultConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropRate", c.DropRate},
+		{"CorruptRate", c.CorruptRate},
+		{"TruncateRate", c.TruncateRate},
+		{"ContactCancelRate", c.ContactCancelRate},
+	} {
+		if r.v < 0 || r.v > 1 || r.v != r.v {
+			return fmt.Errorf("link: %s must be in [0,1], got %v", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any fault can ever fire.
+func (c FaultConfig) Enabled() bool {
+	return c.DropRate > 0 || c.CorruptRate > 0 || c.TruncateRate > 0 || c.ContactCancelRate > 0
+}
+
+// UniformFaults spreads one aggregate loss knob p over the fault
+// taxonomy: half of it frame drops, a quarter each corruptions and
+// truncations, and p/8 whole-contact cancellations. This is the split
+// behind the single -linkloss flag; individual rates remain available
+// through FaultConfig for targeted tests.
+func UniformFaults(p float64, seed uint64) FaultConfig {
+	return FaultConfig{
+		DropRate:          p / 2,
+		CorruptRate:       p / 4,
+		TruncateRate:      p / 4,
+		ContactCancelRate: p / 8,
+		Seed:              seed,
+	}
+}
+
+// Direction identifies which way a frame travels.
+type Direction uint8
+
+const (
+	// Uplink is ground-to-satellite (reference updates).
+	Uplink Direction = iota + 1
+	// Downlink is satellite-to-ground (capture downloads).
+	Downlink
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Uplink:
+		return "uplink"
+	case Downlink:
+		return "downlink"
+	}
+	return fmt.Sprintf("direction(%d)", uint8(d))
+}
+
+// TxOutcome is what happened to one transmitted frame.
+type TxOutcome uint8
+
+const (
+	// TxDelivered means the frame arrived intact.
+	TxDelivered TxOutcome = iota
+	// TxContactLost means the whole contact window was canceled.
+	TxContactLost
+	// TxDropped means this frame vanished in transit.
+	TxDropped
+	// TxCorrupted means the frame arrived with one byte flipped.
+	TxCorrupted
+	// TxTruncated means only a prefix of the frame arrived.
+	TxTruncated
+)
+
+// Arrived reports whether any bytes reached the receiver (possibly
+// damaged — the receiver's CRC gate decides what to do with them).
+func (o TxOutcome) Arrived() bool {
+	return o == TxDelivered || o == TxCorrupted || o == TxTruncated
+}
+
+// String implements fmt.Stringer.
+func (o TxOutcome) String() string {
+	switch o {
+	case TxDelivered:
+		return "delivered"
+	case TxContactLost:
+		return "contact-lost"
+	case TxDropped:
+		return "dropped"
+	case TxCorrupted:
+		return "corrupted"
+	case TxTruncated:
+		return "truncated"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Decision streams: one noise stream per (direction, decision kind), so
+// every fault draw is independent of every other.
+const (
+	kindCancel int64 = iota
+	kindDrop
+	kindCorrupt
+	kindCorruptPos
+	kindCorruptXor
+	kindTruncate
+	kindTruncateLen
+)
+
+func stream(dir Direction, kind int64) int64 {
+	return int64(dir)<<8 | kind
+}
+
+// frameKey packs one frame's identity into a variate index. The 21/21/21
+// bit split is collision-free for any realistic fleet size, mission
+// length and location count.
+func frameKey(sat, day, loc int) int64 {
+	const mask = 1<<21 - 1
+	return (int64(sat)&mask)<<42 | (int64(day)&mask)<<21 | int64(loc)&mask
+}
+
+// Channel is a deterministic fault-injected frame channel. A nil Channel
+// (or one with a zero FaultConfig) is the perfect channel: Transmit
+// returns the frame untouched without drawing any randomness, keeping
+// fault-free runs byte-identical to a build without the injector.
+type Channel struct {
+	cfg FaultConfig
+	src *noise.Source
+}
+
+// NewChannel validates the config and builds a channel.
+func NewChannel(cfg FaultConfig) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg, src: noise.New(cfg.Seed)}, nil
+}
+
+// Enabled reports whether this channel can ever fault a frame.
+func (ch *Channel) Enabled() bool { return ch != nil && ch.cfg.Enabled() }
+
+// Config returns the channel's fault configuration.
+func (ch *Channel) Config() FaultConfig {
+	if ch == nil {
+		return FaultConfig{}
+	}
+	return ch.cfg
+}
+
+// ContactCanceled reports whether the whole (satellite, day) contact
+// window in the given direction is lost. It is a pure function of the
+// key, so every frame of a canceled contact observes the same outcome.
+func (ch *Channel) ContactCanceled(dir Direction, sat, day int) bool {
+	if !ch.Enabled() || ch.cfg.ContactCancelRate <= 0 {
+		return false
+	}
+	return ch.src.Uniform(stream(dir, kindCancel), frameKey(sat, day, 0)) < ch.cfg.ContactCancelRate
+}
+
+// Transmit passes one frame through the channel and returns what the
+// receiver sees. The outcome is a pure function of (Seed, dir, sat, day,
+// loc) — independent of call order, so the sharded engine's worker count
+// cannot change it. A damaged frame is always a fresh copy; the caller's
+// slice is never mutated. Empty frames pass through untouched.
+func (ch *Channel) Transmit(dir Direction, sat, day, loc int, frame []byte) ([]byte, TxOutcome) {
+	if !ch.Enabled() || len(frame) == 0 {
+		return frame, TxDelivered
+	}
+	if ch.ContactCanceled(dir, sat, day) {
+		return nil, TxContactLost
+	}
+	k := frameKey(sat, day, loc)
+	if ch.cfg.DropRate > 0 && ch.src.Uniform(stream(dir, kindDrop), k) < ch.cfg.DropRate {
+		return nil, TxDropped
+	}
+	if ch.cfg.CorruptRate > 0 && ch.src.Uniform(stream(dir, kindCorrupt), k) < ch.cfg.CorruptRate {
+		out := append([]byte(nil), frame...)
+		pos := int(ch.src.Uniform(stream(dir, kindCorruptPos), k) * float64(len(out)))
+		if pos >= len(out) {
+			pos = len(out) - 1
+		}
+		// XOR with a value in [1,255]: the byte always changes, and a
+		// single-byte error is guaranteed CRC-32C detectable.
+		out[pos] ^= byte(1 + int(ch.src.Uniform(stream(dir, kindCorruptXor), k)*255))
+		return out, TxCorrupted
+	}
+	if ch.cfg.TruncateRate > 0 && ch.src.Uniform(stream(dir, kindTruncate), k) < ch.cfg.TruncateRate {
+		n := int(ch.src.Uniform(stream(dir, kindTruncateLen), k) * float64(len(frame)))
+		return append([]byte(nil), frame[:n]...), TxTruncated
+	}
+	return frame, TxDelivered
+}

@@ -1,0 +1,201 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFaultConfigValidate(t *testing.T) {
+	ok := []FaultConfig{
+		{},
+		{DropRate: 1, CorruptRate: 1, TruncateRate: 1, ContactCancelRate: 1},
+		UniformFaults(0.05, 7),
+	}
+	for _, c := range ok {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []FaultConfig{
+		{DropRate: -0.1},
+		{CorruptRate: 1.5},
+		{TruncateRate: -1},
+		{ContactCancelRate: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted an out-of-range rate", c)
+		}
+	}
+	if _, err := NewChannel(FaultConfig{DropRate: 2}); err == nil {
+		t.Fatal("NewChannel accepted an invalid config")
+	}
+}
+
+func TestChannelDisabledIsPassthrough(t *testing.T) {
+	frame := []byte("EP+C pretend frame")
+	var nilCh *Channel
+	if nilCh.Enabled() {
+		t.Fatal("nil channel reports Enabled")
+	}
+	got, out := nilCh.Transmit(Uplink, 0, 0, 0, frame)
+	if out != TxDelivered || &got[0] != &frame[0] {
+		t.Fatal("nil channel must return the original slice untouched")
+	}
+	zero, err := NewChannel(FaultConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Enabled() {
+		t.Fatal("zero-rate channel reports Enabled")
+	}
+	got, out = zero.Transmit(Downlink, 3, 9, 1, frame)
+	if out != TxDelivered || &got[0] != &frame[0] {
+		t.Fatal("zero-rate channel must return the original slice untouched")
+	}
+}
+
+func TestChannelDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := UniformFaults(0.3, 1234)
+	a, _ := NewChannel(cfg)
+	b, _ := NewChannel(cfg)
+	frame := bytes.Repeat([]byte{0xAB}, 600)
+	type key struct{ sat, day, loc int }
+	keys := []key{}
+	for satID := 0; satID < 3; satID++ {
+		for day := 0; day < 40; day++ {
+			for loc := 0; loc < 4; loc++ {
+				keys = append(keys, key{satID, day, loc})
+			}
+		}
+	}
+	// Draw a's outcomes in forward order and b's in reverse: outcomes are
+	// pure functions of the key, so order must not matter.
+	outA := make(map[key]TxOutcome)
+	payloadA := make(map[key][]byte)
+	for _, k := range keys {
+		rx, o := a.Transmit(Uplink, k.sat, k.day, k.loc, frame)
+		outA[k], payloadA[k] = o, rx
+	}
+	seen := map[TxOutcome]int{}
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		rx, o := b.Transmit(Uplink, k.sat, k.day, k.loc, frame)
+		if o != outA[k] || !bytes.Equal(rx, payloadA[k]) {
+			t.Fatalf("outcome at %+v depends on draw order: %v vs %v", k, o, outA[k])
+		}
+		seen[o]++
+	}
+	for _, o := range []TxOutcome{TxDelivered, TxDropped, TxCorrupted, TxTruncated, TxContactLost} {
+		if seen[o] == 0 {
+			t.Fatalf("30%% loss over %d frames never produced %v — taxonomy not exercised", len(keys), o)
+		}
+	}
+	// A different seed must produce a different fault pattern.
+	c, _ := NewChannel(UniformFaults(0.3, 99))
+	same := true
+	for _, k := range keys {
+		if _, o := c.Transmit(Uplink, k.sat, k.day, k.loc, frame); o != outA[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the fault pattern")
+	}
+}
+
+func TestChannelCorruptionFlipsExactlyOneByte(t *testing.T) {
+	ch, _ := NewChannel(FaultConfig{CorruptRate: 1, Seed: 5})
+	frame := bytes.Repeat([]byte{0x5A}, 257)
+	rx, out := ch.Transmit(Downlink, 1, 2, 3, frame)
+	if out != TxCorrupted {
+		t.Fatalf("outcome %v, want corrupted", out)
+	}
+	if &rx[0] == &frame[0] {
+		t.Fatal("corruption mutated the caller's slice")
+	}
+	diffs := 0
+	for i := range frame {
+		if rx[i] != frame[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("corruption changed %d bytes, want exactly 1", diffs)
+	}
+}
+
+func TestChannelTruncationShortens(t *testing.T) {
+	ch, _ := NewChannel(FaultConfig{TruncateRate: 1, Seed: 5})
+	frame := bytes.Repeat([]byte{1}, 1000)
+	rx, out := ch.Transmit(Uplink, 0, 1, 2, frame)
+	if out != TxTruncated {
+		t.Fatalf("outcome %v, want truncated", out)
+	}
+	if len(rx) >= len(frame) {
+		t.Fatalf("truncated frame is %d bytes, want < %d", len(rx), len(frame))
+	}
+	if !bytes.Equal(rx, frame[:len(rx)]) {
+		t.Fatal("truncation must keep an unmodified prefix")
+	}
+}
+
+func TestChannelContactCancelCoversWholeContact(t *testing.T) {
+	ch, _ := NewChannel(FaultConfig{ContactCancelRate: 0.5, Seed: 11})
+	frame := []byte("payload")
+	canceledDays := 0
+	for day := 0; day < 50; day++ {
+		want := ch.ContactCanceled(Uplink, 0, day)
+		if want {
+			canceledDays++
+		}
+		for loc := 0; loc < 5; loc++ {
+			_, out := ch.Transmit(Uplink, 0, day, loc, frame)
+			if want != (out == TxContactLost) {
+				t.Fatalf("day %d loc %d: outcome %v inconsistent with contact cancel %v", day, loc, out, want)
+			}
+		}
+	}
+	if canceledDays == 0 || canceledDays == 50 {
+		t.Fatalf("cancel rate 0.5 canceled %d/50 contacts", canceledDays)
+	}
+	// Directions draw from independent streams.
+	up, down := 0, 0
+	for day := 0; day < 200; day++ {
+		if ch.ContactCanceled(Uplink, 0, day) {
+			up++
+		}
+		if ch.ContactCanceled(Downlink, 0, day) {
+			down++
+		}
+	}
+	if up == down {
+		t.Log("uplink and downlink cancel counts coincide; acceptable but suspicious")
+	}
+	if up == 0 || down == 0 {
+		t.Fatal("one direction never cancels at rate 0.5")
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	ok := []Budget{
+		{},
+		{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+	}
+	for _, b := range ok {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v", b, err)
+		}
+	}
+	bad := []Budget{
+		{Bps: -1},
+		{SecondsPerContact: -600},
+		{ContactsPerDay: -7},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted a negative field", b)
+		}
+	}
+}

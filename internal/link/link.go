@@ -1,9 +1,13 @@
 // Package link models the satellite-to-ground and ground-to-satellite
 // channels the way the paper does (§6.1): constant-rate windows of fixed
-// duration, with byte-granular budget accounting on the scarce uplink.
+// duration, with byte-granular budget accounting on the scarce uplink,
+// plus a deterministic fault injector for lossy-link studies (channel.go).
 package link
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Budget describes one direction of a satellite's connectivity.
 type Budget struct {
@@ -13,6 +17,24 @@ type Budget struct {
 	SecondsPerContact float64
 	// ContactsPerDay is how many contacts each satellite gets per day.
 	ContactsPerDay int
+}
+
+// Validate rejects budgets whose fields would silently produce nonsense
+// capacities: a negative Bps or SecondsPerContact flips BytesPerContact
+// negative (which NewMeter then reads as "unlimited"), and a negative
+// ContactsPerDay flips the daily capacity's sign back. The zero value is
+// valid (a link with no capacity).
+func (b Budget) Validate() error {
+	if b.Bps < 0 || math.IsNaN(b.Bps) || math.IsInf(b.Bps, 0) {
+		return fmt.Errorf("link: Bps must be finite and non-negative, got %v", b.Bps)
+	}
+	if b.SecondsPerContact < 0 || math.IsNaN(b.SecondsPerContact) || math.IsInf(b.SecondsPerContact, 0) {
+		return fmt.Errorf("link: SecondsPerContact must be finite and non-negative, got %v", b.SecondsPerContact)
+	}
+	if b.ContactsPerDay < 0 {
+		return fmt.Errorf("link: ContactsPerDay must be non-negative, got %d", b.ContactsPerDay)
+	}
+	return nil
 }
 
 // BytesPerContact returns the channel capacity of a single contact.

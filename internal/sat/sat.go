@@ -214,6 +214,19 @@ func DecodeStoredRef(cs container.Codestream, w, h int, bands []raster.BandInfo)
 	return im, nil
 }
 
+// ValidateFrame is the satellite's integrity gate for a received
+// container frame: the structural parse plus the CRC-32C trailer check,
+// without decoding any payload. A lossy uplink's RefUpdate (and, under
+// RefCompression, its StoreFrame) must pass it before ANY splice into
+// on-board state — a corrupted or truncated frame is rejected whole and
+// the cache keeps its stale-but-coherent reference.
+func ValidateFrame(cs container.Codestream) error {
+	if _, err := cs.Split(); err != nil {
+		return fmt.Errorf("sat: frame rejected: %w", err)
+	}
+	return nil
+}
+
 // refMeta is the per-entry bookkeeping eviction decisions read.
 type refMeta struct {
 	// lastVisit is the day of the entry's most recent visit (or install).

@@ -167,6 +167,43 @@ func TestStorageBoundedRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestLossyLinkRunDeterministicAcrossWorkerCounts pins fault injection to
+// the determinism contract: with a lossy channel aggressive enough that
+// drops, corruptions, canceled contacts and retransmits all fire, records
+// must still be byte-identical at any worker count. Fault outcomes are
+// pure functions of (seed, direction, sat, day, loc), so the sharded
+// downlink path and the serial uplink delivery loop cannot reorder them.
+// CI runs this under -race: it also proves the fault counters' concurrent
+// downlink increments are race-free.
+func TestLossyLinkRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	mk := func(env *sim.Env) (sim.System, error) {
+		cfg := core.DefaultConfig()
+		cfg.LinkFaults = link.UniformFaults(0.08, 3)
+		return core.New(env, cfg)
+	}
+	serial := runDet(t, 1, mk)
+	downFaults := 0
+	for _, r := range serial.Records {
+		if r.DownDropped || r.DownCorrupted {
+			downFaults++
+		}
+	}
+	if downFaults == 0 {
+		t.Fatal("8% loss never faulted a downlink frame; determinism not exercised")
+	}
+	for _, workers := range []int{4, 8} {
+		got := runDet(t, workers, mk)
+		if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
+			t.Fatalf("lossy-link records at Parallelism=%d differ from serial run", workers)
+		}
+		for day, up := range serial.UpBytesByDay {
+			if got.UpBytesByDay[day] != up {
+				t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
+			}
+		}
+	}
+}
+
 // TestRunStreamMatchesRun pins the streaming emitter to the retained-record
 // path: same records, same order, and a streamed Accumulator must summarise
 // exactly like Summarize over the retained set.

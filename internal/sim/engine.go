@@ -51,6 +51,9 @@ func RunStream(env *Env, sys System, bootstrapFrom, startDay, endDay int, emit f
 	if err := env.Orbit.Validate(); err != nil {
 		return nil, err
 	}
+	if err := env.Downlink.Validate(); err != nil {
+		return nil, err
+	}
 	if err := bootstrap(env, sys, bootstrapFrom, startDay); err != nil {
 		return nil, err
 	}
@@ -156,17 +159,19 @@ func processVisit(env *Env, sys System, grid raster.TileGrid, day, loc, satID in
 	}
 	rec := Record{
 		Day: day, Loc: loc, Sat: satID,
-		Dropped:      out.Dropped,
-		TrueCoverage: cap.Coverage,
-		DownBytes:    out.DownBytes,
-		PerBandBytes: out.PerBandBytes,
-		RefAge:       out.RefAge,
-		RefMiss:      out.RefMiss,
-		Guaranteed:   out.Guaranteed,
-		EncodeSec:    out.EncodeSec,
-		CloudSec:     out.CloudSec,
-		ChangeSec:    out.ChangeSec,
-		PSNR:         math.NaN(),
+		Dropped:       out.Dropped,
+		TrueCoverage:  cap.Coverage,
+		DownBytes:     out.DownBytes,
+		PerBandBytes:  out.PerBandBytes,
+		RefAge:        out.RefAge,
+		RefMiss:       out.RefMiss,
+		Guaranteed:    out.Guaranteed,
+		DownDropped:   out.DownDropped,
+		DownCorrupted: out.DownCorrupted,
+		EncodeSec:     out.EncodeSec,
+		CloudSec:      out.CloudSec,
+		ChangeSec:     out.ChangeSec,
+		PSNR:          math.NaN(),
 	}
 	if out.TotalTiles > 0 {
 		rec.DownTileFrac = out.DownTilesPerBand / float64(out.TotalTiles)

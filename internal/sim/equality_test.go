@@ -23,19 +23,21 @@ func TestRecordEqualityIgnoresTimingsOnly(t *testing.T) {
 	}
 
 	mutations := map[string]func(*Record){
-		"day":       func(r *Record) { r.Day++ },
-		"loc":       func(r *Record) { r.Loc++ },
-		"sat":       func(r *Record) { r.Sat++ },
-		"dropped":   func(r *Record) { r.Dropped = true },
-		"coverage":  func(r *Record) { r.TrueCoverage += 0.01 },
-		"bytes":     func(r *Record) { r.DownBytes++ },
-		"tilefrac":  func(r *Record) { r.DownTileFrac += 0.01 },
-		"psnr":      func(r *Record) { r.PSNR += 0.01 },
-		"psnr-nan":  func(r *Record) { r.PSNR = math.NaN() },
-		"refage":    func(r *Record) { r.RefAge++ },
-		"guarantee": func(r *Record) { r.Guaranteed = true },
-		"bandlen":   func(r *Record) { r.PerBandBytes = []int64{400} },
-		"bandval":   func(r *Record) { r.PerBandBytes = []int64{400, 601} },
+		"day":           func(r *Record) { r.Day++ },
+		"loc":           func(r *Record) { r.Loc++ },
+		"sat":           func(r *Record) { r.Sat++ },
+		"dropped":       func(r *Record) { r.Dropped = true },
+		"coverage":      func(r *Record) { r.TrueCoverage += 0.01 },
+		"bytes":         func(r *Record) { r.DownBytes++ },
+		"tilefrac":      func(r *Record) { r.DownTileFrac += 0.01 },
+		"psnr":          func(r *Record) { r.PSNR += 0.01 },
+		"psnr-nan":      func(r *Record) { r.PSNR = math.NaN() },
+		"refage":        func(r *Record) { r.RefAge++ },
+		"guarantee":     func(r *Record) { r.Guaranteed = true },
+		"downdropped":   func(r *Record) { r.DownDropped = true },
+		"downcorrupted": func(r *Record) { r.DownCorrupted = true },
+		"bandlen":       func(r *Record) { r.PerBandBytes = []int64{400} },
+		"bandval":       func(r *Record) { r.PerBandBytes = []int64{400, 601} },
 	}
 	for name, mutate := range mutations {
 		got := base

@@ -58,6 +58,14 @@ type Outcome struct {
 	RefMiss bool
 	// Guaranteed marks the periodic full downloads (§5).
 	Guaranteed bool
+	// DownDropped marks captures whose downlink frame vanished in a
+	// fault-injected channel (frame drop or canceled contact): DownBytes
+	// was spent but the ground applied nothing, so Recon is the stale
+	// archive. Always false on the perfect channel.
+	DownDropped bool
+	// DownCorrupted marks captures whose downlink frame arrived damaged
+	// and was rejected whole by the ground's CRC gate.
+	DownCorrupted bool
 	// Component timings in seconds (measured on this machine, Fig 16).
 	EncodeSec, CloudSec, ChangeSec float64
 }
@@ -78,7 +86,9 @@ type System interface {
 	OnDayEnd(day int) (upBytes int64, err error)
 }
 
-// Record is one capture's evaluated outcome.
+// Record is one capture's evaluated outcome. The link-fault fields carry
+// omitempty so fault-free runs serialise byte-identically to traces
+// written before the channel fault injector existed.
 type Record struct {
 	Day, Loc, Sat int
 	Dropped       bool
@@ -90,6 +100,8 @@ type Record struct {
 	RefAge        int
 	RefMiss       bool
 	Guaranteed    bool
+	DownDropped   bool `json:",omitempty"`
+	DownCorrupted bool `json:",omitempty"`
 	EncodeSec     float64
 	CloudSec      float64
 	ChangeSec     float64
@@ -104,7 +116,8 @@ func (r Record) EqualIgnoringTimings(o Record) bool {
 	if r.Day != o.Day || r.Loc != o.Loc || r.Sat != o.Sat ||
 		r.Dropped != o.Dropped || r.TrueCoverage != o.TrueCoverage ||
 		r.DownBytes != o.DownBytes || r.DownTileFrac != o.DownTileFrac ||
-		r.RefAge != o.RefAge || r.RefMiss != o.RefMiss || r.Guaranteed != o.Guaranteed {
+		r.RefAge != o.RefAge || r.RefMiss != o.RefMiss || r.Guaranteed != o.Guaranteed ||
+		r.DownDropped != o.DownDropped || r.DownCorrupted != o.DownCorrupted {
 		return false
 	}
 	if !(r.PSNR == o.PSNR || (math.IsNaN(r.PSNR) && math.IsNaN(o.PSNR))) {

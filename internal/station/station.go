@@ -53,10 +53,19 @@ type Ground struct {
 	locMu   []sync.Mutex    // per location: guards archive[loc] and bestRef[loc]
 	archive []*raster.Image // per location: latest known full-res content
 	bestRef []*refState     // per location: freshest cloud-free reference (downsampled)
+	// maxRetransmits bounds how many consecutive failed deliveries keep a
+	// location in the head-of-line re-seed class (Config.MaxRetransmits).
+	maxRetransmits int
+
 	// mirrors[sat][loc] tracks what each satellite's on-board cache holds,
 	// so uploads can carry only changed reference tiles (§4.3).
+	// retries[sat][loc] counts CONSECUTIVE failed deliveries (NackDelivery
+	// without an intervening AckDelivery) — the retransmit accounting a
+	// lossy channel's delivery loop feeds back. Both share mirrorMu: a
+	// NACK atomically invalidates the mirror and bumps the counter.
 	mirrorMu sync.Mutex
 	mirrors  map[int][]*refState
+	retries  map[int]map[int]int
 }
 
 // Config parameterises the ground segment.
@@ -81,7 +90,17 @@ type Config struct {
 	// decodes, which is the invariant delta uplinks are encoded against.
 	// Off (the default) preserves the raw-store behavior bit for bit.
 	CompressRefs bool
+	// MaxRetransmits bounds how many consecutive failed deliveries a
+	// location's re-send keeps head-of-line re-seed priority for; beyond
+	// it the location is demoted behind routine delta updates until a
+	// delivery succeeds (AckDelivery resets the count), so a persistently
+	// bad link cannot starve every other location's freshness. Zero means
+	// DefaultMaxRetransmits; negative means never demote.
+	MaxRetransmits int
 }
+
+// DefaultMaxRetransmits is the Config.MaxRetransmits default.
+const DefaultMaxRetransmits = 8
 
 // NewGround builds the ground segment for numLocations locations.
 func NewGround(cfg Config, numLocations int) (*Ground, error) {
@@ -91,19 +110,25 @@ func NewGround(cfg Config, numLocations int) (*Ground, error) {
 	if cfg.RefBPP <= 0 {
 		return nil, fmt.Errorf("station: RefBPP must be positive")
 	}
+	maxRetx := cfg.MaxRetransmits
+	if maxRetx == 0 {
+		maxRetx = DefaultMaxRetransmits
+	}
 	return &Ground{
-		bands:        cfg.Bands,
-		grid:         cfg.Grid,
-		downsample:   cfg.Downsample,
-		accurate:     cfg.Accurate,
-		codecOpts:    cfg.CodecOpts,
-		refBPP:       cfg.RefBPP,
-		maxRefCloud:  cfg.MaxRefCloud,
-		compressRefs: cfg.CompressRefs,
-		locMu:        make([]sync.Mutex, numLocations),
-		archive:      make([]*raster.Image, numLocations),
-		bestRef:      make([]*refState, numLocations),
-		mirrors:      make(map[int][]*refState),
+		bands:          cfg.Bands,
+		grid:           cfg.Grid,
+		downsample:     cfg.Downsample,
+		accurate:       cfg.Accurate,
+		codecOpts:      cfg.CodecOpts,
+		refBPP:         cfg.RefBPP,
+		maxRefCloud:    cfg.MaxRefCloud,
+		compressRefs:   cfg.CompressRefs,
+		maxRetransmits: maxRetx,
+		locMu:          make([]sync.Mutex, numLocations),
+		archive:        make([]*raster.Image, numLocations),
+		bestRef:        make([]*refState, numLocations),
+		mirrors:        make(map[int][]*refState),
+		retries:        make(map[int]map[int]int),
 	}, nil
 }
 
@@ -258,6 +283,17 @@ type RefUpdate struct {
 	PerBand []*raster.TileMask
 	// Bytes is the uplink cost actually consumed.
 	Bytes int64
+	// Frame is the wire frame the uplink physically carries: the
+	// container codestream of this update's delta-encoded bands, CRC
+	// trailer included. The delivery loop transmits it through the
+	// (possibly lossy) channel and the satellite CRC-gates it before
+	// anything is applied on board.
+	Frame container.Codestream
+	// Retransmit marks updates re-sending content whose previous
+	// delivery to this satellite failed (the NackDelivery accounting);
+	// their bytes are the retransmission overhead, consumed from the
+	// same uplink budget as everything else.
+	Retransmit bool
 }
 
 // refDiffEps is the low-res mean-abs-diff above which a reference tile is
@@ -269,18 +305,23 @@ const refDiffEps = 2e-3
 // are skipped, matching the paper's random skipping under uplink
 // shortage.
 //
-// The schedule is two-class: pending RE-SEEDS — locations whose mirror
+// The schedule is three-class: pending RE-SEEDS — locations whose mirror
 // slot is nil because the on-board store evicted (or never held) the
-// reference, so the satellite is flying blind there — drain FIRST, in
-// visit-schedule order, and only then do delta freshness updates for
-// references the satellite still holds compete for what remains. Without
-// the split, a scarce uplink spent in plain schedule order on routine
-// freshness deltas could starve exactly the locations that just went to
-// MISS, pinning them in reference-free fallback for days. Both classes
-// preserve the caller's (soonest-visited-first) order internally, and
-// class membership is decided solely by serial-phase state (bootstrap
-// seeding, day-end evictions), so packing stays deterministic and
-// byte-identical at any engine worker count.
+// reference, or because a delivery failed (NackDelivery), so the
+// satellite is flying blind there — drain FIRST, in visit-schedule
+// order; then delta freshness updates for references the satellite still
+// holds compete for what remains; LAST come re-seeds whose delivery has
+// already failed more than MaxRetransmits times in a row, demoted so a
+// persistently dead path cannot starve every other location (they still
+// re-send whenever budget remains, and one success resets the count).
+// Without the re-seed split, a scarce uplink spent in plain schedule
+// order on routine freshness deltas could starve exactly the locations
+// that just went to MISS, pinning them in reference-free fallback for
+// days. All classes preserve the caller's (soonest-visited-first) order
+// internally, and class membership is decided solely by serial-phase
+// state (bootstrap seeding, day-end evictions and delivery outcomes), so
+// packing stays deterministic and byte-identical at any engine worker
+// count.
 func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]RefUpdate, error) {
 	g.mirrorMu.Lock()
 	defer g.mirrorMu.Unlock()
@@ -293,16 +334,20 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 	if err != nil {
 		return nil, fmt.Errorf("station: %w", err)
 	}
+	retries := g.retries[sat]
 	ordered := make([]int, 0, len(locs))
-	var deltas []int
+	var deltas, demoted []int
 	for _, loc := range locs {
-		if mirror[loc] == nil {
-			ordered = append(ordered, loc) // re-seed class: drains first
-		} else {
+		switch {
+		case mirror[loc] != nil:
 			deltas = append(deltas, loc)
+		case g.maxRetransmits >= 0 && retries[loc] > g.maxRetransmits:
+			demoted = append(demoted, loc) // retry budget spent: back of the line
+		default:
+			ordered = append(ordered, loc) // re-seed class: drains first
 		}
 	}
-	ordered = append(ordered, deltas...)
+	ordered = append(append(ordered, deltas...), demoted...)
 	var updates []RefUpdate
 	for _, loc := range ordered {
 		g.locMu[loc].Lock()
@@ -364,7 +409,11 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 		if err != nil {
 			return nil, err
 		}
-		u := RefUpdate{Loc: loc, Day: best.day, Decoded: decoded, PerBand: masks, Bytes: n}
+		u := RefUpdate{
+			Loc: loc, Day: best.day, Decoded: decoded, PerBand: masks, Bytes: n,
+			Frame:      streams,
+			Retransmit: retries[loc] > 0,
+		}
 		if g.compressRefs {
 			// The satellite stores the updated reference COMPRESSED: run
 			// the storage codec over the full delta-applied content and
@@ -552,6 +601,47 @@ func (g *Ground) InvalidateMirror(sat, loc int) {
 	if m := g.mirrors[sat]; m != nil && loc >= 0 && loc < len(m) {
 		m[loc] = nil
 	}
+}
+
+// AckDelivery records that satellite sat confirmed installing the last
+// update for loc, clearing its consecutive-failure count. PackUplink
+// committed the mirror optimistically at pack time, so an ACK needs no
+// further state change.
+func (g *Ground) AckDelivery(sat, loc int) {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	if r := g.retries[sat]; r != nil {
+		delete(r, loc)
+	}
+}
+
+// NackDelivery records that the last update packed for (sat, loc) was
+// not installed on board — lost, truncated, or rejected by the
+// satellite's CRC gate. It atomically rolls the optimistic mirror commit
+// back (the nil slot makes the next PackUplink re-send the FULL
+// reference, which also covers the case where the satellite held no
+// prior version) and bumps the consecutive-failure count that drives the
+// retransmit class and its MaxRetransmits demotion.
+func (g *Ground) NackDelivery(sat, loc int) {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	if m := g.mirrors[sat]; m != nil && loc >= 0 && loc < len(m) {
+		m[loc] = nil
+	}
+	r := g.retries[sat]
+	if r == nil {
+		r = make(map[int]int)
+		g.retries[sat] = r
+	}
+	r[loc]++
+}
+
+// RetryCount returns how many consecutive deliveries to (sat, loc) have
+// failed since the last success.
+func (g *Ground) RetryCount(sat, loc int) int {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	return g.retries[sat][loc]
 }
 
 // MirrorRefDay returns the day of the reference satellite sat holds for

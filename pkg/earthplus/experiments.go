@@ -38,3 +38,9 @@ func experimentsStorageModel(budgetBytes int64, policy string) {
 
 // experimentsRefCompression backs SetRefCompression.
 func experimentsRefCompression(on bool) { experiments.RefCompression = on }
+
+// experimentsLinkFaults backs SetLinkFaults.
+func experimentsLinkFaults(loss float64, seed uint64) {
+	experiments.LinkLoss = loss
+	experiments.LinkSeed = seed
+}

@@ -107,4 +107,10 @@ func TestStatusFor(t *testing.T) {
 			t.Fatalf("statusFor(%v) = %d, want %d", err, got, want)
 		}
 	}
+	// A canceled error caused by the SERVER's own deadline is retryable
+	// capacity protection (503), not a client hang-up (499).
+	deadline := &earthplus.Error{Code: earthplus.CodeCanceled, Op: "serve", Err: context.DeadlineExceeded}
+	if got := statusFor(deadline); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusFor(deadline-exceeded cancel) = %d, want 503", got)
+	}
 }

@@ -62,6 +62,13 @@ type Config struct {
 	// MaxPixels caps width*height per request (0 = 2^26, matching the
 	// codec's hostile-stream decode bound).
 	MaxPixels int
+	// RequestTimeout bounds each request's total processing time via its
+	// context: queueing, body read and codec work all charge against it.
+	// A request that overruns is refused with 503 and a Retry-After
+	// header — the deadline is server capacity protection, so the client
+	// should retry, unlike a 499 where the client itself gave up.
+	// 0 = 30s; negative = no deadline.
+	RequestTimeout time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -80,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPixels <= 0 {
 		c.MaxPixels = 1 << 26
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -105,13 +115,22 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's routing handler, mounted under /v1.
+// Handler returns the server's routing handler, mounted under /v1. When a
+// RequestTimeout is configured every request's context carries it as a
+// deadline, so queueing, body reads and codec work are all bounded by it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/encode", s.handleEncode)
 	mux.HandleFunc("POST /v1/decode", s.handleDecode)
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
-	return mux
+	if s.cfg.RequestTimeout < 0 {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // acquire claims a worker slot, waiting up to QueueWait.
@@ -148,6 +167,11 @@ func statusFor(err error) int {
 	case earthplus.CodeOverloaded:
 		return http.StatusServiceUnavailable
 	case earthplus.CodeCanceled:
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The server's own deadline fired, not the client hanging up:
+			// capacity protection, so the client should retry later.
+			return http.StatusServiceUnavailable
+		}
 		return 499 // client closed request
 	case earthplus.CodeBadCodestream, earthplus.CodeBadImage,
 		earthplus.CodeBadConfig, earthplus.CodeBudgetTooSmall:

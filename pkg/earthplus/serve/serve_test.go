@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"earthplus/pkg/earthplus"
 	"earthplus/pkg/earthplus/serve"
@@ -135,6 +136,36 @@ func TestServeLossyRoundTripQuality(t *testing.T) {
 	rmse := sumSq / float64(w*h)
 	if rmse > 100*100 { // ~0.15% of full scale
 		t.Fatalf("lossy round trip RMSE^2 = %.0f", rmse)
+	}
+}
+
+// TestServeRequestDeadline pins the per-request deadline: a server whose
+// RequestTimeout is too short to finish any codec work refuses with 503,
+// a Retry-After hint and the canceled taxonomy code — the deadline is
+// capacity protection, so clients should retry rather than treat the
+// response as fatal. A negative RequestTimeout disables the deadline
+// entirely and the same request succeeds.
+func TestServeRequestDeadline(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{RequestTimeout: time.Nanosecond}).Handler())
+	defer ts.Close()
+	resp, body := postBytes(t, ts.Client(),
+		fmt.Sprintf("%s/v1/encode?width=32&height=32", ts.URL), randomSamples(4, 32, 32, 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %q)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("deadline 503 carries no Retry-After")
+	}
+	if code := errorCode(t, body); code != string(earthplus.CodeCanceled) {
+		t.Fatalf("code %q, want %q", code, earthplus.CodeCanceled)
+	}
+
+	off := httptest.NewServer(serve.New(serve.Config{RequestTimeout: -1}).Handler())
+	defer off.Close()
+	resp, body = postBytes(t, off.Client(),
+		fmt.Sprintf("%s/v1/encode?width=32&height=32", off.URL), randomSamples(4, 32, 32, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("negative RequestTimeout: status %d, want 200 (body %q)", resp.StatusCode, body)
 	}
 }
 

@@ -99,3 +99,16 @@ func SetStorageModel(budgetBytes int64, policy string) {
 // pre-compression behavior. Per-run control is
 // SystemSpec.StrParams["ref_compression"] = "on" | "off".
 func SetRefCompression(on bool) { experimentsRefCompression(on) }
+
+// SetLinkFaults sets the default fault-injected ground↔satellite channel
+// for the experiment sweeps: loss is the aggregate fault rate in [0,1],
+// spread over frame drops, corruptions, truncations and whole-contact
+// cancellations (0, the default, keeps the perfect channel and is
+// byte-identical to it), and seed picks the deterministic fault pattern —
+// outcomes are pure functions of (seed, direction, satellite, day,
+// location), so runs are byte-identical at any worker count. Corrupted
+// and truncated frames are CRC-rejected on board (the stale reference
+// stays coherent) and lost reference updates are NACKed and retransmitted
+// inside the same uplink budget. Per-run control is
+// SystemSpec.Params["link_loss"] and ["link_seed"].
+func SetLinkFaults(loss float64, seed uint64) { experimentsLinkFaults(loss, seed) }
