@@ -10,6 +10,7 @@
 //	earthplus-bench -only fig11b
 //	earthplus-bench -only codecbench   # codec perf snapshot -> BENCH_codec.json
 //	earthplus-bench -only simbench     # sim engine snapshot -> BENCH_sim.json
+//	earthplus-bench -only servebench   # serving-tier load snapshot -> BENCH_serve.json
 //	earthplus-bench -parallel 8        # bound per-image band workers
 //	earthplus-bench -simworkers 8      # bound per-day location shards
 //	earthplus-bench -list
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"earthplus/internal/cli"
+	"earthplus/internal/servebench"
 	"earthplus/pkg/earthplus"
 )
 
@@ -41,6 +43,8 @@ func main() {
 		"where codecbench writes its JSON snapshot (empty = don't write)")
 	simBenchJSON := flag.String("simbenchjson", "BENCH_sim.json",
 		"where simbench writes its JSON snapshot (empty = don't write)")
+	serveBenchJSON := flag.String("servebenchjson", "BENCH_serve.json",
+		"where servebench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
 	cli.MustValidate("earthplus-bench", &store, &lnk)
 	perf.Apply()
@@ -52,6 +56,16 @@ func main() {
 		sc = earthplus.FullScale()
 	}
 	jobs := earthplus.Experiments(sc, *benchJSON, *simBenchJSON)
+	// The serving-tier load snapshot lives outside the public catalog:
+	// internal/experiments sits below pkg/earthplus in the import graph and
+	// so cannot reach pkg/earthplus/serve; appending the job here keeps the
+	// Experiments signature stable.
+	jobs = append(jobs, earthplus.ExperimentJob{
+		Key: "servebench",
+		Run: func() (earthplus.ExperimentResult, error) {
+			return servebench.Run(*serveBenchJSON)
+		},
+	})
 
 	if *list {
 		var keys []string

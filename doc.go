@@ -12,7 +12,14 @@
 //     baselines constructed by name from one SystemSpec), the framed
 //     multi-band container codestream with streaming Encoder/Decoder, and
 //     the typed error taxonomy. pkg/earthplus/serve exposes the codec
-//     over HTTP (/v1/encode, /v1/decode, /v1/info).
+//     over HTTP (/v1/encode, /v1/decode, /v1/info, /metrics, /healthz)
+//     as a production serving tier: a persistent content-addressed
+//     result cache, per-client token-bucket rate limiting (429 with an
+//     escalating Retry-After), request coalescing and bounded workers,
+//     with every error path answering taxonomy JSON. The in-process
+//     load harness behind earthplus-bench -only servebench
+//     (internal/servebench) tracks its latency and throughput in
+//     BENCH_serve.json.
 //   - internal/container, internal/registry, internal/eperr — the frame
 //     format, the registry and the error taxonomy underneath the API.
 //   - internal/codec — the layered wavelet codec every encode funnels
@@ -66,7 +73,9 @@
 // holds each reference as its encoded codestream at the uplink's
 // reference rate instead of raw 16-bit planes: footprints are the actual
 // encoded bytes (~2-5x more locations per budget), Visit decodes lazily
-// through a small decoded-plane LRU (the decode-on-visit cost model),
+// through a small decoded-plane LRU (the decode-on-visit cost model,
+// whose decode count, LRU absorptions and measured wall-clock are
+// recorded in BENCH_sim.json as ref_decode),
 // uplink updates route their storage frame straight into the store
 // (sat.RefCache.PutFrame), and the ground simulates the same storage
 // codec on its mirrors (station.Config.CompressRefs) so delta uplinks
@@ -93,4 +102,4 @@ package earthplus
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.6.0"
+const Version = "1.7.0"

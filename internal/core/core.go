@@ -676,3 +676,15 @@ func (s *System) DecodeStats() (decodes, lruHits int64) {
 	}
 	return decodes, lruHits
 }
+
+// DecodeWall sums the fleet's decode-on-visit wall-clock (zero without
+// RefCompression). Advisory like DecodeStats, but it is the measured
+// CPU price of the compressed store, which the sim-engine snapshot
+// records alongside the counters.
+func (s *System) DecodeWall() time.Duration {
+	var total time.Duration
+	for id := 0; id < s.env.Orbit.Satellites; id++ {
+		total += s.cacheFor(id).DecodeWall()
+	}
+	return total
+}

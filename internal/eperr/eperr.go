@@ -29,6 +29,19 @@ const (
 	BadConfig Code = "bad_config"
 	// BadImage marks image payloads whose geometry or size is invalid.
 	BadImage Code = "bad_image"
+	// BadRequest marks a malformed request at the serving surface —
+	// unreadable bodies, unparsable query parameters — as opposed to
+	// BadImage, which is reserved for geometry/sample errors.
+	BadRequest Code = "bad_request"
+	// NotFound marks a request for an endpoint that does not exist.
+	NotFound Code = "not_found"
+	// MethodNotAllowed marks a known endpoint hit with the wrong HTTP
+	// method.
+	MethodNotAllowed Code = "method_not_allowed"
+	// RateLimited marks a client refused by per-client rate limiting
+	// (HTTP 429), distinct from Overloaded (503), which is server-wide
+	// capacity refusal.
+	RateLimited Code = "rate_limited"
 	// Overloaded marks a serving layer that refused work at capacity.
 	Overloaded Code = "overloaded"
 	// Canceled marks work abandoned because the caller's context ended.
@@ -76,13 +89,17 @@ func (e *Error) Is(target error) bool {
 // Sentinels for errors.Is checks. They carry only a Code; real failures
 // are built with New/Wrap and compare equal to these by code.
 var (
-	ErrBadCodestream  = &Error{Code: BadCodestream}
-	ErrBudgetTooSmall = &Error{Code: BudgetTooSmall}
-	ErrUnknownSystem  = &Error{Code: UnknownSystem}
-	ErrBadConfig      = &Error{Code: BadConfig}
-	ErrBadImage       = &Error{Code: BadImage}
-	ErrOverloaded     = &Error{Code: Overloaded}
-	ErrCanceled       = &Error{Code: Canceled}
+	ErrBadCodestream    = &Error{Code: BadCodestream}
+	ErrBudgetTooSmall   = &Error{Code: BudgetTooSmall}
+	ErrUnknownSystem    = &Error{Code: UnknownSystem}
+	ErrBadConfig        = &Error{Code: BadConfig}
+	ErrBadImage         = &Error{Code: BadImage}
+	ErrBadRequest       = &Error{Code: BadRequest}
+	ErrNotFound         = &Error{Code: NotFound}
+	ErrMethodNotAllowed = &Error{Code: MethodNotAllowed}
+	ErrRateLimited      = &Error{Code: RateLimited}
+	ErrOverloaded       = &Error{Code: Overloaded}
+	ErrCanceled         = &Error{Code: Canceled}
 )
 
 // New builds a classified error with a formatted detail message.

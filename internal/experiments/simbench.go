@@ -66,6 +66,11 @@ type SimBenchResult struct {
 	// encoded-byte eviction accounting under the same worker sweep.
 	RefCompressionDeterministic      bool `json:"ref_compression_deterministic"`
 	RefCompressionEvictionsExercised bool `json:"ref_compression_evictions_exercised"`
+	// RefDecode is the decode-on-visit cost of that compressed-refs run
+	// (serial measurement): sat.DecodeStats counts plus the measured
+	// wall-clock, so the price of ref_compression appears in the tracked
+	// snapshot instead of staying advisory-only.
+	RefDecode *RefDecodeCost `json:"ref_decode,omitempty"`
 	// Loss is the link-loss robustness sweep recorded alongside the perf
 	// runs (run at the same compact scale as the storage sweep).
 	Loss *LossSweepResult `json:"loss_sweep,omitempty"`
@@ -95,6 +100,10 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 		r.StorageDeterministic, r.StorageEvictionsExercised)
 	fmt.Fprintf(w, "compressed-refs bounded run identical across worker counts: %v (evictions exercised: %v)\n",
 		r.RefCompressionDeterministic, r.RefCompressionEvictionsExercised)
+	if r.RefDecode != nil {
+		fmt.Fprintf(w, "decode-on-visit cost (serial compressed run): %d decodes, %d LRU hits, %.3fs wall\n",
+			r.RefDecode.Decodes, r.RefDecode.LRUHits, r.RefDecode.WallSeconds)
+	}
 	fmt.Fprintf(w, "lossy-link run identical across worker counts: %v (faults exercised: %v)\n",
 		r.LossDeterministic, r.LossFaultsExercised)
 	if r.Storage != nil {
@@ -111,6 +120,16 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 		fmt.Fprintf(w, "snapshot written to %s\n", r.path)
 	}
 	return nil
+}
+
+// RefDecodeCost is the decode-on-visit price of a compressed reference
+// store: how many stored frames were decoded, how many lookups the
+// decoded-plane LRU absorbed instead, and the wall-clock the decodes
+// took.
+type RefDecodeCost struct {
+	Decodes     int64   `json:"decodes"`
+	LRUHits     int64   `json:"lru_hits"`
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
 // simBenchDays is the measured evaluation window.
@@ -212,18 +231,19 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 		return nil, fmt.Errorf("simbench: storage sweep: %w", err)
 	}
 	res.Storage = sweep
-	det, evicted, err := storageDeterminismCheck(storageSc, []int{4}, false)
+	det, evicted, _, err := storageDeterminismCheck(storageSc, []int{4}, false)
 	if err != nil {
 		return nil, fmt.Errorf("simbench: storage determinism: %w", err)
 	}
 	res.StorageDeterministic = det
 	res.StorageEvictionsExercised = evicted
-	cdet, cevicted, err := storageDeterminismCheck(storageSc, []int{4}, true)
+	cdet, cevicted, cdecode, err := storageDeterminismCheck(storageSc, []int{4}, true)
 	if err != nil {
 		return nil, fmt.Errorf("simbench: compressed-refs determinism: %w", err)
 	}
 	res.RefCompressionDeterministic = cdet
 	res.RefCompressionEvictionsExercised = cevicted
+	res.RefDecode = cdecode
 
 	// Link-loss snapshot: the loss sweep plus a determinism check of the
 	// fault-injection and retransmit paths across worker counts, at the

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"earthplus/internal/baseline"
 	"earthplus/internal/core"
@@ -298,18 +299,37 @@ func StorageSweep(sc Scale) (*StorageSweepResult, error) {
 	return res, nil
 }
 
+// decodeStatser is the slice of core.System the decode-on-visit
+// snapshot needs.
+type decodeStatser interface {
+	DecodeStats() (decodes, lruHits int64)
+	DecodeWall() time.Duration
+}
+
 // storageDeterminismCheck runs a tightly storage-bounded Earth+
 // configuration (a tenth of the reference working set, so evictions and
 // miss-fallbacks dominate) at each worker count and reports whether every
 // run's records are identical to the serial one and whether evictions
 // actually occurred. With compress it runs the ref_compression=on store —
 // decode-on-visit and encoded-byte accounting are then the newest state
-// the determinism contract has to cover. The sim-engine snapshot records
-// both configurations.
-func storageDeterminismCheck(sc Scale, workers []int, compress bool) (deterministic, evicted bool, err error) {
+// the determinism contract has to cover — and also returns the serial
+// run's decode-on-visit cost (count, LRU absorptions, wall-clock), so
+// the sim-engine snapshot records what decode-on-visit actually costs
+// instead of leaving the counters advisory-only. The sim-engine snapshot
+// records both configurations.
+func storageDeterminismCheck(sc Scale, workers []int, compress bool) (deterministic, evicted bool, decode *RefDecodeCost, err error) {
 	cfg := richConfig(sc)
 	budget := earthRefWorkingSet(cfg) / 10
-	run := func(w int) ([]sim.Record, bool, error) {
+	if compress {
+		// A tenth of the RAW working set sits below even one compressed
+		// reference at the snapshot's few-location scale: the store would
+		// stay empty and the decode-on-visit path (the very state this
+		// check covers) would never run. A quarter keeps the compressed
+		// store pressured — capacity for some but not all locations — so
+		// evictions AND decodes both happen.
+		budget = earthRefWorkingSet(cfg) / 4
+	}
+	run := func(w int) ([]sim.Record, bool, *RefDecodeCost, error) {
 		env := envFor(cfg, richOrbit(), defaultUplinkDivisor)
 		env.Parallelism = w
 		spec := registry.Spec{
@@ -322,34 +342,40 @@ func storageDeterminismCheck(sc Scale, workers []int, compress bool) (determinis
 		}
 		sys, err := registry.New(core.SystemName, env, spec)
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		var recs []sim.Record
 		if _, err := runSystemStream(sc, env, sys, func(r *sim.Record) { recs = append(recs, *r) }); err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		ev, _ := sys.(storageStatser).StorageStats()
-		return recs, ev > 0, nil
+		var cost *RefDecodeCost
+		if compress {
+			ds := sys.(decodeStatser)
+			decodes, hits := ds.DecodeStats()
+			cost = &RefDecodeCost{Decodes: decodes, LRUHits: hits, WallSeconds: ds.DecodeWall().Seconds()}
+		}
+		return recs, ev > 0, cost, nil
 	}
-	serial, serialEvicted, err := run(1)
+	serial, serialEvicted, serialDecode, err := run(1)
 	if err != nil {
-		return false, false, err
+		return false, false, nil, err
 	}
 	deterministic, evicted = true, serialEvicted
 	for _, w := range workers {
 		if w <= 1 {
 			continue
 		}
-		recs, ev, err := run(w)
+		recs, ev, _, err := run(w)
 		if err != nil {
-			return false, false, err
+			return false, false, nil, err
 		}
 		if !sim.RecordsEqualIgnoringTimings(serial, recs) {
 			deterministic = false
 		}
 		evicted = evicted && ev
 	}
-	return deterministic, evicted, nil
+	return deterministic, evicted, serialDecode, nil
 }
 
 // ID implements Result.

@@ -301,8 +301,12 @@ type RefCache struct {
 	// worker count.
 	dec      map[int]*LowResRef
 	decOrder []int
-	// decodes and decodeHits count frame decodes and LRU-served lookups.
+	// decodes and decodeHits count frame decodes and LRU-served lookups;
+	// decodeNanos accumulates the wall-clock spent inside those decodes,
+	// so the decode-on-visit cost of a compressed store is measurable,
+	// not just countable.
 	decodes, decodeHits int64
+	decodeNanos         int64
 }
 
 // NewRefCache returns an empty, unbounded cache.
@@ -358,10 +362,12 @@ func (c *RefCache) decodeEntryLocked(loc int) *LowResRef {
 		return lr
 	}
 	e := c.frames[loc]
+	t0 := time.Now()
 	im, err := DecodeStoredRef(e.frame, e.w, e.h, e.bands)
 	if err != nil {
 		panic(fmt.Sprintf("sat: loc %d: %v", loc, err))
 	}
+	c.decodeNanos += time.Since(t0).Nanoseconds()
 	c.decodes++
 	lr := &LowResRef{Image: im, Day: e.day}
 	c.insertDecodedLocked(loc, lr)
@@ -748,6 +754,17 @@ func (c *RefCache) DecodeStats() (decodes, lruHits int64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.decodes, c.decodeHits
+}
+
+// DecodeWall reports the cumulative wall-clock spent decoding stored
+// frames on visit. Like DecodeStats it is advisory: the total varies
+// with LRU churn (and so with the engine's worker count), but it is the
+// actual decode-on-visit price a compressed store paid, which the
+// sim-engine snapshot records so the cost stops being invisible.
+func (c *RefCache) DecodeWall() time.Duration {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return time.Duration(c.decodeNanos)
 }
 
 // Len returns the number of cached references.

@@ -1,0 +1,308 @@
+// Package servebench load-tests the serving tier in-process: it drives
+// serve.Server through its http.Handler with httptest requests (no
+// sockets, so the 1024-client level needs no fd budget) and snapshots
+// p50/p99 latency and throughput per concurrency level, cold cache
+// versus warm.
+//
+// "Cold" is a fresh server on an empty persistent store: every distinct
+// payload costs a codec pass, and concurrent identical requests exercise
+// the coalescing layer. "Warm" RESTARTS the server — a new serve.New on
+// the same cache directory — so the warm numbers measure exactly what the
+// persistent tier promises: yesterday's responses served after a restart
+// without re-running the codec. The cache-hit/coalesce counters come from
+// scraping the servers' own /metrics endpoints, so the snapshot also
+// proves the exposition format round-trips.
+package servebench
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"earthplus/internal/metrics"
+	"earthplus/pkg/earthplus/serve"
+)
+
+// Bench geometry: one working set of distinct encode payloads, each
+// client sweeping the whole set once per phase from its own starting
+// offset — so equal-offset clients collide on identical requests at the
+// same instant, which is what the coalescing layer exists for.
+const (
+	benchWidth     = 128
+	benchHeight    = 128
+	benchBands     = 4
+	benchDistinct  = 16
+	benchPerClient = benchDistinct
+)
+
+// benchLevels are the measured client concurrency levels.
+var benchLevels = []int{1, 64, 1024}
+
+// Phase is one measured pass (cold or warm) at a concurrency level.
+type Phase struct {
+	Requests  int     `json:"requests"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+}
+
+// Level is the cold/warm pair at one client count. WarmDiskHits is the
+// restart-survival evidence: warm-phase hits served from the on-disk
+// tier the cold server persisted.
+type Level struct {
+	Clients      int   `json:"clients"`
+	Cold         Phase `json:"cold"`
+	Warm         Phase `json:"warm"`
+	WarmDiskHits int64 `json:"warm_disk_hits"`
+}
+
+// Result is the serving-tier load snapshot (BENCH_serve.json).
+type Result struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Width      int     `json:"width"`
+	Height     int     `json:"height"`
+	Bands      int     `json:"bands"`
+	Distinct   int     `json:"distinct_payloads"`
+	PerClient  int     `json:"requests_per_client"`
+	Levels     []Level `json:"levels"`
+	// Counters scraped from /metrics, summed over every server the run
+	// built. CacheHits and Coalesced must be non-zero for the run to have
+	// exercised the tiers it claims to measure (CI asserts exactly that).
+	CacheHits     int64 `json:"cache_hits"`
+	CacheHitsDisk int64 `json:"cache_hits_disk"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Coalesced     int64 `json:"coalesced"`
+}
+
+const encodePath = "/v1/encode?width=128&height=128&bands=4"
+
+// Run measures every concurrency level and, when outPath is non-empty,
+// writes the JSON snapshot there.
+func Run(outPath string) (*Result, error) {
+	res := &Result{
+		Schema:     "earthplus-servebench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Width:      benchWidth,
+		Height:     benchHeight,
+		Bands:      benchBands,
+		Distinct:   benchDistinct,
+		PerClient:  benchPerClient,
+	}
+	payloads := makePayloads(benchDistinct, benchWidth*benchHeight*benchBands*2)
+	for _, clients := range benchLevels {
+		lv, err := runLevel(clients, payloads, res)
+		if err != nil {
+			return nil, fmt.Errorf("servebench: %d clients: %w", clients, err)
+		}
+		res.Levels = append(res.Levels, lv)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runLevel measures one client count: cold server on an empty store,
+// then a restarted server on the same store. Scraped counters accumulate
+// into res.
+func runLevel(clients int, payloads [][]byte, res *Result) (Level, error) {
+	dir, err := os.MkdirTemp("", "earthplus-servebench-")
+	if err != nil {
+		return Level{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := serve.Config{CacheDir: dir}
+
+	lv := Level{Clients: clients}
+	cold := serve.New(cfg).Handler()
+	if lv.Cold, err = runPhase(cold, payloads, clients); err != nil {
+		return Level{}, fmt.Errorf("cold: %w", err)
+	}
+	res.accumulate(scrapeMetrics(cold))
+
+	// The restart: a new server process-equivalent on the same directory.
+	warm := serve.New(cfg).Handler()
+	if lv.Warm, err = runPhase(warm, payloads, clients); err != nil {
+		return Level{}, fmt.Errorf("warm: %w", err)
+	}
+	text := scrapeMetrics(warm)
+	res.accumulate(text)
+	lv.WarmDiskHits = scrapeCounter(text, `earthplus_cache_hits_total{tier="disk"}`)
+	return lv, nil
+}
+
+// runPhase fires clients goroutines, each sweeping every payload once
+// starting at its own offset, and aggregates the latencies.
+func runPhase(h http.Handler, payloads [][]byte, clients int) (Phase, error) {
+	durs := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			own := make([]time.Duration, 0, benchPerClient)
+			for i := 0; i < benchPerClient; i++ {
+				body := payloads[(c+i)%len(payloads)]
+				req := httptest.NewRequest(http.MethodPost, encodePath, bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(rec, req)
+				own = append(own, time.Since(t0))
+				if rec.Code != http.StatusOK {
+					errs[c] = fmt.Errorf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+					return
+				}
+			}
+			durs[c] = own
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return Phase{}, err
+		}
+	}
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return Phase{
+		Requests:  len(all),
+		P50Ms:     percentileMs(all, 0.50),
+		P99Ms:     percentileMs(all, 0.99),
+		ReqPerSec: float64(len(all)) / wall.Seconds(),
+	}, nil
+}
+
+// percentileMs reads the p-th percentile of a sorted latency slice, in
+// milliseconds.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// makePayloads builds n deterministic pseudo-random sample bodies
+// (xorshift64, fixed seed) so repeated runs measure the same working set.
+func makePayloads(n, size int) [][]byte {
+	out := make([][]byte, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range out {
+		b := make([]byte, size)
+		for j := 0; j+8 <= size; j += 8 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			binary.LittleEndian.PutUint64(b[j:], state)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// scrapeMetrics fetches a server's /metrics text.
+func scrapeMetrics(h http.Handler) string {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rec.Body.String()
+}
+
+// scrapeCounter sums every sample of a metric (all label sets when name
+// is unlabelled, one series when name carries its labels).
+func scrapeCounter(text, name string) int64 {
+	var total int64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		i := strings.LastIndexByte(rest, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseInt(rest[i+1:], 10, 64); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+// accumulate folds one server's scraped counters into the snapshot.
+func (r *Result) accumulate(text string) {
+	r.CacheHits += scrapeCounter(text, "earthplus_cache_hits_total")
+	r.CacheHitsDisk += scrapeCounter(text, `earthplus_cache_hits_total{tier="disk"}`)
+	r.CacheMisses += scrapeCounter(text, "earthplus_cache_misses_total")
+	r.Coalesced += scrapeCounter(text, "earthplus_coalesced_requests_total")
+}
+
+// ID implements experiments.Result.
+func (r *Result) ID() string { return "Serving-tier load snapshot" }
+
+// Render implements experiments.Result.
+func (r *Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "in-process load: %d distinct %dx%dx%d encode payloads, %d requests/client\n",
+		r.Distinct, r.Width, r.Height, r.Bands, r.PerClient)
+	fmt.Fprintln(w, "(cold = fresh server on an empty store; warm = RESTARTED server on the same store)")
+	rows := [][]string{{"clients", "phase", "requests", "p50 ms", "p99 ms", "req/s", "disk hits"}}
+	for _, lv := range r.Levels {
+		rows = append(rows, []string{
+			strconv.Itoa(lv.Clients), "cold",
+			strconv.Itoa(lv.Cold.Requests),
+			fmt.Sprintf("%.3f", lv.Cold.P50Ms),
+			fmt.Sprintf("%.3f", lv.Cold.P99Ms),
+			fmt.Sprintf("%.0f", lv.Cold.ReqPerSec),
+			"-",
+		})
+		rows = append(rows, []string{
+			"", "warm",
+			strconv.Itoa(lv.Warm.Requests),
+			fmt.Sprintf("%.3f", lv.Warm.P50Ms),
+			fmt.Sprintf("%.3f", lv.Warm.P99Ms),
+			fmt.Sprintf("%.0f", lv.Warm.ReqPerSec),
+			strconv.FormatInt(lv.WarmDiskHits, 10),
+		})
+	}
+	metrics.Table(w, rows)
+	fmt.Fprintf(w, "cache hits: %d (disk %d), misses: %d, coalesced: %d\n",
+		r.CacheHits, r.CacheHitsDisk, r.CacheMisses, r.Coalesced)
+	return nil
+}

@@ -1,0 +1,132 @@
+package servebench
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScrapeCounter(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP earthplus_cache_hits_total Result-cache hits, by tier.`,
+		`# TYPE earthplus_cache_hits_total counter`,
+		`earthplus_cache_hits_total{tier="mem"} 7`,
+		`earthplus_cache_hits_total{tier="disk"} 3`,
+		`earthplus_cache_misses_total 5`,
+		`earthplus_cache_misses_total_not_this_one 100`,
+	}, "\n")
+	if got := scrapeCounter(text, "earthplus_cache_hits_total"); got != 10 {
+		t.Fatalf("summed labelled counter = %d, want 10", got)
+	}
+	if got := scrapeCounter(text, `earthplus_cache_hits_total{tier="disk"}`); got != 3 {
+		t.Fatalf("single series = %d, want 3", got)
+	}
+	if got := scrapeCounter(text, "earthplus_cache_misses_total"); got != 5 {
+		t.Fatalf("unlabelled counter = %d, want 5 (prefix-collision leak?)", got)
+	}
+	if got := scrapeCounter(text, "earthplus_absent_total"); got != 0 {
+		t.Fatalf("absent series = %d, want 0", got)
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	sorted := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond,
+	}
+	if got := percentileMs(sorted, 0.50); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := percentileMs(sorted, 0.99); got != 4 {
+		t.Fatalf("p99 = %v, want 4", got)
+	}
+	if got := percentileMs(nil, 0.5); got != 0 {
+		t.Fatalf("empty slice percentile = %v, want 0", got)
+	}
+}
+
+func TestMakePayloadsDeterministic(t *testing.T) {
+	a := makePayloads(3, 64)
+	b := makePayloads(3, 64)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("payload %d differs between runs", i)
+		}
+	}
+	if bytes.Equal(a[0], a[1]) {
+		t.Fatal("distinct payloads are identical")
+	}
+}
+
+// TestRunPhaseAggregates drives the phase runner against a stub handler:
+// every client must issue its full sweep and the aggregate must count
+// each request exactly once.
+func TestRunPhaseAggregates(t *testing.T) {
+	var hits int64
+	gate := make(chan struct{}, 1)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gate <- struct{}{}
+		hits++
+		<-gate
+		w.WriteHeader(http.StatusOK)
+	})
+	const clients = 4
+	ph, err := runPhase(h, makePayloads(benchDistinct, 16), clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clients * benchPerClient
+	if ph.Requests != want || hits != int64(want) {
+		t.Fatalf("requests = %d (handler saw %d), want %d", ph.Requests, hits, want)
+	}
+	if ph.ReqPerSec <= 0 || ph.P50Ms < 0 || ph.P99Ms < ph.P50Ms {
+		t.Fatalf("implausible phase %+v", ph)
+	}
+
+	fail := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusTeapot)
+	})
+	if _, err := runPhase(fail, makePayloads(1, 16), 1); err == nil {
+		t.Fatal("non-200 responses must fail the phase")
+	}
+}
+
+// TestRunLevelColdWarm runs one real level at a single client: the warm
+// phase must be served by the restarted server's disk tier, and the
+// scraped counters must show the hits and misses the level generated.
+func TestRunLevelColdWarm(t *testing.T) {
+	res := &Result{}
+	payloads := makePayloads(benchDistinct, benchWidth*benchHeight*benchBands*2)
+	lv, err := runLevel(1, payloads, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Cold.Requests != benchPerClient || lv.Warm.Requests != benchPerClient {
+		t.Fatalf("phase request counts: cold %d warm %d", lv.Cold.Requests, lv.Warm.Requests)
+	}
+	if lv.WarmDiskHits != benchDistinct {
+		t.Fatalf("warm disk hits = %d, want %d (persistence across restart broken?)", lv.WarmDiskHits, benchDistinct)
+	}
+	if res.CacheMisses != benchDistinct {
+		t.Fatalf("cold misses = %d, want %d", res.CacheMisses, benchDistinct)
+	}
+	if res.CacheHits < int64(benchDistinct) {
+		t.Fatalf("cache hits = %d, want >= %d", res.CacheHits, benchDistinct)
+	}
+	res.Levels = append(res.Levels, lv)
+
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"clients", "cold", "warm", "coalesced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered snapshot missing %q:\n%s", want, out)
+		}
+	}
+	if r := res.ID(); r == "" {
+		t.Fatal("empty ID")
+	}
+}

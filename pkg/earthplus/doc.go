@@ -62,7 +62,11 @@
 //	ErrUnknownSystem  — name not in the system registry
 //	ErrBadConfig      — invalid system or codec configuration
 //	ErrBadImage       — image geometry/size invalid
-//	ErrOverloaded     — serving layer at capacity
+//	ErrBadRequest     — malformed request at the serving surface
+//	ErrNotFound       — no such serving endpoint
+//	ErrMethodNotAllowed — wrong HTTP method for a serving endpoint
+//	ErrRateLimited    — per-client rate limit exceeded (HTTP 429)
+//	ErrOverloaded     — serving layer at capacity (HTTP 503)
 //	ErrCanceled       — caller's context ended mid-operation
 //
 // # Versioning

@@ -13,24 +13,32 @@ type ErrorCode = eperr.Code
 
 // The error codes.
 const (
-	CodeBadCodestream  = eperr.BadCodestream
-	CodeBudgetTooSmall = eperr.BudgetTooSmall
-	CodeUnknownSystem  = eperr.UnknownSystem
-	CodeBadConfig      = eperr.BadConfig
-	CodeBadImage       = eperr.BadImage
-	CodeOverloaded     = eperr.Overloaded
-	CodeCanceled       = eperr.Canceled
+	CodeBadCodestream    = eperr.BadCodestream
+	CodeBudgetTooSmall   = eperr.BudgetTooSmall
+	CodeUnknownSystem    = eperr.UnknownSystem
+	CodeBadConfig        = eperr.BadConfig
+	CodeBadImage         = eperr.BadImage
+	CodeBadRequest       = eperr.BadRequest
+	CodeNotFound         = eperr.NotFound
+	CodeMethodNotAllowed = eperr.MethodNotAllowed
+	CodeRateLimited      = eperr.RateLimited
+	CodeOverloaded       = eperr.Overloaded
+	CodeCanceled         = eperr.Canceled
 )
 
 // Sentinels for errors.Is checks.
 var (
-	ErrBadCodestream  = eperr.ErrBadCodestream
-	ErrBudgetTooSmall = eperr.ErrBudgetTooSmall
-	ErrUnknownSystem  = eperr.ErrUnknownSystem
-	ErrBadConfig      = eperr.ErrBadConfig
-	ErrBadImage       = eperr.ErrBadImage
-	ErrOverloaded     = eperr.ErrOverloaded
-	ErrCanceled       = eperr.ErrCanceled
+	ErrBadCodestream    = eperr.ErrBadCodestream
+	ErrBudgetTooSmall   = eperr.ErrBudgetTooSmall
+	ErrUnknownSystem    = eperr.ErrUnknownSystem
+	ErrBadConfig        = eperr.ErrBadConfig
+	ErrBadImage         = eperr.ErrBadImage
+	ErrBadRequest       = eperr.ErrBadRequest
+	ErrNotFound         = eperr.ErrNotFound
+	ErrMethodNotAllowed = eperr.ErrMethodNotAllowed
+	ErrRateLimited      = eperr.ErrRateLimited
+	ErrOverloaded       = eperr.ErrOverloaded
+	ErrCanceled         = eperr.ErrCanceled
 )
 
 // ErrorCodeOf extracts err's classification, reporting false for errors

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The result cache is content-addressed: a request digest over
+// (endpoint, resolved options, body hash) keys the exact response bytes a
+// successful request produced. Two tiers compose: a byte-bounded
+// in-memory LRU front absorbs the steady state, and an optional on-disk
+// store (Config.CacheDir) survives restarts — a warm fleet restart
+// re-serves yesterday's popular tiles without re-running the codec.
+// Only 200 responses are cached; errors always re-evaluate.
+
+// cacheEntry is one cached success response: the content type, the
+// response-specific headers (the X-Earthplus-* geometry of a decode) and
+// the exact body bytes.
+type cacheEntry struct {
+	ContentType string            `json:"content_type"`
+	Headers     map[string]string `json:"headers,omitempty"`
+	Body        []byte            `json:"-"`
+}
+
+// requestDigest builds the content address of a request: the endpoint,
+// every option that can change the response, and a SHA-256 of the body.
+// Options are pre-resolved (the server's DefaultBPP is substituted before
+// hashing), so the same logical request always lands on the same entry.
+func requestDigest(endpoint string, opts []string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	for _, o := range opts {
+		h.Write([]byte(o))
+		h.Write([]byte{0})
+	}
+	bh := sha256.Sum256(body)
+	h.Write(bh[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskMeta is the store's bookkeeping for one on-disk entry.
+type diskMeta struct {
+	size  int64
+	mtime time.Time
+}
+
+// resultCache is the two-tier response cache. All bookkeeping is under
+// one mutex; entries are small (bounded by MaxBodyBytes) and disk files
+// are written atomically (temp + rename), so a crash can at worst lose
+// entries, never corrupt served bytes — a torn file fails its header
+// check on read and is deleted as a miss.
+type resultCache struct {
+	mu sync.Mutex
+
+	// Memory tier: LRU by digest, bounded by total body bytes.
+	memBudget int64
+	memUsed   int64
+	mem       map[string]*list.Element
+	order     *list.List // front = most recent; values are *memEntry
+
+	// Disk tier: one file per digest under dir, bounded by total file
+	// bytes, evicted oldest-mtime first. dir == "" disables the tier.
+	dir        string
+	diskBudget int64
+	diskUsed   int64
+	disk       map[string]diskMeta
+}
+
+type memEntry struct {
+	digest string
+	ent    *cacheEntry
+}
+
+// cacheFileMagic frames on-disk entries; a version bump invalidates old
+// stores cleanly (unreadable entries are misses, then overwritten).
+const cacheFileMagic = "EPRC"
+
+// newResultCache builds the cache; dir == "" keeps it memory-only. The
+// disk tier is scanned on startup so usage accounting and LRU order
+// survive restarts (order is approximated by file mtime). An unusable
+// dir degrades the cache to memory-only — Config.Validate is the loud
+// path for refusing such a deployment up front.
+func newResultCache(memBudget int64, dir string, diskBudget int64) *resultCache {
+	c := &resultCache{
+		memBudget:  memBudget,
+		mem:        make(map[string]*list.Element),
+		order:      list.New(),
+		dir:        dir,
+		diskBudget: diskBudget,
+		disk:       make(map[string]diskMeta),
+	}
+	if dir == "" {
+		return c
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.dir = ""
+		return c
+	}
+	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with eviction; skip
+		}
+		c.disk[filepath.Base(path)] = diskMeta{size: info.Size(), mtime: info.ModTime()}
+		c.diskUsed += info.Size()
+		return nil
+	})
+	return c
+}
+
+// entryPath shards entries over 256 subdirectories so a large store does
+// not degenerate into one million-entry directory.
+func (c *resultCache) entryPath(digest string) string {
+	return filepath.Join(c.dir, digest[:2], digest)
+}
+
+// get returns the cached entry for digest and the tier that served it
+// ("mem" or "disk"), or ok=false on a miss. A disk hit is promoted into
+// the memory tier and its mtime refreshed so disk eviction stays LRU-ish.
+func (c *resultCache) get(digest string) (ent *cacheEntry, tier string, ok bool) {
+	if c == nil {
+		return nil, "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, hit := c.mem[digest]; hit {
+		c.order.MoveToFront(el)
+		return el.Value.(*memEntry).ent, "mem", true
+	}
+	if c.dir == "" {
+		return nil, "", false
+	}
+	if _, hit := c.disk[digest]; !hit {
+		return nil, "", false
+	}
+	ent, err := readCacheFile(c.entryPath(digest))
+	if err != nil {
+		c.dropDiskLocked(digest)
+		return nil, "", false
+	}
+	now := time.Now()
+	_ = os.Chtimes(c.entryPath(digest), now, now)
+	if m, hit := c.disk[digest]; hit {
+		m.mtime = now
+		c.disk[digest] = m
+	}
+	c.insertMemLocked(digest, ent)
+	return ent, "disk", true
+}
+
+// put stores a success response in both tiers. Entries larger than a
+// tier's whole budget are skipped for that tier rather than thrashing it.
+func (c *resultCache) put(digest string, ent *cacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertMemLocked(digest, ent)
+	if c.dir == "" {
+		return
+	}
+	size, err := writeCacheFile(c.entryPath(digest), ent)
+	if err != nil {
+		return // disk full or unwritable: memory tier still serves
+	}
+	if old, hit := c.disk[digest]; hit {
+		c.diskUsed -= old.size
+	}
+	c.disk[digest] = diskMeta{size: size, mtime: time.Now()}
+	c.diskUsed += size
+	c.evictDiskLocked()
+}
+
+// insertMemLocked installs ent at the front of the LRU and evicts from
+// the back past the byte budget.
+func (c *resultCache) insertMemLocked(digest string, ent *cacheEntry) {
+	cost := int64(len(ent.Body))
+	if cost > c.memBudget {
+		return
+	}
+	if el, hit := c.mem[digest]; hit {
+		c.memUsed -= int64(len(el.Value.(*memEntry).ent.Body))
+		el.Value = &memEntry{digest: digest, ent: ent}
+		c.order.MoveToFront(el)
+		c.memUsed += cost
+	} else {
+		c.mem[digest] = c.order.PushFront(&memEntry{digest: digest, ent: ent})
+		c.memUsed += cost
+	}
+	for c.memUsed > c.memBudget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		me := back.Value.(*memEntry)
+		c.order.Remove(back)
+		delete(c.mem, me.digest)
+		c.memUsed -= int64(len(me.ent.Body))
+	}
+}
+
+// dropDiskLocked forgets (and removes) one disk entry.
+func (c *resultCache) dropDiskLocked(digest string) {
+	if m, hit := c.disk[digest]; hit {
+		c.diskUsed -= m.size
+		delete(c.disk, digest)
+	}
+	_ = os.Remove(c.entryPath(digest))
+}
+
+// evictDiskLocked removes oldest-mtime files until the store fits its
+// budget.
+func (c *resultCache) evictDiskLocked() {
+	if c.diskUsed <= c.diskBudget {
+		return
+	}
+	type aged struct {
+		digest string
+		mtime  time.Time
+	}
+	victims := make([]aged, 0, len(c.disk))
+	for d, m := range c.disk {
+		victims = append(victims, aged{d, m.mtime})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].mtime.Before(victims[j].mtime) })
+	for _, v := range victims {
+		if c.diskUsed <= c.diskBudget {
+			return
+		}
+		c.dropDiskLocked(v.digest)
+	}
+}
+
+// writeCacheFile persists one entry atomically: magic, uint32 JSON
+// header length, JSON header, body — written to a temp file and renamed
+// into place so readers never observe a torn entry.
+func writeCacheFile(path string, ent *cacheEntry) (int64, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, err
+	}
+	hdr, err := json.Marshal(ent)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 0, len(cacheFileMagic)+4+len(hdr)+len(ent.Body))
+	buf = append(buf, cacheFileMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = append(buf, ent.Body...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// readCacheFile loads one entry, failing on any framing mismatch.
+func readCacheFile(path string) (*cacheEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(cacheFileMagic)+4 || string(data[:len(cacheFileMagic)]) != cacheFileMagic {
+		return nil, fmt.Errorf("serve: cache entry %s: bad magic", path)
+	}
+	rest := data[len(cacheFileMagic):]
+	hlen := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if hlen < 0 || hlen > len(rest) {
+		return nil, fmt.Errorf("serve: cache entry %s: truncated header", path)
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(rest[:hlen], &ent); err != nil {
+		return nil, fmt.Errorf("serve: cache entry %s: %w", path, err)
+	}
+	ent.Body = rest[hlen:]
+	return &ent, nil
+}

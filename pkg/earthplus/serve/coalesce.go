@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"earthplus/pkg/earthplus"
+)
+
+// Request coalescing (singleflight): N concurrent requests with the same
+// content digest run ONE codec pass; the leader executes and every
+// follower receives the same *cacheEntry. Followers block on the
+// leader's completion channel without touching the worker semaphore —
+// only the leader acquires a slot — so a popular frame arriving 100 ways
+// at once costs one slot and one decode, not a hundred. The leader runs
+// on a context detached from its own client (see Server.workContext): a
+// leader whose client hangs up keeps computing for its followers.
+
+// flightCall is one in-progress computation.
+type flightCall struct {
+	done chan struct{}
+	ent  *cacheEntry
+	err  error
+}
+
+// flightGroup deduplicates in-flight work by digest.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do runs fn once per concurrently-requested digest. shared reports that
+// this caller was a follower served by another request's pass. A
+// follower whose own ctx ends first gives up with a canceled error while
+// the leader's work continues for the rest.
+func (g *flightGroup) do(ctx context.Context, digest string, fn func() (*cacheEntry, error)) (ent *cacheEntry, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[digest]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.ent, c.err, true
+		case <-ctx.Done():
+			return nil, &earthplus.Error{Code: earthplus.CodeCanceled, Op: "serve", Err: ctx.Err()}, true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[digest] = c
+	g.mu.Unlock()
+
+	c.ent, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, digest)
+	g.mu.Unlock()
+	close(c.done)
+	return c.ent, c.err, false
+}

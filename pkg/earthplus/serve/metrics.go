@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Operational metrics, exposed at GET /metrics in the Prometheus text
+// exposition format. Hand-rolled on purpose: the counters below are the
+// whole surface, and the repo takes no dependencies. Metric names:
+//
+//	earthplus_http_requests_total{endpoint,status}  counter
+//	earthplus_http_errors_total{code}               counter
+//	earthplus_cache_hits_total{tier="mem"|"disk"}   counter
+//	earthplus_cache_misses_total                    counter
+//	earthplus_coalesced_requests_total              counter
+//	earthplus_rate_limited_total                    counter
+//	earthplus_in_flight_requests                    gauge
+//	earthplus_request_duration_seconds              histogram
+//
+// The histogram observes every /v1 request's wall time, cache hits
+// included — it is the time-to-usable-result distribution, the metric
+// the serving tier optimises.
+
+// latencyBuckets are the histogram's upper bounds, in seconds.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// serverMetrics is the registry. One mutex guards everything: every
+// update is a few map/slice writes, far off the codec's critical path.
+type serverMetrics struct {
+	mu           sync.Mutex
+	requests     map[string]int64 // "endpoint\xffstatus" -> count
+	errors       map[string]int64 // taxonomy code -> count
+	cacheHitMem  int64
+	cacheHitDisk int64
+	cacheMiss    int64
+	coalesced    int64
+	rateLimited  int64
+	inFlight     int64
+	latCounts    []int64 // one per latencyBuckets entry, non-cumulative
+	latOverflow  int64   // observations past the last bucket
+	latSum       float64
+	latCount     int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests:  make(map[string]int64),
+		errors:    make(map[string]int64),
+		latCounts: make([]int64, len(latencyBuckets)),
+	}
+}
+
+func (m *serverMetrics) request(endpoint string, status int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s\xff%d", endpoint, status)]++
+	m.latSum += sec
+	m.latCount++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.latCounts[i]++
+			return
+		}
+	}
+	m.latOverflow++
+}
+
+func (m *serverMetrics) error(code string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.errors[code]++
+}
+
+func (m *serverMetrics) cacheHit(tier string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tier == "disk" {
+		m.cacheHitDisk++
+	} else {
+		m.cacheHitMem++
+	}
+}
+
+func (m *serverMetrics) cacheMissed()    { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+func (m *serverMetrics) coalescedServe() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *serverMetrics) rateLimitedHit() { m.mu.Lock(); m.rateLimited++; m.mu.Unlock() }
+func (m *serverMetrics) enterFlight()    { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+func (m *serverMetrics) leaveFlight()    { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+// render writes the Prometheus text exposition. Label sets print in
+// sorted order so scrapes (and tests) see deterministic output.
+func (m *serverMetrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprint(w, "# HELP earthplus_http_requests_total Requests served, by endpoint and HTTP status.\n")
+	fmt.Fprint(w, "# TYPE earthplus_http_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var endpoint, status string
+		for i := 0; i < len(k); i++ {
+			if k[i] == '\xff' {
+				endpoint, status = k[:i], k[i+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "earthplus_http_requests_total{endpoint=%q,status=%q} %d\n", endpoint, status, m.requests[k])
+	}
+
+	fmt.Fprint(w, "# HELP earthplus_http_errors_total Error responses, by taxonomy code.\n")
+	fmt.Fprint(w, "# TYPE earthplus_http_errors_total counter\n")
+	codes := make([]string, 0, len(m.errors))
+	for c := range m.errors {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "earthplus_http_errors_total{code=%q} %d\n", c, m.errors[c])
+	}
+
+	fmt.Fprint(w, "# HELP earthplus_cache_hits_total Result-cache hits, by tier.\n")
+	fmt.Fprint(w, "# TYPE earthplus_cache_hits_total counter\n")
+	fmt.Fprintf(w, "earthplus_cache_hits_total{tier=\"mem\"} %d\n", m.cacheHitMem)
+	fmt.Fprintf(w, "earthplus_cache_hits_total{tier=\"disk\"} %d\n", m.cacheHitDisk)
+	fmt.Fprint(w, "# HELP earthplus_cache_misses_total Result-cache misses.\n")
+	fmt.Fprint(w, "# TYPE earthplus_cache_misses_total counter\n")
+	fmt.Fprintf(w, "earthplus_cache_misses_total %d\n", m.cacheMiss)
+	fmt.Fprint(w, "# HELP earthplus_coalesced_requests_total Requests served by another identical request's codec pass.\n")
+	fmt.Fprint(w, "# TYPE earthplus_coalesced_requests_total counter\n")
+	fmt.Fprintf(w, "earthplus_coalesced_requests_total %d\n", m.coalesced)
+	fmt.Fprint(w, "# HELP earthplus_rate_limited_total Requests refused with 429 by per-client rate limiting.\n")
+	fmt.Fprint(w, "# TYPE earthplus_rate_limited_total counter\n")
+	fmt.Fprintf(w, "earthplus_rate_limited_total %d\n", m.rateLimited)
+	fmt.Fprint(w, "# HELP earthplus_in_flight_requests Codec requests currently being handled.\n")
+	fmt.Fprint(w, "# TYPE earthplus_in_flight_requests gauge\n")
+	fmt.Fprintf(w, "earthplus_in_flight_requests %d\n", m.inFlight)
+
+	fmt.Fprint(w, "# HELP earthplus_request_duration_seconds Request wall time, cache hits included.\n")
+	fmt.Fprint(w, "# TYPE earthplus_request_duration_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latCounts[i]
+		fmt.Fprintf(w, "earthplus_request_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	fmt.Fprintf(w, "earthplus_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum+m.latOverflow)
+	fmt.Fprintf(w, "earthplus_request_duration_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "earthplus_request_duration_seconds_count %d\n", m.latCount)
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestServeConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	good := Config{CacheDir: t.TempDir(), RatePerSec: 2.5, RateBurst: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{RatePerSec: -1},
+		{RatePerSec: math.NaN()},
+		{RateBurst: -1},
+		{CacheDiskBytes: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	// A CacheDir that cannot exist (nested under a regular file) must be
+	// refused up front, not silently degraded.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	under := Config{CacheDir: filepath.Join(f, "sub")}
+	if under.Validate() == nil {
+		t.Error("uncreatable cache dir accepted")
+	}
+}
+
+func TestServeLimiterDefaults(t *testing.T) {
+	if newLimiter(0, 5) != nil {
+		t.Fatal("rate 0 must disable limiting")
+	}
+	var nilL *limiter
+	if ok, _ := nilL.allow("x", time.Now()); !ok {
+		t.Fatal("nil limiter must allow everything")
+	}
+	if l := newLimiter(0.25, 0); l.burst != 1 {
+		t.Fatalf("fractional-rate default burst = %v, want 1", l.burst)
+	}
+	if l := newLimiter(8, 0); l.burst != 8 {
+		t.Fatalf("default burst = %v, want one second's refill (8)", l.burst)
+	}
+	if l := newLimiter(1, 3); l.burst != 3 {
+		t.Fatalf("explicit burst = %v, want 3", l.burst)
+	}
+}
+
+func TestServeLimiterEscalationAndRefill(t *testing.T) {
+	l := newLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.allow("a", now); !ok {
+		t.Fatal("first request refused")
+	}
+	for want := 1; want <= 3; want++ {
+		if ok, ra := l.allow("a", now); ok || ra != want {
+			t.Fatalf("refusal %d: ok=%v Retry-After=%d, want refused with %d", want, ok, ra, want)
+		}
+	}
+	// After a refill interval the bucket grants again and the dry streak
+	// resets — the next refusal starts the escalation over at 1.
+	now = now.Add(4 * time.Second)
+	if ok, _ := l.allow("a", now); !ok {
+		t.Fatal("bucket did not refill")
+	}
+	if ok, ra := l.allow("a", now); ok || ra != 1 {
+		t.Fatalf("dry streak did not reset: ok=%v Retry-After=%d", ok, ra)
+	}
+}
+
+func TestServeLimiterSweep(t *testing.T) {
+	l := newLimiter(1, 1)
+	now := time.Unix(2000, 0)
+	for i := 0; i < limiterSweepThreshold; i++ {
+		l.allow("client-"+strconv.Itoa(i), now)
+	}
+	if len(l.clients) != limiterSweepThreshold {
+		t.Fatalf("tracked clients = %d, want %d", len(l.clients), limiterSweepThreshold)
+	}
+	// Two seconds later every bucket has fully refilled, so the next new
+	// client's insert sweeps the whole table down to itself.
+	now = now.Add(2 * time.Second)
+	l.allow("fresh", now)
+	if len(l.clients) != 1 {
+		t.Fatalf("sweep left %d clients, want 1", len(l.clients))
+	}
+}
+
+func TestServeClientIDResolution(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := clientID(r, ""); got != "10.1.2.3" {
+		t.Fatalf("remote-addr identity = %q, want port stripped", got)
+	}
+	if got := clientID(r, "X-Client-Id"); got != "10.1.2.3" {
+		t.Fatalf("absent header must fall back to IP, got %q", got)
+	}
+	r.Header.Set("X-Client-Id", "tenant-7")
+	if got := clientID(r, "X-Client-Id"); got != "tenant-7" {
+		t.Fatalf("header identity = %q, want tenant-7", got)
+	}
+	r.RemoteAddr = "pipe"
+	if got := clientID(r, ""); got != "pipe" {
+		t.Fatalf("unsplittable addr = %q, want passthrough", got)
+	}
+}
+
+func TestServeMemLRUEviction(t *testing.T) {
+	body := func(n int) []byte { return bytes.Repeat([]byte{0xAB}, n) }
+	c := newResultCache(100, "", 0)
+	c.put("aa11", &cacheEntry{Body: body(60)})
+	c.put("bb22", &cacheEntry{Body: body(60)})
+	if _, _, ok := c.get("aa11"); ok {
+		t.Fatal("oldest entry survived past the byte budget")
+	}
+	if _, _, ok := c.get("bb22"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	// An entry bigger than the whole budget skips the tier instead of
+	// flushing it.
+	c.put("cc33", &cacheEntry{Body: body(150)})
+	if _, _, ok := c.get("cc33"); ok {
+		t.Fatal("oversized entry cached")
+	}
+	if _, _, ok := c.get("bb22"); !ok {
+		t.Fatal("oversized insert flushed the tier")
+	}
+	// Replacing under the same digest adjusts accounting in place.
+	c.put("bb22", &cacheEntry{Body: body(30)})
+	c.put("dd44", &cacheEntry{Body: body(60)})
+	if _, _, ok := c.get("bb22"); !ok {
+		t.Fatal("replaced entry missing")
+	}
+	if _, _, ok := c.get("dd44"); !ok {
+		t.Fatal("entry evicted despite fitting after replacement shrank usage")
+	}
+	if c.memUsed != 90 {
+		t.Fatalf("memUsed = %d, want 90", c.memUsed)
+	}
+}
+
+func TestServeDiskEvictionAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	// Memory tier disabled so every get exercises the disk path.
+	c := newResultCache(0, dir, 250)
+	body := bytes.Repeat([]byte{0xCD}, 64)
+	c.put("aaaa", &cacheEntry{Body: body})
+	c.put("bbbb", &cacheEntry{Body: body})
+	c.put("cccc", &cacheEntry{Body: body})
+	if c.diskUsed > 250 {
+		t.Fatalf("diskUsed = %d over budget 250 after eviction", c.diskUsed)
+	}
+	if _, _, ok := c.get("aaaa"); ok {
+		t.Fatal("oldest disk entry survived past the byte budget")
+	}
+	if _, err := os.Stat(c.entryPath("aaaa")); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry's file still on disk: %v", err)
+	}
+	if ent, tier, ok := c.get("bbbb"); !ok || tier != "disk" || !bytes.Equal(ent.Body, body) {
+		t.Fatalf("disk entry bbbb: ok=%v tier=%q", ok, tier)
+	}
+	// A torn or corrupt file fails its frame check, is dropped, and reads
+	// as a miss — never served.
+	if err := os.WriteFile(c.entryPath("cccc"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.get("cccc"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, _, ok := c.get("cccc"); ok {
+		t.Fatal("corrupt entry not forgotten")
+	}
+	if _, err := os.Stat(c.entryPath("cccc")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry's file not removed: %v", err)
+	}
+}

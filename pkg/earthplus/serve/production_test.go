@@ -1,0 +1,342 @@
+package serve_test
+
+// Production-tier contracts: the JSON error taxonomy on unrouted paths,
+// the bad_request/bad_image split, per-client rate limiting with its
+// escalating Retry-After, request coalescing, the persistent result
+// cache across a server restart, and the /metrics exposition. All run
+// under -race in CI.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"earthplus/pkg/earthplus"
+	"earthplus/pkg/earthplus/serve"
+)
+
+// scrapeMetrics fetches a test server's /metrics text.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// metricValue extracts one sample's value from the exposition text, -1
+// when the series is absent.
+func metricValue(text, series string) int64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			if v, err := strconv.ParseInt(rest, 10, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestServeUnroutedJSONTaxonomy pins the HTTP error contract on paths the
+// mux does not route: unknown paths are 404 not_found and wrong methods
+// 405 method_not_allowed, both as taxonomy JSON (never Go's plain-text
+// defaults), with the Allow header preserved on 405 so clients still
+// learn the supported methods.
+func TestServeUnroutedJSONTaxonomy(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("404 Content-Type %q, want application/json", ct)
+	}
+	if code := errorCode(t, []byte(body)); code != string(earthplus.CodeNotFound) {
+		t.Fatalf("404 code %q, want %q", code, earthplus.CodeNotFound)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/encode status %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("405 Content-Type %q, want application/json", ct)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("405 Allow %q does not offer POST", allow)
+	}
+	if code := errorCode(t, []byte(body)); code != string(earthplus.CodeMethodNotAllowed) {
+		t.Fatalf("405 code %q, want %q", code, earthplus.CodeMethodNotAllowed)
+	}
+}
+
+// TestServeBadRequestVsBadImage pins the code split on the 400 surface:
+// malformed requests (unparsable parameters) are bad_request, while
+// well-formed requests with invalid image geometry stay bad_image.
+func TestServeBadRequestVsBadImage(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, url string
+		body      []byte
+		code      earthplus.ErrorCode
+	}{
+		{"non-integer width", "/v1/encode?width=abc&height=32", nil, earthplus.CodeBadRequest},
+		{"non-numeric bpp", "/v1/encode?width=32&height=32&bpp=zero", randomSamples(1, 32, 32, 1), earthplus.CodeBadRequest},
+		{"non-integer layers", "/v1/decode?layers=many", encodeLosslessFrame(t, 8, 8, 1), earthplus.CodeBadRequest},
+		{"missing geometry", "/v1/encode", nil, earthplus.CodeBadImage},
+		{"body/geometry mismatch", "/v1/encode?width=32&height=32", []byte("short"), earthplus.CodeBadImage},
+	} {
+		resp, body := postBytes(t, ts.Client(), ts.URL+tc.url, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		if code := errorCode(t, body); code != string(tc.code) {
+			t.Fatalf("%s: code %q, want %q", tc.name, code, tc.code)
+		}
+	}
+}
+
+// TestServeRateLimitEscalatingRetryAfter pins the 429 contract: a dry
+// bucket refuses with rate_limited and a Retry-After derived from its own
+// refill, escalating on consecutive refusals (1s, 2s, 3s at 1 req/s) so
+// a hammering client's retries spread out instead of stampeding. Another
+// client's bucket is untouched.
+func TestServeRateLimitEscalatingRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{
+		RatePerSec:   1,
+		RateBurst:    1,
+		ClientHeader: "X-Client-Id",
+	}).Handler())
+	defer ts.Close()
+
+	post := func(client string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/encode?width=32&height=32&lossless=1",
+			bytes.NewReader(randomSamples(7, 32, 32, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Client-Id", client)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		resp.Body.Close()
+		return resp, []byte(body)
+	}
+
+	if resp, body := post("alice"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d (%s)", resp.StatusCode, body)
+	}
+	var hints []int
+	for i := 0; i < 3; i++ {
+		resp, body := post("alice")
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("refusal %d: status %d, want 429 (%s)", i, resp.StatusCode, body)
+		}
+		if code := errorCode(t, body); code != string(earthplus.CodeRateLimited) {
+			t.Fatalf("refusal %d: code %q, want %q", i, code, earthplus.CodeRateLimited)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("refusal %d: Retry-After %q is not an integer", i, resp.Header.Get("Retry-After"))
+		}
+		hints = append(hints, ra)
+	}
+	if hints[0] < 1 {
+		t.Fatalf("first refusal hint %d, want >= 1", hints[0])
+	}
+	for i := 1; i < len(hints); i++ {
+		if hints[i] <= hints[i-1] {
+			t.Fatalf("Retry-After hints %v do not escalate", hints)
+		}
+	}
+	// Per-client isolation: a different client still has its burst.
+	if resp, body := post("bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: status %d (%s)", resp.StatusCode, body)
+	}
+	if n := metricValue(scrapeMetrics(t, ts), "earthplus_rate_limited_total"); n != 3 {
+		t.Fatalf("earthplus_rate_limited_total = %d, want 3", n)
+	}
+}
+
+// TestServeCoalescingByteIdenticalFanOut pins singleflight: with one
+// worker slot held by a slow plug request, a fan-out of identical
+// requests piles onto one flight leader; every response is 200 with
+// byte-identical frames and the coalesced counter records the followers.
+// Cache disabled, so deduplication is the only thing that can coalesce.
+func TestServeCoalescingByteIdenticalFanOut(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{
+		MaxConcurrent: 1,
+		CacheMemBytes: -1,
+		QueueWait:     30 * time.Second,
+	}).Handler())
+	defer ts.Close()
+
+	// The plug: a distinct request that holds the single worker slot
+	// while the identical fan-out queues up behind it.
+	var plugWG sync.WaitGroup
+	plugWG.Add(1)
+	go func() {
+		defer plugWG.Done()
+		resp, body := postBytes(t, ts.Client(),
+			ts.URL+"/v1/encode?width=384&height=384&bands=2&lossless=1", randomSamples(11, 384, 384, 2))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("plug: status %d (%s)", resp.StatusCode, body)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the plug take the slot
+
+	const fanOut = 8
+	samples := randomSamples(12, 64, 64, 2)
+	frames := make([][]byte, fanOut)
+	var wg sync.WaitGroup
+	for i := 0; i < fanOut; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postBytes(t, ts.Client(),
+				ts.URL+"/v1/encode?width=64&height=64&bands=2&lossless=1", samples)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("fan-out %d: status %d (%s)", i, resp.StatusCode, body)
+				return
+			}
+			frames[i] = body
+		}(i)
+	}
+	wg.Wait()
+	plugWG.Wait()
+	for i := 1; i < fanOut; i++ {
+		if !bytes.Equal(frames[i], frames[0]) {
+			t.Fatalf("fan-out %d: frame differs from fan-out 0 (%d vs %d bytes)", i, len(frames[i]), len(frames[0]))
+		}
+	}
+	if n := metricValue(scrapeMetrics(t, ts), "earthplus_coalesced_requests_total"); n < 1 {
+		t.Fatalf("earthplus_coalesced_requests_total = %d, want >= 1", n)
+	}
+}
+
+// TestServeCachePersistenceAcrossRestart pins the persistent tier: a
+// response cached by one server is served byte-identically by a NEW
+// server on the same cache directory — a restart keeps the store — with
+// the warm hit visible as a disk-tier cache hit in /metrics.
+func TestServeCachePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	samples := randomSamples(21, 48, 48, 3)
+	const url = "/v1/encode?width=48&height=48&bands=3&lossless=1"
+
+	first := httptest.NewServer(serve.New(serve.Config{CacheDir: dir}).Handler())
+	resp, frame := postBytes(t, first.Client(), first.URL+url, samples)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold encode: status %d (%s)", resp.StatusCode, frame)
+	}
+	resp, repeat := postBytes(t, first.Client(), first.URL+url, samples)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(repeat, frame) {
+		t.Fatalf("same-server repeat: status %d, identical=%v", resp.StatusCode, bytes.Equal(repeat, frame))
+	}
+	if n := metricValue(scrapeMetrics(t, first), `earthplus_cache_hits_total{tier="mem"}`); n != 1 {
+		t.Fatalf("mem hits on first server = %d, want 1", n)
+	}
+	first.Close()
+
+	// The restart: a fresh server, empty memory, same directory.
+	second := httptest.NewServer(serve.New(serve.Config{CacheDir: dir}).Handler())
+	defer second.Close()
+	resp, warm := postBytes(t, second.Client(), second.URL+url, samples)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart: status %d (%s)", resp.StatusCode, warm)
+	}
+	if !bytes.Equal(warm, frame) {
+		t.Fatalf("post-restart response differs (%d vs %d bytes)", len(warm), len(frame))
+	}
+	text := scrapeMetrics(t, second)
+	if n := metricValue(text, `earthplus_cache_hits_total{tier="disk"}`); n != 1 {
+		t.Fatalf("disk hits after restart = %d, want 1", n)
+	}
+	// The disk hit was promoted: a further repeat hits memory.
+	resp, again := postBytes(t, second.Client(), second.URL+url, samples)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(again, frame) {
+		t.Fatalf("promoted repeat: status %d, identical=%v", resp.StatusCode, bytes.Equal(again, frame))
+	}
+	if n := metricValue(scrapeMetrics(t, second), `earthplus_cache_hits_total{tier="mem"}`); n != 1 {
+		t.Fatalf("mem hits after promotion = %d, want 1", n)
+	}
+}
+
+// TestServeMetricsExposition pins the /metrics surface: request counters
+// by endpoint and status, taxonomy error counters, cache counters and the
+// latency histogram, in the Prometheus text format.
+func TestServeMetricsExposition(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	samples := randomSamples(31, 16, 16, 1)
+	const url = "/v1/encode?width=16&height=16&lossless=1"
+	for i := 0; i < 2; i++ {
+		if resp, body := postBytes(t, ts.Client(), ts.URL+url, samples); resp.StatusCode != http.StatusOK {
+			t.Fatalf("encode %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/no/such/path"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	text := scrapeMetrics(t, ts)
+	for series, want := range map[string]int64{
+		`earthplus_http_requests_total{endpoint="encode",status="200"}`: 2,
+		`earthplus_http_errors_total{code="not_found"}`:                 1,
+		`earthplus_cache_hits_total{tier="mem"}`:                        1,
+		`earthplus_cache_misses_total`:                                  1,
+		`earthplus_in_flight_requests`:                                  0,
+		`earthplus_request_duration_seconds_count`:                      2,
+	} {
+		if got := metricValue(text, series); got != want {
+			t.Fatalf("%s = %d, want %d\n%s", series, got, want, text)
+		}
+	}
+	if !strings.Contains(text, `earthplus_request_duration_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("histogram +Inf bucket missing or wrong:\n%s", text)
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		body := readAll(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ok"`) {
+			t.Fatalf("healthz: status %d body %q", resp.StatusCode, body)
+		}
+	}
+}

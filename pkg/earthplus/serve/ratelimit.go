@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Per-client token-bucket rate limiting keeps one hot client from
+// starving the rest of the fleet's worker slots. Every encode/decode
+// request spends one token from its client's bucket; the bucket refills
+// at Config.RatePerSec up to Config.RateBurst. A client out of tokens is
+// refused with 429 and a Retry-After hint derived from the bucket's own
+// refill: the first refusal says how long until one token exists, and
+// each further refusal while still dry escalates the hint by another
+// refill interval, pushing a hammering client's retries apart instead of
+// inviting a synchronized stampede. This is deliberately distinct from
+// the 503/overload path, whose Retry-After is the queue window
+// (Config.QueueWait): 429 means "you, specifically, are over budget",
+// 503 means "the server, as a whole, is saturated".
+
+// bucket is one client's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	// dry counts consecutive refusals since the last granted token; it
+	// scales the escalating Retry-After and resets on success.
+	dry int
+}
+
+// limiter is the per-client token-bucket table. A nil *limiter allows
+// everything.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+// limiterSweepThreshold bounds the client table: past this many tracked
+// clients, fully-refilled idle buckets (indistinguishable from fresh
+// ones) are swept on the next insert.
+const limiterSweepThreshold = 4096
+
+// newLimiter returns nil (unlimited) when rate <= 0.
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		// Default burst: one second's refill, at least one token.
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{rate: rate, burst: b, clients: make(map[string]*bucket)}
+}
+
+// allow spends one token from id's bucket. When the bucket is dry it
+// reports ok=false and the escalating whole-second Retry-After hint.
+func (l *limiter) allow(id string, now time.Time) (ok bool, retryAfter int) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[id]
+	if b == nil {
+		if len(l.clients) >= limiterSweepThreshold {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[id] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		b.dry = 0
+		return true, 0
+	}
+	// Escalate: the d-th consecutive refusal asks the client to wait for
+	// d refill intervals past its current deficit, so back-to-back
+	// hammering sees 1s, 2s, 3s... at rate 1.
+	b.dry++
+	wait := (float64(b.dry) - b.tokens) / l.rate
+	retryAfter = int(math.Ceil(wait))
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	return false, retryAfter
+}
+
+// sweepLocked drops buckets that have fully refilled: their future
+// behaviour is identical to a fresh bucket, so forgetting them is
+// invisible to clients.
+func (l *limiter) sweepLocked(now time.Time) {
+	for id, b := range l.clients {
+		if now.Sub(b.last).Seconds()*l.rate >= l.burst-b.tokens {
+			delete(l.clients, id)
+		}
+	}
+}
+
+// clientID resolves the rate-limit identity: the configured header when
+// present (a trusted proxy's forwarded identity), else the remote IP
+// with the ephemeral port stripped so reconnects share one bucket.
+func clientID(r *http.Request, header string) string {
+	if header != "" {
+		if v := r.Header.Get(header); v != "" {
+			return v
+		}
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

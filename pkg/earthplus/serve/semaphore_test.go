@@ -64,7 +64,10 @@ func TestRetryAfterDerivation(t *testing.T) {
 
 // TestOverloadResponseCarriesRetryAfter saturates the worker semaphore and
 // asserts the 503 response derives Retry-After from the queue timeout
-// instead of a hard-coded constant.
+// instead of a hard-coded constant. The request must be VALID: parsing
+// and geometry pre-flights run before the semaphore (and before the
+// result cache), so only work that would actually reach the codec can be
+// refused for capacity.
 func TestOverloadResponseCarriesRetryAfter(t *testing.T) {
 	s := New(Config{MaxConcurrent: 1, QueueWait: 1200 * time.Millisecond})
 	if err := s.acquire(context.Background()); err != nil {
@@ -74,7 +77,12 @@ func TestOverloadResponseCarriesRetryAfter(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	resp, err := http.Post(srv.URL+"/v1/decode", "application/octet-stream", strings.NewReader(""))
+	img := earthplus.NewImage(8, 8, []earthplus.BandInfo{{Name: "b0"}})
+	frame, err := earthplus.EncodeFrame(context.Background(), img, earthplus.EncodeOptions{Lossless: true})
+	if err != nil {
+		t.Fatalf("building probe frame: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/decode", "application/octet-stream", strings.NewReader(string(frame)))
 	if err != nil {
 		t.Fatalf("POST /v1/decode: %v", err)
 	}

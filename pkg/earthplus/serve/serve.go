@@ -13,18 +13,44 @@
 //	    samples plus X-Earthplus-Width/-Height/-Bands headers.
 //	GET  /v1/info
 //	    JSON description: versions, registered systems, limits.
+//	GET  /metrics
+//	    Operational counters in the Prometheus text format.
+//	GET  /healthz
+//	    Liveness probe; always {"status":"ok"}.
 //
-// Work runs behind a bounded semaphore (Config.MaxConcurrent): requests
-// queue up to Config.QueueWait and are then refused with 503 and a
-// Retry-After header, so overload degrades predictably instead of
-// stacking unbounded goroutines. Request and response payloads move
-// through pooled buffers, and the codec underneath runs on its own
-// pooled scratch arenas, so a steady request load allocates little.
+// The serving tier is built for heavy multi-tenant traffic, in four
+// layers between the socket and the codec:
 //
-// Failures map the earthplus.Error taxonomy onto statuses: bad payloads
-// and corrupt frames are 400, unknown systems 404, overload 503; every
-// error body is JSON {"error":{"code","message"}} with the stable code
-// string.
+//   - Result cache. Success responses are cached content-addressed — a
+//     digest over (endpoint, resolved options, body hash) — in a
+//     byte-bounded in-memory LRU, optionally backed by a bounded on-disk
+//     store (Config.CacheDir) that survives restarts. A repeat request
+//     costs a hash, not a codec pass.
+//   - Per-client rate limiting. Each client (Config.ClientHeader, or the
+//     remote IP) owns a token bucket refilled at Config.RatePerSec; a dry
+//     bucket refuses with 429 and an escalating Retry-After derived from
+//     the bucket's own refill. Distinct from 503/overload, whose
+//     Retry-After is the queue window: 429 is per-client fairness, 503 is
+//     server-wide saturation.
+//   - Request coalescing. Concurrent identical requests (same digest)
+//     run one codec pass; followers wait on the leader's result without
+//     holding worker slots, so a popular frame arriving N ways at once
+//     still costs one slot and one decode.
+//   - Bounded workers. Codec work runs behind a semaphore
+//     (Config.MaxConcurrent): requests queue up to Config.QueueWait and
+//     are then refused with 503 and a Retry-After header, so overload
+//     degrades predictably instead of stacking unbounded goroutines.
+//
+// Request payloads move through pooled buffers, and the codec underneath
+// runs on its own pooled scratch arenas, so a steady request load
+// allocates little beyond the cached response bytes.
+//
+// Failures map the earthplus.Error taxonomy onto statuses: malformed
+// requests are 400 bad_request, bad geometry/samples and corrupt frames
+// are 400 (bad_image / bad_codestream), unknown systems 404, unknown
+// paths 404 not_found, wrong methods 405 method_not_allowed (with Allow
+// preserved), rate limiting 429 rate_limited, overload 503; every error
+// body is JSON {"error":{"code","message"}} with the stable code string.
 package serve
 
 import (
@@ -35,6 +61,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -69,6 +97,26 @@ type Config struct {
 	// should retry, unlike a 499 where the client itself gave up.
 	// 0 = 30s; negative = no deadline.
 	RequestTimeout time.Duration
+	// CacheMemBytes bounds the in-memory result-cache tier by total
+	// cached response bytes (0 = 64 MiB; negative disables the memory
+	// tier).
+	CacheMemBytes int64
+	// CacheDir enables the persistent result-cache tier: success
+	// responses land content-addressed under this directory and survive
+	// restarts ("" = memory-only caching).
+	CacheDir string
+	// CacheDiskBytes bounds the on-disk tier by total file bytes,
+	// evicted oldest-access first (0 = 1 GiB).
+	CacheDiskBytes int64
+	// RatePerSec refills each client's token bucket, in requests per
+	// second (0 = no per-client rate limiting).
+	RatePerSec float64
+	// RateBurst is the bucket capacity in requests (0 = one second's
+	// refill, minimum 1).
+	RateBurst int
+	// ClientHeader names the request header carrying the rate-limit
+	// client identity — set it behind a trusted proxy ("" = remote IP).
+	ClientHeader string
 }
 
 // withDefaults resolves the zero values.
@@ -91,7 +139,43 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	switch {
+	case c.CacheMemBytes == 0:
+		c.CacheMemBytes = 64 << 20
+	case c.CacheMemBytes < 0:
+		c.CacheMemBytes = 0
+	}
+	if c.CacheDiskBytes <= 0 {
+		c.CacheDiskBytes = 1 << 30
+	}
 	return c
+}
+
+// Validate rejects configurations no deployment could honour — called by
+// cmd flag plumbing (cli.MustValidate) so a typo fails with one line on
+// stderr before the listener opens. It probes CacheDir for writability:
+// a cache that silently cannot persist is an operational lie.
+func (c Config) Validate() error {
+	if c.RatePerSec < 0 || c.RatePerSec != c.RatePerSec {
+		return fmt.Errorf("rate limit must be >= 0 requests/s, got %v", c.RatePerSec)
+	}
+	if c.RateBurst < 0 {
+		return fmt.Errorf("rate burst must be >= 0, got %d", c.RateBurst)
+	}
+	if c.CacheDiskBytes < 0 {
+		return fmt.Errorf("disk cache budget must be >= 0 bytes, got %d", c.CacheDiskBytes)
+	}
+	if c.CacheDir != "" {
+		if err := os.MkdirAll(c.CacheDir, 0o755); err != nil {
+			return fmt.Errorf("cache dir: %v", err)
+		}
+		probe := filepath.Join(c.CacheDir, ".earthplus-probe")
+		if err := os.WriteFile(probe, nil, 0o644); err != nil {
+			return fmt.Errorf("cache dir not writable: %v", err)
+		}
+		_ = os.Remove(probe)
+	}
+	return nil
 }
 
 // maxRequestBands bounds the bands parameter of encode requests: far
@@ -102,35 +186,115 @@ const maxRequestBands = 256
 // Server serves the container codec over HTTP. Build with New, mount
 // with Handler.
 type Server struct {
-	cfg  Config
-	sem  chan struct{}
-	bufs sync.Pool // *[]byte payload scratch, recycled across requests
+	cfg     Config
+	sem     chan struct{}
+	bufs    sync.Pool // *[]byte payload scratch, recycled across requests
+	cache   *resultCache
+	limiter *limiter
+	flight  *flightGroup
+	metrics *serverMetrics
 }
 
-// New returns a server with the given configuration.
+// New returns a server with the given configuration. An unusable
+// CacheDir degrades to memory-only caching; run Config.Validate first to
+// refuse such a deployment loudly instead.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults()}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.bufs.New = func() any { b := make([]byte, 0, 1<<20); return &b }
+	if s.cfg.CacheMemBytes > 0 || s.cfg.CacheDir != "" {
+		s.cache = newResultCache(s.cfg.CacheMemBytes, s.cfg.CacheDir, s.cfg.CacheDiskBytes)
+	}
+	s.limiter = newLimiter(s.cfg.RatePerSec, s.cfg.RateBurst)
+	s.flight = newFlightGroup()
+	s.metrics = newServerMetrics()
 	return s
 }
 
-// Handler returns the server's routing handler, mounted under /v1. When a
-// RequestTimeout is configured every request's context carries it as a
-// deadline, so queueing, body reads and codec work are all bounded by it.
+// Handler returns the server's routing handler: the codec endpoints under
+// /v1 plus /metrics and /healthz. Unrouted paths and wrong methods get
+// the JSON error taxonomy (not_found, method_not_allowed), never Go's
+// plain-text defaults. When a RequestTimeout is configured every
+// request's context carries it as a deadline, so queueing, body reads and
+// codec work are all bounded by it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/encode", s.handleEncode)
-	mux.HandleFunc("POST /v1/decode", s.handleDecode)
-	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("POST /v1/encode", s.instrument("encode", true, s.handleEncode))
+	mux.HandleFunc("POST /v1/decode", s.instrument("decode", true, s.handleDecode))
+	mux.HandleFunc("GET /v1/info", s.instrument("info", false, s.handleInfo))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	routed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern == "" {
+			s.handleUnrouted(mux, w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 	if s.cfg.RequestTimeout < 0 {
-		return mux
+		return routed
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		mux.ServeHTTP(w, r.WithContext(ctx))
+		routed.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+// statusRecorder captures the status a handler writes, for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the request counter, the latency
+// histogram and (for codec endpoints) the in-flight gauge.
+func (s *Server) instrument(endpoint string, inFlight bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if inFlight {
+			s.metrics.enterFlight()
+			defer s.metrics.leaveFlight()
+		}
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.request(endpoint, rec.status, time.Since(t0))
+	}
+}
+
+// headerProbe runs the mux's own not-found/not-allowed handler against a
+// throwaway writer, purely to learn the status and Allow header it would
+// have produced.
+type headerProbe struct {
+	header http.Header
+	status int
+}
+
+func (p *headerProbe) Header() http.Header         { return p.header }
+func (p *headerProbe) WriteHeader(status int)      { p.status = status }
+func (p *headerProbe) Write(b []byte) (int, error) { return len(b), nil }
+
+// handleUnrouted converts the mux's plain-text 404/405 defaults into the
+// documented JSON error taxonomy, preserving the Allow header on 405 so
+// clients still learn the supported methods.
+func (s *Server) handleUnrouted(mux *http.ServeMux, w http.ResponseWriter, r *http.Request) {
+	probe := &headerProbe{header: make(http.Header)}
+	mux.ServeHTTP(probe, r)
+	if probe.status == http.StatusMethodNotAllowed {
+		if allow := probe.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		s.writeError(w, &earthplus.Error{Code: earthplus.CodeMethodNotAllowed, Op: "serve",
+			Msg: fmt.Sprintf("method %s not allowed for %s", r.Method, r.URL.Path)})
+		return
+	}
+	s.writeError(w, &earthplus.Error{Code: earthplus.CodeNotFound, Op: "serve",
+		Msg: fmt.Sprintf("no such endpoint %s", r.URL.Path)})
 }
 
 // acquire claims a worker slot, waiting up to QueueWait.
@@ -164,6 +328,12 @@ func statusFor(err error) int {
 	switch code {
 	case earthplus.CodeUnknownSystem:
 		return http.StatusNotFound
+	case earthplus.CodeNotFound:
+		return http.StatusNotFound
+	case earthplus.CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case earthplus.CodeRateLimited:
+		return http.StatusTooManyRequests
 	case earthplus.CodeOverloaded:
 		return http.StatusServiceUnavailable
 	case earthplus.CodeCanceled:
@@ -173,7 +343,7 @@ func statusFor(err error) int {
 			return http.StatusServiceUnavailable
 		}
 		return 499 // client closed request
-	case earthplus.CodeBadCodestream, earthplus.CodeBadImage,
+	case earthplus.CodeBadCodestream, earthplus.CodeBadImage, earthplus.CodeBadRequest,
 		earthplus.CodeBadConfig, earthplus.CodeBudgetTooSmall:
 		return http.StatusBadRequest
 	default:
@@ -185,6 +355,8 @@ func statusFor(err error) int {
 // configured queue timeout: a client that waits out the full queue window
 // before retrying sees a fresh queueing opportunity instead of hammering a
 // still-saturated semaphore. Rounded up to whole seconds, minimum 1.
+// (The 429 path's Retry-After is different by design: it comes from the
+// refusing client's own bucket refill — see ratelimit.go.)
 func (s *Server) retryAfterSeconds() int {
 	sec := int((s.cfg.QueueWait + time.Second - 1) / time.Second)
 	if sec < 1 {
@@ -200,6 +372,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if !ok {
 		code = "internal"
 	}
+	s.metrics.error(string(code))
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
@@ -210,8 +383,16 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	})
 }
 
-// badReq builds a CodeBadImage request error.
+// badReq builds a CodeBadRequest error: the request itself is malformed
+// (unreadable body, unparsable parameter). Geometry and sample errors use
+// badImage.
 func badReq(format string, args ...any) error {
+	return &earthplus.Error{Code: earthplus.CodeBadRequest, Op: "serve", Msg: fmt.Sprintf(format, args...)}
+}
+
+// badImage builds a CodeBadImage error: the request parsed fine but its
+// image geometry or sample payload is invalid.
+func badImage(format string, args ...any) error {
 	return &earthplus.Error{Code: earthplus.CodeBadImage, Op: "serve", Msg: fmt.Sprintf(format, args...)}
 }
 
@@ -256,16 +437,85 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(
 	}
 }
 
-// handleEncode turns raw band-major uint16 samples into one container
-// frame.
-func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
-	if err := s.acquire(ctx); err != nil {
+// rateLimit spends one token from the requesting client's bucket,
+// writing the 429 refusal itself. It reports whether the request may
+// proceed.
+func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	id := clientID(r, s.cfg.ClientHeader)
+	ok, retryAfter := s.limiter.allow(id, time.Now())
+	if ok {
+		return true
+	}
+	s.metrics.rateLimitedHit()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	s.writeError(w, &earthplus.Error{Code: earthplus.CodeRateLimited, Op: "serve",
+		Msg: fmt.Sprintf("client %q exceeded %g requests/s; retry in %ds", id, s.cfg.RatePerSec, retryAfter)})
+	return false
+}
+
+// workContext builds the context codec work runs on: detached from the
+// requesting client (a coalescing leader must keep computing for its
+// followers even if its own client hangs up) but still bounded by the
+// configured RequestTimeout.
+func (s *Server) workContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := context.WithoutCancel(r.Context())
+	if s.cfg.RequestTimeout < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+}
+
+// respond drives a codec request through the serving layers: result
+// cache, then coalesced singleflight execution (which acquires the
+// worker semaphore inside run), then cache fill on success.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, digest string, run func(ctx context.Context) (*cacheEntry, error)) {
+	if ent, tier, ok := s.cache.get(digest); ok {
+		s.metrics.cacheHit(tier)
+		writeEntry(w, ent)
+		return
+	}
+	if s.cache != nil {
+		s.metrics.cacheMissed()
+	}
+	ent, err, shared := s.flight.do(r.Context(), digest, func() (*cacheEntry, error) {
+		ctx, cancel := s.workContext(r)
+		defer cancel()
+		ent, err := run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(digest, ent)
+		return ent, nil
+	})
+	if shared {
+		s.metrics.coalescedServe()
+	}
+	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	defer s.release()
+	writeEntry(w, ent)
+}
 
+// writeEntry emits a success response from its cache representation.
+func writeEntry(w http.ResponseWriter, ent *cacheEntry) {
+	w.Header().Set("Content-Type", ent.ContentType)
+	for k, v := range ent.Headers {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(ent.Body)))
+	_, _ = w.Write(ent.Body)
+}
+
+// handleEncode turns raw band-major uint16 samples into one container
+// frame.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	if !s.rateLimit(w, r) {
+		return
+	}
 	dims := [4]int{0, 0, 1, 0} // width, height, bands, levels
 	for i, p := range []struct {
 		name     string
@@ -273,7 +523,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	}{{"width", true}, {"height", true}, {"bands", true}, {"levels", false}} {
 		v, err := intParam(r, p.name, dims[i])
 		if err == nil && p.positive && v <= 0 {
-			err = badReq("missing or non-positive %s", p.name)
+			err = badImage("missing or non-positive %s", p.name)
 		}
 		if err != nil {
 			s.writeError(w, err)
@@ -285,11 +535,11 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	// Divide rather than multiply: width*height on hostile query ints can
 	// overflow to a negative product and slip past the cap.
 	if height > s.cfg.MaxPixels/width {
-		s.writeError(w, badReq("%dx%d exceeds the %d-pixel limit", width, height, s.cfg.MaxPixels))
+		s.writeError(w, badImage("%dx%d exceeds the %d-pixel limit", width, height, s.cfg.MaxPixels))
 		return
 	}
 	if bands > maxRequestBands {
-		s.writeError(w, badReq("%d bands exceeds the %d-band limit", bands, maxRequestBands))
+		s.writeError(w, badImage("%d bands exceeds the %d-band limit", bands, maxRequestBands))
 		return
 	}
 	opts := earthplus.EncodeOptions{BPP: s.cfg.DefaultBPP, Levels: levels}
@@ -313,31 +563,35 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	want := width * height * bands * 2
 	if len(body) != want {
-		s.writeError(w, badReq("body is %d bytes; %dx%dx%d uint16 samples need %d", len(body), width, height, bands, want))
+		s.writeError(w, badImage("body is %d bytes; %dx%dx%d uint16 samples need %d", len(body), width, height, bands, want))
 		return
 	}
 
-	img := samplesToImage(body, width, height, bands)
-	frame, err := earthplus.EncodeFrame(ctx, img, opts)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
-	_, _ = frame.WriteTo(w)
+	digest := requestDigest("encode", []string{
+		fmt.Sprintf("w=%d", width), fmt.Sprintf("h=%d", height),
+		fmt.Sprintf("b=%d", bands), fmt.Sprintf("lv=%d", levels),
+		fmt.Sprintf("bpp=%g", opts.BPP), fmt.Sprintf("ll=%v", opts.Lossless),
+	}, body)
+	s.respond(w, r, digest, func(ctx context.Context) (*cacheEntry, error) {
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		img := samplesToImage(body, width, height, bands)
+		frame, err := earthplus.EncodeFrame(ctx, img, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{ContentType: "application/octet-stream", Body: []byte(frame)}, nil
+	})
 }
 
 // handleDecode turns one container frame back into raw band-major uint16
 // samples.
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
-	if err := s.acquire(ctx); err != nil {
-		s.writeError(w, err)
+	if !s.rateLimit(w, r) {
 		return
 	}
-	defer s.release()
-
 	layers, err := intParam(r, "layers", 0)
 	if err != nil {
 		s.writeError(w, err)
@@ -359,11 +613,11 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if fw*fh > s.cfg.MaxPixels {
-		s.writeError(w, badReq("%dx%d exceeds the %d-pixel limit", fw, fh, s.cfg.MaxPixels))
+		s.writeError(w, badImage("%dx%d exceeds the %d-pixel limit", fw, fh, s.cfg.MaxPixels))
 		return
 	}
 	if fbands > maxRequestBands {
-		s.writeError(w, badReq("%d bands exceeds the %d-band limit", fbands, maxRequestBands))
+		s.writeError(w, badImage("%d bands exceeds the %d-band limit", fbands, maxRequestBands))
 		return
 	}
 	// Pixels and bands pass their individual caps, but their product is
@@ -372,24 +626,31 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	// Bound total samples the way MaxBodyBytes already bounds the encode
 	// side, where the 2-bytes-per-sample body carries them.
 	if maxSamples := s.cfg.MaxBodyBytes / 2; int64(fw)*int64(fh)*int64(fbands) > maxSamples {
-		s.writeError(w, badReq("%dx%dx%d samples exceed the %d-sample limit", fw, fh, fbands, maxSamples))
+		s.writeError(w, badImage("%dx%dx%d samples exceed the %d-sample limit", fw, fh, fbands, maxSamples))
 		return
 	}
-	img, err := earthplus.DecodeFrame(ctx, frame, nil, layers)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	out := s.bufs.Get().(*[]byte)
-	defer func() { *out = (*out)[:0]; s.bufs.Put(out) }()
-	samples := imageToSamples((*out)[:0], img)
-	*out = samples
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(samples)))
-	w.Header().Set("X-Earthplus-Width", strconv.Itoa(img.Width))
-	w.Header().Set("X-Earthplus-Height", strconv.Itoa(img.Height))
-	w.Header().Set("X-Earthplus-Bands", strconv.Itoa(img.NumBands()))
-	_, _ = w.Write(samples)
+
+	digest := requestDigest("decode", []string{fmt.Sprintf("layers=%d", layers)}, body)
+	s.respond(w, r, digest, func(ctx context.Context) (*cacheEntry, error) {
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		img, err := earthplus.DecodeFrame(ctx, frame, nil, layers)
+		if err != nil {
+			return nil, err
+		}
+		samples := imageToSamples(make([]byte, 0, img.Width*img.Height*img.NumBands()*2), img)
+		return &cacheEntry{
+			ContentType: "application/octet-stream",
+			Headers: map[string]string{
+				"X-Earthplus-Width":  strconv.Itoa(img.Width),
+				"X-Earthplus-Height": strconv.Itoa(img.Height),
+				"X-Earthplus-Bands":  strconv.Itoa(img.NumBands()),
+			},
+			Body: samples,
+		}, nil
+	})
 }
 
 // handleInfo describes the deployment.
@@ -409,7 +670,29 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			"max_pixels":     s.cfg.MaxPixels,
 		},
 		"defaults": map[string]any{"bpp": s.cfg.DefaultBPP},
+		"cache": map[string]any{
+			"mem_bytes":  s.cfg.CacheMemBytes,
+			"persistent": s.cfg.CacheDir != "",
+			"disk_bytes": s.cfg.CacheDiskBytes,
+		},
+		"rate_limit": map[string]any{
+			"per_sec": s.cfg.RatePerSec,
+			"burst":   s.cfg.RateBurst,
+		},
 	})
+}
+
+// handleMetrics exposes the operational counters in the Prometheus text
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
 }
 
 // samplesToImage unpacks little-endian uint16 band-major samples.
