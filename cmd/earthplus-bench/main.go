@@ -11,6 +11,8 @@
 //	earthplus-bench -only codecbench   # codec perf snapshot -> BENCH_codec.json
 //	earthplus-bench -only simbench     # sim engine snapshot -> BENCH_sim.json
 //	earthplus-bench -only servebench   # serving-tier load snapshot -> BENCH_serve.json
+//	earthplus-bench -only constsweep   # contended ground-station sweep
+//	earthplus-bench -only simscale     # engine worker-scaling probe
 //	earthplus-bench -parallel 8        # bound per-image band workers
 //	earthplus-bench -simworkers 8      # bound per-day location shards
 //	earthplus-bench -list
@@ -33,9 +35,11 @@ func main() {
 	var perf cli.Perf
 	var store cli.Storage
 	var lnk cli.Link
+	var fleet cli.Fleet
 	perf.Register(flag.CommandLine)
 	store.Register(flag.CommandLine)
 	lnk.Register(flag.CommandLine)
+	fleet.Register(flag.CommandLine)
 	full := flag.Bool("full", false, "run at full (paper-ish) scale instead of quick")
 	only := flag.String("only", "", "run a single experiment (see -list)")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
@@ -46,10 +50,11 @@ func main() {
 	serveBenchJSON := flag.String("servebenchjson", "BENCH_serve.json",
 		"where servebench writes its JSON snapshot (empty = don't write)")
 	flag.Parse()
-	cli.MustValidate("earthplus-bench", &store, &lnk)
+	cli.MustValidate("earthplus-bench", &store, &lnk, &fleet)
 	perf.Apply()
 	store.Apply()
 	lnk.Apply()
+	fleet.Apply()
 
 	sc := earthplus.QuickScale()
 	if *full {

@@ -12,6 +12,7 @@
 //	earthplus-sim -storage 2000000 -evictpolicy schedule   # bound the on-board store
 //	earthplus-sim -storage 2000000 -refcompress   # hold references compressed (decode-on-visit)
 //	earthplus-sim -linkloss 0.01 -linkseed 7   # deterministic 1% link fault injection
+//	earthplus-sim -sats 16 -stations 2   # contended ground stations, per-contact budgets
 package main
 
 import (
@@ -28,10 +29,12 @@ func main() {
 	var ds cli.Dataset
 	var store cli.Storage
 	var lnk cli.Link
+	var fleet cli.Fleet
 	perf.Register(flag.CommandLine)
 	ds.Register(flag.CommandLine, "planet", 8)
 	store.Register(flag.CommandLine)
 	lnk.Register(flag.CommandLine)
+	fleet.Register(flag.CommandLine)
 	system := flag.String("system", earthplus.SystemEarthPlus,
 		fmt.Sprintf("system to run (%v)", earthplus.Systems()))
 	days := flag.Int("days", 60, "evaluation days")
@@ -40,7 +43,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-capture trace")
 	dump := flag.String("dump", "", "write the run as a JSON-lines trace to this file")
 	flag.Parse()
-	cli.MustValidate("earthplus-sim", &store, &lnk)
+	cli.MustValidate("earthplus-sim", &store, &lnk, &fleet)
 	perf.Apply()
 
 	env, err := ds.Env()
@@ -52,6 +55,7 @@ func main() {
 	spec := earthplus.SystemSpec{GammaBPP: *gamma}
 	store.ApplyToSpec(&spec)
 	lnk.ApplyToSpec(&spec)
+	fleet.ApplyToSpec(&spec)
 	sys, err := earthplus.NewSystem(*system, env, spec)
 	if err != nil {
 		cli.Fail("earthplus-sim", "%v", err)

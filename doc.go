@@ -34,6 +34,9 @@
 //   - internal/sim, internal/scene, internal/orbit, internal/experiments —
 //     the constellation simulator, synthetic Earth scenes and every
 //     regenerated table/figure of the paper's evaluation.
+//   - internal/constellation — the fleet-scale ground segment: contended
+//     ground stations, the cross-satellite contact scheduler and the
+//     event-driven time-to-usable-image workload.
 //   - internal/cli — the flag plumbing shared by all cmds.
 //
 // # Simulation engine
@@ -85,6 +88,33 @@
 // budget for the raw and compressed Earth+ stores at equal budgets,
 // both baselines, and both eviction policies at a fixed budget.
 //
+// # Constellation ground segment
+//
+// With the constellation model on (registry param "stations" or StrParams
+// "constellation"="on", flag -stations, default off and byte-identical to
+// the flat budget) the fleet's uplink is served by N contended ground
+// stations, each handling at most one satellite per contact window
+// (constellation.DefaultContactsPerStation windows per station per day),
+// and the flat per-day uplink budget becomes a per-contact byte meter
+// (param "contact_budget", flag -contactbudget; zero derives
+// flat/contacts-per-station, negative = unlimited). A deterministic
+// cross-satellite scheduler (constellation.Scheduler) books the windows on
+// the engine's sequential day-end barrier, lifting PackUplink's
+// three-class priority — re-seeds first, then delta freshness updates,
+// then demoted retransmits — from within one satellite to across the
+// fleet; satellites with pending work that win no window are counted as
+// contention stalls. Booked contacts land in Result.Contacts, dump as
+// sorted per-station trace lines (sim.WriteTrace), and aggregate into
+// constellation.Stats. The companion event workload
+// (constellation.EventTracker, a sim.Observer) watches every scene change
+// event and records time-to-usable-image: days from event onset until a
+// downlinked frame scores the usable PSNR bar over the event's tiles. The
+// constellation sweep (earthplus-bench -only constsweep; embedded in
+// BENCH_sim.json) measures quality, stalls, re-seed backlog and TTUI over
+// fleet sizes x station counts, and fleet-scale determinism is pinned by
+// the internal/sim tests (16 satellites, 2 stations, every worker count
+// identical down to the contact log).
+//
 // # Performance
 //
 // The codec hot path is engineered for the paper's on-board compute
@@ -102,4 +132,4 @@ package earthplus
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.7.0"
+const Version = "1.8.0"

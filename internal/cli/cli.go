@@ -157,6 +157,60 @@ func (l *Link) ApplyToSpec(spec *earthplus.SystemSpec) {
 	}
 }
 
+// Fleet bundles the constellation ground-segment flags shared by the
+// simulation cmds: the contended ground-station count and the per-contact
+// uplink budget that replaces the flat per-day budget when enabled.
+type Fleet struct {
+	// Stations is the ground-station count; 0 keeps the flat per-day
+	// uplink budget (byte-identical to not having the flag at all).
+	Stations int
+	// ContactBudget is the uplink byte budget of one contact window:
+	// 0 derives it from the flat per-day budget, negative = unlimited.
+	// Meaningful only with -stations > 0.
+	ContactBudget int64
+}
+
+// Register installs the fleet flags on fs.
+func (f *Fleet) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.Stations, "stations", 0,
+		"contended ground stations, each serving one satellite per contact window (0 = flat per-day uplink budget)")
+	fs.Int64Var(&f.ContactBudget, "contactbudget", 0,
+		"uplink bytes per contact window (0 = derive from the flat per-day budget, negative = unlimited; needs -stations)")
+}
+
+// Validate rejects combinations no run could honour.
+func (f *Fleet) Validate() error {
+	if f.Stations < 0 {
+		return fmt.Errorf("-stations must be non-negative, got %d", f.Stations)
+	}
+	if f.ContactBudget != 0 && f.Stations == 0 {
+		return fmt.Errorf("-contactbudget %d needs -stations > 0", f.ContactBudget)
+	}
+	return nil
+}
+
+// Apply pushes the parsed values into the experiment-sweep defaults.
+func (f *Fleet) Apply() {
+	earthplus.SetConstellation(f.Stations, f.ContactBudget)
+}
+
+// ApplyToSpec sets the parsed values as explicit system params on spec —
+// only when stations were actually requested, so default runs keep the
+// flat-budget behavior byte for byte (and systems without a ground-segment
+// model reject the params loudly).
+func (f *Fleet) ApplyToSpec(spec *earthplus.SystemSpec) {
+	if f.Stations == 0 {
+		return
+	}
+	if spec.Params == nil {
+		spec.Params = map[string]float64{}
+	}
+	spec.Params["stations"] = float64(f.Stations)
+	if f.ContactBudget != 0 {
+		spec.Params["contact_budget"] = float64(f.ContactBudget)
+	}
+}
+
 // Dataset bundles the dataset-selection flags and the environment
 // construction every simulation cmd repeats.
 type Dataset struct {

@@ -185,3 +185,64 @@ func TestDatasetEnv(t *testing.T) {
 		t.Fatalf("fullsize width %d not larger than quick %d", cfg.Width, quickCfg.Width)
 	}
 }
+
+func TestFleetFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f Fleet
+	f.Register(fs)
+	if err := fs.Parse([]string{"-stations", "3", "-contactbudget", "2048"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stations != 3 || f.ContactBudget != 2048 {
+		t.Fatalf("parsed %+v", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var spec earthplus.SystemSpec
+	f.ApplyToSpec(&spec)
+	if spec.Params["stations"] != 3 || spec.Params["contact_budget"] != 2048 {
+		t.Fatalf("spec %+v", spec)
+	}
+	// Unset fleet flags leave the spec untouched: presence of "stations" is
+	// meaningful, and default runs must stay byte-identical to the flat
+	// per-day budget.
+	var zero Fleet
+	var clean earthplus.SystemSpec
+	zero.ApplyToSpec(&clean)
+	if clean.Params != nil {
+		t.Fatalf("zero fleet flags touched the spec: %+v", clean)
+	}
+	// A derived (zero) contact budget sets only the station count.
+	derive := Fleet{Stations: 2}
+	var derived earthplus.SystemSpec
+	derive.ApplyToSpec(&derived)
+	if derived.Params["stations"] != 2 {
+		t.Fatalf("derived spec %+v", derived)
+	}
+	if _, ok := derived.Params["contact_budget"]; ok {
+		t.Fatalf("zero contact budget leaked into the spec: %+v", derived)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	bad := []Validator{
+		&Fleet{Stations: -1},
+		&Fleet{ContactBudget: 100},
+		&Fleet{ContactBudget: -1},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Fatalf("bad fleet config %d accepted: %+v", i, v)
+		}
+	}
+	ok := []Validator{
+		&Fleet{},
+		&Fleet{Stations: 1},
+		&Fleet{Stations: 2, ContactBudget: -1},
+		&Fleet{Stations: 4, ContactBudget: 4096},
+	}
+	if err := FirstError(ok...); err != nil {
+		t.Fatalf("valid fleet configs rejected: %v", err)
+	}
+}

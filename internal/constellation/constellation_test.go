@@ -1,0 +1,272 @@
+package constellation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidateAndEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config should be disabled")
+	}
+	if !(Config{Stations: 2}).Enabled() {
+		t.Fatal("2 stations should be enabled")
+	}
+	if err := (Config{Stations: -1}).Validate(); err == nil {
+		t.Fatal("expected error for negative stations")
+	}
+	if err := (Config{Stations: 1, ContactsPerStation: -2}).Validate(); err == nil {
+		t.Fatal("expected error for negative contacts per station")
+	}
+	if err := (Config{Stations: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowsPerDay(t *testing.T) {
+	if w := (Config{Stations: 2}).WindowsPerDay(); w != 2*DefaultContactsPerStation {
+		t.Fatalf("default windows = %d", w)
+	}
+	if w := (Config{Stations: 3, ContactsPerStation: 2}).WindowsPerDay(); w != 6 {
+		t.Fatalf("windows = %d, want 6", w)
+	}
+}
+
+func TestResolveContactBudget(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		flat int64
+		want int64
+	}{
+		// Explicit positive budget wins over everything.
+		{Config{Stations: 1, ContactBudgetBytes: 500}, 10000, 500},
+		// Negative means unlimited.
+		{Config{Stations: 1, ContactBudgetBytes: -3}, 10000, -1},
+		// Zero derives flat / contactsPerStation.
+		{Config{Stations: 1, ContactsPerStation: 4}, 10000, 2500},
+		{Config{Stations: 1}, 7 * 842, 842},
+		// Derived budget floors at one byte.
+		{Config{Stations: 1, ContactsPerStation: 100}, 3, 1},
+		// Nothing to derive from: unlimited.
+		{Config{Stations: 1}, 0, -1},
+		{Config{Stations: 1}, -5, -1},
+	}
+	for i, tc := range cases {
+		if got := tc.cfg.ResolveContactBudget(tc.flat); got != tc.want {
+			t.Fatalf("case %d: ResolveContactBudget(%d) = %d, want %d", i, tc.flat, got, tc.want)
+		}
+	}
+}
+
+func TestNewSchedulerRejectsDisabledOrInvalid(t *testing.T) {
+	if _, err := NewScheduler(Config{}); err == nil {
+		t.Fatal("expected error for disabled config")
+	}
+	if _, err := NewScheduler(Config{Stations: -2}); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+	s, err := NewScheduler(Config{Stations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().Stations != 2 {
+		t.Fatalf("config = %+v", s.Config())
+	}
+}
+
+// TestSchedulePriorityOrder checks the cross-satellite class order: a
+// satellite with re-seed backlog outranks one with more pending deltas,
+// which outranks demoted-only work.
+func TestSchedulePriorityOrder(t *testing.T) {
+	s, err := NewScheduler(Config{Stations: 1, ContactsPerStation: 1, ContactBudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := s.Schedule(0, []Demand{
+		{Sat: 0, Deltas: 9},
+		{Sat: 1, Reseeds: 1},
+		{Sat: 2, Demoted: 5},
+	})
+	if len(contacts) != 1 || contacts[0].Sat != 1 {
+		t.Fatalf("single window should go to the re-seeding satellite, got %+v", contacts)
+	}
+	if st := s.Stats(); st.Stalls != 2 || st.Contacts != 1 {
+		t.Fatalf("stats = %+v, want 2 stalls / 1 contact", st)
+	}
+}
+
+// TestScheduleTieBreaks checks ordering within a class: more pending work
+// first, then satellite id.
+func TestScheduleTieBreaks(t *testing.T) {
+	s, err := NewScheduler(Config{Stations: 1, ContactsPerStation: 2, ContactBudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := s.Schedule(0, []Demand{
+		{Sat: 5, Deltas: 1},
+		{Sat: 3, Deltas: 4},
+		{Sat: 4, Deltas: 1},
+	})
+	if len(contacts) != 2 {
+		t.Fatalf("contacts = %+v", contacts)
+	}
+	got := map[int]bool{}
+	for _, ct := range contacts {
+		got[ct.Sat] = true
+	}
+	// Sat 3 has the most pending work; sats 4 and 5 tie at one delta and 4
+	// wins on id.
+	if !got[3] || !got[4] {
+		t.Fatalf("windows went to %v, want sats 3 and 4", got)
+	}
+}
+
+// TestScheduleWorkConserving: with a finite per-contact budget, leftover
+// windows cycle back over demanding satellites; with an unlimited budget
+// one contact per satellite suffices.
+func TestScheduleWorkConserving(t *testing.T) {
+	finite, err := NewScheduler(Config{Stations: 2, ContactsPerStation: 3, ContactBudgetBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts := finite.Schedule(0, []Demand{{Sat: 0, Deltas: 2}, {Sat: 1, Reseeds: 1}})
+	if len(contacts) != 6 {
+		t.Fatalf("finite budget should fill all 6 windows, got %d", len(contacts))
+	}
+	unlimited, err := NewScheduler(Config{Stations: 2, ContactsPerStation: 3, ContactBudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contacts = unlimited.Schedule(0, []Demand{{Sat: 0, Deltas: 2}, {Sat: 1, Reseeds: 1}})
+	if len(contacts) != 2 {
+		t.Fatalf("unlimited budget should book one window per satellite, got %d", len(contacts))
+	}
+}
+
+func TestScheduleIdleFleetBooksNothing(t *testing.T) {
+	s, err := NewScheduler(Config{Stations: 2, ContactBudgetBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contacts := s.Schedule(3, []Demand{{Sat: 0}, {Sat: 1}}); contacts != nil {
+		t.Fatalf("idle fleet booked %+v", contacts)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("idle day changed stats: %+v", st)
+	}
+}
+
+func TestScheduleReseedBacklogStats(t *testing.T) {
+	s, err := NewScheduler(Config{Stations: 1, ContactBudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule(0, []Demand{{Sat: 0, Reseeds: 3}, {Sat: 1, Reseeds: 2}})
+	s.Schedule(1, []Demand{{Sat: 0, Reseeds: 1}})
+	st := s.Stats()
+	if st.ReseedBacklog != 6 {
+		t.Fatalf("ReseedBacklog = %d, want 6", st.ReseedBacklog)
+	}
+	if st.MaxReseedBacklog != 5 {
+		t.Fatalf("MaxReseedBacklog = %d, want 5", st.MaxReseedBacklog)
+	}
+}
+
+// TestScheduleNeverDoubleBooksStations is the scheduler's core safety
+// property: whatever the demand pattern, no (station, window) slot serves
+// two satellites in one day, every slot is in range, and a satellite with
+// pending work either wins a window or is counted as a stall.
+func TestScheduleNeverDoubleBooksStations(t *testing.T) {
+	f := func(stations, contacts uint8, seed int64, nSats uint8, finite bool) bool {
+		cfg := Config{
+			Stations:           1 + int(stations)%4,
+			ContactsPerStation: 1 + int(contacts)%5,
+			ContactBudgetBytes: -1,
+		}
+		if finite {
+			cfg.ContactBudgetBytes = 1000
+		}
+		s, err := NewScheduler(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		demands := make([]Demand, 1+int(nSats)%40)
+		active := 0
+		for i := range demands {
+			demands[i] = Demand{
+				Sat:     i,
+				Reseeds: rng.Intn(3),
+				Deltas:  rng.Intn(3),
+				Demoted: rng.Intn(2),
+			}
+			if demands[i].Total() > 0 {
+				active++
+			}
+		}
+		before := s.Stats()
+		booked := s.Schedule(7, demands)
+		after := s.Stats()
+
+		slots := map[[2]int]bool{}
+		winners := map[int]bool{}
+		for _, ct := range booked {
+			if ct.Day != 7 {
+				return false
+			}
+			if ct.Station < 0 || ct.Station >= cfg.Stations {
+				return false
+			}
+			if ct.Window < 0 || ct.Window >= cfg.ContactsPerStation {
+				return false
+			}
+			key := [2]int{ct.Station, ct.Window}
+			if slots[key] {
+				return false // one station, one satellite per window
+			}
+			slots[key] = true
+			winners[ct.Sat] = true
+		}
+		if len(booked) > cfg.WindowsPerDay() {
+			return false
+		}
+		stalls := int(after.Stalls - before.Stalls)
+		wantStalls := active - cfg.WindowsPerDay()
+		if wantStalls < 0 {
+			wantStalls = 0
+		}
+		return stalls == wantStalls && len(winners) == active-stalls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleDeterministicUnderInputOrder: the booking is a pure function
+// of the demand SET — input order must not matter (the core builds demands
+// from map-backed ground state, so this is load-bearing for the engine's
+// determinism contract).
+func TestScheduleDeterministicUnderInputOrder(t *testing.T) {
+	demands := []Demand{
+		{Sat: 0, Deltas: 2}, {Sat: 1, Reseeds: 1}, {Sat: 2, Demoted: 1},
+		{Sat: 3, Deltas: 2}, {Sat: 4, Reseeds: 2}, {Sat: 5},
+	}
+	mk := func() *Scheduler {
+		s, err := NewScheduler(Config{Stations: 2, ContactsPerStation: 2, ContactBudgetBytes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := mk().Schedule(1, demands)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Demand(nil), demands...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := mk().Schedule(1, shuffled); !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: schedule depends on input order:\n%+v\nvs\n%+v", trial, want, got)
+		}
+	}
+}

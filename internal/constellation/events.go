@@ -1,0 +1,148 @@
+package constellation
+
+import (
+	"math"
+	"sort"
+
+	"earthplus/internal/raster"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+)
+
+// DefaultUsablePSNR is the region-PSNR threshold at which downlinked
+// imagery of an event counts as usable by a downstream consumer (wildfire
+// monitoring, flood mapping): comfortably above visibly-degraded but below
+// archival quality, so the metric measures delivery latency, not codec
+// ceiling.
+const DefaultUsablePSNR = 32.0
+
+// TrackedEvent is one scene change event under time-to-usable-image
+// observation.
+type TrackedEvent struct {
+	Info scene.EventInfo
+	// UsableDay is the first day a downlinked frame scored at least the
+	// tracker's threshold PSNR over the event's tiles; -1 while pending.
+	UsableDay int
+
+	region []bool
+}
+
+// EventTracker implements sim.Observer: it watches every ground
+// reconstruction and records, per change event, the first day the
+// downlinked imagery of the event region reaches a usable PSNR — the
+// event workload's time-to-usable-image metric. Per-location state is only
+// touched from that location's (ordered) engine worker, matching the
+// Observer contract, so the tracker adds no locks and no nondeterminism.
+type EventTracker struct {
+	threshold float64
+	byLoc     map[int][]*TrackedEvent
+	tracked   int
+}
+
+// NewEventTracker tracks every event of sc with onset in [fromDay, toDay)
+// across all locations. thresholdPSNR <= 0 selects DefaultUsablePSNR. The
+// event regions are resolved to tile masks against the scene's grid.
+func NewEventTracker(sc *scene.Scene, fromDay, toDay int, thresholdPSNR float64) *EventTracker {
+	if thresholdPSNR <= 0 {
+		thresholdPSNR = DefaultUsablePSNR
+	}
+	grid := sc.Grid()
+	t := &EventTracker{threshold: thresholdPSNR, byLoc: map[int][]*TrackedEvent{}}
+	for loc := 0; loc < sc.NumLocations(); loc++ {
+		for _, ev := range sc.EventsIn(loc, fromDay, toDay) {
+			t.byLoc[loc] = append(t.byLoc[loc], &TrackedEvent{
+				Info:      ev,
+				UsableDay: -1,
+				region:    eventRegion(grid, ev),
+			})
+			t.tracked++
+		}
+	}
+	return t
+}
+
+// eventRegion marks the tiles whose bounds intersect the event's disc
+// bounding box.
+func eventRegion(grid raster.TileGrid, ev scene.EventInfo) []bool {
+	region := make([]bool, grid.NumTiles())
+	x0, x1 := ev.CX-ev.Radius, ev.CX+ev.Radius
+	y0, y1 := ev.CY-ev.Radius, ev.CY+ev.Radius
+	for t := 0; t < grid.NumTiles(); t++ {
+		tx0, ty0, tx1, ty1 := grid.Bounds(t)
+		if float64(tx1) <= x0 || float64(tx0) >= x1 ||
+			float64(ty1) <= y0 || float64(ty0) >= y1 {
+			continue
+		}
+		region[t] = true
+	}
+	return region
+}
+
+// ObserveVisit scores the reconstruction over every still-pending event of
+// the visited location whose onset has passed.
+func (t *EventTracker) ObserveVisit(rec *sim.Record, cap *scene.Capture, recon *raster.Image, grid raster.TileGrid) {
+	for _, ev := range t.byLoc[rec.Loc] {
+		if ev.UsableDay >= 0 || rec.Day < ev.Info.Day {
+			continue
+		}
+		psnr := sim.EvalPSNRRegion(cap, recon, grid, ev.region)
+		if !math.IsNaN(psnr) && psnr >= t.threshold {
+			ev.UsableDay = rec.Day
+		}
+	}
+}
+
+// Threshold returns the usable-PSNR threshold in force.
+func (t *EventTracker) Threshold() float64 { return t.threshold }
+
+// Events returns the tracked events in (location, onset, draw) order.
+func (t *EventTracker) Events() []TrackedEvent {
+	keys := make([]int, 0, len(t.byLoc))
+	for k := range t.byLoc {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]TrackedEvent, 0, t.tracked)
+	for _, loc := range keys {
+		for _, ev := range t.byLoc[loc] {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// EventSummary condenses a run's time-to-usable-image outcomes.
+type EventSummary struct {
+	// Tracked counts events under observation; Usable counts those whose
+	// imagery reached the threshold within the run.
+	Tracked int `json:"tracked"`
+	Usable  int `json:"usable"`
+	// MeanDaysToUsable and MaxDaysToUsable measure days from event onset
+	// to the first usable downlinked frame, over usable events.
+	MeanDaysToUsable float64 `json:"mean_days_to_usable"`
+	MaxDaysToUsable  int     `json:"max_days_to_usable"`
+	// ThresholdPSNR is the usable-image bar applied.
+	ThresholdPSNR float64 `json:"threshold_psnr"`
+}
+
+// Summary aggregates the tracker's outcomes.
+func (t *EventTracker) Summary() EventSummary {
+	s := EventSummary{ThresholdPSNR: t.threshold}
+	var daysSum int
+	for _, ev := range t.Events() {
+		s.Tracked++
+		if ev.UsableDay < 0 {
+			continue
+		}
+		s.Usable++
+		d := ev.UsableDay - ev.Info.Day
+		daysSum += d
+		if d > s.MaxDaysToUsable {
+			s.MaxDaysToUsable = d
+		}
+	}
+	if s.Usable > 0 {
+		s.MeanDaysToUsable = float64(daysSum) / float64(s.Usable)
+	}
+	return s
+}

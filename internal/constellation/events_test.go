@@ -1,0 +1,122 @@
+package constellation
+
+import (
+	"testing"
+
+	"earthplus/internal/raster"
+	"earthplus/internal/scene"
+	"earthplus/internal/sim"
+)
+
+func eventScene() *scene.Scene {
+	return scene.New(scene.LargeConstellation(scene.Quick))
+}
+
+func TestEventRegionMarksIntersectingTiles(t *testing.T) {
+	grid := raster.MustTileGrid(64, 64, 16)
+	// A small disc inside tile 0 marks exactly that tile.
+	region := eventRegion(grid, scene.EventInfo{CX: 8, CY: 8, Radius: 4})
+	for tile := 0; tile < grid.NumTiles(); tile++ {
+		if region[tile] != (tile == 0) {
+			t.Fatalf("tile %d marked=%v", tile, region[tile])
+		}
+	}
+	// A disc straddling the first tile corner marks the 2x2 neighborhood.
+	region = eventRegion(grid, scene.EventInfo{CX: 16, CY: 16, Radius: 4})
+	marked := 0
+	for _, m := range region {
+		if m {
+			marked++
+		}
+	}
+	if marked != 4 {
+		t.Fatalf("corner-straddling event marked %d tiles, want 4", marked)
+	}
+}
+
+func TestNewEventTrackerMatchesEventsIn(t *testing.T) {
+	sc := eventScene()
+	from, to := 40, 55
+	want := 0
+	for loc := 0; loc < sc.NumLocations(); loc++ {
+		want += len(sc.EventsIn(loc, from, to))
+	}
+	if want == 0 {
+		t.Fatal("scene generated no events in the window; tracker test is vacuous")
+	}
+	tr := NewEventTracker(sc, from, to, 0)
+	events := tr.Events()
+	if len(events) != want {
+		t.Fatalf("tracked %d events, EventsIn reports %d", len(events), want)
+	}
+	if tr.Threshold() != DefaultUsablePSNR {
+		t.Fatalf("threshold = %v, want default", tr.Threshold())
+	}
+	for _, ev := range events {
+		if ev.UsableDay != -1 {
+			t.Fatalf("event %+v usable before any visit", ev.Info)
+		}
+		if ev.Info.Day < from || ev.Info.Day >= to {
+			t.Fatalf("event onset %d outside [%d, %d)", ev.Info.Day, from, to)
+		}
+	}
+	s := tr.Summary()
+	if s.Tracked != want || s.Usable != 0 || s.ThresholdPSNR != DefaultUsablePSNR {
+		t.Fatalf("pre-visit summary = %+v", s)
+	}
+}
+
+// TestObserveVisitMarksUsable drives the tracker with perfect
+// reconstructions (the captured image itself): every tracked event becomes
+// usable on its first clear post-onset visit, and the summary's
+// time-to-usable figures follow.
+func TestObserveVisitMarksUsable(t *testing.T) {
+	sc := eventScene()
+	from, to := 40, 50
+	tr := NewEventTracker(sc, from, to, 0)
+	if len(tr.Events()) == 0 {
+		t.Fatal("no events to observe")
+	}
+	grid := sc.Grid()
+	for day := from; day < to+25; day++ {
+		cap := sc.CaptureImage(0, day, 0)
+		rec := sim.Record{Day: day, Loc: 0, Sat: 0}
+		tr.ObserveVisit(&rec, cap, cap.Image, grid)
+		sc.ReleaseCapture(cap)
+	}
+	s := tr.Summary()
+	if s.Usable == 0 {
+		t.Fatalf("no event became usable under perfect reconstruction: %+v", s)
+	}
+	if s.MeanDaysToUsable < 0 || s.MaxDaysToUsable < 0 {
+		t.Fatalf("negative time-to-usable: %+v", s)
+	}
+	if float64(s.MaxDaysToUsable) < s.MeanDaysToUsable {
+		t.Fatalf("max %d below mean %v", s.MaxDaysToUsable, s.MeanDaysToUsable)
+	}
+	for _, ev := range tr.Events() {
+		if ev.UsableDay >= 0 && ev.UsableDay < ev.Info.Day {
+			t.Fatalf("event usable on day %d before onset %d", ev.UsableDay, ev.Info.Day)
+		}
+	}
+}
+
+// TestObserveVisitIgnoresPreOnsetVisits: a visit before the event's onset
+// must not mark it usable, however good the imagery.
+func TestObserveVisitIgnoresPreOnsetVisits(t *testing.T) {
+	sc := eventScene()
+	tr := NewEventTracker(sc, 45, 50, 0)
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Skip("no events in window")
+	}
+	grid := sc.Grid()
+	for day := 30; day < 45; day++ {
+		cap := sc.CaptureImage(0, day, 0)
+		tr.ObserveVisit(&sim.Record{Day: day, Loc: 0}, cap, cap.Image, grid)
+		sc.ReleaseCapture(cap)
+	}
+	if s := tr.Summary(); s.Usable != 0 {
+		t.Fatalf("pre-onset visits marked events usable: %+v", s)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"earthplus/internal/cloud"
 	"earthplus/internal/codec"
+	"earthplus/internal/constellation"
 	"earthplus/internal/container"
 	"earthplus/internal/link"
 	"earthplus/internal/raster"
@@ -88,6 +89,13 @@ type Config struct {
 	// satellite's store decodes. Off (the default) keeps the raw store
 	// and is byte-identical to the pre-compression behavior.
 	RefCompression bool
+	// Constellation enables the contended ground-station model: N
+	// stations, each serving at most one satellite per contact window,
+	// with per-contact uplink budgets replacing the flat per-day budget
+	// and a cross-satellite priority scheduler on top of PackUplink's
+	// three classes. The zero value keeps the flat-budget behavior byte
+	// for byte. See internal/constellation.
+	Constellation constellation.Config
 	// CodecOpts configures the wavelet codec.
 	CodecOpts codec.Options
 }
@@ -167,7 +175,15 @@ type System struct {
 	// counters are atomic for the same reason.
 	channel   *link.Channel
 	linkStats linkCounters
-	lastGuar  []int // per location: day of last guaranteed download
+	// sched books ground-station contact windows when the constellation
+	// model is on (nil otherwise); contactBudget is the resolved
+	// per-contact uplink byte budget (-1 = unlimited) and contacts is the
+	// run's booked-contact log. All three are only touched from New and
+	// the sequential day-end barrier.
+	sched         *constellation.Scheduler
+	contactBudget int64
+	contacts      []sim.ContactRecord
+	lastGuar      []int // per location: day of last guaranteed download
 	// planned[sat][day%RevisitDays] lists the locations sat visits within
 	// the lookahead window after such a day, soonest first. The orbit
 	// schedule is periodic in RevisitDays, so these sets are precomputed
@@ -233,10 +249,22 @@ func New(env *sim.Env, cfg Config) (*System, error) {
 		}
 		caches[id] = cache
 	}
+	var sched *constellation.Scheduler
+	contactBudget := int64(0)
+	if cfg.Constellation.Enabled() {
+		if sched, err = constellation.NewScheduler(cfg.Constellation); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		contactBudget = cfg.Constellation.ResolveContactBudget(env.UplinkBytesPerDay)
+	} else if err := cfg.Constellation.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &System{
-		cfg:     cfg,
-		env:     env,
-		planned: planVisits(env, cfg.LookaheadDays),
+		cfg:           cfg,
+		env:           env,
+		sched:         sched,
+		contactBudget: contactBudget,
+		planned:       planVisits(env, cfg.LookaheadDays),
 		pipeline: &sat.Pipeline{
 			Bands:         bands,
 			Grid:          grid,
@@ -456,8 +484,13 @@ func (s *System) OnCapture(cap *scene.Capture) (sim.Outcome, error) {
 }
 
 // OnDayEnd implements sim.System: the ground packs reference updates for
-// each satellite's upcoming passes into the day's uplink budget.
+// each satellite's upcoming passes into the day's uplink budget. With the
+// constellation model on, the flat per-day budget is replaced by booked
+// ground-station contact windows with per-contact budgets.
 func (s *System) OnDayEnd(day int) (int64, error) {
+	if s.sched != nil {
+		return s.contendedDayEnd(day)
+	}
 	var total int64
 	for satID := 0; satID < s.env.Orbit.Satellites; satID++ {
 		locs := s.plannedLocs(satID, day)
@@ -469,61 +502,127 @@ func (s *System) OnDayEnd(day int) (int64, error) {
 		if err != nil {
 			return total, err
 		}
-		cache := s.cacheFor(satID)
-		if s.channel.Enabled() && len(updates) > 0 && s.channel.ContactCanceled(link.Uplink, satID, day) {
-			s.linkStats.upContactsLost.Add(1)
+		total += s.deliverUpdates(satID, day, updates)
+	}
+	return total, nil
+}
+
+// contendedDayEnd is the constellation day-end: each satellite's pending
+// uplink work (station.Ground.PendingUplink over its planned visit window)
+// becomes a cross-satellite demand, the scheduler books the day's station
+// contact windows, and each booked contact packs against ITS OWN meter.
+// A satellite booked into several windows keeps packing where the last
+// contact left off — PackUplink skips locations whose mirror is already
+// current. Satellites whose pending work won no window stall until
+// tomorrow: that starvation, not a shrunken budget, is what station
+// contention costs.
+func (s *System) contendedDayEnd(day int) (int64, error) {
+	demands := make([]constellation.Demand, 0, s.env.Orbit.Satellites)
+	for satID := 0; satID < s.env.Orbit.Satellites; satID++ {
+		locs := s.plannedLocs(satID, day)
+		if len(locs) == 0 {
+			continue
 		}
-		for _, u := range updates {
-			// The bytes were transmitted (and PackUplink already consumed
-			// them from the day's meter) whether or not delivery succeeds:
-			// retransmissions therefore compete INSIDE the same budget,
-			// never on top of it.
-			total += u.Bytes
-			if !s.channel.Enabled() {
-				s.install(cache, satID, u)
-				continue
-			}
-			s.linkStats.upUpdates.Add(1)
-			if u.Retransmit {
-				s.linkStats.retransmits.Add(1)
-				s.linkStats.retransmitBytes.Add(u.Bytes)
-			}
-			rx, txo := s.channel.Transmit(link.Uplink, satID, day, u.Loc, u.Frame)
-			if !txo.Arrived() {
-				// Nothing reached the satellite; the missing per-update ACK
-				// tells the ground, which rolls its optimistic mirror commit
-				// back so the next contact re-sends the full reference.
-				s.linkStats.upDropped.Add(1)
-				s.ground.NackDelivery(satID, u.Loc)
-				continue
-			}
-			// CRC gate: a damaged frame (single-byte corruption is always
-			// CRC-32C detectable, truncation breaks the parse) is rejected
-			// whole and NACKed; the on-board cache keeps its stale but
-			// coherent reference. Once the received bytes validate they
-			// equal the sent bytes, so installing the ground-computed
-			// Decoded/StoreFrame content is exactly what decoding rx would
-			// produce.
-			if err := sat.ValidateFrame(rx); err != nil {
+		re, de, dm := s.ground.PendingUplink(satID, locs)
+		demands = append(demands, constellation.Demand{
+			Sat: satID, Reseeds: re, Deltas: de, Demoted: dm,
+		})
+	}
+	contacts := s.sched.Schedule(day, demands)
+	var total int64
+	for i := range contacts {
+		ct := &contacts[i]
+		meter := link.NewMeter(s.contactBudget)
+		updates, err := s.ground.PackUplink(ct.Sat, day, s.plannedLocs(ct.Sat, day), meter)
+		if err != nil {
+			return total, err
+		}
+		ct.Bytes = s.deliverUpdates(ct.Sat, day, updates)
+		total += ct.Bytes
+	}
+	s.contacts = append(s.contacts, contacts...)
+	return total, nil
+}
+
+// deliverUpdates transmits one satellite's packed updates through the
+// (possibly fault-injected) channel and installs what survives, returning
+// the uplink bytes transmitted. It runs only on the sequential day-end
+// barrier.
+func (s *System) deliverUpdates(satID, day int, updates []station.RefUpdate) int64 {
+	cache := s.cacheFor(satID)
+	if s.channel.Enabled() && len(updates) > 0 && s.channel.ContactCanceled(link.Uplink, satID, day) {
+		s.linkStats.upContactsLost.Add(1)
+	}
+	var total int64
+	for _, u := range updates {
+		// The bytes were transmitted (and PackUplink already consumed
+		// them from the day's meter) whether or not delivery succeeds:
+		// retransmissions therefore compete INSIDE the same budget,
+		// never on top of it.
+		total += u.Bytes
+		if !s.channel.Enabled() {
+			s.install(cache, satID, u)
+			continue
+		}
+		s.linkStats.upUpdates.Add(1)
+		if u.Retransmit {
+			s.linkStats.retransmits.Add(1)
+			s.linkStats.retransmitBytes.Add(u.Bytes)
+		}
+		rx, txo := s.channel.Transmit(link.Uplink, satID, day, u.Loc, u.Frame)
+		if !txo.Arrived() {
+			// Nothing reached the satellite; the missing per-update ACK
+			// tells the ground, which rolls its optimistic mirror commit
+			// back so the next contact re-sends the full reference.
+			s.linkStats.upDropped.Add(1)
+			s.ground.NackDelivery(satID, u.Loc)
+			continue
+		}
+		// CRC gate: a damaged frame (single-byte corruption is always
+		// CRC-32C detectable, truncation breaks the parse) is rejected
+		// whole and NACKed; the on-board cache keeps its stale but
+		// coherent reference. Once the received bytes validate they
+		// equal the sent bytes, so installing the ground-computed
+		// Decoded/StoreFrame content is exactly what decoding rx would
+		// produce.
+		if err := sat.ValidateFrame(rx); err != nil {
+			s.linkStats.upCorrupted.Add(1)
+			s.ground.NackDelivery(satID, u.Loc)
+			continue
+		}
+		if u.StoreFrame != nil {
+			// Defense in depth for the compressed install path: the
+			// storage frame goes into the store verbatim, so it passes
+			// the same gate before PutFrame may keep it.
+			if err := sat.ValidateFrame(u.StoreFrame); err != nil {
 				s.linkStats.upCorrupted.Add(1)
 				s.ground.NackDelivery(satID, u.Loc)
 				continue
 			}
-			if u.StoreFrame != nil {
-				// Defense in depth for the compressed install path: the
-				// storage frame goes into the store verbatim, so it passes
-				// the same gate before PutFrame may keep it.
-				if err := sat.ValidateFrame(u.StoreFrame); err != nil {
-					s.linkStats.upCorrupted.Add(1)
-					s.ground.NackDelivery(satID, u.Loc)
-					continue
-				}
-			}
-			s.install(cache, satID, u)
-			s.ground.AckDelivery(satID, u.Loc)
 		}
+		s.install(cache, satID, u)
+		s.ground.AckDelivery(satID, u.Loc)
 	}
-	return total, nil
+	return total
+}
+
+// ContactLog implements sim.ContactReporter: the booked ground-station
+// contacts of the run, nil under the flat per-day budget. Contacts carry
+// no wall-clock fields and scheduling runs only on the serial day-end
+// barrier, so the log is byte-identical at any engine worker count.
+func (s *System) ContactLog() []sim.ContactRecord { return s.contacts }
+
+// ContactBudget returns the resolved per-contact uplink budget in bytes
+// (-1 = unlimited; 0 when the constellation model is off).
+func (s *System) ContactBudget() int64 { return s.contactBudget }
+
+// ConstellationStats snapshots the contact scheduler's outcomes (zero
+// value when the constellation model is off).
+func (s *System) ConstellationStats() constellation.Stats {
+	if s.sched == nil {
+		return constellation.Stats{}
+	}
+	return s.sched.Stats()
 }
 
 // install applies one delivered update to a satellite's store. Installing

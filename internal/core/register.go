@@ -1,6 +1,7 @@
 package core
 
 import (
+	"earthplus/internal/constellation"
 	"earthplus/internal/eperr"
 	"earthplus/internal/link"
 	"earthplus/internal/registry"
@@ -19,10 +20,12 @@ func init() {
 		if err := registry.CheckParams(spec, SystemName,
 			"guarantee_days", "guarantee_max_cloud", "reject_cloud_frac",
 			"ref_downsample", "lookahead_days", "drop_coverage", "ref_bpp",
-			"storage_bytes", "link_loss", "link_seed"); err != nil {
+			"storage_bytes", "link_loss", "link_seed",
+			"stations", "contact_budget"); err != nil {
 			return nil, err
 		}
-		if err := registry.CheckStrParams(spec, SystemName, "evict_policy", "ref_compression"); err != nil {
+		if err := registry.CheckStrParams(spec, SystemName,
+			"evict_policy", "ref_compression", "constellation"); err != nil {
 			return nil, err
 		}
 		cfg := DefaultConfig()
@@ -82,6 +85,44 @@ func init() {
 				return nil, eperr.New(eperr.BadConfig, "core",
 					"ref_compression must be \"on\" or \"off\", got %q", v)
 			}
+		}
+		// Constellation ground-segment model: "constellation" on/off is the
+		// switch ("on" alone books constellation.DefaultStations stations);
+		// "stations" sets the station count and implies on; "contact_budget"
+		// (bytes per contact window, negative = unlimited, zero = derive
+		// from the flat per-day budget) is only meaningful when enabled.
+		constOn := false
+		if v, ok := spec.StrParam("constellation"); ok {
+			switch v {
+			case "on":
+				constOn = true
+			case "off":
+				constOn = false
+			default:
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"constellation must be \"on\" or \"off\", got %q", v)
+			}
+		}
+		if v, ok := spec.Param("stations"); ok {
+			n := int(v)
+			if n <= 0 || float64(n) != v {
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"stations must be a positive integer, got %v", v)
+			}
+			if sv, set := spec.StrParam("constellation"); set && sv == "off" {
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"stations=%d conflicts with constellation=\"off\"", n)
+			}
+			cfg.Constellation.Stations = n
+		} else if constOn {
+			cfg.Constellation.Stations = constellation.DefaultStations
+		}
+		if v, ok := spec.Param("contact_budget"); ok {
+			if !cfg.Constellation.Enabled() {
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"contact_budget requires the constellation model (set constellation=\"on\" or stations)")
+			}
+			cfg.Constellation.ContactBudgetBytes = int64(v)
 		}
 		return New(env, cfg)
 	})

@@ -31,10 +31,12 @@ func Catalog(sc Scale, benchJSON, simBenchJSON string) []Job {
 		{"fig19", func() (Result, error) { return Fig19(sc) }},
 		{"storagesweep", func() (Result, error) { return StorageSweep(sc) }},
 		{"losssweep", func() (Result, error) { return LossSweep(sc) }},
+		{"constsweep", func() (Result, error) { return ConstellationSweep(sc) }},
 		{"ablation-theta", func() (Result, error) { return AblationTheta(sc) }},
 		{"ablation-guarantee", func() (Result, error) { return AblationGuarantee(sc) }},
 		{"ablation-reject", func() (Result, error) { return AblationReject(sc) }},
 		{"codecbench", func() (Result, error) { return CodecBench(benchJSON) }},
+		{"simscale", func() (Result, error) { return SimScaling() }},
 		{"simbench", func() (Result, error) { return SimBench(simBenchJSON) }},
 	}
 }

@@ -114,6 +114,15 @@ func planetOrbit(satellites int) orbit.Constellation {
 	return orbit.Constellation{Satellites: satellites, RevisitDays: 12}
 }
 
+// DenseOrbit is the dense-revisit constellation the stress sweeps fly: a
+// 2-day single-satellite revisit, so compact scales still generate enough
+// traffic per simulated day — enough channel frames for sub-percent loss
+// rates to resolve into fault events (the loss sweep), enough contending
+// uplink demand for station contention to bite (the constellation sweep).
+func DenseOrbit(satellites int) orbit.Constellation {
+	return orbit.Constellation{Satellites: satellites, RevisitDays: 2}
+}
+
 // dovesDownlink is the Table 1 downlink contact model.
 func dovesDownlink() link.Budget {
 	spec := orbit.DovesSpec()
@@ -178,6 +187,36 @@ var (
 	LinkSeed uint64 = 1
 )
 
+// ConstellationStations and ConstellationContactBudget are the package
+// defaults for the contended ground-station model in every Earth+
+// experiment run: 0 stations keeps the flat per-day uplink budget (the
+// default runs stay byte-identical to it), a positive count books that
+// many stations — each serving one satellite per contact window — and the
+// contact budget caps each window's uplink bytes (0 = derived from the
+// flat per-day budget, negative = unlimited). cmd/earthplus-bench and
+// cmd/earthplus-sim expose them as -stations and -contactbudget; the
+// constellation sweep sets its own station counts and ignores these
+// defaults.
+var (
+	ConstellationStations      int
+	ConstellationContactBudget int64
+)
+
+// applyConstellationDefaults pushes the package ground-station knobs onto
+// a spec (untouched at 0 stations: presence of stations is meaningful).
+func applyConstellationDefaults(spec registry.Spec) registry.Spec {
+	if ConstellationStations != 0 {
+		if spec.Params == nil {
+			spec.Params = map[string]float64{}
+		}
+		spec.Params["stations"] = float64(ConstellationStations)
+		if ConstellationContactBudget != 0 {
+			spec.Params["contact_budget"] = float64(ConstellationContactBudget)
+		}
+	}
+	return spec
+}
+
 // applyLinkDefaults pushes the package link-fault knobs onto a spec
 // (untouched at LinkLoss 0: presence of link_loss is meaningful).
 func applyLinkDefaults(spec registry.Spec) registry.Spec {
@@ -239,7 +278,8 @@ func profiledTheta(sc Scale, cfg scene.Config, downsample int) float64 {
 // earthPlus builds an Earth+ system through the system registry with the
 // profiled θ and a γ.
 func earthPlus(env *sim.Env, theta, gamma float64) (sim.System, error) {
-	return registry.New(core.SystemName, env, applyLinkDefaults(applyStorageDefaults(registry.Spec{GammaBPP: gamma, Theta: theta})))
+	return registry.New(core.SystemName, env,
+		applyConstellationDefaults(applyLinkDefaults(applyStorageDefaults(registry.Spec{GammaBPP: gamma, Theta: theta}))))
 }
 
 // runSystemStream runs one system over the scale's evaluation window,

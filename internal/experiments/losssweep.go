@@ -34,9 +34,7 @@ const lossSweepSeed = 1
 // the Sentinel-2-like default so the compact scales still push enough
 // frames through the channel for sub-percent loss rates to resolve into
 // actual fault events.
-func lossOrbit() orbit.Constellation {
-	return orbit.Constellation{Satellites: 4, RevisitDays: 2}
-}
+func lossOrbit() orbit.Constellation { return DenseOrbit(4) }
 
 // LossPoint is one measured loss rate.
 type LossPoint struct {

@@ -32,13 +32,23 @@ type SimBenchRun struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
-// SimBenchResult is the full snapshot.
-type SimBenchResult struct {
+// SimScalingResult is the engine's multi-core scaling probe: the measured
+// worker-count sweep plus the flag that says whether its speedup numbers
+// mean anything on this host. It is embedded in SimBenchResult (inline
+// JSON keys) and also runs standalone as `-only simscale`, which is what
+// CI's bench smoke pins at GOMAXPROCS >= 4.
+type SimScalingResult struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Satellites int    `json:"satellites"`
-	Locations  int    `json:"locations"`
-	Days       int    `json:"days"`
+	// ScalingValid is false when GOMAXPROCS < 2: with one scheduler core
+	// the worker sweep cannot exhibit any speedup, so speedup_vs_serial
+	// ~1.0 would read as an engine regression when it is only a host
+	// artifact. Consumers must ignore the speedup figures unless this is
+	// true.
+	ScalingValid bool `json:"scaling_valid"`
+	Satellites   int  `json:"satellites"`
+	Locations    int  `json:"locations"`
+	Days         int  `json:"days"`
 	// CapturesPerRun is the number of (day, location, satellite) visits
 	// each measured run processes.
 	CapturesPerRun int `json:"captures_per_run"`
@@ -50,6 +60,11 @@ type SimBenchResult struct {
 	// Deterministic reports whether every run produced records identical
 	// to the serial run (timing fields excluded).
 	Deterministic bool `json:"deterministic"`
+}
+
+// SimBenchResult is the full snapshot.
+type SimBenchResult struct {
+	SimScalingResult
 	// Storage is the storage sweep recorded alongside the perf runs:
 	// budget points and per-system compression ratios, uplink use and
 	// eviction/miss counts (run at a compact scale).
@@ -80,14 +95,27 @@ type SimBenchResult struct {
 	// fired in it (a fault-free run would prove nothing).
 	LossDeterministic   bool `json:"loss_deterministic"`
 	LossFaultsExercised bool `json:"loss_faults_exercised"`
-	path                string
+	// Const is the constellation sweep recorded alongside the perf runs:
+	// fleet sizes x contended ground-station counts, with per-contact
+	// budgets, contention stalls, re-seed backlog and event
+	// time-to-usable-image (run at a compact single-location scale).
+	Const *ConstSweepResult `json:"constsweep,omitempty"`
+	// ConstDeterministic reports whether a contended 16-satellite /
+	// 2-station run — scheduler, per-contact meters and contact log active
+	// — stayed identical across worker counts (records, uplink bytes AND
+	// the contact log), and ConstContentionExercised whether satellites
+	// actually stalled for windows in it (an uncontended run would prove
+	// nothing).
+	ConstDeterministic       bool `json:"const_deterministic"`
+	ConstContentionExercised bool `json:"const_contention_exercised"`
+	path                     string
 }
 
 // ID implements Result.
-func (r *SimBenchResult) ID() string { return "Sim engine perf snapshot" }
+func (r *SimScalingResult) ID() string { return "Sim engine scaling probe" }
 
 // Render implements Result.
-func (r *SimBenchResult) Render(w io.Writer) error {
+func (r *SimScalingResult) Render(w io.Writer) error {
 	fmt.Fprintf(w, "workload: %d locations x %d satellites x %d days = %d captures, GOMAXPROCS=%d\n",
 		r.Locations, r.Satellites, r.Days, r.CapturesPerRun, r.GOMAXPROCS)
 	fmt.Fprintf(w, "serial bootstrap phase (excluded from runs): %.2fs\n", r.BootstrapSeconds)
@@ -95,7 +123,19 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 	for _, run := range r.Runs {
 		fmt.Fprintf(w, "%-10d %10.2f %9.2fx\n", run.Workers, run.Seconds, run.SpeedupVsSerial)
 	}
+	fmt.Fprintf(w, "scaling valid: %v (speedup figures are host artifacts below 2 cores)\n", r.ScalingValid)
 	fmt.Fprintf(w, "records identical across worker counts: %v\n", r.Deterministic)
+	return nil
+}
+
+// ID implements Result.
+func (r *SimBenchResult) ID() string { return "Sim engine perf snapshot" }
+
+// Render implements Result.
+func (r *SimBenchResult) Render(w io.Writer) error {
+	if err := r.SimScalingResult.Render(w); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "storage-bounded run identical across worker counts: %v (evictions exercised: %v)\n",
 		r.StorageDeterministic, r.StorageEvictionsExercised)
 	fmt.Fprintf(w, "compressed-refs bounded run identical across worker counts: %v (evictions exercised: %v)\n",
@@ -106,6 +146,8 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "lossy-link run identical across worker counts: %v (faults exercised: %v)\n",
 		r.LossDeterministic, r.LossFaultsExercised)
+	fmt.Fprintf(w, "contended constellation run identical across worker counts: %v (contention exercised: %v)\n",
+		r.ConstDeterministic, r.ConstContentionExercised)
 	if r.Storage != nil {
 		if err := r.Storage.Render(w); err != nil {
 			return err
@@ -113,6 +155,11 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 	}
 	if r.Loss != nil {
 		if err := r.Loss.Render(w); err != nil {
+			return err
+		}
+	}
+	if r.Const != nil {
+		if err := r.Const.Render(w); err != nil {
 			return err
 		}
 	}
@@ -135,19 +182,22 @@ type RefDecodeCost struct {
 // simBenchDays is the measured evaluation window.
 const simBenchDays = 4
 
-// SimBench measures a whole-constellation Earth+ run at worker counts 1,
-// 2, 4 and GOMAXPROCS and, when outPath is non-empty, writes the JSON
-// snapshot there.
-func SimBench(outPath string) (*SimBenchResult, error) {
+// SimScaling measures a whole-constellation Earth+ run at worker counts
+// 1, 2, 4 and GOMAXPROCS: the engine's multi-core scaling probe, with the
+// codec pinned to one thread. ScalingValid is false when the host has
+// fewer than two scheduler cores — the sweep still runs (the determinism
+// bit is as meaningful as ever) but the speedup figures are host
+// artifacts.
+func SimScaling() (*SimScalingResult, error) {
 	cfg := richConfig(QuickScale())
 	const satellites = 8
-	res := &SimBenchResult{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Satellites: satellites,
-		Locations:  len(cfg.Locations),
-		Days:       simBenchDays,
-		path:       outPath,
+	res := &SimScalingResult{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		ScalingValid: runtime.GOMAXPROCS(0) >= 2,
+		Satellites:   satellites,
+		Locations:    len(cfg.Locations),
+		Days:         simBenchDays,
 	}
 
 	mkRun := func(workers int) (*sim.Env, sim.System, error) {
@@ -221,6 +271,19 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 		}
 		res.Runs = append(res.Runs, SimBenchRun{Workers: wkr, Seconds: sec, SpeedupVsSerial: serialSec / sec})
 	}
+	return res, nil
+}
+
+// SimBench runs the scaling probe plus the storage, link-loss and
+// constellation sweeps with their worker-count determinism checks and,
+// when outPath is non-empty, writes the JSON snapshot there
+// (BENCH_sim.json).
+func SimBench(outPath string) (*SimBenchResult, error) {
+	scaling, err := SimScaling()
+	if err != nil {
+		return nil, err
+	}
+	res := &SimBenchResult{SimScalingResult: *scaling, path: outPath}
 
 	// Storage snapshot: the budget sweep plus a determinism check of the
 	// eviction paths across worker counts, both at a compact scale so the
@@ -259,6 +322,22 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 	}
 	res.LossDeterministic = ldet
 	res.LossFaultsExercised = lfaulted
+
+	// Constellation snapshot: the fleet x station sweep plus a determinism
+	// check of the contended scheduler, per-contact meters and contact log
+	// across worker counts, at a compact single-location scale.
+	constSc := constSnapshotScale()
+	constSweep, err := ConstellationSweep(constSc)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: constellation sweep: %w", err)
+	}
+	res.Const = constSweep
+	kdet, kcontended, err := constDeterminismCheck(constSc, []int{4})
+	if err != nil {
+		return nil, fmt.Errorf("simbench: constellation determinism: %w", err)
+	}
+	res.ConstDeterministic = kdet
+	res.ConstContentionExercised = kcontended
 
 	if outPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")

@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -51,12 +52,38 @@ func TestSimBenchSmoke(t *testing.T) {
 	if !res.RefCompressionEvictionsExercised {
 		t.Fatal("compressed-refs determinism check ran without evictions")
 	}
+	if res.ScalingValid != (runtime.GOMAXPROCS(0) >= 2) {
+		t.Fatalf("scaling_valid = %v at GOMAXPROCS=%d", res.ScalingValid, runtime.GOMAXPROCS(0))
+	}
+	if res.Const == nil || len(res.Const.Points) != len(constSweepSats)*len(constSweepStations) {
+		t.Fatalf("snapshot missing the constellation sweep: %+v", res.Const)
+	}
+	for _, p := range res.Const.Points {
+		if p.Contacts == 0 {
+			t.Fatalf("constellation point %dx%d booked no contacts", p.Satellites, p.Stations)
+		}
+		if p.Events.Tracked == 0 {
+			t.Fatalf("constellation point %dx%d tracked no events", p.Satellites, p.Stations)
+		}
+	}
+	if !res.ConstDeterministic {
+		t.Fatal("contended constellation run diverged across worker counts")
+	}
+	if !res.ConstContentionExercised {
+		t.Fatal("constellation determinism check ran without contention")
+	}
 	var sb strings.Builder
 	if err := res.Render(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "speedup") {
 		t.Fatalf("render missing speedup column:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "scaling valid") {
+		t.Fatalf("render missing the scaling-validity line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "TTUI") {
+		t.Fatalf("render missing the constellation sweep table:\n%s", sb.String())
 	}
 	if err := res.Render(io.Discard); err != nil {
 		t.Fatal(err)

@@ -146,3 +146,86 @@ func TestDovesSpecValues(t *testing.T) {
 		t.Fatalf("downloadable area per contact = %v km²", a)
 	}
 }
+
+// TestNextVisitConstellationScale pins the visit arithmetic at the fleet
+// sizes the constellation sweep flies: with 64 phased satellites on a
+// 2-day revisit, every location is visited every day by exactly half the
+// fleet, and the per-satellite next-visit arithmetic stays consistent with
+// the membership test.
+func TestNextVisitConstellationScale(t *testing.T) {
+	c := Constellation{Satellites: 64, RevisitDays: 2}
+	for loc := 0; loc < 5; loc++ {
+		for day := 0; day < 10; day++ {
+			if got := len(c.VisitsOn(loc, day)); got != 32 {
+				t.Fatalf("loc %d day %d: %d visiting satellites, want 32", loc, day, got)
+			}
+			if next := c.NextVisitAny(loc, day); next != day+1 {
+				t.Fatalf("NextVisitAny(%d, %d) = %d, want %d", loc, day, next, day+1)
+			}
+		}
+		for sat := 0; sat < 64; sat += 7 {
+			for after := 0; after < 6; after++ {
+				next := c.NextVisit(sat, loc, after)
+				if next <= after || next > after+c.RevisitDays {
+					t.Fatalf("NextVisit(%d, %d, %d) = %d outside (%d, %d]", sat, loc, after, next, after, after+c.RevisitDays)
+				}
+				if !c.Visits(sat, loc, next) {
+					t.Fatalf("NextVisit(%d, %d, %d) = %d is not a visit day", sat, loc, after, next)
+				}
+				for d := after + 1; d < next; d++ {
+					if c.Visits(sat, loc, d) {
+						t.Fatalf("NextVisit(%d, %d, %d) skipped earlier visit on day %d", sat, loc, after, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVisitsOnPartitionsFleet: on any day, VisitsOn lists exactly the
+// satellites whose Visits predicate holds — no satellite appears for two
+// different phases of the same day, and the fleet partitions cleanly across
+// the revisit period.
+func TestVisitsOnPartitionsFleet(t *testing.T) {
+	c := Constellation{Satellites: 16, RevisitDays: 2}
+	for loc := 0; loc < 3; loc++ {
+		seen := map[int]int{}
+		for day := 0; day < c.RevisitDays; day++ {
+			visiting := c.VisitsOn(loc, day)
+			for i := 1; i < len(visiting); i++ {
+				if visiting[i] <= visiting[i-1] {
+					t.Fatalf("VisitsOn(%d, %d) not strictly increasing: %v", loc, day, visiting)
+				}
+			}
+			for _, sat := range visiting {
+				if !c.Visits(sat, loc, day) {
+					t.Fatalf("VisitsOn lists sat %d on day %d but Visits disagrees", sat, day)
+				}
+				seen[sat]++
+			}
+			for sat := 0; sat < c.Satellites; sat++ {
+				if c.Visits(sat, loc, day) != contains(visiting, sat) {
+					t.Fatalf("Visits(%d, %d, %d) inconsistent with VisitsOn", sat, loc, day)
+				}
+			}
+		}
+		// Across one full revisit period, every satellite visits exactly once.
+		if len(seen) != c.Satellites {
+			t.Fatalf("loc %d: %d satellites seen in one period, want %d", loc, len(seen), c.Satellites)
+		}
+		for sat, n := range seen {
+			if n != 1 {
+				t.Fatalf("loc %d: sat %d visited %d times in one period", loc, sat, n)
+			}
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -82,6 +82,45 @@ func (s *Scene) poisson(lambda, u float64) int {
 	return k
 }
 
+// EventInfo publicly describes one terrestrial change event so workloads
+// outside the scene (the constellation time-to-usable-image tracker) can
+// follow what happened where without re-deriving the generator's streams.
+type EventInfo struct {
+	// Loc and Day place the event: it stamps the ground from Day onwards.
+	Loc, Day int
+	// CX, CY and Radius are the event disc in pixel coordinates.
+	CX, CY, Radius float64
+	// Vegetation marks vegetation-class events (burns, harvests); false is
+	// the built/soil class.
+	Vegetation bool
+}
+
+// EventsIn returns the change events of loc with onset day in
+// [fromDay, toDay), in generation (day, draw) order. It extends the
+// location's event stream as needed, so the same events are returned no
+// matter which captures have been generated yet.
+func (s *Scene) EventsIn(loc, fromDay, toDay int) []EventInfo {
+	if toDay <= fromDay {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.loc(loc)
+	s.ensureEvents(loc, st, toDay-1)
+	var out []EventInfo
+	for _, e := range st.events {
+		if e.day < fromDay || e.day >= toDay {
+			continue
+		}
+		out = append(out, EventInfo{
+			Loc: loc, Day: e.day,
+			CX: e.cx, CY: e.cy, Radius: e.radius,
+			Vegetation: e.class == eventVegetation,
+		})
+	}
+	return out
+}
+
 // applyEvent stamps the event's patch onto every band of the canvas.
 func (s *Scene) applyEvent(im *raster.Image, e event) {
 	x0 := int(e.cx - e.radius)

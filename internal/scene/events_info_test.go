@@ -1,0 +1,61 @@
+package scene
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventsInWindowAndDeterminism(t *testing.T) {
+	sc := New(LargeConstellation(Quick))
+	events := sc.EventsIn(0, 20, 60)
+	if len(events) == 0 {
+		t.Fatal("large-constellation preset generated no events in 40 days")
+	}
+	last := -1
+	for _, ev := range events {
+		if ev.Loc != 0 {
+			t.Fatalf("event at loc %d, asked for 0", ev.Loc)
+		}
+		if ev.Day < 20 || ev.Day >= 60 {
+			t.Fatalf("event day %d outside [20, 60)", ev.Day)
+		}
+		if ev.Day < last {
+			t.Fatalf("events out of day order: %d after %d", ev.Day, last)
+		}
+		last = ev.Day
+		if ev.Radius <= 0 {
+			t.Fatalf("non-positive radius: %+v", ev)
+		}
+		if ev.CX < 0 || ev.CX > float64(sc.Grid().ImageW) ||
+			ev.CY < 0 || ev.CY > float64(sc.Grid().ImageH) {
+			t.Fatalf("event center off-frame: %+v", ev)
+		}
+	}
+	// Repeated queries and a fresh scene see identical events — the stream
+	// is a pure function of (seed, loc, day), independent of which captures
+	// were generated first.
+	if again := sc.EventsIn(0, 20, 60); !reflect.DeepEqual(events, again) {
+		t.Fatal("repeated EventsIn diverged")
+	}
+	fresh := New(LargeConstellation(Quick))
+	fresh.EventsIn(0, 0, 5) // advance the stream from a different window first
+	if got := fresh.EventsIn(0, 20, 60); !reflect.DeepEqual(events, got) {
+		t.Fatal("EventsIn depends on query history")
+	}
+	// Sub-windows partition the full window.
+	head := sc.EventsIn(0, 20, 40)
+	tail := sc.EventsIn(0, 40, 60)
+	if len(head)+len(tail) != len(events) {
+		t.Fatalf("window split %d + %d != %d", len(head), len(tail), len(events))
+	}
+}
+
+func TestEventsInEmptyWindow(t *testing.T) {
+	sc := New(LargeConstellation(Quick))
+	if ev := sc.EventsIn(0, 30, 30); ev != nil {
+		t.Fatalf("empty window returned %+v", ev)
+	}
+	if ev := sc.EventsIn(0, 30, 20); ev != nil {
+		t.Fatalf("inverted window returned %+v", ev)
+	}
+}

@@ -1,0 +1,149 @@
+package sim_test
+
+// Fleet-scale determinism: with the contended ground-station model on — the
+// cross-satellite contact scheduler, per-contact meters and the contact log
+// all active — a 16-satellite run must stay identical to the serial path at
+// any worker count: records, per-day uplink bytes AND every booked contact.
+// CI runs this under -race, which also proves the engine's fleet-scale
+// capture pregeneration (more workers than locations) is data-race-free.
+
+import (
+	"reflect"
+	"testing"
+
+	"earthplus/internal/constellation"
+	"earthplus/internal/core"
+	"earthplus/internal/sim"
+)
+
+// constDetEnv is detEnv at fleet scale: 16 satellites on a 2-day revisit,
+// so every location sees 8 satellites a day and 16 satellites compete for
+// 2 stations x 7 windows = 14 daily contact slots.
+func constDetEnv(parallelism int) *sim.Env {
+	env := detEnv(parallelism)
+	env.Orbit.Satellites = 16
+	return env
+}
+
+func TestConstellationRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	mk := func(env *sim.Env) (sim.System, error) {
+		cfg := core.DefaultConfig()
+		cfg.Constellation = constellation.Config{Stations: 2}
+		return core.New(env, cfg)
+	}
+	type runOut struct {
+		res      *sim.Result
+		contacts []sim.ContactRecord
+		stats    constellation.Stats
+		budget   int64
+	}
+	run := func(parallelism int) runOut {
+		t.Helper()
+		env := constDetEnv(parallelism)
+		// The event tracker rides along as the engine observer so the
+		// concurrent ObserveVisit path runs under -race too.
+		env.Observer = constellation.NewEventTracker(env.Scene, 30, 36, 0)
+		sys, err := mk(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(env, sys, 5, 30, 36)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) == 0 {
+			t.Fatal("no captures simulated")
+		}
+		cs := sys.(*core.System)
+		return runOut{res: res, contacts: cs.ContactLog(), stats: cs.ConstellationStats(), budget: cs.ContactBudget()}
+	}
+
+	serial := run(1)
+	if len(serial.contacts) == 0 {
+		t.Fatal("contended run booked no contacts")
+	}
+	if !reflect.DeepEqual(serial.contacts, serial.res.Contacts) {
+		t.Fatal("Result.Contacts differs from the system's contact log")
+	}
+	if serial.stats.Stalls == 0 {
+		t.Fatalf("16 satellites on 14 windows never stalled; contention not exercised (stats %+v)", serial.stats)
+	}
+	if serial.budget <= 0 {
+		t.Fatalf("derived per-contact budget = %d, want finite", serial.budget)
+	}
+	// Per-contact metering: no booked contact may move more bytes than its
+	// budget, and satellites book only windows that exist.
+	cfg := constellation.Config{Stations: 2}
+	for _, ct := range serial.contacts {
+		if ct.Bytes > serial.budget {
+			t.Fatalf("contact %+v over the %d-byte budget", ct, serial.budget)
+		}
+		if ct.Station < 0 || ct.Station >= cfg.Stations || ct.Window < 0 || ct.Window >= constellation.DefaultContactsPerStation {
+			t.Fatalf("contact %+v outside the station/window grid", ct)
+		}
+	}
+	// No station serves two satellites in the same (day, window).
+	slots := map[[3]int]int{}
+	for _, ct := range serial.contacts {
+		key := [3]int{ct.Day, ct.Station, ct.Window}
+		if prev, ok := slots[key]; ok && prev != ct.Sat {
+			t.Fatalf("station %d double-booked on day %d window %d: sats %d and %d",
+				ct.Station, ct.Day, ct.Window, prev, ct.Sat)
+		}
+		slots[key] = ct.Sat
+	}
+
+	// Worker counts beyond the location count exercise the fleet-scale
+	// capture pregeneration path (5 locations, 8 workers).
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if !sim.RecordsEqualIgnoringTimings(serial.res.Records, got.res.Records) {
+			t.Fatalf("contended records at Parallelism=%d differ from serial run", workers)
+		}
+		for day, up := range serial.res.UpBytesByDay {
+			if got.res.UpBytesByDay[day] != up {
+				t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.res.UpBytesByDay[day], up)
+			}
+		}
+		if !reflect.DeepEqual(serial.contacts, got.contacts) {
+			t.Fatalf("contact log at Parallelism=%d differs from serial run", workers)
+		}
+		if serial.stats != got.stats {
+			t.Fatalf("scheduler stats at Parallelism=%d: %+v vs %+v", workers, got.stats, serial.stats)
+		}
+	}
+}
+
+// TestConstellationOffIsFlatBudget: a zero Constellation config must be
+// byte-identical to the pre-constellation flat-budget path, with no contact
+// log — defaults-off runs cannot drift.
+func TestConstellationOffIsFlatBudget(t *testing.T) {
+	run := func(cfg core.Config) *sim.Result {
+		t.Helper()
+		env := constDetEnv(2)
+		sys, err := core.New(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(env, sys, 5, 30, 34)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := run(core.DefaultConfig())
+	explicit := core.DefaultConfig()
+	explicit.Constellation = constellation.Config{}
+	again := run(explicit)
+	if !sim.RecordsEqualIgnoringTimings(flat.Records, again.Records) {
+		t.Fatal("zero constellation config changed the flat-budget records")
+	}
+	if flat.Contacts != nil || again.Contacts != nil {
+		t.Fatalf("flat-budget runs grew a contact log: %d / %d", len(flat.Contacts), len(again.Contacts))
+	}
+	for day, up := range flat.UpBytesByDay {
+		if again.UpBytesByDay[day] != up {
+			t.Fatalf("uplink bytes day %d: %d vs %d", day, again.UpBytesByDay[day], up)
+		}
+	}
+}

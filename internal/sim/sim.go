@@ -30,8 +30,47 @@ type Env struct {
 	// within one day (the codec.Parallelism convention: <= 0 means
 	// GOMAXPROCS, 1 forces the serial path). Each location's visit
 	// sequence stays ordered and records merge back into serial order, so
-	// results are identical at any setting; see engine.go.
+	// results are identical at any setting; see engine.go. When the pool
+	// exceeds the location count (fleet-scale runs over few locations),
+	// the surplus workers pre-generate the day's captures across
+	// satellites instead of idling.
 	Parallelism int
+	// Observer, when non-nil, sees every evaluated visit while its capture
+	// and ground reconstruction are still live (before the buffers recycle
+	// into the scene pools). Constellation event tracking hangs off this.
+	// Calls arrive in order within one location but concurrently across
+	// locations, so an Observer must only touch per-location state from
+	// ObserveVisit (or lock).
+	Observer Observer
+}
+
+// Observer receives evaluated visits during a run. rec is the merged-order
+// record about to be emitted; cap and recon are the live capture and ground
+// reconstruction (recon may be nil when nothing was delivered). Neither may
+// be retained past the call — both recycle into the scene's buffer pools.
+type Observer interface {
+	ObserveVisit(rec *Record, cap *scene.Capture, recon *raster.Image, grid raster.TileGrid)
+}
+
+// ContactRecord is one booked ground-station contact window: on Day,
+// station Station's window Window carried Bytes of uplink traffic for
+// satellite Sat. Contacts with Bytes == 0 were booked but found nothing
+// left to send (the satellite's pending work fit in earlier windows).
+type ContactRecord struct {
+	Station int
+	Day     int
+	Sat     int
+	Window  int
+	Bytes   int64
+}
+
+// ContactReporter is implemented by Systems that book per-station contact
+// windows (the constellation ground-segment model); RunStream attaches the
+// log to Result.Contacts. The slice must be in deterministic order —
+// contacts carry no wall-clock fields, so runs at different worker counts
+// must produce identical logs.
+type ContactReporter interface {
+	ContactLog() []ContactRecord
 }
 
 // Outcome is what a System reports for one processed capture.
@@ -154,6 +193,10 @@ type Result struct {
 	Records []Record
 	// UpBytesByDay records the uplink consumption per simulated day.
 	UpBytesByDay map[int]int64
+	// Contacts is the per-station contact log when the System under test
+	// schedules ground-station windows (implements ContactReporter); nil
+	// under the flat per-day uplink budget.
+	Contacts []ContactRecord
 	// Days is the number of simulated days.
 	Days int
 }
@@ -186,7 +229,32 @@ func Run(env *Env, sys System, bootstrapFrom, startDay, endDay int) (*Result, er
 // (Earth+, SatRoI) are scored in the same domain.
 func EvalPSNR(cap *scene.Capture, recon *raster.Image, grid raster.TileGrid) float64 {
 	clear := cap.TrueCloud.TileMask(grid, 0.05)
-	include := func(t int) bool { return !clear.Set[t] }
+	return evalPSNRMasked(cap, recon, grid, func(t int) bool { return !clear.Set[t] })
+}
+
+// EvalPSNRRegion scores like EvalPSNR but restricted to the tiles of
+// region (true = evaluate), on top of the usual cloud exclusion — the
+// event-workload metric: is the imagery over THIS wildfire usable yet?
+// It returns NaN when the region has no evaluable tile (fully cloudy).
+func EvalPSNRRegion(cap *scene.Capture, recon *raster.Image, grid raster.TileGrid, region []bool) float64 {
+	clear := cap.TrueCloud.TileMask(grid, 0.05)
+	any := false
+	include := func(t int) bool { return t < len(region) && region[t] && !clear.Set[t] }
+	for t := 0; t < grid.NumTiles(); t++ {
+		if include(t) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return math.NaN()
+	}
+	return evalPSNRMasked(cap, recon, grid, include)
+}
+
+// evalPSNRMasked aligns recon radiometrically over the included tiles and
+// scores the masked PSNR.
+func evalPSNRMasked(cap *scene.Capture, recon *raster.Image, grid raster.TileGrid, include func(int) bool) float64 {
 	// Fit only over evaluated pixels; excluded (cloudy) tiles may hold
 	// stale or zeroed content that would poison the fit.
 	use := make([]bool, grid.ImageW*grid.ImageH)

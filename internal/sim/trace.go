@@ -53,7 +53,46 @@ func WriteTrace(w io.Writer, res *Result) error {
 			return fmt.Errorf("sim: writing uplink line: %w", err)
 		}
 	}
+	// Per-station contact lines, sorted by (station, day, sat, window) so
+	// constellation dump files are byte-identical across reruns regardless
+	// of the scheduler's booking order.
+	cts := make([]ContactRecord, len(res.Contacts))
+	copy(cts, res.Contacts)
+	sort.Slice(cts, func(i, j int) bool {
+		if cts[i].Station != cts[j].Station {
+			return cts[i].Station < cts[j].Station
+		}
+		if cts[i].Day != cts[j].Day {
+			return cts[i].Day < cts[j].Day
+		}
+		if cts[i].Sat != cts[j].Sat {
+			return cts[i].Sat < cts[j].Sat
+		}
+		return cts[i].Window < cts[j].Window
+	})
+	for i := range cts {
+		if err := enc.Encode(toWireContact(&cts[i])); err != nil {
+			return fmt.Errorf("sim: writing contact line: %w", err)
+		}
+	}
 	return bw.Flush()
+}
+
+// wireContact is ContactRecord's JSON-lines shape. The ctStation key also
+// disambiguates contact lines from records and uplink lines on read.
+type wireContact struct {
+	CtStation int   `json:"ctStation"`
+	CtDay     int   `json:"ctDay"`
+	CtSat     int   `json:"ctSat"`
+	CtWindow  int   `json:"ctWindow"`
+	CtBytes   int64 `json:"ctBytes"`
+}
+
+func toWireContact(c *ContactRecord) wireContact {
+	return wireContact{
+		CtStation: c.Station, CtDay: c.Day, CtSat: c.Sat,
+		CtWindow: c.Window, CtBytes: c.Bytes,
+	}
 }
 
 // wireRecord is Record's JSON shape: PSNR is a pointer so the NaN of
@@ -116,6 +155,18 @@ func ReadTrace(r io.Reader) (*Result, error) {
 		}
 		if err := json.Unmarshal(raw, &up); err == nil && up.UpDay != nil {
 			res.UpBytesByDay[*up.UpDay] = up.UpBytes
+			continue
+		}
+		// Contact lines carry "ctStation"; records and uplink lines do not.
+		var ct struct {
+			CtStation *int `json:"ctStation"`
+			wireContact
+		}
+		if err := json.Unmarshal(raw, &ct); err == nil && ct.CtStation != nil {
+			res.Contacts = append(res.Contacts, ContactRecord{
+				Station: *ct.CtStation, Day: ct.CtDay, Sat: ct.CtSat,
+				Window: ct.CtWindow, Bytes: ct.CtBytes,
+			})
 			continue
 		}
 		var wr wireRecord

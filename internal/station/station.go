@@ -434,6 +434,48 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 	return updates, nil
 }
 
+// PendingUplink counts, without consuming any budget or mutating state,
+// the locations of locs that PackUplink would try to send to satellite sat
+// right now, split into its three scheduling classes: re-seeds (no mirror —
+// the satellite is flying blind), deltas (stale mirror a freshness update
+// would advance) and demoted re-seeds (past the MaxRetransmits bound).
+// Locations with no reference yet, or whose mirror already matches the
+// ground's best reference, are pending in no class — exactly PackUplink's
+// skip conditions. The constellation contact scheduler turns these counts
+// into cross-satellite demand.
+func (g *Ground) PendingUplink(sat int, locs []int) (reseeds, deltas, demoted int) {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	mirror := g.mirrors[sat]
+	retries := g.retries[sat]
+	for _, loc := range locs {
+		g.locMu[loc].Lock()
+		best := g.bestRef[loc]
+		g.locMu[loc].Unlock()
+		if best == nil {
+			continue
+		}
+		var m *refState
+		if mirror != nil {
+			m = mirror[loc]
+		}
+		switch {
+		case m != nil:
+			// A mirror at the best reference's day is current: PackUplink
+			// would diff it to (near) nothing. Only an older day means a
+			// freshness delta is actually waiting.
+			if m.day < best.day {
+				deltas++
+			}
+		case g.maxRetransmits >= 0 && retries[loc] > g.maxRetransmits:
+			demoted++
+		default:
+			reseeds++
+		}
+	}
+	return reseeds, deltas, demoted
+}
+
 // storeRef runs the on-board storage codec over a reference — the exact
 // transform a compressed sat.RefCache applies — returning the frame and
 // its decode (the content the satellite will actually hold).

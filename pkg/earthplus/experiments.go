@@ -44,3 +44,9 @@ func experimentsLinkFaults(loss float64, seed uint64) {
 	experiments.LinkLoss = loss
 	experiments.LinkSeed = seed
 }
+
+// experimentsConstellation backs SetConstellation.
+func experimentsConstellation(stations int, contactBudgetBytes int64) {
+	experiments.ConstellationStations = stations
+	experiments.ConstellationContactBudget = contactBudgetBytes
+}

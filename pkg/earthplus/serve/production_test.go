@@ -205,19 +205,30 @@ func TestServeCoalescingByteIdenticalFanOut(t *testing.T) {
 	}).Handler())
 	defer ts.Close()
 
-	// The plug: a distinct request that holds the single worker slot
-	// while the identical fan-out queues up behind it.
+	// The plug: a distinct request, big enough to hold the single worker
+	// slot while the identical fan-out queues up behind it. Wait for the
+	// in-flight gauge rather than sleeping: on a loaded single-core host
+	// a fixed sleep can outlive a small plug encode entirely, leaving the
+	// fan-out uncontended with nothing to coalesce.
 	var plugWG sync.WaitGroup
 	plugWG.Add(1)
 	go func() {
 		defer plugWG.Done()
 		resp, body := postBytes(t, ts.Client(),
-			ts.URL+"/v1/encode?width=384&height=384&bands=2&lossless=1", randomSamples(11, 384, 384, 2))
+			ts.URL+"/v1/encode?width=1024&height=1024&bands=3&lossless=1", randomSamples(11, 1024, 1024, 3))
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("plug: status %d (%s)", resp.StatusCode, body)
 		}
 	}()
-	time.Sleep(20 * time.Millisecond) // let the plug take the slot
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if metricValue(scrapeMetrics(t, ts), "earthplus_in_flight_requests") >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("plug request never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	const fanOut = 8
 	samples := randomSamples(12, 64, 64, 2)

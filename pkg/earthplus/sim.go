@@ -112,3 +112,17 @@ func SetRefCompression(on bool) { experimentsRefCompression(on) }
 // inside the same uplink budget. Per-run control is
 // SystemSpec.Params["link_loss"] and ["link_seed"].
 func SetLinkFaults(loss float64, seed uint64) { experimentsLinkFaults(loss, seed) }
+
+// SetConstellation sets the default contended ground-station model for the
+// experiment sweeps: stations ground stations, each serving at most one
+// satellite per contact window, with a deterministic cross-satellite
+// scheduler (re-seeds → deltas → demoted, lifted across the fleet) booking
+// the windows and contactBudgetBytes capping each contact's uplink bytes
+// (0 derives it from the flat per-day budget, negative = unlimited).
+// stations 0 (the default) keeps the flat per-day uplink budget and is
+// byte-identical to it. Per-run control is SystemSpec.Params["stations"]
+// and ["contact_budget"], or SystemSpec.StrParams["constellation"] = "on"
+// for the default station count.
+func SetConstellation(stations int, contactBudgetBytes int64) {
+	experimentsConstellation(stations, contactBudgetBytes)
+}
