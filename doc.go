@@ -25,7 +25,9 @@
 //   - internal/codec — the layered wavelet codec every encode funnels
 //     through: CDF 9/7 transform, dead-zone quantisation, embedded
 //     bit-plane coding with an adaptive binary arithmetic coder, quality
-//     layers, exact byte budgets, ROI mosaics and a lossless 5/3 mode.
+//     layers, exact byte budgets, ROI mosaics, a lossless 5/3 mode, and
+//     a tiled (EPT1) profile — fixed 64x64 tiles coded independently
+//     with an RLGR fast path, a seekable tile index and region decode.
 //   - internal/wavelet, internal/arith — the transform and entropy-coding
 //     primitives underneath it.
 //   - internal/sat, internal/station, internal/core — the on-board
@@ -124,12 +126,17 @@
 // rows in bulk, sign bits travel as batched bypass bits, and multi-band
 // images are coded by a bounded worker pool (codec.Options.Parallelism,
 // package default codec.Parallelism, earthplus-bench/-sim flag -parallel).
-// See README.md for the perf knobs and how to run the microbenchmarks, and
-// cmd/earthplus-bench -only codecbench for the tracked BENCH_codec.json
-// snapshot.
+// The tiled (EPT1) profile (codec.Options.Tiled, flag -tiledstore,
+// registry param "tiled_store") trades a modest rate-distortion cost for
+// a per-tile RLGR fast path — single-thread encode beats the monolithic
+// coder by >2.5x at 256x256 — plus region decode whose latency tracks
+// the tiles touched rather than the plane, tile-granular splices on the
+// uplink and a per-tile worker pool. See README.md for the perf knobs
+// and how to run the microbenchmarks, and cmd/earthplus-bench -only
+// codecbench for the tracked BENCH_codec.json snapshot.
 package earthplus
 
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.8.0"
+const Version = "1.9.0"

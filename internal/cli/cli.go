@@ -55,6 +55,11 @@ type Storage struct {
 	// uplink's lossy reference rate; decode-on-visit) instead of as raw
 	// planes.
 	RefCompress bool
+	// TiledStore switches every codec pass in the loop to the tiled
+	// (EPT1) codestream profile: per-tile splices on delta uplinks and
+	// region decode-on-visit. Off keeps the monolithic v1 profile byte
+	// for byte.
+	TiledStore bool
 }
 
 // Register installs the storage flags on fs.
@@ -65,6 +70,8 @@ func (s *Storage) Register(fs *flag.FlagSet) {
 		"reference-store eviction policy: lru | schedule (empty = lru)")
 	fs.BoolVar(&s.RefCompress, "refcompress", false,
 		"store on-board references compressed (~2-5x more locations per storage budget, paid in decode-on-visit work; default off)")
+	fs.BoolVar(&s.TiledStore, "tiledstore", false,
+		"use the tiled (EPT1) codestream profile for updates, downloads and the store: per-tile splices and region decode (default off = monolithic v1 profile)")
 }
 
 // Apply pushes the parsed values into the experiment-sweep defaults.
@@ -106,6 +113,12 @@ func (s *Storage) ApplyToSpec(spec *earthplus.SystemSpec) {
 			spec.StrParams = map[string]string{}
 		}
 		spec.StrParams["ref_compression"] = "on"
+	}
+	if s.TiledStore {
+		if spec.StrParams == nil {
+			spec.StrParams = map[string]string{}
+		}
+		spec.StrParams["tiled_store"] = "on"
 	}
 }
 

@@ -50,9 +50,20 @@ type Options struct {
 	// covers at least the fixed header).
 	BudgetBytes int
 	// Parallelism bounds the number of bands EncodeImage and the ROI
-	// helpers code concurrently. Zero falls back to the package-level
-	// Parallelism default, which itself defaults to GOMAXPROCS.
+	// helpers code concurrently — and, under the tiled profile, the number
+	// of tiles coded concurrently within one plane. Zero falls back to the
+	// package-level Parallelism default, which itself defaults to
+	// GOMAXPROCS.
 	Parallelism int
+	// Tiled routes EncodePlane through the tiled (EPT1) profile: fixed
+	// square tiles coded independently with the RLGR fast path, a
+	// tile-index table for region decode, and per-tile rate control. Every
+	// decoder in the package sniffs the profile from the stream magic, so
+	// readers need no flag.
+	Tiled bool
+	// TileSize is the tiled profile's tile edge in pixels; zero selects
+	// raster.DefaultTileSize (64, the paper's tile granularity).
+	TileSize int
 }
 
 // DefaultOptions returns the options used throughout the experiments.
@@ -203,7 +214,12 @@ func effectiveLevels(w, h, requested int) int {
 
 // EncodePlane compresses a row-major w x h float32 plane and returns the
 // codestream. Values are expected in roughly [0,1]; anything finite works.
+// opt.Tiled selects the tiled (EPT1) profile; the default remains the
+// monolithic profile, byte-for-byte.
 func EncodePlane(plane []float32, w, h int, opt Options) ([]byte, error) {
+	if opt.Tiled {
+		return TiledEncodePlane(plane, w, h, opt)
+	}
 	if len(plane) != w*h {
 		return nil, eperr.New(eperr.BadImage, "codec", "plane length %d != %dx%d", len(plane), w, h)
 	}
@@ -348,6 +364,12 @@ type Info struct {
 	// LayerBytes holds each quality layer's payload size; truncating the
 	// decode after k layers reads only the first k payloads.
 	LayerBytes []int
+	// Tiled reports the tiled (EPT1) profile; TileSize and NTiles then
+	// describe its grid. Tiled streams carry no quality layers, so
+	// MaxPlane, NLayers and LayerBytes stay zero.
+	Tiled    bool
+	TileSize int
+	NTiles   int
 }
 
 type parsed struct {
@@ -357,8 +379,19 @@ type parsed struct {
 	payloads [][]byte
 }
 
-// Parse validates a codestream and returns its header description.
+// Parse validates a codestream and returns its header description. Both
+// the monolithic and tiled profiles are recognised.
 func Parse(data []byte) (Info, error) {
+	if IsTiled(data) {
+		tp, err := parseTiled(data)
+		if err != nil {
+			return Info{}, err
+		}
+		return Info{
+			W: tp.w, H: tp.h, Levels: tp.levels, BaseStep: tp.baseStep,
+			Tiled: true, TileSize: tp.tile, NTiles: tp.nTiles(),
+		}, nil
+	}
 	p := new(parsed)
 	if err := parseInto(p, data); err != nil {
 		return Info{}, err
@@ -447,8 +480,13 @@ func DecodePlane(data []byte, maxLayers int) ([]float32, int, int, error) {
 
 // decodePlane reconstructs into buf when it has the capacity (the image and
 // ROI paths pass a destination to avoid a copy), allocating otherwise. The
-// destination is fully overwritten.
+// destination is fully overwritten. Tiled streams are recognised by magic
+// and routed to the tiled decoder (which has no quality layers, so
+// maxLayers is ignored there).
 func decodePlane(data []byte, maxLayers int, buf []float32) ([]float32, int, int, error) {
+	if IsTiled(data) {
+		return tiledDecodePlane(data, buf)
+	}
 	s := getScratch()
 	defer s.release()
 	p := &s.prs

@@ -46,10 +46,91 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// fuzzSeedTiled builds a small valid tiled (EPT1) codestream to seed
+// mutation from.
+func fuzzSeedTiled(tb testing.TB, w, h, tile, budget int) []byte {
+	tb.Helper()
+	opt := DefaultOptions()
+	opt.Tiled = true
+	opt.TileSize = tile
+	opt.BudgetBytes = budget
+	data, err := EncodePlane(testPlane(17, w, h), w, h, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzParseTiled drives the EPT1 parser and the region decoder with
+// hostile tile-index tables: offsets escaping the buffer, overlapping or
+// out-of-order payloads, lying tile counts and truncated indexes must
+// all come back as errors — never a panic, an implausible allocation or
+// an out-of-bounds payload view.
+func FuzzParseTiled(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("EPT1"))
+	f.Add(fuzzSeedTiled(f, 48, 32, 16, 0))
+	f.Add(fuzzSeedTiled(f, 96, 80, 64, 0))
+	f.Add(fuzzSeedTiled(f, 37, 23, 16, 256))
+	seed := fuzzSeedTiled(f, 64, 64, 32, 1024)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:tiledHdrLen+3]) // truncated mid-index
+	// A synthetically hostile index: first tile's payload overlaps the
+	// index table itself, second escapes the buffer.
+	hostile := append([]byte(nil), seed...)
+	binary.LittleEndian.PutUint32(hostile[tiledHdrLen:], 0)
+	binary.LittleEndian.PutUint32(hostile[tiledHdrLen+4:], 12)
+	binary.LittleEndian.PutUint32(hostile[tiledHdrLen+8:], uint32(len(hostile)))
+	binary.LittleEndian.PutUint32(hostile[tiledHdrLen+12:], 8)
+	f.Add(hostile)
+	// A lying tile count over a valid header.
+	miscount := append([]byte(nil), seed...)
+	binary.LittleEndian.PutUint32(miscount[14:], 9999)
+	f.Add(miscount)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if !IsTiled(data) {
+			return // mutated into another profile; the other fuzzers own it
+		}
+		if !info.Tiled || info.TileSize <= 0 || info.NTiles <= 0 {
+			t.Fatalf("Parse accepted tiled stream with inconsistent tile info %+v", info)
+		}
+		if info.W <= 0 || info.H <= 0 || info.W > 1<<15 || info.H > 1<<15 {
+			t.Fatalf("Parse accepted implausible geometry %dx%d", info.W, info.H)
+		}
+		if info.W*info.H > 1<<16 {
+			return // bound the decode work, same cap as FuzzDecodePlane
+		}
+		// A parsed stream must decode — fully and by region — without
+		// panicking, and any success must honour the claimed geometry.
+		if plane, w, h, err := DecodePlane(data, 0); err == nil {
+			if w != info.W || h != info.H || len(plane) != w*h {
+				t.Fatalf("decode geometry %dx%d (len %d) disagrees with header %dx%d",
+					w, h, len(plane), info.W, info.H)
+			}
+		}
+		rw, rh := min(info.W, 70), min(info.H, 70)
+		if reg, cw, ch, err := DecodeRegion(data, 1, 1, rw, rh); err == nil {
+			if len(reg) != cw*ch || cw <= 0 || ch <= 0 || cw > rw || ch > rh {
+				t.Fatalf("region decode returned %d samples for %dx%d", len(reg), cw, ch)
+			}
+		}
+		if touched, total, err := RegionTiles(data, 0, 0, info.W, info.H); err == nil {
+			if touched != total || total != info.NTiles {
+				t.Fatalf("full-plane RegionTiles %d/%d disagrees with NTiles %d", touched, total, info.NTiles)
+			}
+		}
+	})
+}
+
 func FuzzDecodePlane(f *testing.F) {
 	f.Add(fuzzSeedStream(f, 32, 32, 0))
 	f.Add(fuzzSeedStream(f, 48, 16, 256))
 	f.Add(fuzzSeedStream(f, 37, 23, 128))
+	f.Add(fuzzSeedTiled(f, 48, 32, 16, 0))
 	trunc := fuzzSeedStream(f, 32, 32, 1024)
 	f.Add(trunc[:len(trunc)-3])
 	f.Add(trunc[:len(trunc)/2])
@@ -151,5 +232,12 @@ func TestFuzzRegressionBitFlips(t *testing.T) {
 		corrupt := append([]byte(nil), lossless...)
 		corrupt[pos] ^= 0x04
 		_, _, _, _ = DecodePlaneLossless(corrupt) // must not panic
+	}
+	tiled := fuzzSeedTiled(t, 48, 32, 16, 512)
+	for pos := 0; pos < len(tiled); pos++ {
+		corrupt := append([]byte(nil), tiled...)
+		corrupt[pos] ^= 0x40
+		_, _, _, _ = DecodePlane(corrupt, 0)             // must not panic
+		_, _, _, _ = DecodeRegion(corrupt, 8, 8, 16, 16) // nor the region path
 	}
 }

@@ -25,6 +25,7 @@ type goldenCase struct {
 	w, h     int
 	budget   int // 0 = every bit plane
 	lossless bool
+	tiled    bool
 }
 
 func goldenCases() []goldenCase {
@@ -33,6 +34,13 @@ func goldenCases() []goldenCase {
 		{name: "lossy_budget256_48x32", seed: 42, w: 48, h: 32, budget: 256},
 		{name: "lossy_bpp05_64x64", seed: 43, w: 64, h: 64, budget: BudgetForBPP(0.5, 64, 64)},
 		{name: "lossless_32x32", seed: 44, w: 32, h: 32, lossless: true},
+		// The tiled (EPT1) profile: one single-tile stream, one spanning a
+		// 2x2 tile grid with ragged edges, and one rate-controlled multi-tile
+		// stream — together they pin the header, the tile-index table and
+		// the per-tile RLGR payloads.
+		{name: "tiled_full_48x32", seed: 45, w: 48, h: 32, tiled: true},
+		{name: "tiled_full_96x80", seed: 46, w: 96, h: 80, tiled: true},
+		{name: "tiled_bpp1_128x96", seed: 47, w: 128, h: 96, budget: BudgetForBPP(1, 128, 96), tiled: true},
 	}
 }
 
@@ -50,6 +58,7 @@ func encodeGolden(t testing.TB, gc goldenCase) []byte {
 	}
 	opt := DefaultOptions()
 	opt.BudgetBytes = gc.budget
+	opt.Tiled = gc.tiled
 	data, err := EncodePlane(plane, gc.w, gc.h, opt)
 	if err != nil {
 		t.Fatalf("%s: encode: %v", gc.name, err)

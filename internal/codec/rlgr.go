@@ -1,0 +1,363 @@
+package codec
+
+// Adaptive Run-Length / Golomb-Rice (RLGR) entropy coding, the tiled
+// profile's fast path. The coder follows the RLGR1 shape RemoteFX uses for
+// its 64x64 tiles: a run mode that spends one bit per 2^k zeros when the
+// recent past was sparse, and a Golomb-Rice mode for dense stretches, with
+// both the run parameter k and the Rice parameter kr adapted symmetrically
+// by encoder and decoder. Unlike the adaptive binary range coder in
+// internal/arith it touches each coefficient once with shift/mask work
+// only, which is what buys the tiled profile its single-thread headroom on
+// the mostly-zero high-frequency subbands.
+//
+// Two deliberate deviations from the RemoteFX spec, both on the robustness
+// path: Golomb-Rice codewords escape to a length-prefixed raw value after
+// 16 unary ones (bounding any symbol to <64 bits, so hostile planes cannot
+// blow up a codeword), and the bit reader returns zero bits past the end
+// of the buffer (so a budget-truncated tile decodes its tail as zero
+// coefficients instead of failing — mirroring arith.Decoder).
+
+const (
+	rlgrLSGR  = 3  // k parameters are tracked scaled by 1<<rlgrLSGR
+	rlgrKPMax = 80 // cap on the scaled run parameter (k <= 10)
+	rlgrKRMax = 80 // cap on the scaled Rice parameter (kr <= 10)
+	rlgrUpGR  = 4  // run-mode k increment per complete run
+	rlgrDnGR  = 6  // run-mode k decrement on a run terminator
+	rlgrUQGR  = 3  // GR-mode k increment on a zero
+	rlgrDQGR  = 3  // GR-mode k decrement on a nonzero
+
+	rlgrEscapeQ = 16 // unary quotient at which a GR codeword escapes to raw
+	rlgrInitKP  = 8  // initial scaled k and kr (k = kr = 1)
+
+	// rlgrMaxMag bounds coefficient magnitudes accepted by the coder; the
+	// tiled quantiser clamps to it so a hostile plane cannot manufacture
+	// oversized codewords. 2^24 is far above anything the dead-zone
+	// quantiser emits for in-range [0,1] planes.
+	rlgrMaxMag = 1 << 24
+
+	// rlgrMaxSymbolBytes bounds the bytes a single coefficient can append
+	// (escape codeword plus run prefix, rounded up); the budget check in
+	// the encode loop uses it as the stop margin.
+	rlgrMaxSymbolBytes = 8
+)
+
+// bitWriter appends MSB-first bits to a byte slice.
+type bitWriter struct {
+	buf []byte
+	cur uint64
+	n   uint // bits buffered in cur, < 8 after any append
+}
+
+// writeBits appends the low nb bits of v (nb <= 32).
+func (w *bitWriter) writeBits(v uint32, nb uint) {
+	w.cur = w.cur<<nb | uint64(v)&(1<<nb-1)
+	w.n += nb
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.n))
+	}
+}
+
+// writeOnes appends q one bits.
+func (w *bitWriter) writeOnes(q int) {
+	for q > 24 {
+		w.writeBits(1<<24-1, 24)
+		q -= 24
+	}
+	if q > 0 {
+		w.writeBits(1<<uint(q)-1, uint(q))
+	}
+}
+
+// byteLen returns the emitted length in bytes, counting a partial byte.
+func (w *bitWriter) byteLen() int {
+	return len(w.buf) + int((w.n+7)/8)
+}
+
+// flush pads the trailing partial byte with zero bits and returns the buffer.
+func (w *bitWriter) flush() []byte {
+	if w.n > 0 {
+		pad := 8 - w.n
+		w.buf = append(w.buf, byte(w.cur<<pad))
+		w.cur, w.n = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes MSB-first bits; reads past the end return zero bits.
+type bitReader struct {
+	data []byte
+	pos  int
+	cur  uint64
+	n    uint
+}
+
+func (r *bitReader) fill() {
+	for r.n <= 56 {
+		var b byte
+		if r.pos < len(r.data) {
+			b = r.data[r.pos]
+			r.pos++
+		} else if r.n > 0 {
+			break
+		} else {
+			r.n = 64 // fully drained: serve zeros without looping
+			r.cur = 0
+			return
+		}
+		r.cur = r.cur<<8 | uint64(b)
+		r.n += 8
+	}
+}
+
+// readBits consumes nb bits (nb <= 32) and returns them right-aligned.
+func (r *bitReader) readBits(nb uint) uint32 {
+	if r.n < nb {
+		if r.pos >= len(r.data) {
+			// Drained: remaining bits are zero.
+			v := uint32(r.cur) << (nb - r.n) & (1<<nb - 1)
+			r.cur, r.n = 0, 0
+			return v
+		}
+		r.fill()
+		if r.n < nb {
+			v := uint32(r.cur) << (nb - r.n) & (1<<nb - 1)
+			r.cur, r.n = 0, 0
+			return v
+		}
+	}
+	r.n -= nb
+	return uint32(r.cur>>r.n) & (1<<nb - 1)
+}
+
+func (r *bitReader) readBit() uint32 { return r.readBits(1) }
+
+// readUnary counts one bits up to max, consuming the terminating zero bit
+// when fewer than max ones appear.
+func (r *bitReader) readUnary(max int) int {
+	q := 0
+	for q < max {
+		if r.readBit() == 0 {
+			return q
+		}
+		q++
+	}
+	return q
+}
+
+// grPut emits the Golomb-Rice codeword for v and adapts *krp.
+func grPut(w *bitWriter, v uint32, krp *int) {
+	kr := uint(*krp >> rlgrLSGR)
+	q := int(v >> kr)
+	if q < rlgrEscapeQ {
+		w.writeOnes(q)
+		w.writeBits(0, 1)
+		w.writeBits(v, kr)
+	} else {
+		w.writeOnes(rlgrEscapeQ)
+		nb := bitLen32(v)
+		w.writeBits(uint32(nb-1), 5)
+		w.writeBits(v, uint(nb))
+	}
+	grAdapt(q, krp)
+}
+
+// grGet decodes one Golomb-Rice codeword and adapts *krp.
+func grGet(r *bitReader, krp *int) uint32 {
+	kr := uint(*krp >> rlgrLSGR)
+	q := r.readUnary(rlgrEscapeQ)
+	var v uint32
+	if q < rlgrEscapeQ {
+		v = uint32(q)<<kr | r.readBits(kr)
+	} else {
+		nb := uint(r.readBits(5)) + 1
+		v = r.readBits(nb)
+		q = int(v >> kr)
+	}
+	grAdapt(q, krp)
+	return v
+}
+
+// grAdapt applies the shared Rice-parameter update for a quotient q.
+func grAdapt(q int, krp *int) {
+	switch {
+	case q == 0:
+		if *krp > 2 {
+			*krp -= 2
+		} else {
+			*krp = 0
+		}
+	case q > 1:
+		*krp += q
+		if *krp > rlgrKRMax {
+			*krp = rlgrKRMax
+		}
+	}
+}
+
+func bitLen32(v uint32) int {
+	n := 1
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// rlgrEncode appends the RLGR codestream for vals to dst and returns it.
+// maxBytes > 0 bounds the emitted bytes: the encoder stops cleanly between
+// symbols once the next could overflow the budget, and the decoder
+// reconstructs the dropped tail as zeros. Magnitudes are clamped to
+// rlgrMaxMag.
+func rlgrEncode(dst []byte, vals []int32, maxBytes int) []byte {
+	w := bitWriter{buf: dst}
+	kp, krp := rlgrInitKP, rlgrInitKP
+	i, n := 0, len(vals)
+	for i < n {
+		if maxBytes > 0 && w.byteLen()+rlgrMaxSymbolBytes > maxBytes {
+			break
+		}
+		k := uint(kp >> rlgrLSGR)
+		if k != 0 {
+			// Run mode: emit the zero run before the next nonzero value.
+			run := 0
+			for i < n && vals[i] == 0 {
+				run++
+				i++
+			}
+			for run >= 1<<k {
+				w.writeBits(0, 1)
+				run -= 1 << k
+				if kp += rlgrUpGR; kp > rlgrKPMax {
+					kp = rlgrKPMax
+				}
+				k = uint(kp >> rlgrLSGR)
+			}
+			if i == n {
+				// Trailing zeros: cover the remainder with complete-run
+				// bits; the decoder stops at the coefficient count.
+				for run > 0 {
+					w.writeBits(0, 1)
+					run -= 1 << k
+					if kp += rlgrUpGR; kp > rlgrKPMax {
+						kp = rlgrKPMax
+					}
+					k = uint(kp >> rlgrLSGR)
+				}
+				break
+			}
+			val := vals[i]
+			i++
+			w.writeBits(1, 1)
+			w.writeBits(uint32(run), k)
+			mag, sign := uint32(val), uint32(0)
+			if val < 0 {
+				mag, sign = uint32(-int64(val)), 1
+			}
+			if mag > rlgrMaxMag {
+				mag = rlgrMaxMag
+			}
+			w.writeBits(sign, 1)
+			grPut(&w, mag-1, &krp)
+			if kp -= rlgrDnGR; kp < 0 {
+				kp = 0
+			}
+		} else {
+			// Golomb-Rice mode: code the value directly, sign folded into
+			// the low bit (0 <-> 0, v>0 <-> 2v, v<0 <-> -2v-1).
+			val := vals[i]
+			i++
+			var u uint32
+			if val >= 0 {
+				if uint32(val) > rlgrMaxMag {
+					val = rlgrMaxMag
+				}
+				u = uint32(val) << 1
+			} else {
+				mag := uint32(-int64(val))
+				if mag > rlgrMaxMag {
+					mag = rlgrMaxMag
+				}
+				u = mag<<1 - 1
+			}
+			grPut(&w, u, &krp)
+			if u == 0 {
+				if kp += rlgrUQGR; kp > rlgrKPMax {
+					kp = rlgrKPMax
+				}
+			} else {
+				if kp -= rlgrDQGR; kp < 0 {
+					kp = 0
+				}
+			}
+		}
+	}
+	return w.flush()
+}
+
+// rlgrDecode reconstructs n coefficients from data into out (len(out) >= n
+// required by the caller). Truncated or exhausted input yields zeros for
+// the remainder; the function cannot fail on hostile bytes.
+func rlgrDecode(out []int32, data []byte, n int) {
+	r := bitReader{data: data}
+	kp, krp := rlgrInitKP, rlgrInitKP
+	i := 0
+	for i < n {
+		k := uint(kp >> rlgrLSGR)
+		if k != 0 {
+			if r.readBit() == 0 {
+				// Complete run of 2^k zeros (clipped to the plane).
+				run := 1 << k
+				for ; run > 0 && i < n; run-- {
+					out[i] = 0
+					i++
+				}
+				if kp += rlgrUpGR; kp > rlgrKPMax {
+					kp = rlgrKPMax
+				}
+				continue
+			}
+			run := int(r.readBits(k))
+			for ; run > 0 && i < n; run-- {
+				out[i] = 0
+				i++
+			}
+			sign := r.readBit()
+			mag := int64(grGet(&r, &krp)) + 1
+			if mag > rlgrMaxMag {
+				mag = rlgrMaxMag
+			}
+			if i < n {
+				if sign != 0 {
+					out[i] = int32(-mag)
+				} else {
+					out[i] = int32(mag)
+				}
+				i++
+			}
+			if kp -= rlgrDnGR; kp < 0 {
+				kp = 0
+			}
+		} else {
+			u := grGet(&r, &krp)
+			if u > 2*rlgrMaxMag {
+				u = 2 * rlgrMaxMag
+			}
+			if u&1 != 0 {
+				out[i] = int32(-int64(u+1) / 2)
+			} else {
+				out[i] = int32(u / 2)
+			}
+			i++
+			if u == 0 {
+				if kp += rlgrUQGR; kp > rlgrKPMax {
+					kp = rlgrKPMax
+				}
+			} else {
+				if kp -= rlgrDQGR; kp < 0 {
+					kp = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rlgrRoundTrip(t *testing.T, vals []int32) {
+	t.Helper()
+	enc := rlgrEncode(nil, vals, 0)
+	got := make([]int32, len(vals))
+	rlgrDecode(got, enc, len(vals))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("coefficient %d: got %d want %d (n=%d, stream %d bytes)",
+				i, got[i], vals[i], len(vals), len(enc))
+		}
+	}
+}
+
+func TestRLGRRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{0},
+		{1},
+		{-1},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{5, -3, 2, 0, 0, 0, 1, -1},
+		{1 << 20, -(1 << 20), 123456, -654321},
+	}
+	for _, c := range cases {
+		rlgrRoundTrip(t, c)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4096)
+		vals := make([]int32, n)
+		density := rng.Float64() * rng.Float64() // mostly sparse
+		for i := range vals {
+			if rng.Float64() < density {
+				mag := rng.Intn(1 << uint(1+rng.Intn(16)))
+				if rng.Intn(2) == 0 {
+					mag = -mag
+				}
+				vals[i] = int32(mag)
+			}
+		}
+		rlgrRoundTrip(t, vals)
+	}
+
+	// Dense, large-magnitude planes exercise the GR escape path.
+	for trial := 0; trial < 10; trial++ {
+		vals := make([]int32, 1024)
+		for i := range vals {
+			vals[i] = int32(rng.Intn(1<<22) - 1<<21)
+		}
+		rlgrRoundTrip(t, vals)
+	}
+}
+
+func TestRLGRMagnitudeClamp(t *testing.T) {
+	vals := []int32{1 << 30, -(1 << 30), 0, 7}
+	enc := rlgrEncode(nil, vals, 0)
+	got := make([]int32, len(vals))
+	rlgrDecode(got, enc, len(vals))
+	if got[0] != rlgrMaxMag || got[1] != -rlgrMaxMag || got[2] != 0 || got[3] != 7 {
+		t.Fatalf("clamped decode = %v", got)
+	}
+}
+
+func TestRLGRBudgetTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int32, 4096)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(512) - 256)
+	}
+	full := rlgrEncode(nil, vals, 0)
+	for _, budget := range []int{16, 64, 256, len(full) / 2} {
+		enc := rlgrEncode(nil, vals, budget)
+		if len(enc) > budget {
+			t.Fatalf("budget %d: emitted %d bytes", budget, len(enc))
+		}
+		got := make([]int32, len(vals))
+		rlgrDecode(got, enc, len(vals))
+		// The emitted prefix must decode exactly; the dropped tail is zero.
+		zeroFrom := -1
+		for i := len(got) - 1; i >= 0; i-- {
+			if got[i] != 0 {
+				zeroFrom = i + 1
+				break
+			}
+		}
+		for i := 0; i < zeroFrom; i++ {
+			if got[i] != vals[i] && got[i] != 0 {
+				t.Fatalf("budget %d: coefficient %d = %d, want %d or 0", budget, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestRLGRTruncatedStreamDecodesZeros(t *testing.T) {
+	vals := make([]int32, 1000)
+	for i := range vals {
+		vals[i] = int32(i%7) - 3
+	}
+	full := rlgrEncode(nil, vals, 0)
+	for cut := 0; cut <= len(full); cut += 13 {
+		got := make([]int32, len(vals))
+		rlgrDecode(got, full[:cut], len(vals)) // must not panic, any cut
+	}
+	// Hostile bytes must also decode without panicking.
+	rng := rand.New(rand.NewSource(3))
+	junk := make([]byte, 512)
+	for trial := 0; trial < 20; trial++ {
+		rng.Read(junk)
+		got := make([]int32, 4096)
+		rlgrDecode(got, junk, len(got))
+	}
+}

@@ -1,8 +1,6 @@
 package codec
 
 import (
-	"math"
-
 	"earthplus/internal/eperr"
 	"earthplus/internal/raster"
 )
@@ -16,13 +14,9 @@ import (
 // the mask, so encoder and decoder need only share the mask.
 
 // mosaicDims returns the tile geometry of the packed mosaic for n tiles.
+// It is raster.MosaicDims, the shared tile-geometry helper.
 func mosaicDims(n int) (cols, rows int) {
-	if n <= 0 {
-		return 0, 0
-	}
-	cols = int(math.Ceil(math.Sqrt(float64(n))))
-	rows = (n + cols - 1) / cols
-	return cols, rows
+	return raster.MosaicDims(n)
 }
 
 // EncodeROIPlane encodes the tiles marked in roi from the row-major plane

@@ -1,0 +1,276 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"earthplus/internal/raster"
+)
+
+// tiledTestPlane builds a deterministic smooth-plus-detail test plane.
+func tiledTestPlane(seed int64, w, h int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	plane := make([]float32, w*h)
+	cx, cy := float64(w)/2, float64(h)/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := math.Hypot(float64(x)-cx, float64(y)-cy)
+			v := 0.5 + 0.3*math.Sin(d/9) + 0.1*math.Sin(float64(x)/5)*math.Cos(float64(y)/7)
+			v += 0.02 * (rng.Float64() - 0.5)
+			plane[y*w+x] = float32(v)
+		}
+	}
+	return plane
+}
+
+func TestTiledRoundTrip(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Tiled = true
+	for _, c := range []struct{ w, h int }{
+		{64, 64}, {256, 256}, {128, 192}, {100, 70}, {65, 129}, {16, 16}, {1, 1}, {300, 5},
+	} {
+		plane := tiledTestPlane(1, c.w, c.h)
+		enc, err := EncodePlane(plane, c.w, c.h, opt)
+		if err != nil {
+			t.Fatalf("%dx%d: encode: %v", c.w, c.h, err)
+		}
+		if !IsTiled(enc) {
+			t.Fatalf("%dx%d: stream is not tiled", c.w, c.h)
+		}
+		dec, w, h, err := DecodePlane(enc, 0)
+		if err != nil {
+			t.Fatalf("%dx%d: decode: %v", c.w, c.h, err)
+		}
+		if w != c.w || h != c.h {
+			t.Fatalf("%dx%d: decoded as %dx%d", c.w, c.h, w, h)
+		}
+		if psnr := planePSNR(plane, dec); psnr < 40 {
+			t.Fatalf("%dx%d: unbudgeted tiled round trip PSNR %.1f dB", c.w, c.h, psnr)
+		}
+	}
+}
+
+func TestTiledParseInfo(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Tiled = true
+	plane := tiledTestPlane(2, 256, 192)
+	enc, err := EncodePlane(plane, 256, 192, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Tiled || info.W != 256 || info.H != 192 || info.TileSize != raster.DefaultTileSize || info.NTiles != 12 {
+		t.Fatalf("Parse = %+v", info)
+	}
+}
+
+func TestTiledBudget(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Tiled = true
+	plane := tiledTestPlane(3, 256, 256)
+	full, err := EncodePlane(plane, 256, 256, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bpp := range []float64{0.25, 0.5, 1.0} {
+		opt.BudgetBytes = BudgetForBPP(bpp, 256, 256)
+		enc, err := EncodePlane(plane, 256, 256, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) > opt.BudgetBytes {
+			t.Fatalf("bpp %.2f: %d bytes exceeds budget %d", bpp, len(enc), opt.BudgetBytes)
+		}
+		dec, _, _, err := DecodePlane(enc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr := planePSNR(plane, dec); psnr < 20 {
+			t.Fatalf("bpp %.2f: PSNR %.1f dB too low", bpp, psnr)
+		}
+	}
+	if len(full) == 0 {
+		t.Fatal("unbudgeted stream empty")
+	}
+	// A budget below the header+index cost must be rejected, like the
+	// monolithic profile's BudgetTooSmall contract.
+	opt.BudgetBytes = 8
+	if _, err := EncodePlane(plane, 256, 256, opt); err == nil {
+		t.Fatal("tiny budget accepted")
+	}
+}
+
+func TestTiledEncodeDeterministicAcrossWorkers(t *testing.T) {
+	plane := tiledTestPlane(4, 320, 256)
+	var want []byte
+	for _, par := range []int{1, 2, 4, 8} {
+		opt := DefaultOptions()
+		opt.Tiled = true
+		opt.Parallelism = par
+		opt.BudgetBytes = BudgetForBPP(0.7, 320, 256)
+		enc, err := EncodePlane(plane, 320, 256, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = enc
+		} else if !bytes.Equal(want, enc) {
+			t.Fatalf("parallelism %d: stream differs from serial", par)
+		}
+	}
+}
+
+// TestDecodeRegionMatchesCrop is the region-decode property test: for any
+// rectangle, DecodeRegion equals the crop of the full decode — on both
+// profiles.
+func TestDecodeRegionMatchesCrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tiled := range []bool{true, false} {
+		opt := DefaultOptions()
+		opt.Tiled = tiled
+		const w, h = 256, 192
+		plane := tiledTestPlane(5, w, h)
+		opt.BudgetBytes = BudgetForBPP(1.0, w, h)
+		enc, err := EncodePlane(plane, w, h, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, _, err := DecodePlane(enc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rects := [][4]int{
+			{0, 0, w, h}, {0, 0, 64, 64}, {64, 64, 128, 128}, {63, 63, 2, 2},
+			{-10, -10, 74, 74}, {200, 150, 100, 100}, {0, 0, 1, 1}, {17, 33, 95, 41},
+		}
+		for i := 0; i < 12; i++ {
+			rects = append(rects, [4]int{rng.Intn(w), rng.Intn(h), 1 + rng.Intn(w), 1 + rng.Intn(h)})
+		}
+		for _, r := range rects {
+			got, cw, ch, err := DecodeRegion(enc, r[0], r[1], r[2], r[3])
+			if err != nil {
+				t.Fatalf("tiled=%v region %v: %v", tiled, r, err)
+			}
+			cx0, cy0 := max(r[0], 0), max(r[1], 0)
+			if cw != min(r[0]+r[2], w)-cx0 || ch != min(r[1]+r[3], h)-cy0 {
+				t.Fatalf("tiled=%v region %v: got %dx%d", tiled, r, cw, ch)
+			}
+			for dy := 0; dy < ch; dy++ {
+				for dx := 0; dx < cw; dx++ {
+					if got[dy*cw+dx] != full[(cy0+dy)*w+cx0+dx] {
+						t.Fatalf("tiled=%v region %v: sample (%d,%d) = %v, full decode %v",
+							tiled, r, dx, dy, got[dy*cw+dx], full[(cy0+dy)*w+cx0+dx])
+					}
+				}
+			}
+		}
+		// Fully outside rectangles error.
+		if _, _, _, err := DecodeRegion(enc, w, h, 4, 4); err == nil {
+			t.Fatalf("tiled=%v: out-of-bounds region accepted", tiled)
+		}
+		if _, _, _, err := DecodeRegion(enc, 0, 0, 0, 4); err == nil {
+			t.Fatalf("tiled=%v: empty region accepted", tiled)
+		}
+	}
+}
+
+func TestRegionTiles(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Tiled = true
+	plane := tiledTestPlane(6, 256, 256)
+	enc, err := EncodePlane(plane, 256, 256, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched, total, err := RegionTiles(enc, 32, 32, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 4 || total != 16 {
+		t.Fatalf("RegionTiles = %d/%d, want 4/16", touched, total)
+	}
+}
+
+// TestTiledSpliceMatchesReencode: splicing updated tiles into an old
+// stream must be byte-identical to a fresh encode of the updated plane —
+// the coherence invariant the sat store and ground mirror rely on.
+func TestTiledSpliceMatchesReencode(t *testing.T) {
+	const w, h = 256, 192
+	opt := DefaultOptions()
+	opt.Tiled = true
+	opt.BudgetBytes = BudgetForBPP(1.0, w, h)
+	oldPlane := tiledTestPlane(7, w, h)
+	oldEnc, err := EncodePlane(oldPlane, w, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Update two 16px detection-grid tiles; the mask grid is finer than
+	// the codec grid, as in the simulator.
+	newPlane := append([]float32(nil), oldPlane...)
+	mask := raster.NewTileMask(raster.MustTileGrid(w, h, 16))
+	for _, mt := range []int{0, 5*16 + 7} {
+		mask.Set[mt] = true
+		x0, y0, x1, y1 := mask.Grid.Bounds(mt)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				newPlane[y*w+x] = float32(x%3) * 0.3
+			}
+		}
+	}
+
+	spliced, err := TiledSplicePlane(oldEnc, newPlane, mask, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := EncodePlane(newPlane, w, h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spliced, fresh) {
+		t.Fatalf("spliced stream (%d bytes) differs from fresh encode (%d bytes)", len(spliced), len(fresh))
+	}
+
+	// An empty mask must reproduce the old stream bytes.
+	empty := raster.NewTileMask(mask.Grid)
+	same, err := TiledSplicePlane(oldEnc, oldPlane, empty, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, oldEnc) {
+		t.Fatal("empty splice changed the stream")
+	}
+}
+
+func TestTiledDecodeRejectsHostileHeaders(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Tiled = true
+	plane := tiledTestPlane(8, 128, 128)
+	enc, err := EncodePlane(plane, 128, 128, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), enc...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"truncated header": enc[:10],
+		"zero tile":        mutate(func(b []byte) { b[13] = 0 }),
+		"tile count":       mutate(func(b []byte) { b[14]++ }),
+		"offset backward":  mutate(func(b []byte) { b[tiledHdrLen] = 0 }),
+		"length escape":    mutate(func(b []byte) { b[tiledHdrLen+4] = 0xFF; b[tiledHdrLen+5] = 0xFF; b[tiledHdrLen+6] = 0xFF }),
+		"zero width":       mutate(func(b []byte) { b[4], b[5] = 0, 0 }),
+	}
+	for name, b := range cases {
+		if _, _, _, err := TiledDecodePlane(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -62,18 +62,20 @@ func NewEventTracker(sc *scene.Scene, fromDay, toDay int, thresholdPSNR float64)
 }
 
 // eventRegion marks the tiles whose bounds intersect the event's disc
-// bounding box.
+// bounding box, via the shared tile-range helper rather than scanning the
+// whole grid. The float box converts exactly: an integer tile edge tx1
+// satisfies tx1 > x0 iff tx1 > floor(x0), and tx0 < x1 iff tx0 < ceil(x1).
 func eventRegion(grid raster.TileGrid, ev scene.EventInfo) []bool {
 	region := make([]bool, grid.NumTiles())
-	x0, x1 := ev.CX-ev.Radius, ev.CX+ev.Radius
-	y0, y1 := ev.CY-ev.Radius, ev.CY+ev.Radius
-	for t := 0; t < grid.NumTiles(); t++ {
-		tx0, ty0, tx1, ty1 := grid.Bounds(t)
-		if float64(tx1) <= x0 || float64(tx0) >= x1 ||
-			float64(ty1) <= y0 || float64(ty0) >= y1 {
-			continue
+	x0 := int(math.Floor(ev.CX - ev.Radius))
+	y0 := int(math.Floor(ev.CY - ev.Radius))
+	x1 := int(math.Ceil(ev.CX + ev.Radius))
+	y1 := int(math.Ceil(ev.CY + ev.Radius))
+	c0, r0, c1, r1 := grid.TileRange(x0, y0, x1, y1)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			region[r*grid.Cols+c] = true
 		}
-		region[t] = true
 	}
 	return region
 }

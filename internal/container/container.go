@@ -9,8 +9,8 @@
 //
 //	offset  size      field
 //	0       4         magic "EP+C"
-//	4       1         version (currently 1)
-//	5       1         flags (reserved, must be 0)
+//	4       1         version (1 = monolithic/lossless bands, 2 = tiled profile)
+//	5       1         flags (v1: reserved, must be 0; v2: bit 0 = tiled bands)
 //	6       2         band count N (uint16)
 //	8       4*N       band table: per-band payload length (uint32, 0 = band absent)
 //	8+4N    …         payloads, concatenated in band order
@@ -18,6 +18,13 @@
 //
 // An absent band (nil codec stream — e.g. a band whose ROI was empty)
 // is encoded as a zero-length table entry and decodes back to nil.
+//
+// Version 2 is the tiled-profile frame: the layout is identical, but the
+// version byte is bumped and FlagTiled set whenever any band payload
+// carries the codec's tiled (EPT1) codestream, so wire inspection can
+// spot the profile without parsing band payloads. Pack chooses the
+// version from its inputs; frames holding only v1-profile bands stay
+// byte-identical to what earlier releases emitted.
 package container
 
 import (
@@ -33,11 +40,21 @@ import (
 const (
 	// Magic opens every frame.
 	Magic = "EP+C"
-	// Version is the frame layout version this package writes.
+	// Version is the frame layout version written for monolithic and
+	// lossless band payloads.
 	Version = 1
+	// VersionTiled is the frame version written when any band payload
+	// uses the codec's tiled (EPT1) profile.
+	VersionTiled = 2
+	// FlagTiled is the VersionTiled flags bit marking tiled band payloads.
+	FlagTiled = 0x1
 
 	headerFixed = 8 // magic + version + flags + band count
 	crcLen      = 4
+
+	// tiledPayloadMagic mirrors the codec package's tiled codestream
+	// magic; duplicating four bytes keeps container free of codec imports.
+	tiledPayloadMagic = "EPT1"
 )
 
 // MaxBands bounds the band count a frame may claim; a hostile header
@@ -78,9 +95,16 @@ func Pack(bands [][]byte) Codestream {
 	for _, b := range bands {
 		total += len(b)
 	}
+	version, flags := byte(Version), byte(0)
+	for _, b := range bands {
+		if len(b) >= 4 && string(b[:4]) == tiledPayloadMagic {
+			version, flags = VersionTiled, FlagTiled
+			break
+		}
+	}
 	out := make([]byte, 0, total)
 	out = append(out, Magic...)
-	out = append(out, Version, 0)
+	out = append(out, version, flags)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(bands)))
 	for _, b := range bands {
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
@@ -107,11 +131,17 @@ func (c Codestream) parseHeader() (lens []int, payloadOff int, err error) {
 	if string(c[:4]) != Magic {
 		return nil, 0, eperr.New(eperr.BadCodestream, "container", "bad magic %q", c[:4])
 	}
-	if c[4] != Version {
+	switch c[4] {
+	case Version:
+		if c[5] != 0 {
+			return nil, 0, eperr.New(eperr.BadCodestream, "container", "reserved flags %#x set", c[5])
+		}
+	case VersionTiled:
+		if c[5]&^FlagTiled != 0 {
+			return nil, 0, eperr.New(eperr.BadCodestream, "container", "reserved v2 flags %#x set", c[5])
+		}
+	default:
 		return nil, 0, eperr.New(eperr.BadCodestream, "container", "unsupported version %d", c[4])
-	}
-	if c[5] != 0 {
-		return nil, 0, eperr.New(eperr.BadCodestream, "container", "reserved flags %#x set", c[5])
 	}
 	n := int(binary.LittleEndian.Uint16(c[6:]))
 	if n > MaxBands {
@@ -134,6 +164,14 @@ func (c Codestream) parseHeader() (lens []int, payloadOff int, err error) {
 		return nil, 0, eperr.New(eperr.BadCodestream, "container", "frame is %d bytes, band table demands %d", len(c), payloadOff+total+crcLen)
 	}
 	return lens, payloadOff, nil
+}
+
+// Tiled reports whether the frame advertises tiled-profile band payloads
+// (a VersionTiled frame with FlagTiled set). Only the fixed header bytes
+// are inspected; call Validate (or Split) before trusting the payloads.
+func (c Codestream) Tiled() bool {
+	return len(c) >= headerFixed && string(c[:4]) == Magic &&
+		c[4] == VersionTiled && c[5]&FlagTiled != 0
 }
 
 // NumBands returns the frame's band count (header parse only).

@@ -25,7 +25,7 @@ func init() {
 			return nil, err
 		}
 		if err := registry.CheckStrParams(spec, SystemName,
-			"evict_policy", "ref_compression", "constellation"); err != nil {
+			"evict_policy", "ref_compression", "tiled_store", "constellation"); err != nil {
 			return nil, err
 		}
 		cfg := DefaultConfig()
@@ -84,6 +84,22 @@ func init() {
 			default:
 				return nil, eperr.New(eperr.BadConfig, "core",
 					"ref_compression must be \"on\" or \"off\", got %q", v)
+			}
+		}
+		if v, ok := spec.StrParam("tiled_store"); ok {
+			// The tiled (EPT1) codestream profile for every codec pass in
+			// the loop: uplinked updates, ROI downloads and the compressed
+			// store, enabling per-tile splice and region decode-on-visit.
+			// Off (the default) keeps the monolithic v1 profile byte for
+			// byte.
+			switch v {
+			case "on":
+				cfg.CodecOpts.Tiled = true
+			case "off":
+				cfg.CodecOpts.Tiled = false
+			default:
+				return nil, eperr.New(eperr.BadConfig, "core",
+					"tiled_store must be \"on\" or \"off\", got %q", v)
 			}
 		}
 		// Constellation ground-segment model: "constellation" on/off is the

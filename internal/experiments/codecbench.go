@@ -106,6 +106,101 @@ func CodecBench(outPath string) (*CodecBenchResult, error) {
 			}
 		})
 		res.Entries = append(res.Entries, entryFrom(fmt.Sprintf("DecodePlane%d", size), size, raw, decRes))
+
+		// The tiled profile at the same budget, pinned to ONE worker so the
+		// speedup over the monolithic rows above is algorithmic (per-tile
+		// RLGR coding), not parallelism.
+		topt := opt
+		topt.Tiled = true
+		topt.Parallelism = 1
+		tdata, err := codec.EncodePlane(plane, size, size, topt)
+		if err != nil {
+			return nil, fmt.Errorf("codecbench: tiled encode %d: %w", size, err)
+		}
+		tencRes := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(raw)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.EncodePlane(plane, size, size, topt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.Entries = append(res.Entries, entryFrom(fmt.Sprintf("EncodeTiled%d", size), size, raw, tencRes))
+		tdecRes := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(raw)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := codec.DecodePlane(tdata, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.Entries = append(res.Entries, entryFrom(fmt.Sprintf("DecodeTiled%d", size), size, raw, tdecRes))
+	}
+
+	// Full-quality encode at 256²: with no byte budget the monolithic
+	// coder must code every bit plane, which is where the tiled profile's
+	// RLGR fast path shows its real margin (the budgeted rows above let
+	// the monolithic rate controller stop early). Both rows single-thread.
+	{
+		const size = 256
+		plane := benchPlane(11, size, size)
+		raw := int64(size) * int64(size) * 4
+		for _, tiled := range []bool{false, true} {
+			opt := codec.DefaultOptions()
+			opt.Tiled = tiled
+			opt.Parallelism = 1
+			name := "EncodeFull256"
+			if tiled {
+				name = "EncodeTiledFull256"
+			}
+			fullRes := testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(raw)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := codec.EncodePlane(plane, size, size, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res.Entries = append(res.Entries, entryFrom(name, size, raw, fullRes))
+		}
+	}
+
+	// Region decode of one centred 64x64 rectangle at growing plane sizes:
+	// on the tiled profile latency tracks the tiles touched (flat in the
+	// plane size), while the monolithic profile pays a full decode plus
+	// crop — the gap is the point of the tile index.
+	for _, size := range []int{256, 1024} {
+		size := size
+		plane := benchPlane(13, size, size)
+		raw := int64(64) * 64 * 4
+		rx := size/2 - 32
+		for _, tiled := range []bool{true, false} {
+			opt := codec.DefaultOptions()
+			opt.BudgetBytes = codec.BudgetForBPP(0.5, size, size)
+			opt.Tiled = tiled
+			opt.Parallelism = 1
+			data, err := codec.EncodePlane(plane, size, size, opt)
+			if err != nil {
+				return nil, fmt.Errorf("codecbench: region encode %d: %w", size, err)
+			}
+			name := fmt.Sprintf("RegionMono64@%d", size)
+			if tiled {
+				name = fmt.Sprintf("RegionTiled64@%d", size)
+			}
+			regRes := testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(raw)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := codec.DecodeRegion(data, rx, rx, 64, 64); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res.Entries = append(res.Entries, entryFrom(name, size, raw, regRes))
+		}
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")

@@ -86,6 +86,21 @@ type SimBenchResult struct {
 	// wall-clock, so the price of ref_compression appears in the tracked
 	// snapshot instead of staying advisory-only.
 	RefDecode *RefDecodeCost `json:"ref_decode,omitempty"`
+	// Compute is the Fig-16-style per-image on-board compute budget with
+	// RefDecode's wall-clock charged per visit next to the encode time.
+	Compute *OnboardComputeBudget `json:"onboard_compute,omitempty"`
+	// TiledStoreDeterministic is the worker-sweep determinism check with
+	// tiled_store=on AND ref_compression=on — per-tile ground splices,
+	// tiled frames through the lossy channel and the tiled store are then
+	// the newest state the contract has to cover — and
+	// TiledStoreSpliceExercised reports whether the run really spliced
+	// mirror frames per-tile (strictly fewer tiles re-encoded than a
+	// whole-frame pass; a splice-free run would prove nothing).
+	TiledStoreDeterministic   bool `json:"tiled_store_deterministic"`
+	TiledStoreSpliceExercised bool `json:"tiled_store_splice_exercised"`
+	// TiledRefDecode is RefDecode for that tiled run, including the
+	// per-tile splice savings counters.
+	TiledRefDecode *RefDecodeCost `json:"tiled_ref_decode,omitempty"`
 	// Loss is the link-loss robustness sweep recorded alongside the perf
 	// runs (run at the same compact scale as the storage sweep).
 	Loss *LossSweepResult `json:"loss_sweep,omitempty"`
@@ -144,6 +159,18 @@ func (r *SimBenchResult) Render(w io.Writer) error {
 		fmt.Fprintf(w, "decode-on-visit cost (serial compressed run): %d decodes, %d LRU hits, %.3fs wall\n",
 			r.RefDecode.Decodes, r.RefDecode.LRUHits, r.RefDecode.WallSeconds)
 	}
+	if r.Compute != nil {
+		fmt.Fprintf(w, "on-board compute budget per image (Fig 16 style): cloud %.1fms + change %.1fms + encode %.1fms + decode-on-visit %.2fms = %.1fms (decode %.1f%%)\n",
+			r.Compute.CloudMs, r.Compute.ChangeMs, r.Compute.EncodeMs,
+			r.Compute.DecodeMsPerVisit, r.Compute.TotalMs, r.Compute.DecodeSharePct)
+	}
+	fmt.Fprintf(w, "tiled-store run identical across worker counts: %v (per-tile splice exercised: %v)\n",
+		r.TiledStoreDeterministic, r.TiledStoreSpliceExercised)
+	if r.TiledRefDecode != nil && r.TiledRefDecode.SpliceTilesTotal > 0 {
+		fmt.Fprintf(w, "tiled ground splice: re-encoded %d of %d codec tiles (%.1f%% saved)\n",
+			r.TiledRefDecode.SpliceTilesReencoded, r.TiledRefDecode.SpliceTilesTotal,
+			100*(1-float64(r.TiledRefDecode.SpliceTilesReencoded)/float64(r.TiledRefDecode.SpliceTilesTotal)))
+	}
 	fmt.Fprintf(w, "lossy-link run identical across worker counts: %v (faults exercised: %v)\n",
 		r.LossDeterministic, r.LossFaultsExercised)
 	fmt.Fprintf(w, "contended constellation run identical across worker counts: %v (contention exercised: %v)\n",
@@ -177,6 +204,33 @@ type RefDecodeCost struct {
 	Decodes     int64   `json:"decodes"`
 	LRUHits     int64   `json:"lru_hits"`
 	WallSeconds float64 `json:"wall_seconds"`
+	// SpliceTilesReencoded/SpliceTilesTotal record the tiled profile's
+	// per-tile splice savings: codec tiles the ground actually re-encoded
+	// for delta updates versus the tiles whole-mirror re-encodes would
+	// have touched. Zero on the monolithic profile.
+	SpliceTilesReencoded int64 `json:"splice_tiles_reencoded,omitempty"`
+	SpliceTilesTotal     int64 `json:"splice_tiles_total,omitempty"`
+}
+
+// OnboardComputeBudget is the Fig-16-style per-image on-board runtime
+// with decode-on-visit charged as its own line: the compressed store is
+// not free, so the snapshot records the cloud + change + encode budget
+// of one capture NEXT TO the measured decode cost per reference visit,
+// instead of leaving DecodeWall advisory-only.
+type OnboardComputeBudget struct {
+	// CloudMs/ChangeMs/EncodeMs are Earth+'s Fig 16 per-image component
+	// runtimes on this machine (cheap cloud detector, change detection at
+	// detection resolution, shared γ encode).
+	CloudMs  float64 `json:"cloud_ms"`
+	ChangeMs float64 `json:"change_ms"`
+	EncodeMs float64 `json:"encode_ms"`
+	// DecodeMsPerVisit spreads the compressed run's decode-on-visit wall
+	// over its reference visits (decodes + LRU hits).
+	DecodeMsPerVisit float64 `json:"decode_ms_per_visit"`
+	// TotalMs is the per-image budget including the decode charge, and
+	// DecodeSharePct decode-on-visit's share of it.
+	TotalMs        float64 `json:"total_ms"`
+	DecodeSharePct float64 `json:"decode_share_pct"`
 }
 
 // simBenchDays is the measured evaluation window.
@@ -294,19 +348,56 @@ func SimBench(outPath string) (*SimBenchResult, error) {
 		return nil, fmt.Errorf("simbench: storage sweep: %w", err)
 	}
 	res.Storage = sweep
-	det, evicted, _, err := storageDeterminismCheck(storageSc, []int{4}, false)
+	det, evicted, _, err := storageDeterminismCheck(storageSc, []int{4}, false, false)
 	if err != nil {
 		return nil, fmt.Errorf("simbench: storage determinism: %w", err)
 	}
 	res.StorageDeterministic = det
 	res.StorageEvictionsExercised = evicted
-	cdet, cevicted, cdecode, err := storageDeterminismCheck(storageSc, []int{4}, true)
+	cdet, cevicted, cdecode, err := storageDeterminismCheck(storageSc, []int{4}, true, false)
 	if err != nil {
 		return nil, fmt.Errorf("simbench: compressed-refs determinism: %w", err)
 	}
 	res.RefCompressionDeterministic = cdet
 	res.RefCompressionEvictionsExercised = cevicted
 	res.RefDecode = cdecode
+
+	// The tiled (EPT1) storage profile under the same contract: per-tile
+	// ground splices and the tiled store must stay record-identical
+	// across worker counts, and the splice counters must show the
+	// profile actually saved tile re-encodes.
+	tdet, _, tdecode, err := storageDeterminismCheck(storageSc, []int{4}, true, true)
+	if err != nil {
+		return nil, fmt.Errorf("simbench: tiled-store determinism: %w", err)
+	}
+	res.TiledStoreDeterministic = tdet
+	res.TiledRefDecode = tdecode
+	if tdecode != nil {
+		res.TiledStoreSpliceExercised = tdecode.SpliceTilesTotal > 0 &&
+			tdecode.SpliceTilesReencoded < tdecode.SpliceTilesTotal
+	}
+
+	// Charge decode-on-visit into the Fig-16-style per-image compute
+	// budget: component runtimes from the Fig 16 measurement, the decode
+	// line from the compressed run above.
+	if fig16, err := Fig16(storageSc); err == nil && res.RefDecode != nil {
+		earthIdx := len(fig16.Systems) - 1 // Earth+ is the last system
+		b := &OnboardComputeBudget{
+			CloudMs:  fig16.CloudSec[earthIdx] * 1e3,
+			ChangeMs: fig16.ChangeSec[earthIdx] * 1e3,
+			EncodeMs: fig16.EncodeSec[earthIdx] * 1e3,
+		}
+		if visits := res.RefDecode.Decodes + res.RefDecode.LRUHits; visits > 0 {
+			b.DecodeMsPerVisit = res.RefDecode.WallSeconds * 1e3 / float64(visits)
+		}
+		b.TotalMs = b.CloudMs + b.ChangeMs + b.EncodeMs + b.DecodeMsPerVisit
+		if b.TotalMs > 0 {
+			b.DecodeSharePct = 100 * b.DecodeMsPerVisit / b.TotalMs
+		}
+		res.Compute = b
+	} else if err != nil {
+		return nil, fmt.Errorf("simbench: fig16 compute budget: %w", err)
+	}
 
 	// Link-loss snapshot: the loss sweep plus a determinism check of the
 	// fault-injection and retransmit paths across worker counts, at the

@@ -306,6 +306,12 @@ type decodeStatser interface {
 	DecodeWall() time.Duration
 }
 
+// spliceStatser is the slice of core.System the tiled-profile snapshot
+// needs on top of decodeStatser.
+type spliceStatser interface {
+	SpliceTileStats() (reencoded, total int64)
+}
+
 // storageDeterminismCheck runs a tightly storage-bounded Earth+
 // configuration (a tenth of the reference working set, so evictions and
 // miss-fallbacks dominate) at each worker count and reports whether every
@@ -316,10 +322,24 @@ type decodeStatser interface {
 // run's decode-on-visit cost (count, LRU absorptions, wall-clock), so
 // the sim-engine snapshot records what decode-on-visit actually costs
 // instead of leaving the counters advisory-only. The sim-engine snapshot
-// records both configurations.
-func storageDeterminismCheck(sc Scale, workers []int, compress bool) (deterministic, evicted bool, decode *RefDecodeCost, err error) {
+// records both configurations. With tiled (implies compress) the store
+// runs the tiled (EPT1) codestream profile and the returned cost also
+// carries the ground's per-tile splice savings.
+func storageDeterminismCheck(sc Scale, workers []int, compress, tiled bool) (deterministic, evicted bool, decode *RefDecodeCost, err error) {
 	cfg := richConfig(sc)
-	budget := earthRefWorkingSet(cfg) / 10
+	def := core.DefaultConfig()
+	down := def.RefDownsample
+	if tiled {
+		// The ground's per-tile splice only has something to save when a
+		// reference spans several 64px codec tiles: at the snapshot's
+		// 192x192 scene the default detection downsample (4) yields 48x48
+		// references — a single tile, so every splice trivially re-encodes
+		// everything. Halve the downsample (96x96 references, a 2x2 codec
+		// tile grid) so localized deltas leave untouched tiles behind.
+		down = 2
+	}
+	workingSet := refWorkingSet(cfg, down, def.CacheConfig())
+	budget := workingSet / 10
 	if compress {
 		// A tenth of the RAW working set sits below even one compressed
 		// reference at the snapshot's few-location scale: the store would
@@ -327,7 +347,7 @@ func storageDeterminismCheck(sc Scale, workers []int, compress bool) (determinis
 		// check covers) would never run. A quarter keeps the compressed
 		// store pressured — capacity for some but not all locations — so
 		// evictions AND decodes both happen.
-		budget = earthRefWorkingSet(cfg) / 4
+		budget = workingSet / 4
 	}
 	run := func(w int) ([]sim.Record, bool, *RefDecodeCost, error) {
 		env := envFor(cfg, richOrbit(), defaultUplinkDivisor)
@@ -339,6 +359,10 @@ func storageDeterminismCheck(sc Scale, workers []int, compress bool) (determinis
 		}
 		if compress {
 			spec.StrParams["ref_compression"] = "on"
+		}
+		if tiled {
+			spec.StrParams["tiled_store"] = "on"
+			spec.Params["ref_downsample"] = float64(down)
 		}
 		sys, err := registry.New(core.SystemName, env, spec)
 		if err != nil {
@@ -354,6 +378,9 @@ func storageDeterminismCheck(sc Scale, workers []int, compress bool) (determinis
 			ds := sys.(decodeStatser)
 			decodes, hits := ds.DecodeStats()
 			cost = &RefDecodeCost{Decodes: decodes, LRUHits: hits, WallSeconds: ds.DecodeWall().Seconds()}
+			if tiled {
+				cost.SpliceTilesReencoded, cost.SpliceTilesTotal = sys.(spliceStatser).SpliceTileStats()
+			}
 		}
 		return recs, ev > 0, cost, nil
 	}

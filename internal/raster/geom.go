@@ -1,0 +1,76 @@
+package raster
+
+import "math"
+
+// Shared tile-grid geometry. The codec's ROI mosaic, the tiled codestream
+// profile, and the constellation event workload all reason about square
+// tiles over a pixel plane; this file is the single home for that math so
+// the three stay in exact agreement (tile sets feed byte-pinned streams).
+
+// TileSpan returns the number of tiles of the given size needed to cover
+// length pixels (ceiling division). The plane need not be tile-aligned.
+func TileSpan(length, tile int) int {
+	return (length + tile - 1) / tile
+}
+
+// MosaicDims returns the near-square tile geometry (cols x rows) used to
+// pack n tiles: cols is the smallest square-ish width, rows the resulting
+// height. n <= 0 yields 0x0.
+func MosaicDims(n int) (cols, rows int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	rows = (n + cols - 1) / cols
+	return cols, rows
+}
+
+// ClampedTileBounds returns the half-open pixel rectangle [x0,x1) x [y0,y1)
+// of tile t in a w x h plane covered by square tiles of the given size,
+// with the rightmost column and bottom row clamped to the plane edge.
+// Tiles are indexed row-major over a TileSpan(w) x TileSpan(h) cover.
+func ClampedTileBounds(w, h, tile, t int) (x0, y0, x1, y1 int) {
+	cols := TileSpan(w, tile)
+	col, row := t%cols, t/cols
+	x0, y0 = col*tile, row*tile
+	x1, y1 = x0+tile, y0+tile
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	return x0, y0, x1, y1
+}
+
+// TileRange returns the half-open tile-coordinate range [c0,c1) x [r0,r1)
+// of tiles intersecting the pixel rectangle [x0,x1) x [y0,y1), clipped to
+// a w x h plane covered by square tiles of the given size. An empty
+// intersection yields c0 >= c1 or r0 >= r1.
+func TileRange(w, h, tile, x0, y0, x1, y1 int) (c0, r0, c1, r1 int) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return 0, 0, 0, 0
+	}
+	c0, r0 = x0/tile, y0/tile
+	c1, r1 = TileSpan(x1, tile), TileSpan(y1, tile)
+	return c0, r0, c1, r1
+}
+
+// TileRange returns the half-open tile-coordinate range of grid tiles
+// intersecting the pixel rectangle [x0,x1) x [y0,y1); see the free
+// function TileRange.
+func (g TileGrid) TileRange(x0, y0, x1, y1 int) (c0, r0, c1, r1 int) {
+	return TileRange(g.ImageW, g.ImageH, g.Tile, x0, y0, x1, y1)
+}

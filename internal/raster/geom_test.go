@@ -1,0 +1,88 @@
+package raster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMosaicDims(t *testing.T) {
+	for n := -1; n <= 200; n++ {
+		cols, rows := MosaicDims(n)
+		if n <= 0 {
+			if cols != 0 || rows != 0 {
+				t.Fatalf("MosaicDims(%d) = %dx%d, want 0x0", n, cols, rows)
+			}
+			continue
+		}
+		wantCols := int(math.Ceil(math.Sqrt(float64(n))))
+		wantRows := (n + wantCols - 1) / wantCols
+		if cols != wantCols || rows != wantRows {
+			t.Fatalf("MosaicDims(%d) = %dx%d, want %dx%d", n, cols, rows, wantCols, wantRows)
+		}
+		if cols*rows < n {
+			t.Fatalf("MosaicDims(%d) = %dx%d holds only %d tiles", n, cols, rows, cols*rows)
+		}
+	}
+}
+
+func TestClampedTileBounds(t *testing.T) {
+	cases := []struct{ w, h, tile int }{
+		{64, 64, 64}, {128, 64, 64}, {100, 70, 64}, {65, 129, 64}, {7, 5, 4},
+	}
+	for _, c := range cases {
+		cols, rows := TileSpan(c.w, c.tile), TileSpan(c.h, c.tile)
+		seen := make([]bool, c.w*c.h)
+		for tl := 0; tl < cols*rows; tl++ {
+			x0, y0, x1, y1 := ClampedTileBounds(c.w, c.h, c.tile, tl)
+			if x0 < 0 || y0 < 0 || x1 > c.w || y1 > c.h || x0 >= x1 || y0 >= y1 {
+				t.Fatalf("%dx%d tile %d: bad bounds (%d,%d)-(%d,%d)", c.w, c.h, tl, x0, y0, x1, y1)
+			}
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					if seen[y*c.w+x] {
+						t.Fatalf("%dx%d tile %d covers pixel (%d,%d) twice", c.w, c.h, tl, x, y)
+					}
+					seen[y*c.w+x] = true
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%dx%d tile %d: pixel (%d,%d) uncovered", c.w, c.h, c.tile, i%c.w, i/c.w)
+			}
+		}
+	}
+}
+
+func TestTileRangeMatchesBruteForce(t *testing.T) {
+	const w, h, tile = 100, 70, 16
+	cols, rows := TileSpan(w, tile), TileSpan(h, tile)
+	rects := [][4]int{
+		{0, 0, w, h}, {-5, -5, w + 5, h + 5}, {10, 10, 10, 20}, {15, 15, 17, 17},
+		{0, 0, 1, 1}, {w - 1, h - 1, w, h}, {50, 0, 60, h}, {90, 60, 200, 200},
+		{w, h, w + 1, h + 1}, {3, 64, 97, 70},
+	}
+	for _, r := range rects {
+		c0, r0, c1, r1 := TileRange(w, h, tile, r[0], r[1], r[2], r[3])
+		for tc := 0; tc < cols; tc++ {
+			for tr := 0; tr < rows; tr++ {
+				x0, y0, x1, y1 := ClampedTileBounds(w, h, tile, tr*cols+tc)
+				want := r[0] < r[2] && r[1] < r[3] &&
+					x1 > r[0] && x0 < r[2] && y1 > r[1] && y0 < r[3] &&
+					r[0] < w && r[1] < h && r[2] > 0 && r[3] > 0
+				got := tc >= c0 && tc < c1 && tr >= r0 && tr < r1
+				if got != want {
+					t.Fatalf("rect %v tile (%d,%d): got in-range %v want %v", r, tc, tr, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTileGridTileRange(t *testing.T) {
+	g := MustTileGrid(256, 128, 64)
+	c0, r0, c1, r1 := g.TileRange(64, 0, 129, 65)
+	if c0 != 1 || r0 != 0 || c1 != 3 || r1 != 2 {
+		t.Fatalf("TileRange = (%d,%d)-(%d,%d), want (1,0)-(3,2)", c0, r0, c1, r1)
+	}
+}

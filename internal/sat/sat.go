@@ -102,6 +102,13 @@ type CacheConfig struct {
 	// and never affects simulation results: decoding is pure, so a cold
 	// decode returns the same bytes a cached plane would.
 	DecodedCap int
+	// DecodedTileCap, when positive, bounds the decode-on-visit LRU by
+	// the total number of 64px-granularity codec tiles resident instead
+	// of by entry count: footprint accounting at tile granularity, so a
+	// small reference no longer costs the same LRU slot as a huge one.
+	// Zero keeps DecodedCap's whole-entry accounting. Like DecodedCap it
+	// is purely advisory — it changes decode work, never results.
+	DecodedTileCap int
 }
 
 // EffectiveBitsPerSample resolves the per-sample rate a-priori estimates
@@ -187,6 +194,148 @@ func EncodeStoredRef(im *raster.Image, bpp float64, opts codec.Options) (contain
 		}
 	}
 	return container.Pack(streams), nil
+}
+
+// SpliceStats reports what a per-tile reference splice touched: how many
+// codec tiles were re-encoded versus carried over verbatim, and the
+// wall-clock spent region-decoding the base content of the re-encoded
+// tiles. The tile counters are the measured decode-on-visit savings of
+// the tiled profile (a monolithic splice decodes and re-encodes every
+// tile, i.e. Reencoded == Total).
+type SpliceStats struct {
+	TilesReencoded int64
+	TilesTotal     int64
+	DecodeNanos    int64
+}
+
+// SpliceStoredRef applies a tile update to a stored TILED reference frame
+// by re-encoding only the codec tiles that intersect a changed mask tile:
+// the base content of those tiles is region-decoded from the old frame
+// (only the touched tiles are decoded), the update's masked tiles are
+// overlaid, and every untouched tile's payload bytes are reused verbatim.
+// Like EncodeStoredRef it is ONE function shared by sat.RefCache and the
+// ground's mirror simulation, so both sides derive byte-identical new
+// frames from (old frame, update, masks) — the coherence invariant of the
+// delta uplink, now at tile granularity. bpp and opts must be the store's
+// rate parameters (CacheConfig.StoreBPP / CacheConfig.Codec).
+func SpliceStoredRef(frame container.Codestream, w, h int, bands []raster.BandInfo,
+	update *raster.Image, perBand []*raster.TileMask, bpp float64, opts codec.Options) (container.Codestream, SpliceStats, error) {
+	var stats SpliceStats
+	streams, err := frame.SplitNoCRC()
+	if err != nil {
+		return nil, stats, fmt.Errorf("sat: splicing stored reference: %w", err)
+	}
+	if len(streams) != len(bands) {
+		return nil, stats, fmt.Errorf("sat: stored reference frame carries %d bands, want %d", len(streams), len(bands))
+	}
+	budget := int(bpp * float64(w*h) / 8)
+	if budget < codec.MinBudgetBytes {
+		budget = codec.MinBudgetBytes
+	}
+	bandOpts := opts
+	bandOpts.BudgetBytes = budget
+	out := make([][]byte, len(streams))
+	errs := make([]error, len(streams))
+	var mu sync.Mutex
+	codec.ParallelBands(opts.Parallelism, len(streams), func(b int) {
+		s := streams[b]
+		mask := perBand[b]
+		if s == nil || mask == nil || mask.Count() == 0 {
+			out[b] = s
+			return
+		}
+		if !codec.IsTiled(s) {
+			errs[b] = fmt.Errorf("sat: band %d of spliced frame is not tiled", b)
+			return
+		}
+		info, err := codec.Parse(s)
+		if err != nil {
+			errs[b] = fmt.Errorf("sat: band %d: %w", b, err)
+			return
+		}
+		if info.W != w || info.H != h {
+			errs[b] = fmt.Errorf("sat: band %d is %dx%d, want %dx%d", b, info.W, info.H, w, h)
+			return
+		}
+		// Project the changed mask onto the codec grid and region-decode
+		// ONLY the touched codec tiles into the base plane; untouched
+		// pixels are never read downstream.
+		cols := raster.TileSpan(w, info.TileSize)
+		rows := raster.TileSpan(h, info.TileSize)
+		touched := make([]bool, cols*rows)
+		g := mask.Grid
+		for t, set := range mask.Set {
+			if !set {
+				continue
+			}
+			mx0, my0, mx1, my1 := g.Bounds(t)
+			c0, r0, c1, r1 := raster.TileRange(w, h, info.TileSize, mx0, my0, mx1, my1)
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					touched[r*cols+c] = true
+				}
+			}
+		}
+		base := make([]float32, w*h)
+		var decoded, decNanos int64
+		t0 := time.Now()
+		for t, hit := range touched {
+			if !hit {
+				continue
+			}
+			x0, y0, x1, y1 := raster.ClampedTileBounds(w, h, info.TileSize, t)
+			reg, cw, _, err := codec.DecodeRegion(s, x0, y0, x1-x0, y1-y0)
+			if err != nil {
+				errs[b] = fmt.Errorf("sat: band %d tile %d: %w", b, t, err)
+				return
+			}
+			for dy := 0; dy < y1-y0; dy++ {
+				row := reg[dy*cw : dy*cw+cw]
+				dst := base[(y0+dy)*w+x0 : (y0+dy)*w+x1]
+				for i, v := range row {
+					// The splice base is the decoded reference, which is
+					// clamped to [0,1] exactly as DecodeStoredRef clamps.
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					dst[i] = v
+				}
+			}
+			decoded++
+		}
+		decNanos = time.Since(t0).Nanoseconds()
+		// Overlay the update's changed tiles (original pixel values, as
+		// the raw splice path copies them).
+		for t, set := range mask.Set {
+			if !set {
+				continue
+			}
+			mx0, my0, mx1, my1 := g.Bounds(t)
+			up := update.Plane(b)
+			for y := my0; y < my1; y++ {
+				copy(base[y*w+mx0:y*w+mx1], up[y*w+mx0:y*w+mx1])
+			}
+		}
+		ns, err := codec.TiledSplicePlane(s, base, mask, bandOpts)
+		if err != nil {
+			errs[b] = fmt.Errorf("sat: band %d: %w", b, err)
+			return
+		}
+		out[b] = ns
+		mu.Lock()
+		stats.TilesReencoded += decoded
+		stats.TilesTotal += int64(info.NTiles)
+		stats.DecodeNanos += decNanos
+		mu.Unlock()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return container.Pack(out), stats, nil
 }
 
 // DecodeStoredRef reverses EncodeStoredRef into a fresh image of the
@@ -301,12 +450,23 @@ type RefCache struct {
 	// worker count.
 	dec      map[int]*LowResRef
 	decOrder []int
+	// decTiles charges each resident decoded entry its tile footprint
+	// (64px-granularity codec tiles); decTilesUsed is their sum, the
+	// quantity DecodedTileCap bounds.
+	decTiles     map[int]int
+	decTilesUsed int
 	// decodes and decodeHits count frame decodes and LRU-served lookups;
 	// decodeNanos accumulates the wall-clock spent inside those decodes,
 	// so the decode-on-visit cost of a compressed store is measurable,
 	// not just countable.
 	decodes, decodeHits int64
 	decodeNanos         int64
+	// tilesDecoded counts the codec tiles actually decoded by tile-
+	// granular operations (region visits, per-tile splices); tilesTotal
+	// the tiles the same operations would have decoded at whole-frame
+	// granularity. Their ratio is the tiled profile's measured
+	// decode-on-visit saving. Advisory, like the decode counters.
+	tilesDecoded, tilesTotal int64
 }
 
 // NewRefCache returns an empty, unbounded cache.
@@ -329,6 +489,7 @@ func NewBoundedRefCache(cfg CacheConfig) (*RefCache, error) {
 	if cfg.Compress {
 		c.frames = make(map[int]*compRef)
 		c.dec = make(map[int]*LowResRef)
+		c.decTiles = make(map[int]int)
 	} else {
 		c.refs = make(map[int]*LowResRef)
 	}
@@ -374,8 +535,21 @@ func (c *RefCache) decodeEntryLocked(loc int) *LowResRef {
 	return lr
 }
 
+// decTileWeight is the tile-granular footprint of one decoded reference:
+// the number of codec tiles (at the store's tile size, per band sample
+// geometry) a full decode keeps resident.
+func (c *RefCache) decTileWeight(im *raster.Image) int {
+	tile := c.cfg.Codec.TileSize
+	if tile <= 0 {
+		tile = raster.DefaultTileSize
+	}
+	return raster.TileSpan(im.Width, tile) * raster.TileSpan(im.Height, tile)
+}
+
 // insertDecodedLocked installs a decoded reference into the LRU, evicting
-// the oldest decoded plane beyond the cap.
+// oldest decoded planes beyond the cap — counted in whole entries
+// (DecodedCap) or, when DecodedTileCap is set, in resident codec tiles.
+// The newest entry always stays, even when it alone exceeds the tile cap.
 func (c *RefCache) insertDecodedLocked(loc int, lr *LowResRef) {
 	if _, ok := c.dec[loc]; ok {
 		c.touchDecodedLocked(loc)
@@ -383,10 +557,17 @@ func (c *RefCache) insertDecodedLocked(loc int, lr *LowResRef) {
 		c.decOrder = append(c.decOrder, loc)
 	}
 	c.dec[loc] = lr
+	w := c.decTileWeight(lr.Image)
+	c.decTilesUsed += w - c.decTiles[loc]
+	c.decTiles[loc] = w
+	if c.cfg.DecodedTileCap > 0 {
+		for c.decTilesUsed > c.cfg.DecodedTileCap && len(c.decOrder) > 1 {
+			c.dropDecodedLocked(c.decOrder[0])
+		}
+		return
+	}
 	for len(c.decOrder) > c.cfg.DecodedCap {
-		oldest := c.decOrder[0]
-		c.decOrder = c.decOrder[1:]
-		delete(c.dec, oldest)
+		c.dropDecodedLocked(c.decOrder[0])
 	}
 }
 
@@ -400,12 +581,15 @@ func (c *RefCache) touchDecodedLocked(loc int) {
 	}
 }
 
-// dropDecodedLocked removes loc's decoded plane, if cached.
+// dropDecodedLocked removes loc's decoded plane, if cached, returning its
+// tile footprint to the accounting.
 func (c *RefCache) dropDecodedLocked(loc int) {
 	if _, ok := c.dec[loc]; !ok {
 		return
 	}
 	delete(c.dec, loc)
+	c.decTilesUsed -= c.decTiles[loc]
+	delete(c.decTiles, loc)
 	for i, l := range c.decOrder {
 		if l == loc {
 			c.decOrder = append(c.decOrder[:i], c.decOrder[i+1:]...)
@@ -474,6 +658,116 @@ func (c *RefCache) Visit(loc, day int) *LowResRef {
 		m.lastVisit = day
 	}
 	return ref
+}
+
+// VisitRegion is Visit for a rectangular region of interest: it returns
+// the cached reference content covering the pixel rectangle [x,y)+(w,h)
+// (clipped to the reference bounds), recording visit recency exactly like
+// Visit. A (nil, nil) return is a cache MISS. On a compressed TILED store
+// this is the tile-granular decode path: only the codec tiles the
+// rectangle touches are entropy-decoded — the saving TileStats measures —
+// and nothing enters the decoded-plane LRU (a partial plane must not
+// serve a later full visit). A monolithic frame falls back to the full
+// decode-through-LRU path plus a crop, and a raw store just crops. A
+// rectangle that misses the reference entirely (or is empty) is an error.
+func (c *RefCache) VisitRegion(loc, day, x, y, w, h int) (*LowResRef, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if day > c.lastDay {
+		c.lastDay = day
+	}
+	if !c.cfg.Compress {
+		ref := c.refs[loc]
+		if ref == nil {
+			c.misses++
+			return nil, nil
+		}
+		if m := c.meta[loc]; day > m.lastVisit {
+			m.lastVisit = day
+		}
+		img, err := cropImage(ref.Image, x, y, w, h)
+		if err != nil {
+			return nil, err
+		}
+		return &LowResRef{Image: img, Day: ref.Day}, nil
+	}
+	e := c.frames[loc]
+	if e == nil {
+		c.misses++
+		return nil, nil
+	}
+	if m := c.meta[loc]; day > m.lastVisit {
+		m.lastVisit = day
+	}
+	// A resident full decode makes the crop free — and a monolithic frame
+	// cannot decode partially anyway, so it goes through the same LRU path
+	// a full visit would.
+	if c.dec[loc] == nil && e.frame.Tiled() {
+		return c.visitRegionTiledLocked(e, x, y, w, h)
+	}
+	lr := c.decodeEntryLocked(loc)
+	img, err := cropImage(lr.Image, x, y, w, h)
+	if err != nil {
+		return nil, err
+	}
+	return &LowResRef{Image: img, Day: lr.Day}, nil
+}
+
+// visitRegionTiledLocked decodes only the codec tiles of e's frame that
+// the rectangle touches, per band, and assembles the cropped reference.
+func (c *RefCache) visitRegionTiledLocked(e *compRef, x, y, w, h int) (*LowResRef, error) {
+	streams, err := e.frame.SplitNoCRC()
+	if err != nil {
+		return nil, fmt.Errorf("sat: stored reference frame: %w", err)
+	}
+	if len(streams) != len(e.bands) {
+		return nil, fmt.Errorf("sat: stored reference frame carries %d bands, want %d", len(streams), len(e.bands))
+	}
+	t0 := time.Now()
+	var out *raster.Image
+	for b, data := range streams {
+		plane, cw, ch, err := codec.DecodeRegion(data, x, y, w, h)
+		if err != nil {
+			return nil, fmt.Errorf("sat: region-decoding stored reference band %d: %w", b, err)
+		}
+		if out == nil {
+			out = raster.New(cw, ch, e.bands)
+		}
+		copy(out.Plane(b), plane)
+		touched, total, err := codec.RegionTiles(data, x, y, w, h)
+		if err != nil {
+			return nil, fmt.Errorf("sat: band %d: %w", b, err)
+		}
+		c.tilesDecoded += int64(touched)
+		c.tilesTotal += int64(total)
+	}
+	out.Clamp()
+	c.decodeNanos += time.Since(t0).Nanoseconds()
+	c.decodes++
+	return &LowResRef{Image: out, Day: e.day}, nil
+}
+
+// cropImage copies the pixel rectangle [x,y)+(w,h) of im, clipped to the
+// image bounds, into a fresh image — the raw-store (and LRU-resident)
+// analogue of a tiled region decode. A rectangle that misses the image
+// entirely is an error, mirroring codec.DecodeRegion.
+func cropImage(im *raster.Image, x, y, w, h int) (*raster.Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sat: empty region %dx%d", w, h)
+	}
+	x0, y0 := max(x, 0), max(y, 0)
+	x1, y1 := min(x+w, im.Width), min(y+h, im.Height)
+	if x0 >= x1 || y0 >= y1 {
+		return nil, fmt.Errorf("sat: region (%d,%d)+(%d,%d) outside the %dx%d reference", x, y, w, h, im.Width, im.Height)
+	}
+	out := raster.New(x1-x0, y1-y0, im.Bands)
+	for b := 0; b < im.NumBands(); b++ {
+		src, dst := im.Plane(b), out.Plane(b)
+		for yy := y0; yy < y1; yy++ {
+			copy(dst[(yy-y0)*(x1-x0):(yy-y0+1)*(x1-x0)], src[yy*im.Width+x0:yy*im.Width+x1])
+		}
+	}
+	return out, nil
 }
 
 // Put replaces the reference for loc (the image is not copied) and returns
@@ -570,24 +864,42 @@ func (c *RefCache) ApplyTileUpdate(loc int, update *raster.Image, perBand []*ras
 // install's. The spliced raw plane is dropped from the decode LRU: the
 // entry's content is decode(frame), one storage-codec generation past the
 // splice input, exactly as the ground's mirror simulation models it.
+//
+// A TILED store takes the per-tile fast path instead: SpliceStoredRef
+// region-decodes and re-encodes only the codec tiles a changed mask tile
+// touches and carries every other tile's payload bytes over verbatim —
+// no whole-frame decode, no whole-frame re-encode, and no generation
+// loss on untouched tiles. The ground's mirror simulation splices its
+// frame through the same function, so both sides stay byte-coherent.
 func (c *RefCache) applyTileUpdateCompressedLocked(loc int, update *raster.Image, perBand []*raster.TileMask, day int) []int {
 	e := c.frames[loc]
 	if e == nil {
 		c.installLocked(loc, &LowResRef{Image: update, Day: day}, day)
 		return c.evictLocked(loc)
 	}
-	base := c.decodeEntryLocked(loc).Image
-	for b, mask := range perBand {
-		if mask == nil {
-			continue
+	if e.frame.Tiled() {
+		frame, st, err := SpliceStoredRef(e.frame, e.w, e.h, e.bands, update, perBand, c.cfg.StoreBPP, c.cfg.Codec)
+		if err != nil {
+			panic(fmt.Sprintf("sat: loc %d: %v", loc, err))
 		}
-		for t, set := range mask.Set {
-			if set {
-				raster.CopyTile(base, update, b, mask.Grid, t)
+		e.frame = frame
+		c.decodeNanos += st.DecodeNanos
+		c.tilesDecoded += st.TilesReencoded
+		c.tilesTotal += st.TilesTotal
+	} else {
+		base := c.decodeEntryLocked(loc).Image
+		for b, mask := range perBand {
+			if mask == nil {
+				continue
+			}
+			for t, set := range mask.Set {
+				if set {
+					raster.CopyTile(base, update, b, mask.Grid, t)
+				}
 			}
 		}
+		e.frame = c.encodeFrame(base)
 	}
-	e.frame = c.encodeFrame(base)
 	e.day = day
 	if day > c.lastDay {
 		c.lastDay = day
@@ -754,6 +1066,19 @@ func (c *RefCache) DecodeStats() (decodes, lruHits int64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.decodes, c.decodeHits
+}
+
+// TileStats reports the tile-granular decode accounting of a tiled
+// compressed store: decoded is the number of codec tiles tile-granular
+// operations (VisitRegion, per-tile splices) actually entropy-decoded,
+// total the tiles the same operations would have decoded at whole-frame
+// granularity. total-decoded is the measured decode-on-visit saving of
+// the tiled profile. Advisory, like DecodeStats; zero on raw stores and
+// monolithic frames.
+func (c *RefCache) TileStats() (decoded, total int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tilesDecoded, c.tilesTotal
 }
 
 // DecodeWall reports the cumulative wall-clock spent decoding stored

@@ -167,6 +167,63 @@ func TestStorageBoundedRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestTiledStoreRunDeterministicAcrossWorkerCounts pins the tiled (EPT1)
+// storage profile to the engine's determinism contract: with the codec
+// tiled, references compressed and the references LARGE enough at
+// detection resolution to span several 64px codec tiles — so the ground
+// really splices mirror frames per-tile instead of trivially re-encoding
+// everything — records must be byte-identical at worker counts 1, 4 and
+// 8. CI runs this under -race, so it also proves the per-tile worker
+// pool and the splice path are race-free.
+func TestTiledStoreRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := detConfig()
+	cfg.Width, cfg.Height, cfg.TileSize = 256, 256, 32
+	cfg.Locations = cfg.Locations[:3]
+	mkEnv := func(parallelism int) *sim.Env {
+		return &sim.Env{
+			Scene:             scene.New(cfg),
+			Orbit:             orbit.Constellation{Satellites: 4, RevisitDays: 2},
+			Downlink:          link.Budget{Bps: 200e6, SecondsPerContact: 600, ContactsPerDay: 7},
+			UplinkBytesPerDay: 64 << 10,
+			Parallelism:       parallelism,
+		}
+	}
+	run := func(parallelism int) (*sim.Result, *core.System) {
+		c := core.DefaultConfig()
+		c.RefCompression = true
+		c.RefDownsample = 2 // 128x128 references: a 2x2 codec-tile grid
+		c.CodecOpts.Tiled = true
+		env := mkEnv(parallelism)
+		sys, err := core.New(env, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(env, sys, 5, 30, 36)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sys
+	}
+	serial, sys := run(1)
+	if len(serial.Records) == 0 {
+		t.Fatal("no captures simulated")
+	}
+	if _, total := sys.SpliceTileStats(); total == 0 {
+		t.Fatal("tiled run never spliced a mirror frame; profile not exercised")
+	}
+	for _, workers := range []int{4, 8} {
+		got, _ := run(workers)
+		if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
+			t.Fatalf("tiled-store records at Parallelism=%d differ from serial run", workers)
+		}
+		for day, up := range serial.UpBytesByDay {
+			if got.UpBytesByDay[day] != up {
+				t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
+			}
+		}
+	}
+}
+
 // TestLossyLinkRunDeterministicAcrossWorkerCounts pins fault injection to
 // the determinism contract: with a lossy channel aggressive enough that
 // drops, corruptions, canceled contacts and retransmits all fire, records

@@ -19,10 +19,14 @@ import (
 	"earthplus/internal/sat"
 )
 
-// refState is a downsampled reference candidate or mirror.
+// refState is a downsampled reference candidate or mirror. Mirrors of
+// compressed on-board stores also retain the storage-codec frame the
+// satellite holds (frame), so a tiled store's next delta update can be
+// spliced per-tile into it instead of re-encoding the whole reference.
 type refState struct {
-	img *raster.Image
-	day int
+	img   *raster.Image
+	day   int
+	frame container.Codestream
 }
 
 // Ground is the ground-segment state shared by all ground stations (the
@@ -66,6 +70,11 @@ type Ground struct {
 	mirrorMu sync.Mutex
 	mirrors  map[int][]*refState
 	retries  map[int]map[int]int
+	// spliceReencoded / spliceTotal count, across every tiled mirror
+	// splice PackUplink performed, the codec tiles re-encoded versus the
+	// tiles a whole-frame re-encode would have touched — the ground-side
+	// measurement of the tiled profile's per-tile splice saving.
+	spliceReencoded, spliceTotal int64
 }
 
 // Config parameterises the ground segment.
@@ -419,13 +428,23 @@ func (g *Ground) PackUplink(sat, day int, locs []int, budget *link.Meter) ([]Ref
 			// the storage codec over the full delta-applied content and
 			// mirror its decode — that, not `decoded`, is what the store
 			// will reproduce on the next visit. The frame rides along so
-			// the store installs it without re-encoding.
-			frame, stored, err := g.storeRef(decoded)
-			if err != nil {
+			// the store installs it without re-encoding. A TILED mirror
+			// with a retained frame splices instead: only the codec tiles
+			// a changed mask tile touches are re-encoded (the same
+			// sat.SpliceStoredRef transform the on-board store applies),
+			// so untouched tiles keep their exact payload bytes and skip
+			// a storage-codec generation.
+			var frame container.Codestream
+			var stored *raster.Image
+			if prev := mirror[loc]; prev != nil && prev.frame != nil && prev.frame.Tiled() {
+				if frame, stored, err = g.spliceRef(prev.frame, decoded, masks); err != nil {
+					return nil, err
+				}
+			} else if frame, stored, err = g.storeRef(decoded); err != nil {
 				return nil, err
 			}
 			u.StoreFrame = frame
-			mirror[loc] = &refState{img: stored, day: best.day}
+			mirror[loc] = &refState{img: stored, day: best.day, frame: frame}
 		} else {
 			mirror[loc] = &refState{img: decoded.Clone(), day: best.day}
 		}
@@ -488,6 +507,24 @@ func (g *Ground) storeRef(im *raster.Image) (container.Codestream, *raster.Image
 	if err != nil {
 		return nil, nil, fmt.Errorf("station: %w", err)
 	}
+	return frame, stored, nil
+}
+
+// spliceRef applies a delta update to a tiled mirror frame per-tile — the
+// exact sat.SpliceStoredRef transform a tiled on-board store applies —
+// returning the spliced frame and its decode (the content the satellite
+// will actually hold), and accounting the tile savings.
+func (g *Ground) spliceRef(prev container.Codestream, decoded *raster.Image, masks []*raster.TileMask) (container.Codestream, *raster.Image, error) {
+	frame, st, err := sat.SpliceStoredRef(prev, decoded.Width, decoded.Height, g.bands, decoded, masks, g.refBPP, g.codecOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("station: %w", err)
+	}
+	stored, err := sat.DecodeStoredRef(frame, decoded.Width, decoded.Height, decoded.Bands)
+	if err != nil {
+		return nil, nil, fmt.Errorf("station: %w", err)
+	}
+	g.spliceReencoded += st.TilesReencoded
+	g.spliceTotal += st.TilesTotal
 	return frame, stored, nil
 }
 
@@ -609,8 +646,9 @@ func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) err
 	// on-board cache applies the identical transform when the system
 	// bootstraps it with the same pre-codec seed).
 	mirrorImg := low
+	var mirrorFrame container.Codestream
 	if g.compressRefs {
-		if _, mirrorImg, err = g.storeRef(low); err != nil {
+		if mirrorFrame, mirrorImg, err = g.storeRef(low); err != nil {
 			return fmt.Errorf("station: bootstrap: %w", err)
 		}
 	}
@@ -626,7 +664,8 @@ func (g *Ground) SeedBootstrap(loc, day int, full *raster.Image, sats []int) err
 			mirror = make([]*refState, len(g.archive))
 			g.mirrors[s] = mirror
 		}
-		mirror[loc] = &refState{img: mirrorImg.Clone(), day: day}
+		// The frame is immutable wire bytes, safely shared across mirrors.
+		mirror[loc] = &refState{img: mirrorImg.Clone(), day: day, frame: mirrorFrame}
 	}
 	return nil
 }
@@ -707,6 +746,15 @@ func (g *Ground) MirrorImage(sat, loc int) *raster.Image {
 		return m[loc].img.Clone()
 	}
 	return nil
+}
+
+// SpliceTileStats reports how many codec tiles PackUplink's tiled mirror
+// splices re-encoded, against the tiles whole-frame re-encodes would have
+// touched. Zero until a tiled compressed mirror takes a delta update.
+func (g *Ground) SpliceTileStats() (reencoded, total int64) {
+	g.mirrorMu.Lock()
+	defer g.mirrorMu.Unlock()
+	return g.spliceReencoded, g.spliceTotal
 }
 
 // RefRawBytes returns the raw (uncompressed, 2 bytes/sample) size of one

@@ -21,6 +21,9 @@ type Codestream = container.Codestream
 const (
 	ContainerMagic   = container.Magic
 	ContainerVersion = container.Version
+	// ContainerVersionTiled is the frame version carried by frames whose
+	// bands use the tiled (EPT1) codestream profile.
+	ContainerVersionTiled = container.VersionTiled
 )
 
 // PackCodestream frames a per-band codestream set (nil = absent band)
@@ -43,8 +46,17 @@ type EncodeOptions struct {
 	BPP float64
 	// Lossless switches to the reversible integer 5/3 path: decoding
 	// reproduces the image exactly at 16-bit sample precision. BPP is
-	// ignored (lossless has no rate control).
+	// ignored (lossless has no rate control), and so is Tiled — the
+	// lossless profile is monolithic.
 	Lossless bool
+	// Tiled selects the tiled (EPT1) codestream profile: each band is
+	// coded as independent 64x64 tiles with a per-tile index, so regions
+	// decode in time proportional to the tiles they touch
+	// (DecodeFrameRegion) and the wire frame carries the v2 container
+	// version. Encoding is also substantially faster than the monolithic
+	// profile (run-length Golomb-Rice tile coding instead of one
+	// image-wide bit-plane pass), at a modest rate-distortion cost.
+	Tiled bool
 	// Levels is the DWT decomposition depth (0 = the default 5).
 	Levels int
 	// Parallelism bounds the bands coded concurrently per image (0 =
@@ -60,6 +72,7 @@ func (o EncodeOptions) codecOptions(w, h int) (codec.Options, error) {
 		opt.Levels = o.Levels
 	}
 	opt.Parallelism = o.Parallelism
+	opt.Tiled = o.Tiled && !o.Lossless
 	if o.BPP < 0 {
 		return opt, eperr.New(eperr.BadConfig, "earthplus", "negative BPP %v", o.BPP)
 	}
@@ -234,6 +247,80 @@ func DecodeFrame(ctx context.Context, frame Codestream, bandInfo []BandInfo, max
 	img.Clamp()
 	return img, nil
 }
+
+// DecodeFrameRegion decodes the sub-rectangle [x,x+w) x [y,y+h) of an
+// in-memory container frame, clipped to the plane bounds, returning an
+// image of the clipped region. On the tiled (EPT1) profile only the
+// tiles intersecting the rectangle are entropy-decoded — O(tiles
+// touched), independent of the frame size; monolithic and lossless
+// frames fall back to a full decode plus crop, so the call is correct on
+// every profile. Quality-layer truncation does not apply to region
+// decodes.
+func DecodeFrameRegion(ctx context.Context, frame Codestream, bandInfo []BandInfo, x, y, w, h int) (*Image, error) {
+	streams, err := frame.Split()
+	if err != nil {
+		return nil, err
+	}
+	if len(streams) == 0 {
+		return nil, eperr.New(eperr.BadCodestream, "earthplus", "frame carries no bands")
+	}
+	for b, s := range streams {
+		if s == nil {
+			return nil, eperr.New(eperr.BadCodestream, "earthplus", "image frame is missing band %d", b)
+		}
+		if len(s) < 4 {
+			return nil, eperr.New(eperr.BadCodestream, "earthplus", "band %d payload is %d bytes", b, len(s))
+		}
+		if b > 0 && !bytes.Equal(s[:4], streams[0][:4]) {
+			return nil, eperr.New(eperr.BadCodestream, "earthplus", "band %d mixes codec modes within one frame", b)
+		}
+	}
+	if len(bandInfo) != len(streams) {
+		bandInfo = make([]BandInfo, len(streams))
+		for b := range bandInfo {
+			bandInfo[b].Name = fmt.Sprintf("band%d", b)
+		}
+	}
+	// Probe band 0 for the clipped geometry, then decode the rest
+	// concurrently.
+	plane0, cw, ch, err := codec.DecodeRegion(streams[0], x, y, w, h)
+	if err != nil {
+		return nil, fmt.Errorf("earthplus: band 0: %w", err)
+	}
+	img := NewImage(cw, ch, bandInfo)
+	copy(img.Plane(0), plane0)
+	nb := len(streams)
+	errs := make([]error, nb)
+	codec.ParallelBands(0, nb-1, func(i int) {
+		b := i + 1
+		if ctx.Err() != nil {
+			errs[b] = eperr.Wrap(eperr.Canceled, "earthplus", ctx.Err())
+			return
+		}
+		plane, bw, bh, err := codec.DecodeRegion(streams[b], x, y, w, h)
+		if err != nil {
+			errs[b] = fmt.Errorf("earthplus: band %d: %w", b, err)
+			return
+		}
+		if bw != cw || bh != ch {
+			errs[b] = eperr.New(eperr.BadCodestream, "earthplus",
+				"band %d region geometry %dx%d differs from band 0's %dx%d", b, bw, bh, cw, ch)
+			return
+		}
+		copy(img.Plane(b), plane)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	img.Clamp()
+	return img, nil
+}
+
+// FrameTiled reports whether a frame carries the tiled (EPT1) codestream
+// profile, without CRC-validating or decoding any payload.
+func FrameTiled(frame Codestream) bool { return frame.Tiled() }
 
 // FrameDims parses a frame's structure and every band's codec header and
 // reports the plane geometry and band count without CRC-validating or

@@ -5,12 +5,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/encode?width=&height=&bands=[&bpp=][&lossless=1][&levels=]
+//	POST /v1/encode?width=&height=&bands=[&bpp=][&lossless=1][&tiled=1][&levels=]
 //	    Body: raw little-endian uint16 samples, band-major
 //	    (width*height*bands*2 bytes). Responds with one container frame.
-//	POST /v1/decode[?layers=N]
+//	    tiled=1 selects the tiled (EPT1) codestream profile, whose frames
+//	    support region decode below.
+//	POST /v1/decode[?layers=N][&x=&y=&w=&h=]
 //	    Body: one container frame. Responds with raw little-endian uint16
-//	    samples plus X-Earthplus-Width/-Height/-Bands headers.
+//	    samples plus X-Earthplus-Width/-Height/-Bands headers. Passing a
+//	    region (w and h required, x and y default 0, clipped to the
+//	    plane) responds with just that rectangle's samples; on tiled
+//	    frames only the covering tiles are decoded, on monolithic frames
+//	    the full plane is decoded and cropped. layers does not combine
+//	    with a region.
 //	GET  /v1/info
 //	    JSON description: versions, registered systems, limits.
 //	GET  /metrics
@@ -554,6 +561,13 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("lossless"); v == "1" || v == "true" {
 		opts.Lossless = true
 	}
+	if v := r.URL.Query().Get("tiled"); v == "1" || v == "true" {
+		if opts.Lossless {
+			s.writeError(w, badReq("tiled and lossless are mutually exclusive"))
+			return
+		}
+		opts.Tiled = true
+	}
 
 	body, release, err := s.readBody(w, r)
 	if err != nil {
@@ -571,6 +585,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("w=%d", width), fmt.Sprintf("h=%d", height),
 		fmt.Sprintf("b=%d", bands), fmt.Sprintf("lv=%d", levels),
 		fmt.Sprintf("bpp=%g", opts.BPP), fmt.Sprintf("ll=%v", opts.Lossless),
+		fmt.Sprintf("tl=%v", opts.Tiled),
 	}, body)
 	s.respond(w, r, digest, func(ctx context.Context) (*cacheEntry, error) {
 		if err := s.acquire(ctx); err != nil {
@@ -587,7 +602,8 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDecode turns one container frame back into raw band-major uint16
-// samples.
+// samples — the whole frame, or just a query-selected region (decoded
+// from the covering tiles on the tiled profile).
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	if !s.rateLimit(w, r) {
 		return
@@ -596,6 +612,31 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, err)
 		return
+	}
+	// Optional region decode: presence of w or h selects it; x and y
+	// default to the plane origin. On tiled frames only the covering
+	// tiles are decoded; monolithic frames decode fully and crop.
+	q := r.URL.Query()
+	region := q.Get("w") != "" || q.Get("h") != "" || q.Get("x") != "" || q.Get("y") != ""
+	var rx, ry, rw, rh int
+	if region {
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"x", &rx}, {"y", &ry}, {"w", &rw}, {"h", &rh}} {
+			if *p.dst, err = intParam(r, p.name, 0); err != nil {
+				s.writeError(w, err)
+				return
+			}
+		}
+		if rw <= 0 || rh <= 0 {
+			s.writeError(w, badReq("region decode needs positive w and h"))
+			return
+		}
+		if layers > 0 {
+			s.writeError(w, badReq("layers does not apply to region decodes"))
+			return
+		}
 	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
@@ -630,13 +671,22 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	digest := requestDigest("decode", []string{fmt.Sprintf("layers=%d", layers)}, body)
+	params := []string{fmt.Sprintf("layers=%d", layers)}
+	if region {
+		params = append(params, fmt.Sprintf("region=%d,%d,%d,%d", rx, ry, rw, rh))
+	}
+	digest := requestDigest("decode", params, body)
 	s.respond(w, r, digest, func(ctx context.Context) (*cacheEntry, error) {
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.release()
-		img, err := earthplus.DecodeFrame(ctx, frame, nil, layers)
+		var img *earthplus.Image
+		if region {
+			img, err = earthplus.DecodeFrameRegion(ctx, frame, nil, rx, ry, rw, rh)
+		} else {
+			img, err = earthplus.DecodeFrame(ctx, frame, nil, layers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -661,8 +711,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"api":     earthplus.APIVersion,
 		"systems": earthplus.Systems(),
 		"container": map[string]any{
-			"magic":   earthplus.ContainerMagic,
-			"version": earthplus.ContainerVersion,
+			"magic":         earthplus.ContainerMagic,
+			"version":       earthplus.ContainerVersion,
+			"version_tiled": earthplus.ContainerVersionTiled,
 		},
 		"limits": map[string]any{
 			"max_concurrent": s.cfg.MaxConcurrent,

@@ -1,0 +1,132 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"earthplus/pkg/earthplus"
+	"earthplus/pkg/earthplus/serve"
+)
+
+// cropSamples crops a band-major uint16 sample payload to a rectangle.
+func cropSamples(full []byte, w, h, bands, x, y, cw, ch int) []byte {
+	out := make([]byte, 0, cw*ch*bands*2)
+	for b := 0; b < bands; b++ {
+		base := b * w * h
+		for dy := 0; dy < ch; dy++ {
+			row := (base + (y+dy)*w + x) * 2
+			out = append(out, full[row:row+cw*2]...)
+		}
+	}
+	return out
+}
+
+// TestServeTiledRegionDecode drives the tiled profile end to end over
+// HTTP: tiled=1 on /v1/encode produces a v2 tiled frame, and x,y,w,h on
+// /v1/decode returns exactly the crop of the full decode — the region is
+// answered from the covering tiles, so it must not differ from decoding
+// everything and cropping.
+func TestServeTiledRegionDecode(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	const w, h, bands = 192, 128, 2 // 3x2 codec tiles per band
+
+	samples := randomSamples(7, w, h, bands)
+	encURL := fmt.Sprintf("%s/v1/encode?width=%d&height=%d&bands=%d&tiled=1&bpp=4", ts.URL, w, h, bands)
+	resp, frame := postBytes(t, ts.Client(), encURL, samples)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tiled encode status %d: %s", resp.StatusCode, frame)
+	}
+	if !earthplus.FrameTiled(frame) {
+		t.Fatal("tiled=1 encode did not produce a tiled frame")
+	}
+
+	resp, full := postBytes(t, ts.Client(), ts.URL+"/v1/decode", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full decode status %d: %s", resp.StatusCode, full)
+	}
+	for _, r := range [][4]int{{0, 0, 64, 64}, {70, 30, 64, 50}, {100, 60, 92, 68}, {-10, -10, 30, 30}, {0, 0, w, h}} {
+		url := fmt.Sprintf("%s/v1/decode?x=%d&y=%d&w=%d&h=%d", ts.URL, r[0], r[1], r[2], r[3])
+		resp, region := postBytes(t, ts.Client(), url, frame)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("region %v decode status %d: %s", r, resp.StatusCode, region)
+		}
+		x0, y0 := max(r[0], 0), max(r[1], 0)
+		cw, ch := min(r[0]+r[2], w)-x0, min(r[1]+r[3], h)-y0
+		if got := resp.Header.Get("X-Earthplus-Width"); got != fmt.Sprint(cw) {
+			t.Fatalf("region %v: X-Earthplus-Width = %q, want %d", r, got, cw)
+		}
+		if got := resp.Header.Get("X-Earthplus-Height"); got != fmt.Sprint(ch) {
+			t.Fatalf("region %v: X-Earthplus-Height = %q, want %d", r, got, ch)
+		}
+		if want := cropSamples(full, w, h, bands, x0, y0, cw, ch); !bytes.Equal(region, want) {
+			t.Fatalf("region %v: samples differ from the cropped full decode", r)
+		}
+	}
+}
+
+// TestServeRegionDecodeMonolithicFallback pins that regions work on the
+// v1 monolithic profile too (full decode plus crop).
+func TestServeRegionDecodeMonolithicFallback(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	const w, h = 96, 64
+	samples := randomSamples(11, w, h, 1)
+	resp, frame := postBytes(t, ts.Client(), fmt.Sprintf("%s/v1/encode?width=%d&height=%d&bpp=4", ts.URL, w, h), samples)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d: %s", resp.StatusCode, frame)
+	}
+	if earthplus.FrameTiled(frame) {
+		t.Fatal("default encode unexpectedly produced a tiled frame")
+	}
+	resp, full := postBytes(t, ts.Client(), ts.URL+"/v1/decode", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full decode status %d: %s", resp.StatusCode, full)
+	}
+	resp, region := postBytes(t, ts.Client(), ts.URL+"/v1/decode?x=16&y=8&w=40&h=24", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("region decode status %d: %s", resp.StatusCode, region)
+	}
+	if want := cropSamples(full, w, h, 1, 16, 8, 40, 24); !bytes.Equal(region, want) {
+		t.Fatal("monolithic region decode differs from the cropped full decode")
+	}
+}
+
+// TestServeRegionDecodeErrors pins the region parameter validation.
+func TestServeRegionDecodeErrors(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	const w, h = 64, 64
+	samples := randomSamples(3, w, h, 1)
+	resp, frame := postBytes(t, ts.Client(), fmt.Sprintf("%s/v1/encode?width=%d&height=%d&tiled=1", ts.URL, w, h), samples)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d: %s", resp.StatusCode, frame)
+	}
+	cases := []struct {
+		name, query, code string
+	}{
+		{"missing w/h", "?x=1&y=1", "bad_request"},
+		{"non-positive h", "?w=10&h=0", "bad_request"},
+		{"layers with region", "?w=10&h=10&layers=2", "bad_request"},
+		{"non-numeric", "?w=ten&h=10", "bad_request"},
+		{"outside plane", fmt.Sprintf("?x=%d&y=%d&w=8&h=8", w, h), "bad_image"},
+	}
+	for _, tc := range cases {
+		resp, body := postBytes(t, ts.Client(), ts.URL+"/v1/decode"+tc.query, frame)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		if code := errorCode(t, body); code != tc.code {
+			t.Fatalf("%s: error code %q, want %q", tc.name, code, tc.code)
+		}
+	}
+	// tiled and lossless refuse to combine on the encode side.
+	resp, body := postBytes(t, ts.Client(),
+		fmt.Sprintf("%s/v1/encode?width=%d&height=%d&tiled=1&lossless=1", ts.URL, w, h), samples)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, body) != "bad_request" {
+		t.Fatalf("tiled+lossless: status %d body %s", resp.StatusCode, body)
+	}
+}

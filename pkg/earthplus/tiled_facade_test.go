@@ -1,0 +1,111 @@
+package earthplus_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"earthplus/pkg/earthplus"
+)
+
+// tiledFacadeImage builds a deterministic multi-band test image.
+func tiledFacadeImage(w, h, bands int) *earthplus.Image {
+	info := make([]earthplus.BandInfo, bands)
+	img := earthplus.NewImage(w, h, info)
+	for b := 0; b < bands; b++ {
+		p := img.Plane(b)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				p[y*w+x] = float32(0.5 + 0.3*math.Sin(float64(b)+float64(x)/9) +
+					0.15*math.Cos(float64(y)/13))
+			}
+		}
+	}
+	return img
+}
+
+// TestTiledFacadeRoundTripAndRegion pins the public tiled profile: an
+// EncodeOptions.Tiled frame carries the tiled container version, decodes
+// through the same DecodeFrame as v1 frames, and DecodeFrameRegion
+// returns exactly the crop of the full decode on every rectangle.
+func TestTiledFacadeRoundTripAndRegion(t *testing.T) {
+	const w, h, bands = 160, 96, 3
+	img := tiledFacadeImage(w, h, bands)
+	frame, err := earthplus.EncodeFrame(context.Background(), img, earthplus.EncodeOptions{BPP: 4, Tiled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !earthplus.FrameTiled(frame) {
+		t.Fatal("Tiled encode did not produce a tiled frame")
+	}
+	if got := frame[4]; int(got) != earthplus.ContainerVersionTiled {
+		t.Fatalf("frame version %d, want %d", got, earthplus.ContainerVersionTiled)
+	}
+	if fw, fh, fb, err := earthplus.FrameDims(frame); err != nil || fw != w || fh != h || fb != bands {
+		t.Fatalf("FrameDims = %d,%d,%d (%v)", fw, fh, fb, err)
+	}
+	full, err := earthplus.DecodeFrame(context.Background(), frame, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][4]int{{0, 0, 64, 64}, {70, 30, 64, 50}, {-8, -8, 20, 20}, {0, 0, w, h}} {
+		reg, err := earthplus.DecodeFrameRegion(context.Background(), frame, nil, r[0], r[1], r[2], r[3])
+		if err != nil {
+			t.Fatalf("region %v: %v", r, err)
+		}
+		x0, y0 := max(r[0], 0), max(r[1], 0)
+		x1, y1 := min(r[0]+r[2], w), min(r[1]+r[3], h)
+		if reg.Width != x1-x0 || reg.Height != y1-y0 {
+			t.Fatalf("region %v: got %dx%d", r, reg.Width, reg.Height)
+		}
+		for b := 0; b < bands; b++ {
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					if got, want := reg.At(b, x-x0, y-y0), full.At(b, x, y); got != want {
+						t.Fatalf("region %v band %d (%d,%d): %v != %v", r, b, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Regions also work on monolithic frames (full decode plus crop).
+	mono, err := earthplus.EncodeFrame(context.Background(), img, earthplus.EncodeOptions{BPP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if earthplus.FrameTiled(mono) {
+		t.Fatal("default encode unexpectedly tiled")
+	}
+	monoFull, err := earthplus.DecodeFrame(context.Background(), mono, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := earthplus.DecodeFrameRegion(context.Background(), mono, nil, 16, 8, 40, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < bands; b++ {
+		for y := 0; y < 24; y++ {
+			for x := 0; x < 40; x++ {
+				if reg.At(b, x, y) != monoFull.At(b, x+16, y+8) {
+					t.Fatalf("monolithic region band %d (%d,%d) differs", b, x, y)
+				}
+			}
+		}
+	}
+	// Degenerate and out-of-bounds rectangles are typed errors.
+	if _, err := earthplus.DecodeFrameRegion(context.Background(), frame, nil, 0, 0, 0, 8); err == nil {
+		t.Fatal("empty region accepted")
+	}
+	if _, err := earthplus.DecodeFrameRegion(context.Background(), frame, nil, w, h, 8, 8); err == nil {
+		t.Fatal("out-of-bounds region accepted")
+	}
+	// Lossless overrides Tiled: the reversible profile is monolithic.
+	ll, err := earthplus.EncodeFrame(context.Background(), img, earthplus.EncodeOptions{Lossless: true, Tiled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if earthplus.FrameTiled(ll) {
+		t.Fatal("lossless encode produced a tiled frame")
+	}
+}
