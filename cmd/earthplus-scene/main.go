@@ -51,6 +51,7 @@ func main() {
 
 	s := earthplus.NewScene(cfg)
 	cap := s.CaptureImage(*loc, *day, *sat)
+	defer s.ReleaseCapture(cap)
 	fmt.Printf("%s location %q (%s), day %d, band %s: cloud coverage %.1f%%\n",
 		ds.Name, cfg.Locations[*loc].Name, cfg.Locations[*loc].Content,
 		*day, cfg.Bands[*band].Name, cap.Coverage*100)

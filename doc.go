@@ -134,9 +134,15 @@
 // uplink and a per-tile worker pool. See README.md for the perf knobs
 // and how to run the microbenchmarks, and cmd/earthplus-bench -only
 // codecbench for the tracked BENCH_codec.json snapshot.
+//
+// The determinism, pooling and error-taxonomy invariants above are
+// machine-enforced: tools/ houses a custom go/analysis suite
+// (earthplus-lint: maporder, detsource, pooledescape, eperrboundary)
+// that runs in CI and inside go test via internal/lintcheck. See the
+// "Static analysis" section of README.md.
 package earthplus
 
 // Version identifies this reproduction's release line. This is the one
 // place it is bumped; pkg/earthplus.Version re-exports it for API
 // consumers.
-const Version = "1.9.0"
+const Version = "1.10.0"

@@ -1,0 +1,16 @@
+package experiments
+
+import "sort"
+
+// sortedKeys returns m's keys in ascending order. Experiment aggregations
+// iterate string-keyed maps through this helper so rendered tables and
+// figure series come out byte-identical on every run (maporder enforces
+// it across the package).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -66,8 +66,8 @@ func Fig11(sc Scale, ds Dataset) (*Fig11Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for name, run := range runs {
-			s := accs[name].Summary(run, down)
+		for _, name := range sortedKeys(runs) {
+			s := accs[name].Summary(runs[name], down)
 			res.Curves[name] = append(res.Curves[name], TradeoffPoint{
 				Gamma:        gamma,
 				DownlinkMbps: s.RequiredDownlinkBps / 1e6,
@@ -75,7 +75,7 @@ func Fig11(sc Scale, ds Dataset) (*Fig11Result, error) {
 			})
 		}
 	}
-	for name := range res.Curves {
+	for _, name := range sortedKeys(res.Curves) {
 		pts := res.Curves[name]
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Gamma < pts[j].Gamma })
 		res.Curves[name] = pts
@@ -138,6 +138,7 @@ func savingRange(curves map[string][]TradeoffPoint) (lo, hi float64) {
 	lo, hi = math.Inf(1), 0
 	for _, p := range earth {
 		best := math.Inf(1)
+		//lint:deterministic min-reduction over baselines is iteration-order-independent
 		for name, curve := range curves {
 			if name == "Earth+" {
 				continue

@@ -45,9 +45,9 @@ func Fig12(sc Scale) (*Fig12Result, error) {
 		return nil, err
 	}
 	res := &Fig12Result{TileFrac: map[string][]float64{}, PSNR: map[string][]float64{}}
-	for name, d := range dists {
-		res.TileFrac[name] = d.tile
-		res.PSNR[name] = d.psnr
+	for _, name := range sortedKeys(dists) {
+		res.TileFrac[name] = dists[name].tile
+		res.PSNR[name] = dists[name].psnr
 	}
 	return res, nil
 }
@@ -114,7 +114,8 @@ func Fig13(sc Scale) (*Fig13Result, error) {
 		return nil, err
 	}
 	res := &Fig13Result{Series: map[string][]Fig13Point{}}
-	for name, pts := range series {
+	for _, name := range sortedKeys(series) {
+		pts := series[name]
 		// Records stream in deterministic day order already; the sort is
 		// kept as a guard for future multi-shard emitters.
 		sort.Slice(*pts, func(i, j int) bool { return (*pts)[i].Day < (*pts)[j].Day })

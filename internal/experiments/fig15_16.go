@@ -132,6 +132,7 @@ func Fig16(sc Scale) (*Fig16Result, error) {
 	s := scene.New(cfg)
 	grid := s.Grid()
 	cap := s.CaptureImage(0, sc.EvalStart, 0)
+	defer s.ReleaseCapture(cap)
 	ref := s.GroundTruth(0, sc.EvalStart-5)
 	refLow, err := ref.Downsample(4)
 	if err != nil {

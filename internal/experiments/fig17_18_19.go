@@ -57,6 +57,7 @@ func Fig17(sc Scale) (*Fig17Result, error) {
 		return nil, err
 	}
 	var upTotal float64
+	//lint:deterministic integer-valued sum over map values is order-independent
 	for _, b := range run.UpBytesByDay {
 		upTotal += float64(b)
 	}

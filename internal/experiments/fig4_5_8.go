@@ -216,6 +216,10 @@ func Fig8(sc Scale) *Fig8Result {
 			p.lowDiffs[f] = raster.TileMeanAbsDiff(refLow, capLow, band, gLow)
 		}
 		pairs = append(pairs, p)
+		// p retains only fresh diff slices and truth labels, so the
+		// capture buffers can go back to the scene's pools each pair.
+		s.ReleaseCapture(refCap)
+		s.ReleaseCapture(newCap)
 	}
 	if len(pairs) == 0 {
 		return &Fig8Result{}

@@ -106,6 +106,7 @@ func LossSweep(sc Scale) (*LossSweepResult, error) {
 		// retransmit path leaked around the pack-time accounting. The
 		// budget is per satellite; UpBytesByDay sums the fleet.
 		fleetBudget := env.UplinkBytesPerDay * int64(env.Orbit.Satellites)
+		//lint:deterministic per-day validation only; no output depends on visit order
 		for day, up := range upByDay {
 			if env.UplinkBytesPerDay > 0 && up > fleetBudget {
 				return nil, fmt.Errorf("loss sweep: rate %v: day %d uplinked %d bytes over the fleet budget %d",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"earthplus/internal/metrics"
 	"earthplus/internal/orbit"
@@ -72,13 +73,9 @@ func Table2(sc Scale) *Table2Result {
 		for _, l := range cfg.Locations {
 			contents[l.Content.String()] = true
 		}
-		uniq := ""
-		for name := range contents {
-			if uniq != "" {
-				uniq += ","
-			}
-			uniq += name
-		}
+		// Joined in sorted order: this string lands verbatim in the
+		// rendered table, so iteration order must not reach it.
+		uniq := strings.Join(sortedKeys(contents), ",")
 		rows = append(rows, []string{
 			name,
 			fmt.Sprintf("%d", sats),

@@ -1,0 +1,6 @@
+// Package lintcheck holds the meta-tests that bind the repo's own
+// static-analysis suite (tools/cmd/earthplus-lint) into the tier-1 gate:
+// `go test ./...` fails if the committed tree has lint findings or if the
+// analyzers' own tests fail, so nobody needs to remember a separate lint
+// invocation.
+package lintcheck

@@ -1,0 +1,69 @@
+package lintcheck
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the main
+// module's go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if b, err := os.ReadFile(filepath.Join(dir, "go.mod")); err == nil &&
+			strings.HasPrefix(string(b), "module earthplus\n") {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("main module go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestTreeIsLintClean builds earthplus-lint from the nested tools module
+// and runs it over the whole main module: any maporder, detsource,
+// pooledescape or eperrboundary finding fails the build. New deliberate
+// exceptions need a //lint:<keyword> <reason> annotation at the site.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the full lint suite; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "earthplus-lint")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/earthplus-lint")
+	build.Dir = filepath.Join(root, "tools")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building earthplus-lint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("lint findings in the committed tree:\n%s", out)
+	}
+}
+
+// TestAnalyzerSuitePasses runs the tools module's own tests (the
+// analysistest fixtures), which `go test ./...` at the root would
+// otherwise skip because tools/ is a separate module.
+func TestAnalyzerSuitePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the nested tools module's tests; skipped in -short")
+	}
+	root := repoRoot(t)
+	cmd := exec.Command("go", "test", "./...")
+	cmd.Dir = filepath.Join(root, "tools")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("tools module tests failed: %v\n%s", err, out)
+	}
+}

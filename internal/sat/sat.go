@@ -278,7 +278,7 @@ func SpliceStoredRef(frame container.Codestream, w, h int, bands []raster.BandIn
 		}
 		base := make([]float32, w*h)
 		var decoded, decNanos int64
-		t0 := time.Now()
+		t0 := time.Now() //lint:deterministic wall time feeds DecodeStats only, excluded by EqualIgnoringTimings
 		for t, hit := range touched {
 			if !hit {
 				continue
@@ -305,7 +305,7 @@ func SpliceStoredRef(frame container.Codestream, w, h int, bands []raster.BandIn
 			}
 			decoded++
 		}
-		decNanos = time.Since(t0).Nanoseconds()
+		decNanos = time.Since(t0).Nanoseconds() //lint:deterministic wall time feeds DecodeStats only, excluded by EqualIgnoringTimings
 		// Overlay the update's changed tiles (original pixel values, as
 		// the raw splice path copies them).
 		for t, set := range mask.Set {
@@ -523,12 +523,12 @@ func (c *RefCache) decodeEntryLocked(loc int) *LowResRef {
 		return lr
 	}
 	e := c.frames[loc]
-	t0 := time.Now()
+	t0 := time.Now() //lint:deterministic wall time feeds the cache's DecodeStats only, excluded by EqualIgnoringTimings
 	im, err := DecodeStoredRef(e.frame, e.w, e.h, e.bands)
 	if err != nil {
 		panic(fmt.Sprintf("sat: loc %d: %v", loc, err))
 	}
-	c.decodeNanos += time.Since(t0).Nanoseconds()
+	c.decodeNanos += time.Since(t0).Nanoseconds() //lint:deterministic wall time feeds the cache's DecodeStats only, excluded by EqualIgnoringTimings
 	c.decodes++
 	lr := &LowResRef{Image: im, Day: e.day}
 	c.insertDecodedLocked(loc, lr)
@@ -723,7 +723,7 @@ func (c *RefCache) visitRegionTiledLocked(e *compRef, x, y, w, h int) (*LowResRe
 	if len(streams) != len(e.bands) {
 		return nil, fmt.Errorf("sat: stored reference frame carries %d bands, want %d", len(streams), len(e.bands))
 	}
-	t0 := time.Now()
+	t0 := time.Now() //lint:deterministic wall time feeds the cache's DecodeStats only, excluded by EqualIgnoringTimings
 	var out *raster.Image
 	for b, data := range streams {
 		plane, cw, ch, err := codec.DecodeRegion(data, x, y, w, h)
@@ -742,7 +742,7 @@ func (c *RefCache) visitRegionTiledLocked(e *compRef, x, y, w, h int) (*LowResRe
 		c.tilesTotal += int64(total)
 	}
 	out.Clamp()
-	c.decodeNanos += time.Since(t0).Nanoseconds()
+	c.decodeNanos += time.Since(t0).Nanoseconds() //lint:deterministic wall time feeds the cache's DecodeStats only, excluded by EqualIgnoringTimings
 	c.decodes++
 	return &LowResRef{Image: out, Day: e.day}, nil
 }
@@ -1159,9 +1159,9 @@ func (p *Pipeline) Process(capImg *raster.Image, ref *LowResRef) (*Result, error
 	}
 	res := &Result{}
 	// Cloud removal: detect, then drop heavily cloudy captures.
-	tCloud := time.Now()
+	tCloud := time.Now() //lint:deterministic wall time feeds Record.CloudSec, excluded by EqualIgnoringTimings
 	res.CloudMask = p.CloudDet.Detect(capImg)
-	res.CloudSec = time.Since(tCloud).Seconds()
+	res.CloudSec = time.Since(tCloud).Seconds() //lint:deterministic wall time feeds Record.CloudSec, excluded by EqualIgnoringTimings
 	res.CloudCover = res.CloudMask.Coverage()
 	res.CloudTiles = res.CloudMask.TileMask(p.Grid, p.CloudTileFrac)
 	if res.CloudCover > p.DropCoverage {
@@ -1185,7 +1185,7 @@ func (p *Pipeline) Process(capImg *raster.Image, ref *LowResRef) (*Result, error
 			ref.Image.Width, ref.Image.Height, capLow.Width, capLow.Height)
 	}
 	// Clear-pixel mask at detection resolution for the illumination fit.
-	tChange := time.Now()
+	tChange := time.Now() //lint:deterministic wall time feeds Record.ChangeSec, excluded by EqualIgnoringTimings
 	clearLow := clearPixelsLow(res.CloudMask, p.Downsample, capLow.Width, capLow.Height)
 	det := change.Detector{Theta: p.Theta}
 	res.Changed = make([]*raster.TileMask, len(p.Bands))
@@ -1196,7 +1196,7 @@ func (p *Pipeline) Process(capImg *raster.Image, ref *LowResRef) (*Result, error
 		res.Illum[b] = model
 		res.Changed[b] = det.DetectBand(ref.Image, capLow, b, gLow, lowAlias(res.CloudTiles, gLow))
 	}
-	res.ChangeSec = time.Since(tChange).Seconds()
+	res.ChangeSec = time.Since(tChange).Seconds() //lint:deterministic wall time feeds Record.ChangeSec, excluded by EqualIgnoringTimings
 	return res, nil
 }
 

@@ -135,6 +135,7 @@ func TestCaptureCloudsMatchMask(t *testing.T) {
 		t.Fatal("no suitable cloudy day found")
 	}
 	cap := s.CaptureImage(0, day, 0)
+	defer s.ReleaseCapture(cap)
 	if math.Abs(cap.Coverage-cap.TrueCloud.Coverage()) > 1e-9 {
 		t.Fatalf("Coverage %v != mask coverage %v", cap.Coverage, cap.TrueCloud.Coverage())
 	}
@@ -182,6 +183,7 @@ func TestCaptureClearDayNearTruth(t *testing.T) {
 		t.Fatal("no clear day found")
 	}
 	cap := s.CaptureImage(0, day, 0)
+	defer s.ReleaseCapture(cap)
 	// Undo the true illumination; what remains is sensor noise only.
 	rec := cap.Image.Clone()
 	for b := 0; b < rec.NumBands(); b++ {
@@ -219,6 +221,7 @@ func TestIllumRecoverableByFit(t *testing.T) {
 		}
 	}
 	cap := s.CaptureImage(0, day, 0)
+	defer s.ReleaseCapture(cap)
 	m, ok := illum.Fit(cap.Truth.Plane(0), cap.Image.Plane(0), nil)
 	if !ok {
 		t.Fatal("fit failed on clear capture")
@@ -285,6 +288,7 @@ func TestCheapDetectorPrecisionOnSceneCaptures(t *testing.T) {
 				}
 			}
 		}
+		s.ReleaseCapture(cap)
 	}
 	if tp == 0 {
 		t.Fatal("cheap detector found no clouds at all")
@@ -338,6 +342,7 @@ func BenchmarkCaptureImage(b *testing.B) {
 func TestConcurrentCaptures(t *testing.T) {
 	s := New(quickConfig())
 	ref := s.CaptureImage(0, 33, 0)
+	defer s.ReleaseCapture(ref)
 	done := make(chan *raster.Image, 8)
 	for g := 0; g < 8; g++ {
 		go func() {

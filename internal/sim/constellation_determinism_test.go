@@ -100,6 +100,7 @@ func TestConstellationRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		if !sim.RecordsEqualIgnoringTimings(serial.res.Records, got.res.Records) {
 			t.Fatalf("contended records at Parallelism=%d differ from serial run", workers)
 		}
+		//lint:deterministic per-key comparison; visit order cannot affect the outcome
 		for day, up := range serial.res.UpBytesByDay {
 			if got.res.UpBytesByDay[day] != up {
 				t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.res.UpBytesByDay[day], up)
@@ -141,6 +142,7 @@ func TestConstellationOffIsFlatBudget(t *testing.T) {
 	if flat.Contacts != nil || again.Contacts != nil {
 		t.Fatalf("flat-budget runs grew a contact log: %d / %d", len(flat.Contacts), len(again.Contacts))
 	}
+	//lint:deterministic per-key comparison; visit order cannot affect the outcome
 	for day, up := range flat.UpBytesByDay {
 		if again.UpBytesByDay[day] != up {
 			t.Fatalf("uplink bytes day %d: %d vs %d", day, again.UpBytesByDay[day], up)

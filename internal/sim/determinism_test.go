@@ -98,6 +98,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 				if len(got.UpBytesByDay) != len(serial.UpBytesByDay) {
 					t.Fatalf("uplink day count at Parallelism=%d: %d vs %d", workers, len(got.UpBytesByDay), len(serial.UpBytesByDay))
 				}
+				//lint:deterministic per-key comparison; visit order cannot affect the outcome
 				for day, up := range serial.UpBytesByDay {
 					if got.UpBytesByDay[day] != up {
 						t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
@@ -157,6 +158,7 @@ func TestStorageBoundedRunDeterministicAcrossWorkerCounts(t *testing.T) {
 				if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
 					t.Fatalf("storage-bounded records at Parallelism=%d differ from serial run", workers)
 				}
+				//lint:deterministic per-key comparison; visit order cannot affect the outcome
 				for day, up := range serial.UpBytesByDay {
 					if got.UpBytesByDay[day] != up {
 						t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
@@ -216,6 +218,7 @@ func TestTiledStoreRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
 			t.Fatalf("tiled-store records at Parallelism=%d differ from serial run", workers)
 		}
+		//lint:deterministic per-key comparison; visit order cannot affect the outcome
 		for day, up := range serial.UpBytesByDay {
 			if got.UpBytesByDay[day] != up {
 				t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)
@@ -253,6 +256,7 @@ func TestLossyLinkRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		if !sim.RecordsEqualIgnoringTimings(serial.Records, got.Records) {
 			t.Fatalf("lossy-link records at Parallelism=%d differ from serial run", workers)
 		}
+		//lint:deterministic per-key comparison; visit order cannot affect the outcome
 		for day, up := range serial.UpBytesByDay {
 			if got.UpBytesByDay[day] != up {
 				t.Fatalf("uplink bytes day %d at Parallelism=%d: %d vs %d", day, workers, got.UpBytesByDay[day], up)

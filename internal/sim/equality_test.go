@@ -39,6 +39,7 @@ func TestRecordEqualityIgnoresTimingsOnly(t *testing.T) {
 		"bandlen":       func(r *Record) { r.PerBandBytes = []int64{400} },
 		"bandval":       func(r *Record) { r.PerBandBytes = []int64{400, 601} },
 	}
+	//lint:deterministic independent per-mutation assertions; visit order cannot affect the outcome
 	for name, mutate := range mutations {
 		got := base
 		got.PerBandBytes = append([]int64(nil), base.PerBandBytes...)

@@ -412,6 +412,7 @@ func (a *Accumulator) Summary(res *Result, down link.Budget) Summary {
 	}
 	if res.Days > 0 {
 		var up int64
+		//lint:deterministic integer sum over map values is order-independent
 		for _, b := range res.UpBytesByDay {
 			up += b
 		}

@@ -49,6 +49,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	if len(back.UpBytesByDay) != len(res.UpBytesByDay) {
 		t.Fatalf("uplink days %d != %d", len(back.UpBytesByDay), len(res.UpBytesByDay))
 	}
+	//lint:deterministic per-key comparison; visit order cannot affect the outcome
 	for d, v := range res.UpBytesByDay {
 		if back.UpBytesByDay[d] != v {
 			t.Fatalf("uplink day %d: %d != %d", d, back.UpBytesByDay[d], v)

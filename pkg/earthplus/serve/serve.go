@@ -164,25 +164,32 @@ func (c Config) withDefaults() Config {
 // a cache that silently cannot persist is an operational lie.
 func (c Config) Validate() error {
 	if c.RatePerSec < 0 || c.RatePerSec != c.RatePerSec {
-		return fmt.Errorf("rate limit must be >= 0 requests/s, got %v", c.RatePerSec)
+		return badConfig("rate limit must be >= 0 requests/s, got %v", c.RatePerSec)
 	}
 	if c.RateBurst < 0 {
-		return fmt.Errorf("rate burst must be >= 0, got %d", c.RateBurst)
+		return badConfig("rate burst must be >= 0, got %d", c.RateBurst)
 	}
 	if c.CacheDiskBytes < 0 {
-		return fmt.Errorf("disk cache budget must be >= 0 bytes, got %d", c.CacheDiskBytes)
+		return badConfig("disk cache budget must be >= 0 bytes, got %d", c.CacheDiskBytes)
 	}
 	if c.CacheDir != "" {
 		if err := os.MkdirAll(c.CacheDir, 0o755); err != nil {
-			return fmt.Errorf("cache dir: %v", err)
+			return badConfig("cache dir: %v", err)
 		}
 		probe := filepath.Join(c.CacheDir, ".earthplus-probe")
 		if err := os.WriteFile(probe, nil, 0o644); err != nil {
-			return fmt.Errorf("cache dir not writable: %v", err)
+			return badConfig("cache dir not writable: %v", err)
 		}
 		_ = os.Remove(probe)
 	}
 	return nil
+}
+
+// badConfig builds the bad_config taxonomy error Validate reports, so
+// embedding callers can dispatch on earthplus.ErrBadConfig instead of
+// string-matching (eperrboundary enforces this across the API surface).
+func badConfig(format string, args ...any) error {
+	return &earthplus.Error{Code: earthplus.CodeBadConfig, Op: "serve", Msg: fmt.Sprintf(format, args...)}
 }
 
 // maxRequestBands bounds the bands parameter of encode requests: far

@@ -1,0 +1,77 @@
+// Command earthplus-lint runs the repo's custom go/analysis suite:
+//
+//	maporder       range-over-map in determinism-sensitive packages
+//	detsource      wall-clock/entropy sources in deterministic packages
+//	pooledescape   pooled-buffer lifecycle (use-after-release, leaks)
+//	eperrboundary  untyped errors crossing the public API boundary
+//
+// It speaks the `go vet -vettool` unitchecker protocol, so the toolchain
+// does all package loading and the main module stays stdlib-only. Invoked
+// directly with package patterns it re-execs itself through go vet:
+//
+//	go build -o earthplus-lint ./cmd/earthplus-lint   (from tools/)
+//	./earthplus-lint ./...                            (from the repo root)
+//
+// is equivalent to `go vet -vettool=$PWD/earthplus-lint ./...`. Exit
+// status 0 means the tree is clean; findings print in the usual
+// file:line: message form and exit nonzero.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"earthplus/tools/internal/analysis/detsource"
+	"earthplus/tools/internal/analysis/eperrboundary"
+	"earthplus/tools/internal/analysis/maporder"
+	"earthplus/tools/internal/analysis/pooledescape"
+)
+
+func main() {
+	args := os.Args[1:]
+	if protocolInvocation(args) {
+		unitchecker.Main( // never returns
+			maporder.Analyzer,
+			detsource.Analyzer,
+			pooledescape.Analyzer,
+			eperrboundary.Analyzer,
+		)
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earthplus-lint:", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "earthplus-lint:", err)
+		os.Exit(1)
+	}
+}
+
+// protocolInvocation reports whether the arguments are the vet tool
+// protocol (version probe, flag enumeration, or a per-package .cfg file)
+// rather than a human typing package patterns.
+func protocolInvocation(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	if strings.HasPrefix(args[0], "-V") || args[0] == "-flags" {
+		return true
+	}
+	return strings.HasSuffix(args[len(args)-1], ".cfg")
+}

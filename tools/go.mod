@@ -1,0 +1,13 @@
+// Module earthplus/tools houses the repo's custom static-analysis suite
+// (earthplus-lint and its analyzers). It is a separate, nested module so
+// the main earthplus module stays stdlib-only: `go build ./...` at the
+// repo root never pulls golang.org/x/tools.
+//
+// golang.org/x/tools is vendored (see vendor/) from the subset the Go
+// toolchain itself ships under src/cmd/vendor, so building this module
+// needs no network access.
+module earthplus/tools
+
+go 1.24
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,188 @@
+// Package analysistest is a minimal, hermetic harness for testing the
+// earthplus-lint analyzers against fixture packages.
+//
+// It plays the role of golang.org/x/tools/go/analysis/analysistest (which
+// in turn needs go/packages and a module cache, neither of which this
+// vendored subset carries): it parses and typechecks a fixture package
+// from an analyzer's testdata/src tree, runs the analyzer over a
+// hand-built analysis.Pass, and compares the diagnostics against
+// expectations written as
+//
+//	code() // want "regexp" "another regexp"
+//
+// comments in the fixtures. Imports are resolved from the same
+// testdata/src root, so fixtures that need standard-library packages
+// (time, sync, fmt, ...) import tiny stubs committed next to them — the
+// analyzers match on package *path* and object names, which the stubs
+// reproduce, keeping tests independent of GOROOT contents.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run typechecks the fixture package rooted at root/pkgPath (root is
+// usually "testdata/src"), runs a over it, and fails t on any mismatch
+// between reported diagnostics and // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, root, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &stubImporter{root: root, fset: fset, cache: map[string]*types.Package{}}
+	files, pkg, info, err := imp.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report:     func(d analysis.Diagnostic) { got = append(got, d) },
+		ReadFile:   os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	want := expectations(t, fset, files)
+	for _, d := range got {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		idx := -1
+		for i, re := range want[key] {
+			if re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+			continue
+		}
+		want[key] = append(want[key][:idx], want[key][idx+1:]...)
+	}
+	var keys []string
+	for k, res := range want {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, re := range want[k] {
+			t.Errorf("%s: expected diagnostic matching %q, got none", k, re)
+		}
+	}
+}
+
+// expectations collects the // want "re" comments, keyed by
+// "file.go:line".
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	want := map[string][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+				for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(rest, -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+					}
+					want[key] = append(want[key], re)
+				}
+			}
+		}
+	}
+	return want
+}
+
+// stubImporter resolves import paths to directories under root,
+// typechecking them on demand. It satisfies types.Importer for the
+// fixtures' stub standard-library packages.
+type stubImporter struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.cache[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(si.root, filepath.FromSlash(path))); err != nil {
+		// Not stubbed: fall back to the compiler's export data so
+		// fixtures may import real std packages they don't need to fake.
+		return importer.Default().Import(path)
+	}
+	_, pkg, _, err := si.load(path)
+	return pkg, err
+}
+
+// load parses and typechecks the package at root/path, returning its
+// syntax, package object, and type info.
+func (si *stubImporter) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(si.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(si.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: si}
+	pkg, err := conf.Check(path, si.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	si.cache[path] = pkg
+	return files, pkg, info, nil
+}

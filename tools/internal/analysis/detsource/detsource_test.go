@@ -1,0 +1,16 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"earthplus/tools/internal/analysis/analysistest"
+	"earthplus/tools/internal/analysis/detsource"
+)
+
+func TestScoped(t *testing.T) {
+	analysistest.Run(t, detsource.Analyzer, "testdata/src", "internal/sim/fixture")
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, detsource.Analyzer, "testdata/src", "cmd/clock")
+}

@@ -1,0 +1,9 @@
+// Package clock is outside the analyzer's package scope: wall-clock reads
+// in CLIs and benchmarks are legitimate.
+package clock
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

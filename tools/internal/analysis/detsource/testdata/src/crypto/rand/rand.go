@@ -1,0 +1,4 @@
+// Package rand is a fixture stub for crypto/rand.
+package rand
+
+func Read(b []byte) (int, error) { return 0, nil }

@@ -1,0 +1,18 @@
+// Package rand is a fixture stub for math/rand.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand { return &Rand{src} }
+
+func NewSource(seed int64) Source { return nil }
+
+func Intn(n int) int { return 0 }
+
+func Float64() float64 { return 0 }
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func (r *Rand) Float64() float64 { return 0 }

@@ -1,0 +1,17 @@
+// Package time is a fixture stub: detsource matches on package path and
+// function name, which this reproduces without depending on GOROOT.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return 0 }
+
+func Until(t Time) Duration { return 0 }
+
+func (t Time) Sub(u Time) Duration { return 0 }
+
+func (d Duration) Seconds() float64 { return 0 }

@@ -1,0 +1,182 @@
+// Package eperrboundary defines an analyzer that keeps the public API
+// error contract typed.
+//
+// Every error that crosses the pkg/earthplus or pkg/earthplus/serve
+// boundary must carry the eperr taxonomy (code + op), because callers —
+// including the HTTP error mapper, which turns eperr codes into statuses
+// and machine-readable JSON bodies — dispatch on eperr.CodeOf. A naked
+// fmt.Errorf or errors.New returned from an exported function is
+// invisible to that dispatch and surfaces as a 500/unknown.
+//
+// The analyzer flags, inside exported functions and exported methods of
+// the scoped packages, any return statement whose result is a direct
+// errors.New(...) or fmt.Errorf(...) call — unless the format string uses
+// %w, which preserves a typed cause for errors.As/eperr.CodeOf. It also
+// follows one local hop: `err := fmt.Errorf(...)` later returned as
+// `return err` within the same function.
+//
+// Deliberate exceptions carry //lint:eperr <reason>.
+package eperrboundary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"earthplus/tools/internal/analysis/lintcomment"
+)
+
+// DefaultPackages are the public API surface: the embedding facade and
+// the serving tier.
+const DefaultPackages = "pkg/earthplus"
+
+var packages string
+
+var Analyzer = &analysis.Analyzer{
+	Name: "eperrboundary",
+	Doc:  "require errors returned across the public API boundary to carry the eperr taxonomy (no naked fmt.Errorf/errors.New)",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", DefaultPackages,
+		"comma-separated package path substrings the analyzer applies to")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintcomment.PackageMatch(packages, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsError(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// returnsError reports whether fd's signature includes an error result.
+func returnsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := obj.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: local variables bound (only ever) to naked constructors.
+	naked := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if call := nakedConstructor(pass, rhs); call != nil {
+				naked[obj] = call
+			} else {
+				delete(naked, obj) // rebound to something we can't prove naked
+			}
+		}
+		return true
+	})
+	// Pass 2: returns. Nested function literals keep fd's exported-ness:
+	// a closure returned from an exported function still feeds callers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call := nakedConstructor(pass, res)
+			if call == nil {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					call = naked[pass.TypesInfo.ObjectOf(id)]
+				}
+			}
+			if call == nil {
+				continue
+			}
+			if lintcomment.Suppressed(pass.Fset, pass.Files, ret.Pos(), "eperr") ||
+				lintcomment.Suppressed(pass.Fset, pass.Files, call.Pos(), "eperr") {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: ret.Pos(),
+				Message: fmt.Sprintf(
+					"%s returns a naked %s across the public API boundary: use eperr.New/eperr.Wrap so callers (and the HTTP error mapper) can dispatch on the code, or annotate with //lint:eperr <reason>",
+					fd.Name.Name, calleeLabel(call)),
+			})
+		}
+		return true
+	})
+}
+
+// nakedConstructor reports the untyped-error constructor call underneath
+// e, if any: errors.New(...), or fmt.Errorf(...) whose format string has
+// no %w verb (a %w chain preserves a typed cause for errors.As).
+func nakedConstructor(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return call
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return nil
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil && strings.Contains(s, "%w") {
+				return nil
+			}
+		}
+		return call
+	}
+	return nil
+}
+
+func calleeLabel(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name
+		}
+	}
+	return "error constructor"
+}

@@ -1,0 +1,16 @@
+package eperrboundary_test
+
+import (
+	"testing"
+
+	"earthplus/tools/internal/analysis/analysistest"
+	"earthplus/tools/internal/analysis/eperrboundary"
+)
+
+func TestScoped(t *testing.T) {
+	analysistest.Run(t, eperrboundary.Analyzer, "testdata/src", "pkg/earthplus/fixture")
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, eperrboundary.Analyzer, "testdata/src", "internal/other")
+}

@@ -1,0 +1,4 @@
+// Package errors is a fixture stub for the error constructors.
+package errors
+
+func New(text string) error { return nil }

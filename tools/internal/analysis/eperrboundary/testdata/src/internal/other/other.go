@@ -1,0 +1,9 @@
+// Package other is outside the public API scope: internal packages may
+// build plain errors (exported surfaces wrap them at the boundary).
+package other
+
+import "fmt"
+
+func Plain() error {
+	return fmt.Errorf("internal plumbing")
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises eperrboundary inside the public API scope.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Naked returns an untyped error the HTTP mapper cannot dispatch on.
+func Naked() error {
+	return fmt.Errorf("bad thing: %v", 3) // want "Naked returns a naked fmt.Errorf"
+}
+
+// NakedNew does the same via errors.New.
+func NakedNew() error {
+	return errors.New("boom") // want "NakedNew returns a naked errors.New"
+}
+
+// Wrapped keeps a typed cause reachable through errors.As.
+func Wrapped(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+// viaHelper is unexported: its errors never cross the API boundary
+// directly, so the exported caller is the enforcement point.
+func viaHelper() error {
+	return errors.New("internal detail")
+}
+
+// Indirect launders the constructor through a local before returning it.
+func Indirect() error {
+	err := fmt.Errorf("deferred naked")
+	return err // want "Indirect returns a naked fmt.Errorf"
+}
+
+// SuppressedNaked documents a deliberate untyped error.
+func SuppressedNaked() error {
+	//lint:eperr fixture documents a deliberate untyped error
+	return errors.New("documented exception")
+}

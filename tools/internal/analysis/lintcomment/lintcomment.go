@@ -1,0 +1,67 @@
+// Package lintcomment implements the suppression-comment contract shared
+// by every earthplus-lint analyzer.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:<keyword> <reason>
+//
+// placed either on the flagged line or on the line immediately above it.
+// The reason is mandatory: a bare //lint:deterministic with no
+// justification does not suppress, so every exception in the tree
+// documents why it is safe. Keywords are per-invariant, not per-analyzer:
+// both maporder and detsource honor "deterministic".
+package lintcomment
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressed reports whether pos (a position inside one of files) is
+// covered by a //lint:<keyword> comment with a non-empty reason on the
+// same line or the line immediately above.
+func Suppressed(fset *token.FileSet, files []*ast.File, pos token.Pos, keyword string) bool {
+	var f *ast.File
+	for _, ff := range files {
+		if ff.FileStart <= pos && pos <= ff.FileEnd {
+			f = ff
+			break
+		}
+	}
+	if f == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:"+keyword)
+			if !ok {
+				continue
+			}
+			// Reject both a longer keyword (//lint:deterministicish) and a
+			// missing reason (//lint:deterministic alone).
+			if rest == "" || (rest[0] != ' ' && rest[0] != '\t') || strings.TrimSpace(rest) == "" {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PackageMatch reports whether pkgPath matches any comma-separated
+// substring in list. An empty list matches nothing, so an analyzer
+// configured with -packages="" is effectively off.
+func PackageMatch(list, pkgPath string) bool {
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s != "" && strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+// Package maporder defines an analyzer that flags `range` over a map in
+// the repo's determinism-sensitive packages.
+//
+// Earth+'s headline guarantee is bit-exact reproducibility: records,
+// traces and uplink schedules must be byte-identical across -simworkers
+// counts, reruns and fault seeds. Go randomises map iteration order, so a
+// raw `for ... range m` in a serialization, aggregation, trace or
+// scheduling path silently breaks that guarantee — the bug class behind
+// Summarize's float-sum nondeterminism (PR 2) and WriteTrace's shuffled
+// uplink lines (PR 5).
+//
+// Two shapes are allowed without annotation:
+//
+//   - the collect-then-sort idiom, where the loop body is a single
+//     `keys = append(keys, k)` statement (the subsequent sort is the
+//     caller's contract);
+//   - loops that bind neither key nor value (pure counting).
+//
+// Anything else needs a `//lint:deterministic <reason>` comment on the
+// range line (or the line above) spelling out why iteration order cannot
+// reach an output — for example an integer sum, or writes keyed by the
+// iteration variable itself.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"earthplus/tools/internal/analysis/lintcomment"
+)
+
+// DefaultPackages are the determinism-sensitive paths: the engine and its
+// trace writer (sim), uplink packing (station), the contact scheduler
+// (constellation) and every experiment aggregation (experiments).
+const DefaultPackages = "internal/sim,internal/station,internal/constellation,internal/experiments"
+
+var packages string
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over a map in determinism-sensitive packages (serialization, aggregation, trace and scheduling paths)",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", DefaultPackages,
+		"comma-separated package path substrings the analyzer applies to")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintcomment.PackageMatch(packages, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if bindsNothing(rs) || isCollectKeys(rs) {
+				return true
+			}
+			if lintcomment.Suppressed(pass.Fset, pass.Files, rs.For, "deterministic") {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: rs.For,
+				Message: fmt.Sprintf(
+					"range over map %s in a determinism-sensitive package: iterate sorted keys, or annotate with //lint:deterministic <reason>",
+					types.ExprString(rs.X)),
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// bindsNothing reports a range that binds neither key nor value — it can
+// only count, which is order-independent.
+func bindsNothing(rs *ast.RangeStmt) bool {
+	return (rs.Key == nil || isBlank(rs.Key)) && (rs.Value == nil || isBlank(rs.Value))
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isCollectKeys recognises the sorted-iteration idiom's first half: a loop
+// body that is exactly one `xs = append(xs, ...)` statement.
+func isCollectKeys(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	return ok && fn.Name == "append"
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"earthplus/tools/internal/analysis/analysistest"
+	"earthplus/tools/internal/analysis/maporder"
+)
+
+func TestScoped(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src", "internal/sim/fixture")
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src", "cmd/agg")
+}

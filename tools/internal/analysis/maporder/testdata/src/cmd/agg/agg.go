@@ -1,0 +1,10 @@
+// Package agg is outside the analyzer's package scope: no findings.
+package agg
+
+func Join(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

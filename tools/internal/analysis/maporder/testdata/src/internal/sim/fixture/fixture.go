@@ -1,0 +1,53 @@
+// Package fixture exercises maporder inside a scoped package path.
+package fixture
+
+import "sort"
+
+// Sums float-accumulates in iteration order: the PR 2 bug class.
+func Sums(m map[string]float64) float64 {
+	var total float64
+	for k, v := range m { // want "range over map m in a determinism-sensitive package"
+		_ = k
+		total += v
+	}
+	return total
+}
+
+// Count binds neither key nor value: order cannot be observed.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SortedKeys is the collect-then-sort idiom's first half: allowed.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Suppressed documents why order cannot reach an output.
+func Suppressed(m map[int]int) int {
+	s := 0
+	//lint:deterministic integer sum is order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// BareSuppression lacks the mandatory reason, so it does not suppress.
+func BareSuppression(m map[int]int) int {
+	s := 0
+	//lint:deterministic
+	for _, v := range m { // want "range over map m in a determinism-sensitive package"
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,4 @@
+// Package sort is a fixture stub: the analyzer only needs the call shape.
+package sort
+
+func Strings(x []string) {}

@@ -1,0 +1,12 @@
+package pooledescape_test
+
+import (
+	"testing"
+
+	"earthplus/tools/internal/analysis/analysistest"
+	"earthplus/tools/internal/analysis/pooledescape"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, pooledescape.Analyzer, "testdata/src", "pool")
+}

@@ -1,0 +1,14 @@
+// Package sync is a fixture stub: pooledescape recognises sync.Pool
+// Get/Put by receiver type, which this reproduces.
+package sync
+
+type Pool struct{ New func() interface{} }
+
+func (p *Pool) Get() interface{} {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x interface{}) {}
